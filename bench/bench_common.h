@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared helpers for the Fig. 10-15 trace-replay benches: build the
+ * experiment from flags, replay the standard policy set over both
+ * traces, and hand each bench the per-run results.
+ */
+
+#ifndef COTTAGE_BENCH_BENCH_COMMON_H
+#define COTTAGE_BENCH_BENCH_COMMON_H
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/table.h"
+#include "util/cli.h"
+
+namespace cottage::bench {
+
+/** The policy set of the paper's main evaluation (Figs. 10-14). */
+inline const std::vector<std::string> mainPolicies = {
+    "exhaustive", "taily", "rank-s", "cottage"};
+
+/** The policy set of the ablation study (Fig. 15). */
+inline const std::vector<std::string> ablationPolicies = {
+    "exhaustive", "taily", "cottage-without-ml", "cottage-isn", "cottage"};
+
+/** One bench's replay results, keyed by (policy, flavor). */
+struct ReplayResults
+{
+    std::map<std::pair<std::string, TraceFlavor>, RunResult> runs;
+
+    const RunResult &
+    at(const std::string &policy, TraceFlavor flavor) const
+    {
+        return runs.at({policy, flavor});
+    }
+};
+
+/**
+ * Build the experiment from CLI flags (default: 5000 queries per
+ * trace so a full bench sweep stays tractable on one core) and replay
+ * the given policies over both trace flavors.
+ */
+inline ReplayResults
+replayAll(Experiment &experiment, const std::vector<std::string> &policies)
+{
+    ReplayResults results;
+    for (const TraceFlavor flavor :
+         {TraceFlavor::Wikipedia, TraceFlavor::Lucene}) {
+        for (const std::string &policy : policies) {
+            results.runs.emplace(std::make_pair(policy, flavor),
+                                 experiment.run(policy, flavor));
+        }
+    }
+    return results;
+}
+
+/** Standard bench experiment construction (echoes the config). */
+inline Experiment
+makeBenchExperiment(int argc, char **argv, uint64_t defaultQueries = 3000)
+{
+    const CliFlags flags(argc, argv);
+    ExperimentConfig config = ExperimentConfig::fromFlags(flags);
+    if (!flags.has("queries"))
+        config.traceQueries = defaultQueries;
+    config.print(std::cout);
+    return Experiment(std::move(config));
+}
+
+} // namespace cottage::bench
+
+#endif // COTTAGE_BENCH_BENCH_COMMON_H

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reproduces Fig. 2 — the motivation: (a) the client-side latency
+ * histogram of 10K Wikipedia-trace queries under exhaustive search has
+ * a long tail; (b) for most queries only a fraction of the 16 ISNs
+ * contribute any document to the P@10 results.
+ *
+ * Usage: bench_fig02_variation [--docs=] [--queries=] [--qps=] ...
+ */
+
+#include <iostream>
+
+#include "harness/experiment.h"
+#include "harness/table.h"
+#include "stats/histogram.h"
+#include "util/cli.h"
+
+using namespace cottage;
+
+int
+main(int argc, char **argv)
+{
+    const CliFlags flags(argc, argv);
+    ExperimentConfig config = ExperimentConfig::fromFlags(flags);
+    if (!flags.has("queries"))
+        config.traceQueries = 6000;
+    config.print(std::cout);
+
+    Experiment experiment(std::move(config));
+
+    std::cout << "\n=== Fig. 2(a): latency histogram, exhaustive search, "
+              << experiment.config().traceQueries
+              << " wikipedia queries ===\n";
+    const RunResult run =
+        experiment.run("exhaustive", TraceFlavor::Wikipedia);
+
+    // The paper's 5 ms bins, 0 to 65 ms.
+    Histogram latencyHist = Histogram::linear(0.0, 65e-3, 13);
+    for (const QueryMeasurement &m : run.measurements)
+        latencyHist.add(m.latencySeconds);
+
+    TextTable latencyTable({"latency bin (ms)", "queries", "fraction"});
+    for (std::size_t b = 0; b < latencyHist.bins(); ++b) {
+        latencyTable.addRow(
+            {TextTable::cell(latencyHist.binLow(b) * 1e3, 0) + "-" +
+                 TextTable::cell(latencyHist.binHigh(b) * 1e3, 0),
+             TextTable::cell(latencyHist.count(b)),
+             TextTable::cell(latencyHist.fraction(b), 3)});
+    }
+    std::cout << latencyTable.render();
+    std::cout << "\navg " << TextTable::cell(run.summary.avgLatencySeconds * 1e3)
+              << " ms, p95 "
+              << TextTable::cell(run.summary.p95LatencySeconds * 1e3)
+              << " ms, max "
+              << TextTable::cell(run.summary.maxLatencySeconds * 1e3)
+              << " ms\n";
+
+    std::cout << "\n=== Fig. 2(b): ISNs with non-zero P@10 contribution "
+                 "per query ===\n";
+    const auto &truth = experiment.groundTruth(TraceFlavor::Wikipedia);
+    std::vector<uint64_t> counts(experiment.index().numShards() + 1, 0);
+    for (const auto &ranking : truth) {
+        const std::vector<uint32_t> contributions =
+            experiment.engine().shardContributions(ranking);
+        uint32_t nonzero = 0;
+        for (uint32_t c : contributions)
+            nonzero += c > 0;
+        ++counts[nonzero];
+    }
+    TextTable contribTable({"contributing ISNs", "queries"});
+    for (std::size_t n = 0; n < counts.size(); ++n)
+        contribTable.addRow({TextTable::cell(static_cast<uint64_t>(n)),
+                             TextTable::cell(counts[n])});
+    std::cout << contribTable.render();
+
+    double weighted = 0.0;
+    for (std::size_t n = 0; n < counts.size(); ++n)
+        weighted += static_cast<double>(n * counts[n]);
+    std::cout << "\naverage contributing ISNs: "
+              << TextTable::cell(weighted /
+                                 static_cast<double>(truth.size()), 2)
+              << " of " << experiment.index().numShards() << "\n";
+    return 0;
+}

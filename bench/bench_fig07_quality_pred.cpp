@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Reproduces Fig. 7 — the quality predictor: (a) held-out accuracy and
+ * training loss versus training iterations (diminishing returns), and
+ * (b) per-ISN accuracy plus single-query inference time.
+ *
+ * Pass --paper-arch to use the paper's 5x128 MLP (slower to train);
+ * the default is the bank's scaled architecture.
+ */
+
+#include <iostream>
+
+#include "harness/experiment.h"
+#include "harness/table.h"
+#include "predict/training.h"
+#include "util/cli.h"
+#include "util/stopwatch.h"
+
+using namespace cottage;
+
+int
+main(int argc, char **argv)
+{
+    const CliFlags flags(argc, argv);
+    ExperimentConfig config = ExperimentConfig::fromFlags(flags);
+    config.traceQueries = 100; // evaluation traces unused here
+    const bool paperArch = flags.getBool("paper-arch", false);
+    const std::vector<std::size_t> hidden =
+        paperArch ? std::vector<std::size_t>{128, 128, 128, 128, 128}
+                  : config.train.hiddenLayers;
+    config.print(std::cout);
+    Experiment experiment(std::move(config));
+
+    const TrainingSets train = buildTrainingSets(
+        experiment.index(), experiment.evaluator(),
+        experiment.config().work, experiment.trainTrace(),
+        experiment.config().train.numBuckets);
+
+    TraceConfig heldOutConfig;
+    heldOutConfig.numQueries = 1500;
+    heldOutConfig.vocabSize = experiment.config().corpus.vocabSize;
+    heldOutConfig.seed = experiment.config().traceSeed + 555;
+    const QueryTrace heldOut = QueryTrace::generate(heldOutConfig);
+    const TrainingSets test = buildTrainingSets(
+        experiment.index(), experiment.evaluator(),
+        experiment.config().work, heldOut,
+        experiment.config().train.numBuckets);
+
+    std::cout << "\n=== Fig. 7(a): quality accuracy / loss vs training "
+                 "iterations (ISN 0, "
+              << (paperArch ? "paper 5x128" : "default") << " arch) ===\n";
+    QualityPredictor predictor(experiment.index().topK(), hidden, 99);
+    TextTable curve({"iterations", "train loss", "held-out accuracy"});
+    std::size_t done = 0;
+    for (std::size_t checkpoint :
+         {50u, 100u, 200u, 300u, 400u, 600u, 900u, 1200u}) {
+        const double loss =
+            predictor.train(train.shards[0].qualityK,
+                            train.shards[0].qualityHalf,
+                            checkpoint - done);
+        done = checkpoint;
+        curve.addRow({TextTable::cell(static_cast<uint64_t>(checkpoint)),
+                      TextTable::cell(loss, 4),
+                      TextTable::cell(
+                          predictor.accuracyTopK(test.shards[0].qualityK),
+                          3)});
+    }
+    std::cout << curve.render();
+
+    std::cout << "\n=== Fig. 7(b): per-ISN accuracy and inference time ===\n";
+    TextTable perIsn({"ISN", "accuracy", "zero/nonzero acc",
+                      "inference us"});
+    double accSum = 0.0;
+    double inferSum = 0.0;
+    const ShardId numShards = experiment.index().numShards();
+    for (ShardId s = 0; s < numShards; ++s) {
+        QualityPredictor model(experiment.index().topK(), hidden,
+                               99 + 17 * s);
+        model.train(train.shards[s].qualityK, train.shards[s].qualityHalf,
+                    experiment.config().train.iterations);
+        const Dataset &data = test.shards[s].qualityK;
+        const double accuracy = model.accuracyTopK(data);
+
+        std::size_t binaryOk = 0;
+        for (std::size_t i = 0; i < data.size(); ++i) {
+            const std::vector<double> features(
+                data.features(i), data.features(i) + data.numFeatures());
+            binaryOk += (model.predictTopK(features) == 0) ==
+                        (data.label(i) == 0);
+        }
+
+        // Single-query inference latency, averaged over the test set.
+        Stopwatch watch;
+        for (std::size_t i = 0; i < data.size(); ++i) {
+            const std::vector<double> features(
+                data.features(i), data.features(i) + data.numFeatures());
+            (void)model.predictTopK(features);
+        }
+        const double inferUs =
+            watch.elapsedMicros() / static_cast<double>(data.size());
+
+        accSum += accuracy;
+        inferSum += inferUs;
+        perIsn.addRow({TextTable::cell(static_cast<uint64_t>(s)),
+                       TextTable::cell(accuracy, 3),
+                       TextTable::cell(static_cast<double>(binaryOk) /
+                                           static_cast<double>(data.size()),
+                                       3),
+                       TextTable::cell(inferUs, 1)});
+    }
+    std::cout << perIsn.render();
+    std::cout << "\naverage accuracy "
+              << TextTable::cell(accSum / numShards, 3)
+              << ", average inference "
+              << TextTable::cell(inferSum / numShards, 1)
+              << " us (paper: 94.71% average, <= 41 us)\n";
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Reproduces Fig. 8 — the latency predictor: (a) held-out accuracy vs
+ * training iterations (the paper's curve flattens near 87%), and
+ * (b) per-ISN accuracy plus single-query inference time. "Accurate" is
+ * within +/- one cycle bucket, the tolerance under which the paper's
+ * 87% figure is meaningful for bucketized service-time prediction.
+ *
+ * Pass --paper-arch for the 5x128 MLP.
+ */
+
+#include <iostream>
+
+#include "harness/experiment.h"
+#include "harness/table.h"
+#include "predict/training.h"
+#include "util/cli.h"
+#include "util/stopwatch.h"
+
+using namespace cottage;
+
+int
+main(int argc, char **argv)
+{
+    const CliFlags flags(argc, argv);
+    ExperimentConfig config = ExperimentConfig::fromFlags(flags);
+    config.traceQueries = 100;
+    const bool paperArch = flags.getBool("paper-arch", false);
+    const std::vector<std::size_t> hidden =
+        paperArch ? std::vector<std::size_t>{128, 128, 128, 128, 128}
+                  : config.train.hiddenLayers;
+    config.print(std::cout);
+    Experiment experiment(std::move(config));
+
+    const TrainingSets train = buildTrainingSets(
+        experiment.index(), experiment.evaluator(),
+        experiment.config().work, experiment.trainTrace(),
+        experiment.config().train.numBuckets);
+
+    TraceConfig heldOutConfig;
+    heldOutConfig.numQueries = 1500;
+    heldOutConfig.vocabSize = experiment.config().corpus.vocabSize;
+    heldOutConfig.seed = experiment.config().traceSeed + 555;
+    const QueryTrace heldOut = QueryTrace::generate(heldOutConfig);
+
+    // Held-out labels must use the *training* bucket edges.
+    std::vector<Dataset> testSets;
+    for (ShardId s = 0; s < experiment.index().numShards(); ++s)
+        testSets.emplace_back(numLatencyFeatures);
+    for (const Query &query : heldOut.queries()) {
+        for (ShardId s = 0; s < experiment.index().numShards(); ++s) {
+            const SearchWork work =
+                experiment.engine().shardWork(s, query.terms);
+            testSets[s].add(
+                latencyFeatures(experiment.index().termStats(s),
+                                query.terms),
+                train.buckets.bucketOf(
+                    experiment.config().work.cycles(work)));
+        }
+    }
+
+    std::cout << "\n=== Fig. 8(a): latency accuracy vs training iterations "
+                 "(ISN 0, "
+              << (paperArch ? "paper 5x128" : "default") << " arch) ===\n";
+    LatencyPredictor predictor(train.buckets, hidden, 77);
+    TextTable curve({"iterations", "train loss", "held-out acc (+/-1)",
+                     "exact"});
+    std::size_t done = 0;
+    for (std::size_t checkpoint :
+         {30u, 60u, 120u, 240u, 480u, 900u, 1500u}) {
+        const double loss =
+            predictor.train(train.shards[0].latency, checkpoint - done);
+        done = checkpoint;
+        curve.addRow({TextTable::cell(static_cast<uint64_t>(checkpoint)),
+                      TextTable::cell(loss, 4),
+                      TextTable::cell(
+                          predictor.accuracyWithin(testSets[0], 1), 3),
+                      TextTable::cell(
+                          predictor.accuracyWithin(testSets[0], 0), 3)});
+    }
+    std::cout << curve.render();
+
+    std::cout << "\n=== Fig. 8(b): per-ISN accuracy and inference time ===\n";
+    TextTable perIsn({"ISN", "acc (+/-1 bucket)", "exact", "inference us"});
+    double accSum = 0.0;
+    double inferSum = 0.0;
+    const ShardId numShards = experiment.index().numShards();
+    for (ShardId s = 0; s < numShards; ++s) {
+        LatencyPredictor model(train.buckets, hidden, 77 + 17 * s);
+        model.train(train.shards[s].latency,
+                    experiment.config().train.iterations);
+        const double accuracy = model.accuracyWithin(testSets[s], 1);
+
+        Stopwatch watch;
+        const Dataset &data = testSets[s];
+        for (std::size_t i = 0; i < data.size(); ++i) {
+            const std::vector<double> features(
+                data.features(i), data.features(i) + data.numFeatures());
+            (void)model.predictBucket(features);
+        }
+        const double inferUs =
+            watch.elapsedMicros() / static_cast<double>(data.size());
+
+        accSum += accuracy;
+        inferSum += inferUs;
+        perIsn.addRow({TextTable::cell(static_cast<uint64_t>(s)),
+                       TextTable::cell(accuracy, 3),
+                       TextTable::cell(model.accuracyWithin(testSets[s], 0),
+                                       3),
+                       TextTable::cell(inferUs, 1)});
+    }
+    std::cout << perIsn.render();
+    std::cout << "\naverage accuracy "
+              << TextTable::cell(accSum / numShards, 3)
+              << ", average inference "
+              << TextTable::cell(inferSum / numShards, 1)
+              << " us (paper: 87.23% average, 70.25 us)\n";
+    return 0;
+}

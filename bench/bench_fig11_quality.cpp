@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Reproduces Fig. 11 — the average P@10 search quality of every policy
+ * on both traces (exhaustive is 1 by construction; the paper reports
+ * Cottage 0.947/0.955, Taily 0.887/0.878, Rank-S <= 0.709).
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace cottage;
+using namespace cottage::bench;
+
+int
+main(int argc, char **argv)
+{
+    Experiment experiment = makeBenchExperiment(argc, argv);
+    const ReplayResults results = replayAll(experiment, mainPolicies);
+
+    std::cout << "\n=== Fig. 11: average P@10 quality (NDCG@10 in "
+                 "parentheses) ===\n";
+    TextTable table({"policy", "wikipedia", "lucene"});
+    for (const std::string &policy : mainPolicies) {
+        const RunSummary &wiki =
+            results.at(policy, TraceFlavor::Wikipedia).summary;
+        const RunSummary &lucene =
+            results.at(policy, TraceFlavor::Lucene).summary;
+        table.addRow({policy,
+                      TextTable::cell(wiki.avgPrecision, 3) + " (" +
+                          TextTable::cell(wiki.avgNdcg, 3) + ")",
+                      TextTable::cell(lucene.avgPrecision, 3) + " (" +
+                          TextTable::cell(lucene.avgNdcg, 3) + ")"});
+    }
+    std::cout << table.render();
+    std::cout << "\npaper: exhaustive 1.000, cottage 0.947/0.955, taily "
+                 "0.887/0.878, rank-s <= 0.709\n";
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Reproduces Fig. 12 — the per-query (latency, P@10) distribution on
+ * the Wikipedia trace: Cottage's queries cluster in the fast/high-
+ * quality corner while Taily's and Rank-S's scatter down the quality
+ * axis. Rendered as a 2D density table (latency bins x quality bins)
+ * per policy, plus corner-mass summaries.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace cottage;
+using namespace cottage::bench;
+
+namespace {
+
+void
+printDensity(const RunResult &run, double latencyCapSeconds)
+{
+    constexpr std::size_t latencyBins = 6;
+    constexpr std::size_t qualityBins = 5;
+    // counts[q][l]: quality descending (top row = perfect quality).
+    std::vector<std::vector<uint64_t>> counts(
+        qualityBins, std::vector<uint64_t>(latencyBins, 0));
+    for (const QueryMeasurement &m : run.measurements) {
+        std::size_t l = static_cast<std::size_t>(
+            m.latencySeconds / latencyCapSeconds * latencyBins);
+        l = std::min(l, latencyBins - 1);
+        std::size_t q = static_cast<std::size_t>(
+            (1.0 - m.precisionAtK) * qualityBins);
+        q = std::min(q, qualityBins - 1);
+        counts[q][l] += 1;
+    }
+
+    std::vector<std::string> headers = {"P@10 \\ latency"};
+    for (std::size_t l = 0; l < latencyBins; ++l) {
+        headers.push_back(
+            TextTable::cell(latencyCapSeconds * 1e3 * (l + 1) /
+                                latencyBins,
+                            1) +
+            " ms");
+    }
+    TextTable table(headers);
+    for (std::size_t q = 0; q < qualityBins; ++q) {
+        const double hi = 1.0 - static_cast<double>(q) / qualityBins;
+        const double lo = 1.0 - static_cast<double>(q + 1) / qualityBins;
+        std::vector<std::string> row = {TextTable::cell(lo, 1) + "-" +
+                                        TextTable::cell(hi, 1)};
+        for (std::size_t l = 0; l < latencyBins; ++l)
+            row.push_back(TextTable::cell(counts[q][l]));
+        table.addRow(std::move(row));
+    }
+    std::cout << table.render();
+
+    // Top-left corner: fast AND high quality.
+    uint64_t corner = 0;
+    uint64_t total = 0;
+    for (const QueryMeasurement &m : run.measurements) {
+        corner += m.precisionAtK >= 0.8 &&
+                  m.latencySeconds <= 0.5 * latencyCapSeconds;
+        ++total;
+    }
+    std::cout << "fast+high-quality corner (P@10 >= 0.8, latency <= "
+              << TextTable::cell(0.5 * latencyCapSeconds * 1e3, 1)
+              << " ms): "
+              << TextTable::cell(static_cast<double>(corner) /
+                                     static_cast<double>(total),
+                                 3)
+              << " of queries\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Experiment experiment = makeBenchExperiment(argc, argv);
+    const ReplayResults results = replayAll(experiment, mainPolicies);
+
+    // A common latency cap so the three densities are comparable.
+    const double cap =
+        results.at("exhaustive", TraceFlavor::Wikipedia)
+            .summary.p95LatencySeconds;
+
+    for (const std::string policy : {"cottage", "taily", "rank-s"}) {
+        std::cout << "\n=== Fig. 12: (latency, P@10) density, " << policy
+                  << ", wikipedia trace ===\n";
+        printDensity(results.at(policy, TraceFlavor::Wikipedia), cap);
+    }
+    std::cout << "\npaper shape: cottage mass sits top-left; taily and "
+                 "rank-s scatter down the quality axis.\n";
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Reproduces Fig. 13 — the average number of ISNs selected per query:
+ * exhaustive uses all 16, Taily ~13, Rank-S ~11, Cottage ~6.8 in the
+ * paper, which is where the resource and power savings come from.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace cottage;
+using namespace cottage::bench;
+
+int
+main(int argc, char **argv)
+{
+    Experiment experiment = makeBenchExperiment(argc, argv);
+    const ReplayResults results = replayAll(experiment, mainPolicies);
+
+    std::cout << "\n=== Fig. 13: average selected ISNs per query (of "
+              << experiment.index().numShards() << ") ===\n";
+    TextTable table({"policy", "wikipedia", "lucene", "boosted (wiki)"});
+    for (const std::string &policy : mainPolicies) {
+        table.addRow(
+            {policy,
+             TextTable::cell(results.at(policy, TraceFlavor::Wikipedia)
+                                 .summary.avgIsnsUsed,
+                             2),
+             TextTable::cell(results.at(policy, TraceFlavor::Lucene)
+                                 .summary.avgIsnsUsed,
+                             2),
+             TextTable::cell(results.at(policy, TraceFlavor::Wikipedia)
+                                 .summary.avgIsnsBoosted,
+                             2)});
+    }
+    std::cout << table.render();
+    std::cout << "\npaper: exhaustive 16, taily ~13, rank-s ~11, cottage "
+                 "<= 6.81\n";
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reproduces Fig. 15 — the component ablation: Cottage vs Cottage-ISN
+ * (no aggregator coordination) vs Cottage-withoutML (Gamma quality
+ * estimation) vs Taily vs exhaustive, across (a) average latency,
+ * (b) P@10, (c) active ISNs and (d) searched documents C_RES.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace cottage;
+using namespace cottage::bench;
+
+int
+main(int argc, char **argv)
+{
+    Experiment experiment = makeBenchExperiment(argc, argv);
+    const ReplayResults results = replayAll(experiment, ablationPolicies);
+
+    for (const TraceFlavor flavor :
+         {TraceFlavor::Wikipedia, TraceFlavor::Lucene}) {
+        std::cout << "\n=== Fig. 15: component ablation, "
+                  << traceFlavorName(flavor) << " trace ===\n";
+        TextTable table({"policy", "avg ms", "P@10", "active ISNs",
+                         "C_RES (docs)"});
+        for (const std::string &policy : ablationPolicies) {
+            const RunSummary &s = results.at(policy, flavor).summary;
+            table.addRow({policy,
+                          TextTable::cell(s.avgLatencySeconds * 1e3, 2),
+                          TextTable::cell(s.avgPrecision, 3),
+                          TextTable::cell(s.avgIsnsUsed, 2),
+                          TextTable::cell(s.avgDocsSearched, 0)});
+        }
+        std::cout << table.render();
+    }
+
+    const RunSummary &cottage =
+        results.at("cottage", TraceFlavor::Wikipedia).summary;
+    const RunSummary &isn =
+        results.at("cottage-isn", TraceFlavor::Wikipedia).summary;
+    const RunSummary &noMl =
+        results.at("cottage-without-ml", TraceFlavor::Wikipedia).summary;
+    std::cout << "\ncoordination value: cottage-isn latency is "
+              << TextTable::cell(isn.avgLatencySeconds /
+                                     cottage.avgLatencySeconds,
+                                 2)
+              << "x cottage's (paper: ~1.9x)\n";
+    std::cout << "ML value: cottage-without-ml uses "
+              << TextTable::cell((noMl.avgIsnsUsed - cottage.avgIsnsUsed) /
+                                     cottage.avgIsnsUsed * 100.0,
+                                 0)
+              << "% more ISNs and "
+              << TextTable::cell(
+                     (noMl.avgDocsSearched - cottage.avgDocsSearched) /
+                         cottage.avgDocsSearched * 100.0,
+                     0)
+              << "% more C_RES (paper: ~43% and ~48%)\n";
+    return 0;
+}

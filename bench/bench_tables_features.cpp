@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reproduces Tables I and II — the feature vectors of the two
+ * predictors for example queries ("tokyo" for quality, "toyota" for
+ * latency, as in the paper), evaluated against one ISN's indexing-time
+ * term statistics.
+ */
+
+#include <iostream>
+
+#include "harness/experiment.h"
+#include "harness/table.h"
+#include "predict/features.h"
+#include "util/cli.h"
+
+using namespace cottage;
+
+int
+main(int argc, char **argv)
+{
+    const CliFlags flags(argc, argv);
+    ExperimentConfig config = ExperimentConfig::fromFlags(flags);
+    config.traceQueries = 100;
+    config.print(std::cout);
+    Experiment experiment(std::move(config));
+
+    const auto isn = static_cast<ShardId>(flags.getInt("isn", 0));
+    const TermStatsStore &stats = experiment.index().termStats(isn);
+    const Vocabulary &vocabulary = experiment.corpus().vocabulary();
+
+    const std::string qualityQuery =
+        flags.getString("quality-query", "tokyo");
+    const std::vector<TermId> qualityTerms =
+        vocabulary.tokenize(qualityQuery);
+    if (qualityTerms.empty())
+        fatal("no known terms in '" + qualityQuery + "'");
+
+    std::cout << "\n=== Table I: quality-prediction features for \""
+              << qualityQuery << "\" on ISN " << isn << " ===\n";
+    const std::vector<double> qf = qualityFeatures(stats, qualityTerms);
+    TextTable tableI({"feature", "value"});
+    for (std::size_t f = 0; f < numQualityFeatures; ++f)
+        tableI.addRow({qualityFeatureName(f), TextTable::cell(qf[f], 3)});
+    std::cout << tableI.render();
+
+    const std::string latencyQuery =
+        flags.getString("latency-query", "toyota");
+    const std::vector<TermId> latencyTerms =
+        vocabulary.tokenize(latencyQuery);
+    if (latencyTerms.empty())
+        fatal("no known terms in '" + latencyQuery + "'");
+
+    std::cout << "\n=== Table II: latency-prediction features for \""
+              << latencyQuery << "\" on ISN " << isn << " ===\n";
+    const std::vector<double> lf = latencyFeatures(stats, latencyTerms);
+    TextTable tableII({"feature", "value"});
+    for (std::size_t f = 0; f < numLatencyFeatures; ++f)
+        tableII.addRow({latencyFeatureName(f), TextTable::cell(lf[f], 3)});
+    std::cout << tableII.render();
+
+    std::cout << "\n(count-valued features are log1p-compressed; see "
+                 "src/predict/features.cc)\n";
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Budget explorer: type (or pass) queries and watch Cottage think —
+ * per-ISN quality/latency predictions, Algorithm 1's budget walk, the
+ * frequency assignments, and the simulated execution against the true
+ * exhaustive result. The debugging lens an operator of this system
+ * would reach for.
+ *
+ * Usage:
+ *   budget_explorer --query="canada music"       # one-shot
+ *   budget_explorer                               # reads stdin lines
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "core/budget_algorithm.h"
+#include "core/cottage_policy.h"
+#include "harness/experiment.h"
+#include "harness/table.h"
+#include "util/cli.h"
+
+using namespace cottage;
+
+namespace {
+
+void
+explore(Experiment &experiment, CottagePolicy &policy,
+        const std::string &text)
+{
+    Query query;
+    query.terms = experiment.corpus().vocabulary().tokenize(text);
+    query.arrivalSeconds = 0.0;
+    if (query.terms.empty()) {
+        std::cout << "no known terms in \"" << text << "\"\n";
+        return;
+    }
+
+    const auto truth = experiment.engine().globalTopK(query.terms);
+    const auto contributions =
+        experiment.engine().shardContributions(truth);
+
+    const auto preds = policy.predictions(query, experiment.engine());
+    const BudgetDecision decision = determineTimeBudget(preds);
+
+    std::cout << "\nquery \"" << text << "\" ("
+              << truth.size() << " true results)\n";
+    TextTable table({"ISN", "Q^K pred", "Q^K true", "Q^K/2 pred",
+                     "L cur ms", "L boost ms", "fate"});
+    const auto fate = [&](ShardId isn) -> std::string {
+        if (std::find(decision.selected.begin(), decision.selected.end(),
+                      isn) != decision.selected.end())
+            return "selected";
+        if (std::find(decision.droppedZeroQuality.begin(),
+                      decision.droppedZeroQuality.end(),
+                      isn) != decision.droppedZeroQuality.end())
+            return "cut: zero Q^K";
+        return "cut: over budget";
+    };
+    for (const IsnPrediction &p : preds) {
+        table.addRow({TextTable::cell(static_cast<uint64_t>(p.isn)),
+                      TextTable::cell(static_cast<uint64_t>(p.qualityK)),
+                      TextTable::cell(static_cast<uint64_t>(
+                          contributions[p.isn])),
+                      TextTable::cell(static_cast<uint64_t>(p.qualityHalf)),
+                      TextTable::cell(p.latencyCurrent * 1e3, 2),
+                      TextTable::cell(p.latencyBoosted * 1e3, 2),
+                      fate(p.isn)});
+    }
+    std::cout << table.render();
+
+    experiment.cluster().reset();
+    const QueryPlan plan = policy.plan(query, experiment.engine());
+    const QueryMeasurement m =
+        experiment.engine().execute(query, plan, truth);
+    std::cout << "budget "
+              << (plan.budgetSeconds == noBudget
+                      ? std::string("none")
+                      : TextTable::cell(plan.budgetSeconds * 1e3, 2) +
+                            " ms")
+              << " | executed on " << m.isnsUsed << " ISNs ("
+              << m.isnsBoosted << " boosted) | latency "
+              << TextTable::cell(m.latencySeconds * 1e3, 2)
+              << " ms | P@10 " << TextTable::cell(m.precisionAtK, 2)
+              << " | C_RES " << m.docsSearched << " docs\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliFlags flags(argc, argv);
+    ExperimentConfig config = ExperimentConfig::fromFlags(flags);
+    if (!flags.has("docs"))
+        config.corpus.numDocs = 30000;
+    if (!flags.has("train-queries"))
+        config.trainQueries = 2000;
+    config.traceQueries = 100;
+    config.print(std::cout);
+
+    Experiment experiment(std::move(config));
+    CottagePolicy policy(experiment.bank(), experiment.config().cottage);
+
+    if (flags.has("query")) {
+        explore(experiment, policy, flags.getString("query", ""));
+        return 0;
+    }
+
+    std::cout << "\nenter queries (one per line, ctrl-d to quit); try "
+                 "\"canada\", \"tokyo music\", \"toyota engine\"\n> "
+              << std::flush;
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        if (!line.empty())
+            explore(experiment, policy, line);
+        std::cout << "> " << std::flush;
+    }
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Trace replay: run one policy over one trace flavor and emit a
+ * per-query CSV (arrival, latency, P@10, ISNs used, boosted, C_RES,
+ * budget) plus the run summary — the workload a capacity planner or
+ * researcher would script against this library.
+ *
+ * Usage:
+ *   trace_replay [--policy=cottage] [--trace=wikipedia|lucene]
+ *                [--csv=out.csv] [--docs=] [--queries=] [--qps=] ...
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "harness/experiment.h"
+#include "harness/table.h"
+#include "util/cli.h"
+
+using namespace cottage;
+
+int
+main(int argc, char **argv)
+{
+    const CliFlags flags(argc, argv);
+    ExperimentConfig config = ExperimentConfig::fromFlags(flags);
+    if (!flags.has("docs"))
+        config.corpus.numDocs = 30000;
+    if (!flags.has("queries"))
+        config.traceQueries = 3000;
+    config.print(std::cout);
+
+    const std::string policyName = flags.getString("policy", "cottage");
+    const std::string traceName = flags.getString("trace", "wikipedia");
+    const TraceFlavor flavor = traceName == "lucene"
+                                   ? TraceFlavor::Lucene
+                                   : TraceFlavor::Wikipedia;
+
+    Experiment experiment(std::move(config));
+    const RunResult result = experiment.run(policyName, flavor);
+
+    const std::string csvPath = flags.getString("csv", "");
+    std::ofstream csvFile;
+    std::ostream *csv = nullptr;
+    if (!csvPath.empty()) {
+        csvFile.open(csvPath);
+        if (!csvFile)
+            fatal("cannot open " + csvPath);
+        csv = &csvFile;
+    }
+    if (csv != nullptr) {
+        *csv << "query,arrival_s,latency_ms,p_at_10,isns_used,"
+                "isns_boosted,c_res,budget_ms\n";
+        for (const QueryMeasurement &m : result.measurements) {
+            *csv << m.id << ',' << m.arrivalSeconds << ','
+                 << m.latencySeconds * 1e3 << ',' << m.precisionAtK << ','
+                 << m.isnsUsed << ',' << m.isnsBoosted << ','
+                 << m.docsSearched << ','
+                 << (m.budgetSeconds == noBudget ? -1.0
+                                                 : m.budgetSeconds * 1e3)
+                 << '\n';
+        }
+        std::cout << "wrote " << result.measurements.size()
+                  << " rows to " << csvPath << "\n";
+    }
+
+    const RunSummary &s = result.summary;
+    TextTable summary({"metric", "value"});
+    summary.addRow({"policy", s.policy});
+    summary.addRow({"trace", s.trace});
+    summary.addRow({"queries", TextTable::cell(
+                                   static_cast<uint64_t>(s.queries))});
+    summary.addRow({"avg latency ms",
+                    TextTable::cell(s.avgLatencySeconds * 1e3)});
+    summary.addRow({"p95 latency ms",
+                    TextTable::cell(s.p95LatencySeconds * 1e3)});
+    summary.addRow({"p99 latency ms",
+                    TextTable::cell(s.p99LatencySeconds * 1e3)});
+    summary.addRow({"avg P@10", TextTable::cell(s.avgPrecision)});
+    summary.addRow({"avg ISNs/query", TextTable::cell(s.avgIsnsUsed, 2)});
+    summary.addRow({"avg boosted/query",
+                    TextTable::cell(s.avgIsnsBoosted, 2)});
+    summary.addRow({"avg C_RES docs",
+                    TextTable::cell(s.avgDocsSearched, 0)});
+    summary.addRow({"truncated responses",
+                    TextTable::cell(s.truncatedResponses)});
+    summary.addRow({"avg P@10 (NDCG)", TextTable::cell(s.avgNdcg)});
+    summary.addRow({"avg power W", TextTable::cell(s.avgPowerWatts, 2)});
+    summary.addRow({"busy energy J", TextTable::cell(s.energyJoules, 1)});
+    std::cout << "\n" << summary.render();
+
+    if (flags.getBool("json", false))
+        std::cout << "\n" << toJson(s) << "\n";
+    return 0;
+}

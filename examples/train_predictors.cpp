@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Offline predictor training: build the training sets from a query
+ * trace, train one quality and one latency model per ISN, report
+ * held-out accuracy, and persist the models to disk (then reload one
+ * to verify) — the pipeline a deployment would run at index time.
+ *
+ * Usage:
+ *   train_predictors [--model-dir=/tmp/cottage-models] [--docs=]
+ *                    [--train-queries=] [--iterations=]
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "harness/experiment.h"
+#include "harness/table.h"
+#include "predict/training.h"
+#include "util/cli.h"
+#include "util/string_util.h"
+
+using namespace cottage;
+
+int
+main(int argc, char **argv)
+{
+    const CliFlags flags(argc, argv);
+    ExperimentConfig config = ExperimentConfig::fromFlags(flags);
+    if (!flags.has("docs"))
+        config.corpus.numDocs = 30000;
+    config.traceQueries = 100;
+    config.print(std::cout);
+
+    Experiment experiment(std::move(config));
+
+    // Held-out evaluation data with a disjoint seed.
+    TraceConfig heldOutConfig;
+    heldOutConfig.numQueries = 1200;
+    heldOutConfig.vocabSize = experiment.config().corpus.vocabSize;
+    heldOutConfig.seed = experiment.config().traceSeed + 9999;
+    const QueryTrace heldOut = QueryTrace::generate(heldOutConfig);
+    const TrainingSets test = buildTrainingSets(
+        experiment.index(), experiment.evaluator(),
+        experiment.config().work, heldOut,
+        experiment.config().train.numBuckets);
+
+    const PredictorBank &bank = experiment.bank();
+
+    std::cout << "\n=== held-out accuracy per ISN ===\n";
+    TextTable table({"ISN", "quality acc", "latency acc (+/-1)"});
+    double qSum = 0.0;
+    double lSum = 0.0;
+    for (ShardId s = 0; s < bank.numShards(); ++s) {
+        // The bank's buckets differ from the test build's; relabel the
+        // latency set with the bank's edges for a fair score.
+        Dataset latencySet(numLatencyFeatures);
+        for (const Query &query : heldOut.queries()) {
+            const SearchWork work =
+                experiment.engine().shardWork(s, query.terms);
+            latencySet.add(
+                latencyFeatures(experiment.index().termStats(s),
+                                query.terms),
+                bank.buckets().bucketOf(
+                    experiment.config().work.cycles(work)));
+        }
+        const double quality =
+            bank.quality(s).accuracyTopK(test.shards[s].qualityK);
+        const double latency =
+            bank.latency(s).accuracyWithin(latencySet, 1);
+        qSum += quality;
+        lSum += latency;
+        table.addRow({TextTable::cell(static_cast<uint64_t>(s)),
+                      TextTable::cell(quality, 3),
+                      TextTable::cell(latency, 3)});
+    }
+    std::cout << table.render();
+    std::cout << "averages: quality "
+              << TextTable::cell(qSum / bank.numShards(), 3)
+              << ", latency "
+              << TextTable::cell(lSum / bank.numShards(), 3) << "\n";
+
+    // Persist the whole bank and verify a reload round-trip.
+    const std::string dir =
+        flags.getString("model-dir", "/tmp/cottage-models");
+    bank.save(dir);
+    std::cout << "\nsaved " << 2 * bank.numShards() << " models to " << dir
+              << "\n";
+
+    const PredictorBank restored = PredictorBank::load(dir);
+    std::size_t agree = 0;
+    const Dataset &probe = test.shards[0].qualityK;
+    for (std::size_t i = 0; i < probe.size(); ++i) {
+        const std::vector<double> features(
+            probe.features(i), probe.features(i) + probe.numFeatures());
+        agree += restored.quality(0).predictTopK(features) ==
+                 bank.quality(0).predictTopK(features);
+    }
+    std::cout << "reload check: " << agree << "/" << probe.size()
+              << " identical quality predictions, latency buckets "
+              << restored.buckets().count() << "\n";
+    return agree == probe.size() ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+#include "core/budget_algorithm.h"
+
+#include <algorithm>
+
+namespace cottage {
+
+BudgetDecision
+determineTimeBudget(std::vector<IsnPrediction> predictions)
+{
+    BudgetDecision decision;
+
+    // Stage 1 (lines 3-11): rank by Q^K and cut zero-contribution ISNs.
+    std::sort(predictions.begin(), predictions.end(),
+              [](const IsnPrediction &a, const IsnPrediction &b) {
+                  if (a.qualityK != b.qualityK)
+                      return a.qualityK > b.qualityK;
+                  return a.isn < b.isn;
+              });
+    std::vector<IsnPrediction> survivors;
+    survivors.reserve(predictions.size());
+    for (const IsnPrediction &prediction : predictions) {
+        if (prediction.qualityK == 0)
+            decision.droppedZeroQuality.push_back(prediction.isn);
+        else
+            survivors.push_back(prediction);
+    }
+    if (survivors.empty())
+        return decision;
+
+    // Stage 2 (line 12): descending boosted latency.
+    std::sort(survivors.begin(), survivors.end(),
+              [](const IsnPrediction &a, const IsnPrediction &b) {
+                  if (a.latencyBoosted != b.latencyBoosted)
+                      return a.latencyBoosted > b.latencyBoosted;
+                  return a.isn < b.isn;
+              });
+
+    // Stage 3 (lines 13-21): shrink T down the list until the first
+    // ISN with a top-K/2 contribution pins it.
+    double budget = survivors.front().latencyBoosted;
+    for (const IsnPrediction &prediction : survivors) {
+        budget = prediction.latencyBoosted;
+        if (prediction.qualityHalf != 0)
+            break;
+    }
+    decision.budgetSeconds = budget;
+
+    for (const IsnPrediction &prediction : survivors) {
+        // Strictly slower-than-budget ISNs cannot respond in time even
+        // when boosted; dispatching them would waste work.
+        if (prediction.latencyBoosted > budget)
+            decision.droppedOverBudget.push_back(prediction.isn);
+        else
+            decision.selected.push_back(prediction.isn);
+    }
+    return decision;
+}
+
+} // namespace cottage

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Cottage's time-budget determination — Algorithm 1 of the paper,
+ * verbatim, as a pure function so it can be tested and benchmarked in
+ * isolation.
+ *
+ * Inputs are the four per-ISN predictions <Q^K, Q^{K/2}, L^current,
+ * L^boosted>; the output is the query's time budget T plus the
+ * partition of ISNs into selected / dropped sets:
+ *
+ *   1. Rank ISNs by Q^K; drop those contributing nothing to the top-K.
+ *   2. Re-rank survivors by descending boosted latency.
+ *   3. Walk from the slowest down; the first ISN that contributes to
+ *      the top-K/2 fixes T at its boosted latency. Slower ISNs (which
+ *      only contribute to the bottom half of the ranking) are
+ *      sacrificed for responsiveness.
+ */
+
+#ifndef COTTAGE_CORE_BUDGET_ALGORITHM_H
+#define COTTAGE_CORE_BUDGET_ALGORITHM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "text/types.h"
+
+namespace cottage {
+
+/** The four predictions one ISN reports to the aggregator (step 3). */
+struct IsnPrediction
+{
+    ShardId isn = 0;
+
+    /** Predicted documents in the final top-K (Q^K). */
+    uint32_t qualityK = 0;
+
+    /** Predicted documents in the final top-K/2 (Q^{K/2}). */
+    uint32_t qualityHalf = 0;
+
+    /** Equivalent latency at the current frequency, seconds. */
+    double latencyCurrent = 0.0;
+
+    /** Equivalent latency at the highest frequency, seconds. */
+    double latencyBoosted = 0.0;
+
+    /**
+     * Queue backlog ahead of this request, seconds. Not part of the
+     * paper's 4-tuple, but needed for per-request frequency
+     * assignment: queued work runs at its already-assigned
+     * frequencies, so only the service portion of the equivalent
+     * latency rescales with f.
+     */
+    double backlogSeconds = 0.0;
+
+    /** Predicted service cycles (the rescalable portion). */
+    double serviceCycles = 0.0;
+};
+
+/** Output of Algorithm 1. */
+struct BudgetDecision
+{
+    /** The chosen time budget T (seconds). Zero when nothing survives. */
+    double budgetSeconds = 0.0;
+
+    /** ISNs to dispatch: Q^K > 0 and boosted latency within T. */
+    std::vector<ShardId> selected;
+
+    /** ISNs cut in stage 1 (zero predicted top-K contribution). */
+    std::vector<ShardId> droppedZeroQuality;
+
+    /**
+     * ISNs cut in stage 2: they contribute to the top-K but only to
+     * its bottom half, and even boosted they would stretch the budget
+     * (the ISN-7 case of Fig. 9).
+     */
+    std::vector<ShardId> droppedOverBudget;
+};
+
+/**
+ * Run Algorithm 1 on a set of ISN predictions. O(n log n) in the
+ * number of ISNs. An empty prediction set (or all-zero qualities)
+ * yields an empty selection with budget 0 — callers decide the
+ * fallback.
+ */
+BudgetDecision determineTimeBudget(std::vector<IsnPrediction> predictions);
+
+} // namespace cottage
+
+#endif // COTTAGE_CORE_BUDGET_ALGORITHM_H

@@ -1,0 +1,155 @@
+#include "core/cottage_policy.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace cottage {
+
+CottagePolicy::CottagePolicy(const PredictorBank &bank, CottageConfig config)
+    : bank_(&bank), config_(config)
+{
+    COTTAGE_CHECK_MSG(config.budgetSlack >= 1.0,
+                      "budget slack below 1 guarantees deadline misses");
+}
+
+void
+CottagePolicy::qualityEstimates(const Query &query,
+                                const DistributedEngine &engine,
+                                std::vector<uint32_t> &qualityK,
+                                std::vector<uint32_t> &qualityHalf) const
+{
+    const ShardId numShards = engine.index().numShards();
+    qualityK.resize(numShards);
+    qualityHalf.resize(numShards);
+    const std::vector<WeightedTerm> terms =
+        DistributedEngine::weightedTerms(query);
+    for (ShardId s = 0; s < numShards; ++s) {
+        const std::vector<double> features =
+            cottage::qualityFeatures(engine.index().termStats(s), terms);
+        const QualityPredictor &predictor = bank_->quality(s);
+        qualityK[s] = predictor.predictTopK(features);
+        qualityHalf[s] = predictor.predictTopHalf(features);
+        // Recall-biased floor: a shard whose non-zero probability
+        // clears the threshold is treated as a contributor even when
+        // the argmax says 0 (see CottageConfig).
+        if (qualityK[s] == 0 &&
+            predictor.probNonzeroTopK(features) >=
+                config_.participationThreshold) {
+            qualityK[s] = 1;
+        }
+        if (qualityHalf[s] == 0 &&
+            predictor.probNonzeroTopHalf(features) >=
+                config_.halfThreshold) {
+            qualityHalf[s] = 1;
+        }
+    }
+}
+
+std::vector<IsnPrediction>
+CottagePolicy::predictions(const Query &query,
+                           const DistributedEngine &engine) const
+{
+    const ShardId numShards = engine.index().numShards();
+    const FrequencyLadder &ladder = engine.cluster().ladder();
+
+    std::vector<uint32_t> qualityK;
+    std::vector<uint32_t> qualityHalf;
+    qualityEstimates(query, engine, qualityK, qualityHalf);
+
+    const std::vector<WeightedTerm> terms =
+        DistributedEngine::weightedTerms(query);
+    std::vector<IsnPrediction> predictions(numShards);
+    for (ShardId s = 0; s < numShards; ++s) {
+        IsnPrediction &prediction = predictions[s];
+        prediction.isn = s;
+        prediction.qualityK = qualityK[s];
+        prediction.qualityHalf = qualityHalf[s];
+
+        const std::vector<double> features =
+            cottage::latencyFeatures(engine.index().termStats(s), terms);
+        // Conservative (bucket-upper-edge) prediction: a missed
+        // deadline drops the whole response, so under-prediction is
+        // the expensive direction.
+        const double predictedCycles =
+            bank_->latency(s).predictCyclesConservative(features);
+
+        // Equivalent latency (Eq. 2): queue backlog ahead of this
+        // request plus its own frequency-scaled service time. Queued
+        // requests keep the frequencies they were dispatched with, so
+        // the backlog term is fixed in seconds and only the service
+        // term rescales (a refinement of Eq. 2, which assumes the
+        // whole queue shares one frequency).
+        const IsnServerSim &server = engine.cluster().isn(s);
+        prediction.backlogSeconds =
+            server.backlogSeconds(query.arrivalSeconds);
+        prediction.serviceCycles = predictedCycles;
+        prediction.latencyCurrent =
+            prediction.backlogSeconds +
+            predictedCycles / (server.currentFreqGhz() * 1e9);
+        prediction.latencyBoosted =
+            prediction.backlogSeconds +
+            predictedCycles / (ladder.maxGhz() * 1e9);
+    }
+    return predictions;
+}
+
+QueryPlan
+CottagePolicy::plan(const Query &query, const DistributedEngine &engine)
+{
+    const ShardId numShards = engine.index().numShards();
+    const FrequencyLadder &ladder = engine.cluster().ladder();
+
+    QueryPlan plan;
+    plan.isns.assign(numShards, IsnDirective{});
+    // Step 2-5 coordination cost: predictor inference plus the extra
+    // prediction round trip between aggregator and ISNs.
+    plan.decisionOverheadSeconds = bank_->inferenceOverheadSeconds() +
+                                   engine.cluster().network().rttSeconds;
+
+    const std::vector<IsnPrediction> preds = predictions(query, engine);
+    const BudgetDecision decision = determineTimeBudget(preds);
+
+    if (decision.selected.empty()) {
+        // Every ISN predicted zero contribution — a misprediction by
+        // construction (some shard owns each top-K doc). Degenerate to
+        // exhaustive search rather than answering with nothing.
+        return QueryPlan::allIsns(numShards);
+    }
+
+    // The slack widens only the aggregator's wait deadline; frequency
+    // selection still targets the raw Algorithm-1 budget, so the slack
+    // acts as a safety margin against one-bucket under-predictions.
+    plan.budgetSeconds = decision.budgetSeconds * config_.budgetSlack;
+
+    // Nothing outside the selection participates.
+    for (IsnDirective &directive : plan.isns)
+        directive.participate = false;
+
+    for (ShardId isn : decision.selected) {
+        IsnDirective &directive = plan.isns[isn];
+        directive.participate = true;
+
+        // Step 6: pick the slowest ladder frequency whose equivalent
+        // latency still meets the budget. Boost (ladder top) when even
+        // that is required; never run below default unless DVFS power
+        // saving is enabled.
+        const IsnPrediction &prediction = preds[isn];
+        double chosen = ladder.maxGhz();
+        for (double step : ladder.steps()) {
+            if (!config_.dvfsPowerSaving && step < ladder.defaultGhz())
+                continue;
+            const double latencyAtStep =
+                prediction.backlogSeconds +
+                prediction.serviceCycles / (step * 1e9);
+            if (latencyAtStep <= decision.budgetSeconds) {
+                chosen = step;
+                break;
+            }
+        }
+        directive.freqGhz = chosen;
+    }
+    return plan;
+}
+
+} // namespace cottage

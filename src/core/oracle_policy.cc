@@ -1,0 +1,72 @@
+#include "core/oracle_policy.h"
+
+#include "core/budget_algorithm.h"
+
+namespace cottage {
+
+QueryPlan
+OraclePolicy::plan(const Query &query, const DistributedEngine &engine)
+{
+    const ShardId numShards = engine.index().numShards();
+    const FrequencyLadder &ladder = engine.cluster().ladder();
+    const std::size_t k = engine.topK();
+
+    // Ground truth: exact contributions and exact work.
+    const std::vector<ScoredDoc> truth = engine.globalTopK(query);
+    std::vector<uint32_t> contributionsK(numShards, 0);
+    std::vector<uint32_t> contributionsHalf(numShards, 0);
+    for (std::size_t rank = 0; rank < truth.size(); ++rank) {
+        const ShardId owner = engine.index().shardOf(truth[rank].doc);
+        ++contributionsK[owner];
+        if (rank < k / 2)
+            ++contributionsHalf[owner];
+    }
+
+    std::vector<IsnPrediction> predictions(numShards);
+    for (ShardId s = 0; s < numShards; ++s) {
+        IsnPrediction &p = predictions[s];
+        p.isn = s;
+        p.qualityK = contributionsK[s];
+        p.qualityHalf = contributionsHalf[s];
+        p.serviceCycles =
+            engine.workModel().cycles(engine.shardWork(s, query));
+        const IsnServerSim &server = engine.cluster().isn(s);
+        p.backlogSeconds = server.backlogSeconds(query.arrivalSeconds);
+        p.latencyCurrent = p.backlogSeconds +
+                           p.serviceCycles /
+                               (server.currentFreqGhz() * 1e9);
+        p.latencyBoosted =
+            p.backlogSeconds + p.serviceCycles / (ladder.maxGhz() * 1e9);
+    }
+
+    const BudgetDecision decision = determineTimeBudget(predictions);
+    if (decision.selected.empty())
+        return QueryPlan::allIsns(numShards);
+
+    QueryPlan plan;
+    plan.isns.assign(numShards, IsnDirective{});
+    for (IsnDirective &directive : plan.isns)
+        directive.participate = false;
+    plan.budgetSeconds = decision.budgetSeconds * budgetSlack_;
+    // No prediction round: the oracle is free (that is the point).
+    plan.decisionOverheadSeconds = 0.0;
+
+    for (ShardId isn : decision.selected) {
+        IsnDirective &directive = plan.isns[isn];
+        directive.participate = true;
+        const IsnPrediction &p = predictions[isn];
+        double chosen = ladder.maxGhz();
+        for (double step : ladder.steps()) {
+            const double latency =
+                p.backlogSeconds + p.serviceCycles / (step * 1e9);
+            if (latency <= decision.budgetSeconds) {
+                chosen = step;
+                break;
+            }
+        }
+        directive.freqGhz = chosen;
+    }
+    return plan;
+}
+
+} // namespace cottage

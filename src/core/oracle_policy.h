@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Oracle selection: Algorithm 1 with perfect knowledge — the true
+ * per-shard contributions (from the exhaustive merge) and the true
+ * service cycles. Not in the paper; it upper-bounds what Cottage could
+ * achieve with perfect predictors, isolating the headroom left to
+ * prediction accuracy (the ablation bench_ablation_oracle runs).
+ */
+
+#ifndef COTTAGE_CORE_ORACLE_POLICY_H
+#define COTTAGE_CORE_ORACLE_POLICY_H
+
+#include "policy/policy.h"
+
+namespace cottage {
+
+/** Algorithm 1 over ground-truth quality and work. */
+class OraclePolicy : public Policy
+{
+  public:
+    /**
+     * @param budgetSlack Deadline multiplier, as in CottageConfig.
+     *        With exact cycles even 1.0 is safe; the small default
+     *        absorbs floating-point slack only.
+     */
+    explicit OraclePolicy(double budgetSlack = 1.01)
+        : budgetSlack_(budgetSlack)
+    {
+    }
+
+    const char *name() const override { return "oracle"; }
+
+    QueryPlan plan(const Query &query,
+                   const DistributedEngine &engine) override;
+
+  private:
+    double budgetSlack_;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_CORE_ORACLE_POLICY_H

@@ -1,0 +1,42 @@
+#include "core/slo_policy.h"
+
+#include "util/logging.h"
+
+namespace cottage {
+
+QueryPlan
+SloDvfsPolicy::plan(const Query &query, const DistributedEngine &engine)
+{
+    COTTAGE_CHECK_MSG(slo_ > 0.0, "SLO must be positive");
+    const ShardId numShards = engine.index().numShards();
+    const FrequencyLadder &ladder = engine.cluster().ladder();
+
+    QueryPlan plan = QueryPlan::allIsns(numShards);
+    plan.budgetSeconds = slo_;
+    // Local inference only; no coordination round.
+    plan.decisionOverheadSeconds = bank_->inferenceOverheadSeconds();
+
+    const std::vector<WeightedTerm> terms =
+        DistributedEngine::weightedTerms(query);
+    for (ShardId s = 0; s < numShards; ++s) {
+        const std::vector<double> features =
+            latencyFeatures(engine.index().termStats(s), terms);
+        const double cycles =
+            bank_->latency(s).predictCyclesConservative(features);
+        const IsnServerSim &server = engine.cluster().isn(s);
+        const double backlog =
+            server.backlogSeconds(query.arrivalSeconds);
+
+        double chosen = ladder.maxGhz();
+        for (double step : ladder.steps()) {
+            if (backlog + cycles / (step * 1e9) <= slo_) {
+                chosen = step;
+                break;
+            }
+        }
+        plan.isns[s].freqGhz = chosen;
+    }
+    return plan;
+}
+
+} // namespace cottage

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * SLO-DVFS baseline: the prior power-management regime Cottage argues
+ * against (Pegasus [11] / TimeTrader [12] / Rubik [13]), where the
+ * time budget is *given a priori* as a fixed latency SLO. Every ISN
+ * serves every query and independently picks the lowest frequency
+ * whose predicted equivalent latency still meets the SLO — saving
+ * power but never cutting ISNs or shaping the budget per query.
+ */
+
+#ifndef COTTAGE_CORE_SLO_POLICY_H
+#define COTTAGE_CORE_SLO_POLICY_H
+
+#include "policy/policy.h"
+#include "predict/training.h"
+
+namespace cottage {
+
+/** Fixed-deadline per-ISN DVFS (no selection, no per-query budget). */
+class SloDvfsPolicy : public Policy
+{
+  public:
+    /**
+     * @param bank Latency predictors the DVFS governor consults.
+     * @param sloSeconds The fixed deadline every query gets.
+     */
+    SloDvfsPolicy(const PredictorBank &bank, double sloSeconds)
+        : bank_(&bank), slo_(sloSeconds)
+    {
+    }
+
+    const char *name() const override { return "slo-dvfs"; }
+
+    double sloSeconds() const { return slo_; }
+
+    QueryPlan plan(const Query &query,
+                   const DistributedEngine &engine) override;
+
+  private:
+    const PredictorBank *bank_;
+    double slo_;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_CORE_SLO_POLICY_H

@@ -1,0 +1,182 @@
+#include "engine/distributed_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cottage {
+
+DistributedEngine::DistributedEngine(const ShardedIndex &index,
+                                     ClusterSim &cluster,
+                                     const Evaluator &evaluator,
+                                     WorkModel work)
+    : index_(&index), cluster_(&cluster), evaluator_(&evaluator), work_(work)
+{
+    COTTAGE_CHECK_MSG(index.numShards() == cluster.numIsns(),
+                      "cluster size must match shard count");
+}
+
+std::vector<WeightedTerm>
+DistributedEngine::weightedTerms(const Query &query)
+{
+    std::vector<WeightedTerm> weighted;
+    weighted.reserve(query.terms.size());
+    for (std::size_t i = 0; i < query.terms.size(); ++i)
+        weighted.push_back({query.terms[i], query.weight(i)});
+    return weighted;
+}
+
+std::vector<ScoredDoc>
+DistributedEngine::globalTopK(const std::vector<TermId> &terms) const
+{
+    TopKHeap merged(index_->topK());
+    for (ShardId s = 0; s < index_->numShards(); ++s) {
+        const SearchResult result =
+            evaluator_->search(index_->shard(s), terms, index_->topK());
+        for (const ScoredDoc &hit : result.topK)
+            merged.push(hit);
+    }
+    return merged.extractSorted();
+}
+
+std::vector<ScoredDoc>
+DistributedEngine::globalTopK(const Query &query) const
+{
+    const std::vector<WeightedTerm> terms = weightedTerms(query);
+    TopKHeap merged(index_->topK());
+    for (ShardId s = 0; s < index_->numShards(); ++s) {
+        const SearchResult result =
+            evaluator_->search(index_->shard(s), terms, index_->topK());
+        for (const ScoredDoc &hit : result.topK)
+            merged.push(hit);
+    }
+    return merged.extractSorted();
+}
+
+std::vector<uint32_t>
+DistributedEngine::shardContributions(
+    const std::vector<ScoredDoc> &ranking) const
+{
+    std::vector<uint32_t> contributions(index_->numShards(), 0);
+    for (const ScoredDoc &hit : ranking)
+        ++contributions[index_->shardOf(hit.doc)];
+    return contributions;
+}
+
+SearchWork
+DistributedEngine::shardWork(ShardId shard,
+                             const std::vector<TermId> &terms) const
+{
+    return evaluator_->search(index_->shard(shard), terms, index_->topK())
+        .work;
+}
+
+SearchWork
+DistributedEngine::shardWork(ShardId shard, const Query &query) const
+{
+    return evaluator_
+        ->search(index_->shard(shard), weightedTerms(query),
+                 index_->topK())
+        .work;
+}
+
+QueryMeasurement
+DistributedEngine::execute(const Query &query, const QueryPlan &plan,
+                           const std::vector<ScoredDoc> &groundTruth)
+{
+    COTTAGE_CHECK_MSG(plan.isns.size() == index_->numShards(),
+                      "plan size must match shard count");
+
+    QueryMeasurement measurement;
+    measurement.id = query.id;
+    measurement.arrivalSeconds = query.arrivalSeconds;
+    measurement.budgetSeconds = plan.budgetSeconds;
+
+    const NetworkModel &network = cluster_->network();
+    // Dispatch happens after the policy's decision work and half a
+    // round trip to the ISNs.
+    const double dispatch = query.arrivalSeconds +
+                            plan.decisionOverheadSeconds +
+                            0.5 * network.rttSeconds;
+    const double deadline = plan.budgetSeconds == noBudget
+                                ? noBudget
+                                : dispatch + plan.budgetSeconds;
+
+    TopKHeap merged(index_->topK());
+    double slowestResponse = 0.0; // relative to dispatch
+    bool anyMissed = false;
+    const std::vector<WeightedTerm> terms = weightedTerms(query);
+
+    for (ShardId s = 0; s < index_->numShards(); ++s) {
+        const IsnDirective &directive = plan.isns[s];
+        if (!directive.participate)
+            continue;
+        ++measurement.isnsUsed;
+
+        IsnServerSim &server = cluster_->isn(s);
+        const double freq = directive.freqGhz > 0.0
+                                ? directive.freqGhz
+                                : server.currentFreqGhz();
+        if (freq > cluster_->ladder().defaultGhz() + 1e-12)
+            ++measurement.isnsBoosted;
+
+        const SearchResult result =
+            evaluator_->search(index_->shard(s), terms, index_->topK());
+        measurement.docsSearched += result.work.docsScored;
+
+        const IsnExecution exec = server.execute(
+            dispatch, work_.cycles(result.work), freq, deadline);
+
+        if (exec.completed) {
+            ++measurement.isnsCompleted;
+            slowestResponse =
+                std::max(slowestResponse, exec.finishSeconds - dispatch);
+            for (const ScoredDoc &hit : result.topK)
+                merged.push(hit);
+        } else {
+            anyMissed = true;
+        }
+    }
+
+    // The aggregator returns when the last awaited response arrives,
+    // or at the budget if any participant missed it.
+    double waited = slowestResponse;
+    if (anyMissed && plan.budgetSeconds != noBudget)
+        waited = plan.budgetSeconds;
+
+    measurement.latencySeconds = plan.decisionOverheadSeconds +
+                                 network.rttSeconds + waited +
+                                 network.mergeSeconds;
+    measurement.results = merged.extractSorted();
+
+    // P@K and binary NDCG@K against the exhaustive ground truth.
+    if (!groundTruth.empty()) {
+        std::size_t overlap = 0;
+        double dcg = 0.0;
+        for (std::size_t rank = 0; rank < measurement.results.size();
+             ++rank) {
+            for (const ScoredDoc &truth : groundTruth) {
+                if (measurement.results[rank].doc == truth.doc) {
+                    ++overlap;
+                    dcg += 1.0 /
+                           std::log2(static_cast<double>(rank) + 2.0);
+                    break;
+                }
+            }
+        }
+        double idealDcg = 0.0;
+        for (std::size_t rank = 0; rank < groundTruth.size(); ++rank)
+            idealDcg += 1.0 / std::log2(static_cast<double>(rank) + 2.0);
+        measurement.precisionAtK = static_cast<double>(overlap) /
+                                   static_cast<double>(groundTruth.size());
+        measurement.ndcgAtK = dcg / idealDcg;
+    } else {
+        // A query matching nothing anywhere is trivially perfect.
+        measurement.precisionAtK = 1.0;
+        measurement.ndcgAtK = 1.0;
+    }
+    return measurement;
+}
+
+} // namespace cottage

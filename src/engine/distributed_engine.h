@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The distributed search engine: a partition-aggregate execution loop
+ * over the sharded index and the simulated cluster.
+ *
+ * Retrieval is real (the configured evaluator runs over real posting
+ * lists and its merged top-K is bit-exact); time and energy come from
+ * the cluster simulator driven by the evaluator's work counters. This
+ * split lets every policy be compared on true quality while keeping
+ * latency/power deterministic.
+ */
+
+#ifndef COTTAGE_ENGINE_DISTRIBUTED_ENGINE_H
+#define COTTAGE_ENGINE_DISTRIBUTED_ENGINE_H
+
+#include <memory>
+#include <vector>
+
+#include "engine/query_plan.h"
+#include "index/evaluator.h"
+#include "shard/sharded_index.h"
+#include "sim/cluster.h"
+#include "sim/work_model.h"
+#include "text/query.h"
+
+namespace cottage {
+
+/** Aggregator + ISNs over a sharded index and a simulated cluster. */
+class DistributedEngine
+{
+  public:
+    /**
+     * @param index The sharded collection (borrowed; must outlive).
+     * @param cluster The simulated cluster (borrowed; must outlive);
+     *        its ISN count must match the index's shard count.
+     * @param evaluator Retrieval strategy every ISN runs (borrowed).
+     * @param work Cost model converting evaluator work to cycles.
+     */
+    DistributedEngine(const ShardedIndex &index, ClusterSim &cluster,
+                      const Evaluator &evaluator, WorkModel work = {});
+
+    /**
+     * Execute one query under a plan, advancing the cluster state.
+     *
+     * @param query The query (its arrivalSeconds stamps the dispatch).
+     * @param plan Participation, frequencies and budget.
+     * @param groundTruth The exhaustive global top-K for this query
+     *        (use globalTopK() / a cached copy) used to measure P@K.
+     */
+    QueryMeasurement execute(const Query &query, const QueryPlan &plan,
+                             const std::vector<ScoredDoc> &groundTruth);
+
+    /**
+     * The exhaustive global top-K for a set of terms: every shard's
+     * full top-K merged. This is the paper's quality ground truth;
+     * it performs no simulation and leaves cluster state untouched.
+     */
+    std::vector<ScoredDoc> globalTopK(const std::vector<TermId> &terms) const;
+
+    /** Ground truth honouring a query's personalization weights. */
+    std::vector<ScoredDoc> globalTopK(const Query &query) const;
+
+    /**
+     * Per-shard contribution counts to a given global ranking
+     * (how many of its documents each ISN owns) — the quality labels
+     * of §III-B and the Fig. 2(b) distribution.
+     */
+    std::vector<uint32_t>
+    shardContributions(const std::vector<ScoredDoc> &ranking) const;
+
+    /**
+     * Predicted-work helper: run the evaluator for one shard without
+     * touching the simulator, returning its work counters. Used by
+     * training-set builders and oracle policies.
+     */
+    SearchWork shardWork(ShardId shard,
+                         const std::vector<TermId> &terms) const;
+
+    /** shardWork honouring a query's personalization weights. */
+    SearchWork shardWork(ShardId shard, const Query &query) const;
+
+    /** A query's terms with their weights attached. */
+    static std::vector<WeightedTerm> weightedTerms(const Query &query);
+
+    const ShardedIndex &index() const { return *index_; }
+    ClusterSim &cluster() { return *cluster_; }
+    const ClusterSim &cluster() const { return *cluster_; }
+    const WorkModel &workModel() const { return work_; }
+    const Evaluator &evaluator() const { return *evaluator_; }
+    std::size_t topK() const { return index_->topK(); }
+
+  private:
+    const ShardedIndex *index_;
+    ClusterSim *cluster_;
+    const Evaluator *evaluator_;
+    WorkModel work_;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_ENGINE_DISTRIBUTED_ENGINE_H

@@ -1,0 +1,239 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "core/cottage_isn_policy.h"
+#include "core/cottage_without_ml_policy.h"
+#include "core/oracle_policy.h"
+#include "core/slo_policy.h"
+#include "policy/exhaustive_policy.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace cottage {
+
+ExperimentConfig::ExperimentConfig()
+{
+    // Scaled-down corpus: 60K documents standing in for the paper's
+    // 34M-doc Wikipedia dump (see DESIGN.md, substitution table).
+    corpus.numDocs = 60000;
+    corpus.vocabSize = 40000;
+    corpus.meanDocLength = 160.0;
+    corpus.numTopics = 64;
+    corpus.seed = 42;
+
+    shards.numShards = 16;
+    shards.topK = 10;
+    shards.partition = PartitionPolicy::Topical;
+    shards.seed = 1;
+
+    // The WorkModel defaults are already calibrated for this corpus
+    // scale (see work_model.h).
+}
+
+ExperimentConfig
+ExperimentConfig::fromFlags(const CliFlags &flags)
+{
+    ExperimentConfig config;
+    config.corpus.numDocs = static_cast<uint32_t>(
+        flags.getInt("docs", config.corpus.numDocs));
+    config.corpus.vocabSize = static_cast<uint32_t>(
+        flags.getInt("vocab", config.corpus.vocabSize));
+    config.corpus.seed =
+        static_cast<uint64_t>(flags.getInt("seed", config.corpus.seed));
+    config.shards.numShards = static_cast<ShardId>(
+        flags.getInt("shards", config.shards.numShards));
+    config.shards.topK =
+        static_cast<std::size_t>(flags.getInt("k", config.shards.topK));
+    config.traceQueries = static_cast<uint64_t>(
+        flags.getInt("queries", config.traceQueries));
+    config.arrivalQps = flags.getDouble("qps", config.arrivalQps);
+    config.trainQueries = static_cast<uint64_t>(
+        flags.getInt("train-queries", config.trainQueries));
+    config.train.iterations = static_cast<std::size_t>(
+        flags.getInt("iterations", config.train.iterations));
+    config.cottage.budgetSlack =
+        flags.getDouble("budget-slack", config.cottage.budgetSlack);
+    config.cottage.participationThreshold = flags.getDouble(
+        "participation-threshold", config.cottage.participationThreshold);
+    config.cottage.halfThreshold =
+        flags.getDouble("half-threshold", config.cottage.halfThreshold);
+    config.taily.rankingDepth =
+        flags.getDouble("taily-depth", config.taily.rankingDepth);
+    config.taily.docCutoff =
+        flags.getDouble("taily-cutoff", config.taily.docCutoff);
+    config.power.busyWattsAtReference = flags.getDouble(
+        "busy-watts", config.power.busyWattsAtReference);
+    config.sloSeconds =
+        flags.getDouble("slo-ms", config.sloSeconds * 1e3) * 1e-3;
+    config.coresPerIsn = static_cast<uint32_t>(
+        flags.getInt("cores-per-isn", config.coresPerIsn));
+    return config;
+}
+
+void
+ExperimentConfig::print(std::ostream &out) const
+{
+    out << strformat(
+        "config: docs=%u vocab=%u shards=%u k=%zu queries=%llu qps=%.1f "
+        "train-queries=%llu iterations=%zu corpus-seed=%llu "
+        "trace-seed=%llu\n",
+        corpus.numDocs, corpus.vocabSize, shards.numShards, shards.topK,
+        static_cast<unsigned long long>(traceQueries), arrivalQps,
+        static_cast<unsigned long long>(trainQueries), train.iterations,
+        static_cast<unsigned long long>(corpus.seed),
+        static_cast<unsigned long long>(traceSeed));
+}
+
+Experiment::Experiment(ExperimentConfig config)
+    : config_(std::move(config))
+{
+    Stopwatch watch;
+    corpus_ = std::make_unique<Corpus>(Corpus::generate(config_.corpus));
+    index_ = std::make_unique<ShardedIndex>(*corpus_, config_.shards);
+    cluster_ = std::make_unique<ClusterSim>(
+        config_.shards.numShards, FrequencyLadder(), config_.power,
+        config_.network, config_.coresPerIsn);
+    engine_ = std::make_unique<DistributedEngine>(*index_, *cluster_,
+                                                  evaluator_, config_.work);
+    logInfo(strformat("experiment stack built in %.1fs (%u docs, %u shards)",
+                      watch.elapsedSeconds(), corpus_->numDocs(),
+                      index_->numShards()));
+}
+
+Experiment::~Experiment() = default;
+
+const PredictorBank &
+Experiment::bank()
+{
+    if (!bank_) {
+        Stopwatch watch;
+        bank_ = std::make_unique<PredictorBank>(
+            *index_, evaluator_, config_.work, trainTrace(), config_.train);
+        logInfo(strformat("predictor bank trained in %.1fs (%zu queries)",
+                          watch.elapsedSeconds(),
+                          static_cast<std::size_t>(config_.trainQueries)));
+    }
+    return *bank_;
+}
+
+const QueryTrace &
+Experiment::trainTrace()
+{
+    if (!trainTrace_) {
+        TraceConfig tc;
+        tc.flavor = TraceFlavor::Wikipedia;
+        tc.numQueries = config_.trainQueries;
+        tc.vocabSize = config_.corpus.vocabSize;
+        tc.arrivalQps = config_.arrivalQps;
+        tc.seed = config_.trainSeed;
+        trainTrace_ = std::make_unique<QueryTrace>(QueryTrace::generate(tc));
+    }
+    return *trainTrace_;
+}
+
+const QueryTrace &
+Experiment::trace(TraceFlavor flavor)
+{
+    auto it = traces_.find(flavor);
+    if (it == traces_.end()) {
+        TraceConfig tc;
+        tc.flavor = flavor;
+        tc.numQueries = config_.traceQueries;
+        tc.vocabSize = config_.corpus.vocabSize;
+        tc.arrivalQps = config_.arrivalQps;
+        tc.seed = config_.traceSeed + static_cast<uint64_t>(flavor);
+        it = traces_.emplace(flavor, QueryTrace::generate(tc)).first;
+    }
+    return it->second;
+}
+
+const std::vector<std::vector<ScoredDoc>> &
+Experiment::groundTruth(TraceFlavor flavor)
+{
+    auto it = truths_.find(flavor);
+    if (it == truths_.end()) {
+        Stopwatch watch;
+        const QueryTrace &queryTrace = trace(flavor);
+        std::vector<std::vector<ScoredDoc>> truth;
+        truth.reserve(queryTrace.size());
+        for (const Query &query : queryTrace.queries())
+            truth.push_back(engine_->globalTopK(query));
+        it = truths_.emplace(flavor, std::move(truth)).first;
+        logInfo(strformat("ground truth for %s built in %.1fs",
+                          traceFlavorName(flavor), watch.elapsedSeconds()));
+    }
+    return it->second;
+}
+
+std::unique_ptr<Policy>
+Experiment::makePolicy(const std::string &name)
+{
+    if (name == "exhaustive")
+        return std::make_unique<ExhaustivePolicy>();
+    if (name == "aggregation")
+        return std::make_unique<AggregationPolicy>(config_.aggregation);
+    if (name == "rank-s")
+        return std::make_unique<RankSPolicy>(*corpus_, *index_,
+                                             config_.rankS);
+    if (name == "redde")
+        return std::make_unique<ReddePolicy>(*corpus_, *index_,
+                                             config_.redde);
+    if (name == "taily")
+        return std::make_unique<TailyPolicy>(*index_, config_.taily);
+    if (name == "cottage")
+        return std::make_unique<CottagePolicy>(bank(), config_.cottage);
+    if (name == "cottage-isn")
+        return std::make_unique<CottageIsnPolicy>(bank());
+    if (name == "cottage-without-ml")
+        return std::make_unique<CottageWithoutMlPolicy>(
+            bank(), *index_, config_.cottage, config_.taily);
+    if (name == "oracle")
+        return std::make_unique<OraclePolicy>();
+    if (name == "slo-dvfs")
+        return std::make_unique<SloDvfsPolicy>(bank(), config_.sloSeconds);
+    fatal("unknown policy: " + name);
+}
+
+RunResult
+Experiment::run(Policy &policy, TraceFlavor flavor)
+{
+    const QueryTrace &queryTrace = trace(flavor);
+    const auto &truth = groundTruth(flavor);
+
+    cluster_->reset();
+    policy.reset();
+
+    RunResult result;
+    result.measurements.reserve(queryTrace.size());
+    for (std::size_t q = 0; q < queryTrace.size(); ++q) {
+        const Query &query = queryTrace.query(q);
+        const QueryPlan plan = policy.plan(query, *engine_);
+        QueryMeasurement measurement =
+            engine_->execute(query, plan, truth[q]);
+        policy.observe(measurement);
+        result.measurements.push_back(std::move(measurement));
+    }
+
+    result.summary = summarizeRun(policy.name(), queryTrace.name(),
+                                  result.measurements);
+    // The power window runs until the last ISN drains.
+    double window = queryTrace.durationSeconds();
+    for (ShardId s = 0; s < cluster_->numIsns(); ++s)
+        window = std::max(window, cluster_->isn(s).busyUntilSeconds());
+    result.summary.durationSeconds = window;
+    result.summary.energyJoules = cluster_->totalEnergyJoules();
+    result.summary.avgPowerWatts = cluster_->averagePowerWatts(window);
+    return result;
+}
+
+RunResult
+Experiment::run(const std::string &policyName, TraceFlavor flavor)
+{
+    const std::unique_ptr<Policy> policy = makePolicy(policyName);
+    return run(*policy, flavor);
+}
+
+} // namespace cottage

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The experiment harness: one object that owns the whole reproduction
+ * stack (corpus -> shards -> cluster -> engine -> predictors ->
+ * policies) and replays query traces through it. Every bench binary
+ * and example builds on this.
+ */
+
+#ifndef COTTAGE_HARNESS_EXPERIMENT_H
+#define COTTAGE_HARNESS_EXPERIMENT_H
+
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cottage_policy.h"
+#include "engine/distributed_engine.h"
+#include "index/maxscore_evaluator.h"
+#include "metrics/run_stats.h"
+#include "policy/aggregation_policy.h"
+#include "policy/rank_s_policy.h"
+#include "policy/redde_policy.h"
+#include "policy/taily_policy.h"
+#include "predict/training.h"
+#include "shard/sharded_index.h"
+#include "sim/cluster.h"
+#include "text/corpus.h"
+#include "text/trace.h"
+#include "util/cli.h"
+
+namespace cottage {
+
+/** Every knob of a reproduction run, with scaled defaults. */
+struct ExperimentConfig
+{
+    /** Synthetic corpus (default: 60K docs standing in for 34M). */
+    CorpusConfig corpus;
+
+    /** Sharding (paper: 16 ISNs, K = 10). */
+    ShardedIndexConfig shards;
+
+    /** Evaluation trace length (paper: 10K queries / 1000 s). */
+    uint64_t traceQueries = 10000;
+
+    /**
+     * Open-loop arrival rate, queries per second. The default drives
+     * the 16-ISN cluster to ~40% utilization under exhaustive search —
+     * the regime where the replay reproduces the paper's operating
+     * points (exhaustive ~13 ms average, ~42 ms p95, ~36 W package).
+     */
+    double arrivalQps = 350.0;
+
+    /** Seed of the evaluation traces. */
+    uint64_t traceSeed = 7;
+
+    /** Training trace length for the predictor bank. */
+    uint64_t trainQueries = 2500;
+
+    /** Seed of the training trace (distinct from evaluation). */
+    uint64_t trainSeed = 1007;
+
+    /** Predictor training hyper-parameters. */
+    PredictorTrainConfig train;
+
+    /** Work-to-cycles cost model. */
+    WorkModel work;
+
+    /** Cluster power/network models. */
+    PowerModel power;
+    NetworkModel network;
+
+    /** Worker cores per ISN. */
+    uint32_t coresPerIsn = 1;
+
+    /** Baseline policy knobs. */
+    TailyConfig taily;
+    RankSConfig rankS;
+    ReddeConfig redde;
+    AggregationPolicyConfig aggregation;
+
+    /** Cottage knobs. */
+    CottageConfig cottage;
+
+    /**
+     * Fixed deadline of the slo-dvfs baseline (the "budget given a
+     * priori" regime of prior power-management work).
+     */
+    double sloSeconds = 20e-3;
+
+    ExperimentConfig();
+
+    /**
+     * Apply command-line overrides (--docs=, --shards=, --queries=,
+     * --qps=, --train-queries=, --iterations=, --seed=, ...).
+     */
+    static ExperimentConfig fromFlags(const CliFlags &flags);
+
+    /** Echo the knobs that matter for reproducibility. */
+    void print(std::ostream &out) const;
+};
+
+/** One policy's replay output. */
+struct RunResult
+{
+    std::vector<QueryMeasurement> measurements;
+    RunSummary summary;
+};
+
+/**
+ * Owns and lazily builds the full stack. Heavy pieces (corpus, index,
+ * ground truth, predictor bank) are constructed once and reused across
+ * policies so comparative benches stay fast.
+ */
+class Experiment
+{
+  public:
+    explicit Experiment(ExperimentConfig config = {});
+    ~Experiment();
+
+    const ExperimentConfig &config() const { return config_; }
+    const Corpus &corpus() const { return *corpus_; }
+    const ShardedIndex &index() const { return *index_; }
+    ClusterSim &cluster() { return *cluster_; }
+    DistributedEngine &engine() { return *engine_; }
+    const Evaluator &evaluator() const { return evaluator_; }
+
+    /** The trained per-ISN predictor bank (built on first use). */
+    const PredictorBank &bank();
+
+    /** The cached evaluation trace of a flavor. */
+    const QueryTrace &trace(TraceFlavor flavor);
+
+    /** The training trace (distinct seed and queries). */
+    const QueryTrace &trainTrace();
+
+    /** Cached exhaustive ground truth of an evaluation trace. */
+    const std::vector<std::vector<ScoredDoc>> &
+    groundTruth(TraceFlavor flavor);
+
+    /**
+     * Instantiate a policy by name: exhaustive, aggregation, rank-s,
+     * redde, taily, cottage, cottage-isn, cottage-without-ml, oracle,
+     * slo-dvfs. Fatal on an unknown name.
+     */
+    std::unique_ptr<Policy> makePolicy(const std::string &name);
+
+    /**
+     * Replay a flavor's evaluation trace under a policy, resetting
+     * cluster and policy state first. Fills the summary including
+     * energy/power over the replay window.
+     */
+    RunResult run(Policy &policy, TraceFlavor flavor);
+
+    /** run() with a policy freshly made by name. */
+    RunResult run(const std::string &policyName, TraceFlavor flavor);
+
+  private:
+    ExperimentConfig config_;
+    MaxScoreEvaluator evaluator_;
+    std::unique_ptr<Corpus> corpus_;
+    std::unique_ptr<ShardedIndex> index_;
+    std::unique_ptr<ClusterSim> cluster_;
+    std::unique_ptr<DistributedEngine> engine_;
+    std::unique_ptr<PredictorBank> bank_;
+    std::unique_ptr<QueryTrace> trainTrace_;
+    std::map<TraceFlavor, QueryTrace> traces_;
+    std::map<TraceFlavor, std::vector<std::vector<ScoredDoc>>> truths_;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_HARNESS_EXPERIMENT_H

@@ -1,0 +1,68 @@
+#include "harness/table.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cottage {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    COTTAGE_CHECK_MSG(!headers_.empty(), "table needs columns");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    COTTAGE_CHECK_MSG(cells.size() == headers_.size(),
+                      "row width must match header");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::cell(double value, int precision)
+{
+    return strformat("%.*f", precision, value);
+}
+
+std::string
+TextTable::cell(uint64_t value)
+{
+    return strformat("%llu", static_cast<unsigned long long>(value));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    const auto renderRow = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            line += row[c];
+            line.append(widths[c] - row[c].size() + 2, ' ');
+        }
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        return line + "\n";
+    };
+
+    std::string out = renderRow(headers_);
+    std::size_t totalWidth = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        totalWidth += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    out.append(totalWidth, '-');
+    out += '\n';
+    for (const auto &row : rows_)
+        out += renderRow(row);
+    return out;
+}
+
+} // namespace cottage

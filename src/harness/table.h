@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fixed-width ASCII table printer used by the bench harnesses to emit
+ * the paper's figure/table rows.
+ */
+
+#ifndef COTTAGE_HARNESS_TABLE_H
+#define COTTAGE_HARNESS_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace cottage {
+
+/** Column-aligned text table. */
+class TextTable
+{
+  public:
+    /** Define the header row. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row (must match the header count). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format doubles with the given precision. */
+    static std::string cell(double value, int precision = 3);
+    static std::string cell(uint64_t value);
+
+    /** Render with padding and a separator under the header. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_HARNESS_TABLE_H

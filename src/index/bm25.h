@@ -1,0 +1,94 @@
+/**
+ * @file
+ * BM25 ranking function (Lucene-flavored, non-negative IDF).
+ *
+ * Every policy in this reproduction — exhaustive, Rank-S, Taily and
+ * Cottage — ranks with the same BM25 so that quality differences come
+ * from *which ISNs answer*, never from the scoring function.
+ */
+
+#ifndef COTTAGE_INDEX_BM25_H
+#define COTTAGE_INDEX_BM25_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace cottage {
+
+/** BM25 free parameters (Lucene/Solr defaults). */
+struct Bm25Params
+{
+    double k1 = 1.2;
+    double b = 0.75;
+};
+
+/**
+ * Stateless BM25 scorer for one collection. Constructed per shard with
+ * the *global* collection statistics so that scores are comparable
+ * across shards and the aggregator's merge of per-shard top-K lists is
+ * exact.
+ */
+class Bm25
+{
+  public:
+    /**
+     * @param numDocs Global document count N.
+     * @param avgDocLength Global average document length.
+     * @param params k1 / b.
+     */
+    Bm25(uint64_t numDocs, double avgDocLength, Bm25Params params = {})
+        : numDocs_(numDocs), avgDocLength_(avgDocLength), params_(params)
+    {
+    }
+
+    /**
+     * Lucene-style IDF: log(1 + (N - df + 0.5) / (df + 0.5)).
+     * Strictly positive for df <= N.
+     */
+    double
+    idf(uint64_t docFreq) const
+    {
+        const double n = static_cast<double>(numDocs_);
+        const double df = static_cast<double>(docFreq);
+        return std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+    }
+
+    /** Per-term, per-document contribution. */
+    double
+    score(double termIdf, uint32_t termFreq, uint32_t docLength) const
+    {
+        const double tf = static_cast<double>(termFreq);
+        const double norm =
+            params_.k1 *
+            (1.0 - params_.b +
+             params_.b * static_cast<double>(docLength) / avgDocLength_);
+        return termIdf * tf * (params_.k1 + 1.0) / (tf + norm);
+    }
+
+    /**
+     * Upper bound on a term's contribution regardless of document:
+     * the tf -> infinity, shortest-document limit. This is the static
+     * score bound of Macdonald et al. [37] used by the Estimated
+     * MaxScore feature (Table II) and as a sanity cap in tests. Exact
+     * per-shard bounds (max over actual postings) are tighter and are
+     * what the pruning evaluators use.
+     */
+    double
+    staticUpperBound(double termIdf) const
+    {
+        return termIdf * (params_.k1 + 1.0);
+    }
+
+    const Bm25Params &params() const { return params_; }
+    double avgDocLength() const { return avgDocLength_; }
+    uint64_t numDocs() const { return numDocs_; }
+
+  private:
+    uint64_t numDocs_;
+    double avgDocLength_;
+    Bm25Params params_;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_INDEX_BM25_H

@@ -1,0 +1,31 @@
+#include "index/collection_stats.h"
+
+namespace cottage {
+
+CollectionStats::CollectionStats(const Corpus &corpus)
+    : numDocs_(corpus.numDocs()),
+      avgDocLength_(corpus.averageDocLength()),
+      docFreq_(corpus.vocabulary().size(), 0),
+      collectionFreq_(corpus.vocabulary().size(), 0)
+{
+    for (const Document &doc : corpus.documents()) {
+        for (const TermFreq &tf : doc.terms) {
+            ++docFreq_[tf.term];
+            collectionFreq_[tf.term] += tf.freq;
+        }
+    }
+}
+
+uint64_t
+CollectionStats::docFreq(TermId term) const
+{
+    return term < docFreq_.size() ? docFreq_[term] : 0;
+}
+
+uint64_t
+CollectionStats::collectionFreq(TermId term) const
+{
+    return term < collectionFreq_.size() ? collectionFreq_[term] : 0;
+}
+
+} // namespace cottage

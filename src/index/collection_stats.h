@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Global (cross-shard) collection statistics.
+ *
+ * Distributed engines share global document frequencies so BM25 scores
+ * are comparable across ISNs; without this, merging per-shard top-K
+ * lists would not reproduce the exhaustive global top-K that defines
+ * the paper's quality ground truth.
+ */
+
+#ifndef COTTAGE_INDEX_COLLECTION_STATS_H
+#define COTTAGE_INDEX_COLLECTION_STATS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "text/corpus.h"
+#include "text/types.h"
+
+namespace cottage {
+
+/** Corpus-wide term and length statistics. */
+class CollectionStats
+{
+  public:
+    /** Scan a corpus once and record global df / N / average length. */
+    explicit CollectionStats(const Corpus &corpus);
+
+    /** Global number of documents. */
+    uint64_t numDocs() const { return numDocs_; }
+
+    /** Global average document length in tokens. */
+    double avgDocLength() const { return avgDocLength_; }
+
+    /** Global document frequency of a term (0 when never seen). */
+    uint64_t docFreq(TermId term) const;
+
+    /** Global collection frequency (total occurrences) of a term. */
+    uint64_t collectionFreq(TermId term) const;
+
+  private:
+    uint64_t numDocs_ = 0;
+    double avgDocLength_ = 0.0;
+    std::vector<uint64_t> docFreq_;
+    std::vector<uint64_t> collectionFreq_;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_INDEX_COLLECTION_STATS_H

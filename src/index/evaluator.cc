@@ -1,0 +1,15 @@
+#include "index/evaluator.h"
+
+namespace cottage {
+
+std::vector<WeightedTerm>
+toWeighted(const std::vector<TermId> &terms)
+{
+    std::vector<WeightedTerm> weighted;
+    weighted.reserve(terms.size());
+    for (TermId term : terms)
+        weighted.push_back({term, 1.0});
+    return weighted;
+}
+
+} // namespace cottage

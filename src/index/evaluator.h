@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Query-evaluation strategy interface and its work accounting.
+ *
+ * The work counters are the bridge between real retrieval and the
+ * simulated testbed: the cluster simulator converts postings/documents
+ * scored into CPU cycles, so the simulated service times inherit the
+ * real long-tailed work distribution (Fig. 2a) and respond to dynamic
+ * pruning exactly as the paper's Solr deployment does.
+ */
+
+#ifndef COTTAGE_INDEX_EVALUATOR_H
+#define COTTAGE_INDEX_EVALUATOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "index/top_k.h"
+#include "text/types.h"
+
+namespace cottage {
+
+/** Work performed while evaluating one query on one shard. */
+struct SearchWork
+{
+    /** Postings decoded and scored. */
+    uint64_t postingsScored = 0;
+
+    /** Distinct candidate documents evaluated. */
+    uint64_t docsScored = 0;
+
+    /** Top-K heap insertions (a MaxScore/WAND behaviour feature). */
+    uint64_t heapInsertions = 0;
+
+    /** Postings skipped by dynamic pruning (never decoded). */
+    uint64_t postingsSkipped = 0;
+
+    SearchWork &
+    operator+=(const SearchWork &other)
+    {
+        postingsScored += other.postingsScored;
+        docsScored += other.docsScored;
+        heapInsertions += other.heapInsertions;
+        postingsSkipped += other.postingsSkipped;
+        return *this;
+    }
+};
+
+/** Result of one shard-local query evaluation. */
+struct SearchResult
+{
+    /** Best-first ranking of at most K hits (global DocIds). */
+    std::vector<ScoredDoc> topK;
+
+    /** Work accounting for the latency model. */
+    SearchWork work;
+};
+
+/**
+ * One query term with its personalization weight: the term's BM25
+ * contribution is multiplied by the weight (1.0 = unpersonalized).
+ */
+struct WeightedTerm
+{
+    TermId term = invalidTerm;
+    double weight = 1.0;
+};
+
+/** Uniform-weight lift of a plain term list. */
+std::vector<WeightedTerm> toWeighted(const std::vector<TermId> &terms);
+
+/**
+ * A top-K retrieval strategy over one shard. Implementations must all
+ * return exactly the same top-K ranking (rank-safe pruning); only the
+ * work differs. Tests enforce this equivalence property.
+ */
+class Evaluator
+{
+  public:
+    virtual ~Evaluator() = default;
+
+    /** Strategy name for reports ("exhaustive", "maxscore", "wand"). */
+    virtual const char *name() const = 0;
+
+    /**
+     * Evaluate a weighted (personalized) query on a shard.
+     *
+     * @param index The shard's index.
+     * @param terms Distinct query terms with positive weights.
+     * @param k Result depth.
+     */
+    virtual SearchResult search(const InvertedIndex &index,
+                                const std::vector<WeightedTerm> &terms,
+                                std::size_t k) const = 0;
+
+    /** Convenience: uniform-weight evaluation. */
+    SearchResult
+    search(const InvertedIndex &index, const std::vector<TermId> &terms,
+           std::size_t k) const
+    {
+        return search(index, toWeighted(terms), k);
+    }
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_INDEX_EVALUATOR_H

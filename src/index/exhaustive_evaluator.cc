@@ -1,0 +1,61 @@
+#include "index/exhaustive_evaluator.h"
+
+#include <limits>
+
+namespace cottage {
+
+SearchResult
+ExhaustiveEvaluator::search(const InvertedIndex &index,
+                            const std::vector<WeightedTerm> &terms,
+                            std::size_t k) const
+{
+    SearchResult result;
+    TopKHeap heap(k);
+
+    struct Cursor
+    {
+        const PostingList *list;
+        double idf; // weight-scaled
+        std::size_t pos;
+    };
+    std::vector<Cursor> cursors;
+    cursors.reserve(terms.size());
+    for (const WeightedTerm &wt : terms) {
+        const PostingList *list = index.postings(wt.term);
+        if (list != nullptr && !list->empty())
+            cursors.push_back({list, index.idf(wt.term) * wt.weight, 0});
+    }
+
+    constexpr LocalDocId endDoc = std::numeric_limits<LocalDocId>::max();
+    while (true) {
+        // Next candidate: the smallest current doc across cursors.
+        LocalDocId candidate = endDoc;
+        for (const Cursor &cursor : cursors) {
+            if (cursor.pos < cursor.list->size()) {
+                candidate = std::min(candidate,
+                                     cursor.list->postings[cursor.pos].doc);
+            }
+        }
+        if (candidate == endDoc)
+            break;
+
+        double score = 0.0;
+        for (Cursor &cursor : cursors) {
+            if (cursor.pos < cursor.list->size() &&
+                cursor.list->postings[cursor.pos].doc == candidate) {
+                score += index.scorePosting(
+                    cursor.idf, cursor.list->postings[cursor.pos]);
+                ++cursor.pos;
+                ++result.work.postingsScored;
+            }
+        }
+        ++result.work.docsScored;
+        if (heap.push({index.globalDoc(candidate), score}))
+            ++result.work.heapInsertions;
+    }
+
+    result.topK = heap.extractSorted();
+    return result;
+}
+
+} // namespace cottage

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Exhaustive document-at-a-time evaluation: every posting of every
+ * query term is decoded and scored. This is the paper's baseline
+ * retrieval and the source of quality ground truth.
+ */
+
+#ifndef COTTAGE_INDEX_EXHAUSTIVE_EVALUATOR_H
+#define COTTAGE_INDEX_EXHAUSTIVE_EVALUATOR_H
+
+#include "index/evaluator.h"
+
+namespace cottage {
+
+/** Full DAAT scoring without pruning. */
+class ExhaustiveEvaluator : public Evaluator
+{
+  public:
+    const char *name() const override { return "exhaustive"; }
+
+    using Evaluator::search;
+
+    SearchResult search(const InvertedIndex &index,
+                        const std::vector<WeightedTerm> &terms,
+                        std::size_t k) const override;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_INDEX_EXHAUSTIVE_EVALUATOR_H

@@ -1,0 +1,94 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+
+#include "index/varbyte.h"
+#include "util/logging.h"
+
+namespace cottage {
+
+InvertedIndex::InvertedIndex(const Corpus &corpus,
+                             const std::vector<DocId> &docIds,
+                             std::shared_ptr<const CollectionStats> stats,
+                             Bm25Params params)
+    : stats_(std::move(stats)),
+      scorer_(stats_->numDocs(), stats_->avgDocLength(), params)
+{
+    COTTAGE_CHECK_MSG(!docIds.empty(), "a shard needs documents");
+    lengths_.reserve(docIds.size());
+    globalIds_.reserve(docIds.size());
+
+    // First pass: count distinct terms to size the slot table.
+    std::unordered_map<TermId, uint32_t> termCounts;
+    for (DocId id : docIds)
+        for (const TermFreq &tf : corpus.document(id).terms)
+            ++termCounts[tf.term];
+
+    lists_.resize(termCounts.size());
+    maxScores_.assign(termCounts.size(), 0.0);
+    termSlot_.reserve(termCounts.size() * 2);
+    uint32_t nextSlot = 0;
+    for (const auto &[term, count] : termCounts) {
+        termSlot_.emplace(term, nextSlot);
+        lists_[nextSlot].term = term;
+        lists_[nextSlot].postings.reserve(count);
+        ++nextSlot;
+    }
+
+    // Second pass: fill postings. Documents are visited in docIds
+    // order, so postings stay ascending by local doc index.
+    for (LocalDocId local = 0; local < docIds.size(); ++local) {
+        const Document &doc = corpus.document(docIds[local]);
+        lengths_.push_back(doc.length);
+        globalIds_.push_back(doc.id);
+        for (const TermFreq &tf : doc.terms) {
+            PostingList &list = lists_[termSlot_.at(tf.term)];
+            list.postings.push_back({local, tf.freq});
+            ++totalPostings_;
+        }
+    }
+
+    // Exact per-term score upper bounds for the pruning evaluators.
+    for (uint32_t slot = 0; slot < lists_.size(); ++slot) {
+        const double termIdf = idf(lists_[slot].term);
+        double bound = 0.0;
+        for (const Posting &posting : lists_[slot].postings)
+            bound = std::max(bound, scorePosting(termIdf, posting));
+        maxScores_[slot] = bound;
+    }
+}
+
+const PostingList *
+InvertedIndex::postings(TermId term) const
+{
+    const auto it = termSlot_.find(term);
+    return it == termSlot_.end() ? nullptr : &lists_[it->second];
+}
+
+double
+InvertedIndex::idf(TermId term) const
+{
+    return scorer_.idf(stats_->docFreq(term));
+}
+
+InvertedIndex::Footprint
+InvertedIndex::footprint() const
+{
+    Footprint fp;
+    for (const PostingList &list : lists_) {
+        fp.rawPostingBytes += list.size() * sizeof(Posting);
+        fp.compressedPostingBytes += CompressedPostingList(list).bytes();
+    }
+    fp.docTableBytes = lengths_.size() * sizeof(uint32_t) +
+                       globalIds_.size() * sizeof(DocId);
+    return fp;
+}
+
+double
+InvertedIndex::maxScore(TermId term) const
+{
+    const auto it = termSlot_.find(term);
+    return it == termSlot_.end() ? 0.0 : maxScores_[it->second];
+}
+
+} // namespace cottage

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * One shard's inverted index: posting lists, document metadata, and the
+ * shard-local BM25 machinery (sharing global collection statistics so
+ * scores merge exactly across shards).
+ */
+
+#ifndef COTTAGE_INDEX_INVERTED_INDEX_H
+#define COTTAGE_INDEX_INVERTED_INDEX_H
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "index/bm25.h"
+#include "index/collection_stats.h"
+#include "index/postings.h"
+#include "text/corpus.h"
+#include "text/types.h"
+
+namespace cottage {
+
+/**
+ * Immutable per-shard inverted index.
+ */
+class InvertedIndex
+{
+  public:
+    /**
+     * Build the index over a subset of a corpus.
+     *
+     * @param corpus The full corpus.
+     * @param docIds Global ids of the documents assigned to this shard.
+     * @param stats Shared global collection statistics.
+     * @param params BM25 parameters.
+     */
+    InvertedIndex(const Corpus &corpus, const std::vector<DocId> &docIds,
+                  std::shared_ptr<const CollectionStats> stats,
+                  Bm25Params params = {});
+
+    /** Posting list for a term, or nullptr when the shard lacks it. */
+    const PostingList *postings(TermId term) const;
+
+    /** Number of documents on this shard. */
+    uint32_t numDocs() const { return static_cast<uint32_t>(lengths_.size()); }
+
+    /** Token length of a shard-local document. */
+    uint32_t docLength(LocalDocId local) const { return lengths_[local]; }
+
+    /** Global id of a shard-local document. */
+    DocId globalDoc(LocalDocId local) const { return globalIds_[local]; }
+
+    /** Number of distinct terms present on this shard. */
+    std::size_t numTerms() const { return lists_.size(); }
+
+    /** The scorer (global statistics, shared across shards). */
+    const Bm25 &scorer() const { return scorer_; }
+
+    /** Global IDF of a term (from the shared collection statistics). */
+    double idf(TermId term) const;
+
+    /**
+     * Exact per-shard upper bound of a term's BM25 contribution: the
+     * max over this shard's postings, computed at build time. Returns
+     * 0 for absent terms. This is what MaxScore/WAND prune with.
+     */
+    double maxScore(TermId term) const;
+
+    /** Total number of postings on this shard. */
+    uint64_t totalPostings() const { return totalPostings_; }
+
+    /** All posting lists (arbitrary order); used by index-time scans. */
+    const std::vector<PostingList> &allPostings() const { return lists_; }
+
+    /** Index storage accounting (raw vs VByte-compressed postings). */
+    struct Footprint
+    {
+        /** Flat in-memory posting bytes (8 per posting). */
+        std::size_t rawPostingBytes = 0;
+
+        /** Bytes the postings take delta-gap VByte compressed. */
+        std::size_t compressedPostingBytes = 0;
+
+        /** Document-metadata bytes (lengths + global id map). */
+        std::size_t docTableBytes = 0;
+    };
+
+    /**
+     * Compute the storage footprint. Compresses every list once, so
+     * this is an O(total postings) scan — for reports, not hot paths.
+     */
+    Footprint footprint() const;
+
+    /** Score one posting of a term (helper shared by evaluators). */
+    double
+    scorePosting(double termIdf, const Posting &posting) const
+    {
+        return scorer_.score(termIdf, posting.freq, lengths_[posting.doc]);
+    }
+
+  private:
+    std::shared_ptr<const CollectionStats> stats_;
+    Bm25 scorer_;
+    std::vector<uint32_t> lengths_;
+    std::vector<DocId> globalIds_;
+    std::unordered_map<TermId, uint32_t> termSlot_;
+    std::vector<PostingList> lists_;
+    std::vector<double> maxScores_;
+    uint64_t totalPostings_ = 0;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_INDEX_INVERTED_INDEX_H

@@ -1,0 +1,141 @@
+#include "index/maxscore_evaluator.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace cottage {
+
+namespace {
+
+struct Cursor
+{
+    const PostingList *list;
+    double idf;
+    double maxScore;
+    std::size_t pos;
+
+    bool
+    exhausted() const
+    {
+        return pos >= list->size();
+    }
+
+    LocalDocId
+    doc() const
+    {
+        return list->postings[pos].doc;
+    }
+};
+
+/** Advance a cursor to the first posting with doc >= target. */
+uint64_t
+seek(Cursor &cursor, LocalDocId target)
+{
+    const auto &postings = cursor.list->postings;
+    const auto begin = postings.begin() + static_cast<std::ptrdiff_t>(cursor.pos);
+    const auto it = std::lower_bound(
+        begin, postings.end(), target,
+        [](const Posting &p, LocalDocId d) { return p.doc < d; });
+    const auto skipped = static_cast<uint64_t>(it - begin);
+    cursor.pos += skipped;
+    return skipped;
+}
+
+} // namespace
+
+SearchResult
+MaxScoreEvaluator::search(const InvertedIndex &index,
+                          const std::vector<WeightedTerm> &terms,
+                          std::size_t k) const
+{
+    SearchResult result;
+    TopKHeap heap(k);
+
+    std::vector<Cursor> cursors;
+    cursors.reserve(terms.size());
+    for (const WeightedTerm &wt : terms) {
+        const PostingList *list = index.postings(wt.term);
+        if (list != nullptr && !list->empty()) {
+            // BM25 is linear in idf, so both the per-posting score and
+            // the exact pruning bound scale by the term weight.
+            cursors.push_back({list, index.idf(wt.term) * wt.weight,
+                               index.maxScore(wt.term) * wt.weight, 0});
+        }
+    }
+    if (cursors.empty() || k == 0) {
+        result.topK = heap.extractSorted();
+        return result;
+    }
+
+    // Ascending by score bound; prefix[i] = sum of bounds of 0..i-1.
+    std::sort(cursors.begin(), cursors.end(),
+              [](const Cursor &a, const Cursor &b) {
+                  return a.maxScore < b.maxScore;
+              });
+    std::vector<double> prefix(cursors.size() + 1, 0.0);
+    for (std::size_t i = 0; i < cursors.size(); ++i)
+        prefix[i + 1] = prefix[i] + cursors[i].maxScore;
+
+    // Non-essential prefix [0, essential): documents appearing only
+    // there cannot beat the current threshold. Strict < keeps pruning
+    // rank-safe under score ties (equal score can still win by DocId).
+    std::size_t essential = 0;
+    const auto updateEssential = [&]() {
+        if (!heap.full())
+            return;
+        while (essential < cursors.size() &&
+               prefix[essential + 1] < heap.threshold()) {
+            ++essential;
+        }
+    };
+
+    constexpr LocalDocId endDoc = std::numeric_limits<LocalDocId>::max();
+    while (essential < cursors.size()) {
+        // Candidate: smallest current doc among essential cursors.
+        LocalDocId candidate = endDoc;
+        for (std::size_t i = essential; i < cursors.size(); ++i) {
+            if (!cursors[i].exhausted())
+                candidate = std::min(candidate, cursors[i].doc());
+        }
+        if (candidate == endDoc)
+            break;
+
+        // Score essential contributions.
+        double score = 0.0;
+        for (std::size_t i = essential; i < cursors.size(); ++i) {
+            Cursor &cursor = cursors[i];
+            if (!cursor.exhausted() && cursor.doc() == candidate) {
+                score += index.scorePosting(cursor.idf,
+                                            cursor.list->postings[cursor.pos]);
+                ++cursor.pos;
+                ++result.work.postingsScored;
+            }
+        }
+        ++result.work.docsScored;
+
+        // Walk the non-essential lists strongest-first, bailing out as
+        // soon as even a full remaining bound cannot reach the heap.
+        for (std::size_t i = essential; i-- > 0;) {
+            if (heap.full() && score + prefix[i + 1] < heap.threshold())
+                break;
+            Cursor &cursor = cursors[i];
+            result.work.postingsSkipped += seek(cursor, candidate);
+            if (!cursor.exhausted() && cursor.doc() == candidate) {
+                score += index.scorePosting(cursor.idf,
+                                            cursor.list->postings[cursor.pos]);
+                ++cursor.pos;
+                ++result.work.postingsScored;
+            }
+        }
+
+        if (heap.push({index.globalDoc(candidate), score})) {
+            ++result.work.heapInsertions;
+            updateEssential();
+        }
+    }
+
+    result.topK = heap.extractSorted();
+    return result;
+}
+
+} // namespace cottage

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * MaxScore dynamic pruning (Turtle & Flood [36]).
+ *
+ * Rank-safe: returns exactly the exhaustive top-K (tie-breaking
+ * included) while skipping documents that provably cannot enter it.
+ * The skipping is what makes per-query service time hard to predict
+ * from posting-list length alone — the phenomenon Cottage's latency
+ * predictor (Table II features) is built to capture.
+ */
+
+#ifndef COTTAGE_INDEX_MAXSCORE_EVALUATOR_H
+#define COTTAGE_INDEX_MAXSCORE_EVALUATOR_H
+
+#include "index/evaluator.h"
+
+namespace cottage {
+
+/** Document-at-a-time MaxScore with essential/non-essential lists. */
+class MaxScoreEvaluator : public Evaluator
+{
+  public:
+    const char *name() const override { return "maxscore"; }
+
+    using Evaluator::search;
+
+    SearchResult search(const InvertedIndex &index,
+                        const std::vector<WeightedTerm> &terms,
+                        std::size_t k) const override;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_INDEX_MAXSCORE_EVALUATOR_H

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Posting-list representation of one shard's inverted index.
+ *
+ * Postings carry shard-local document indices (dense, 0-based within
+ * the shard) so evaluators can index the shard's length table directly;
+ * the shard maps local indices back to global DocIds when emitting
+ * results.
+ */
+
+#ifndef COTTAGE_INDEX_POSTINGS_H
+#define COTTAGE_INDEX_POSTINGS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "text/types.h"
+
+namespace cottage {
+
+/** Shard-local document index. */
+using LocalDocId = uint32_t;
+
+/** One document occurrence of a term. */
+struct Posting
+{
+    LocalDocId doc;
+    uint32_t freq;
+};
+
+/** All occurrences of one term inside one shard, ascending by doc. */
+struct PostingList
+{
+    TermId term = invalidTerm;
+    std::vector<Posting> postings;
+
+    std::size_t size() const { return postings.size(); }
+    bool empty() const { return postings.empty(); }
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_INDEX_POSTINGS_H

@@ -1,0 +1,42 @@
+#include "index/taat_evaluator.h"
+
+#include <vector>
+
+namespace cottage {
+
+SearchResult
+TaatEvaluator::search(const InvertedIndex &index,
+                      const std::vector<WeightedTerm> &terms,
+                      std::size_t k) const
+{
+    SearchResult result;
+
+    // Dense accumulators; a touched-list keeps extraction proportional
+    // to candidates rather than to the shard size.
+    std::vector<double> accumulators(index.numDocs(), 0.0);
+    std::vector<LocalDocId> touched;
+
+    for (const WeightedTerm &wt : terms) {
+        const PostingList *list = index.postings(wt.term);
+        if (list == nullptr)
+            continue;
+        const double idf = index.idf(wt.term) * wt.weight;
+        for (const Posting &posting : list->postings) {
+            if (accumulators[posting.doc] == 0.0)
+                touched.push_back(posting.doc);
+            accumulators[posting.doc] += index.scorePosting(idf, posting);
+            ++result.work.postingsScored;
+        }
+    }
+
+    TopKHeap heap(k);
+    for (LocalDocId doc : touched) {
+        ++result.work.docsScored;
+        if (heap.push({index.globalDoc(doc), accumulators[doc]}))
+            ++result.work.heapInsertions;
+    }
+    result.topK = heap.extractSorted();
+    return result;
+}
+
+} // namespace cottage

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Term-at-a-time (TAAT) evaluation: the classic alternative to DAAT —
+ * process one posting list at a time into an accumulator array, then
+ * extract the top-K. No pruning; work equals the exhaustive DAAT's
+ * postings but with different constants (sequential list scans, no
+ * multi-cursor merge). Included both as a third independent oracle for
+ * the rank-safety property tests and because older engines (and some
+ * of the paper's related work [35]) evaluate this way.
+ */
+
+#ifndef COTTAGE_INDEX_TAAT_EVALUATOR_H
+#define COTTAGE_INDEX_TAAT_EVALUATOR_H
+
+#include "index/evaluator.h"
+
+namespace cottage {
+
+/** Accumulator-array term-at-a-time scoring. */
+class TaatEvaluator : public Evaluator
+{
+  public:
+    const char *name() const override { return "taat"; }
+
+    using Evaluator::search;
+
+    SearchResult search(const InvertedIndex &index,
+                        const std::vector<WeightedTerm> &terms,
+                        std::size_t k) const override;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_INDEX_TAAT_EVALUATOR_H

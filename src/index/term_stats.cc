@@ -1,0 +1,112 @@
+#include "index/term_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "index/top_k.h"
+#include "stats/summary.h"
+#include "util/logging.h"
+
+namespace cottage {
+
+namespace {
+
+/** Largest k-th value of a score vector (smallest value when short). */
+double
+kthLargest(std::vector<double> scores, std::size_t k)
+{
+    COTTAGE_CHECK(!scores.empty());
+    if (scores.size() <= k)
+        return *std::min_element(scores.begin(), scores.end());
+    std::nth_element(scores.begin(),
+                     scores.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                     scores.end(), std::greater<double>());
+    return scores[k - 1];
+}
+
+} // namespace
+
+TermStatsStore::TermStatsStore(const InvertedIndex &index, std::size_t k)
+    : k_(k)
+{
+    COTTAGE_CHECK_MSG(k >= 1, "term stats need k >= 1");
+    stats_.reserve(index.numTerms() * 2);
+
+    std::vector<double> scores; // DocId-ordered, reused across terms
+    std::vector<double> sorted;
+    for (const PostingList &list : index.allPostings()) {
+        const double termIdf = index.idf(list.term);
+
+        scores.clear();
+        scores.reserve(list.size());
+        TopKHeap heap(k);
+        uint64_t insertions = 0;
+        for (const Posting &posting : list.postings) {
+            const double s = index.scorePosting(termIdf, posting);
+            scores.push_back(s);
+            if (heap.push({index.globalDoc(posting.doc), s}))
+                ++insertions;
+        }
+
+        TermStats ts;
+        ts.postingLength = static_cast<double>(scores.size());
+        ts.idf = termIdf;
+        ts.estimatedMaxScore = index.scorer().staticUpperBound(termIdf);
+        ts.docsEverInTopK = static_cast<double>(insertions);
+
+        sorted = scores;
+        std::sort(sorted.begin(), sorted.end());
+        ts.firstQuartile = percentileSorted(sorted, 0.25);
+        ts.median = percentileSorted(sorted, 0.5);
+        ts.thirdQuartile = percentileSorted(sorted, 0.75);
+        ts.meanScore = mean(scores);
+        ts.geoMeanScore = geometricMean(scores);
+        ts.harmMeanScore = harmonicMean(scores);
+        ts.scoreVariance = variance(scores);
+        ts.maxScore = sorted.back();
+        ts.kthScore = kthLargest(scores, k);
+
+        // Pruning-behaviour features over the DocId-ordered sequence.
+        std::size_t maxima = 0;
+        std::size_t maximaAboveMean = 0;
+        for (std::size_t i = 0; i < scores.size(); ++i) {
+            const bool leftOk = i == 0 || scores[i] > scores[i - 1];
+            const bool rightOk =
+                i + 1 == scores.size() || scores[i] > scores[i + 1];
+            if (scores.size() > 1 && leftOk && rightOk) {
+                ++maxima;
+                if (scores[i] > ts.meanScore)
+                    ++maximaAboveMean;
+            }
+        }
+        ts.localMaxima = static_cast<double>(maxima);
+        ts.localMaximaAboveMean = static_cast<double>(maximaAboveMean);
+
+        std::size_t atMax = 0;
+        std::size_t nearMax = 0;
+        std::size_t nearKth = 0;
+        for (double s : scores) {
+            if (s == ts.maxScore)
+                ++atMax;
+            if (s >= 0.95 * ts.maxScore)
+                ++nearMax;
+            if (s >= 0.95 * ts.kthScore)
+                ++nearKth;
+        }
+        ts.numMaxScore = static_cast<double>(atMax);
+        ts.docsNearMax = static_cast<double>(nearMax);
+        ts.docsNearKth = static_cast<double>(nearKth);
+
+        stats_.emplace(list.term, ts);
+    }
+}
+
+const TermStats *
+TermStatsStore::get(TermId term) const
+{
+    const auto it = stats_.find(term);
+    return it == stats_.end() ? nullptr : &it->second;
+}
+
+} // namespace cottage

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Bounded top-K accumulator with deterministic tie-breaking.
+ *
+ * Ordering: higher score wins; equal scores break toward the smaller
+ * global DocId. Determinism matters because the paper's quality metric
+ * compares result *sets* against the exhaustive ground truth — ties
+ * must resolve identically everywhere.
+ */
+
+#ifndef COTTAGE_INDEX_TOP_K_H
+#define COTTAGE_INDEX_TOP_K_H
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "text/types.h"
+
+namespace cottage {
+
+/** One ranked search hit (global document id). */
+struct ScoredDoc
+{
+    DocId doc = invalidDoc;
+    double score = 0.0;
+};
+
+/** True if a ranks strictly better than b. */
+inline bool
+ranksBetter(const ScoredDoc &a, const ScoredDoc &b)
+{
+    if (a.score != b.score)
+        return a.score > b.score;
+    return a.doc < b.doc;
+}
+
+/**
+ * Fixed-capacity top-K heap. push() is O(log K); extractSorted()
+ * returns the best-first ranking.
+ */
+class TopKHeap
+{
+  public:
+    explicit TopKHeap(std::size_t k) : k_(k) {}
+
+    /** Capacity K. */
+    std::size_t capacity() const { return k_; }
+
+    /** Current number of held results. */
+    std::size_t size() const { return heap_.size(); }
+
+    bool full() const { return heap_.size() >= k_; }
+
+    /**
+     * Weakest currently-held entry; only meaningful when full(). The
+     * pruning evaluators use its score as the entry threshold.
+     */
+    const ScoredDoc &
+    worst() const
+    {
+        return heap_.front();
+    }
+
+    /** Score a new result must strictly beat to enter a full heap. */
+    double
+    threshold() const
+    {
+        return full() ? heap_.front().score : -1.0;
+    }
+
+    /**
+     * Offer a result. Returns true if it entered the heap (an
+     * "insertion", counted as predictive work by the latency model).
+     */
+    bool
+    push(const ScoredDoc &entry)
+    {
+        if (k_ == 0)
+            return false;
+        if (heap_.size() < k_) {
+            heap_.push_back(entry);
+            std::push_heap(heap_.begin(), heap_.end(), cmpWorstFirst);
+            return true;
+        }
+        if (!ranksBetter(entry, heap_.front()))
+            return false;
+        std::pop_heap(heap_.begin(), heap_.end(), cmpWorstFirst);
+        heap_.back() = entry;
+        std::push_heap(heap_.begin(), heap_.end(), cmpWorstFirst);
+        return true;
+    }
+
+    /** Best-first ranking; leaves the heap empty. */
+    std::vector<ScoredDoc>
+    extractSorted()
+    {
+        std::vector<ScoredDoc> out = std::move(heap_);
+        heap_.clear();
+        std::sort(out.begin(), out.end(), ranksBetter);
+        return out;
+    }
+
+  private:
+    /** Min-heap on rank: the *worst* element sits at front. */
+    static bool
+    cmpWorstFirst(const ScoredDoc &a, const ScoredDoc &b)
+    {
+        return ranksBetter(a, b);
+    }
+
+    std::size_t k_;
+    std::vector<ScoredDoc> heap_;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_INDEX_TOP_K_H

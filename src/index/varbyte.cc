@@ -1,0 +1,75 @@
+#include "index/varbyte.h"
+
+#include "util/logging.h"
+
+namespace cottage {
+
+void
+vbyteEncode(uint32_t value, std::vector<uint8_t> &out)
+{
+    while (value >= 0x80) {
+        out.push_back(static_cast<uint8_t>((value & 0x7f) | 0x80));
+        value >>= 7;
+    }
+    out.push_back(static_cast<uint8_t>(value));
+}
+
+uint32_t
+vbyteDecode(const std::vector<uint8_t> &bytes, std::size_t &offset)
+{
+    uint32_t value = 0;
+    int shift = 0;
+    while (true) {
+        COTTAGE_CHECK_MSG(offset < bytes.size(), "truncated vbyte stream");
+        const uint8_t byte = bytes[offset++];
+        value |= static_cast<uint32_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0)
+            return value;
+        shift += 7;
+    }
+}
+
+CompressedPostingList::CompressedPostingList(const PostingList &list)
+    : term_(list.term), count_(list.size())
+{
+    bytes_.reserve(list.size() * 2); // typical: ~2 bytes per posting
+    LocalDocId last = 0;
+    bool first = true;
+    for (const Posting &posting : list.postings) {
+        const uint32_t gap =
+            first ? posting.doc : posting.doc - last - 1;
+        COTTAGE_CHECK_MSG(first || posting.doc > last,
+                          "postings must ascend by doc");
+        vbyteEncode(gap, bytes_);
+        vbyteEncode(posting.freq, bytes_);
+        last = posting.doc;
+        first = false;
+    }
+    bytes_.shrink_to_fit();
+}
+
+Posting
+CompressedPostingList::Cursor::next()
+{
+    COTTAGE_CHECK_MSG(hasNext(), "cursor exhausted");
+    const uint32_t gap = vbyteDecode(list_->bytes_, offset_);
+    const uint32_t freq = vbyteDecode(list_->bytes_, offset_);
+    const LocalDocId doc = read_ == 0 ? gap : lastDoc_ + gap + 1;
+    lastDoc_ = doc;
+    ++read_;
+    return {doc, freq};
+}
+
+PostingList
+CompressedPostingList::decompress() const
+{
+    PostingList list;
+    list.term = term_;
+    list.postings.reserve(count_);
+    Cursor cursor(*this);
+    while (cursor.hasNext())
+        list.postings.push_back(cursor.next());
+    return list;
+}
+
+} // namespace cottage

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Variable-byte (VByte) codec and delta-compressed posting lists.
+ *
+ * Production engines (Lucene included) store postings delta-gap
+ * compressed; the paper's index sizes and traversal costs assume it.
+ * This module provides the codec, a compressed posting-list container
+ * with a sequential cursor, and footprint accounting so the index can
+ * report realistic memory numbers.
+ */
+
+#ifndef COTTAGE_INDEX_VARBYTE_H
+#define COTTAGE_INDEX_VARBYTE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "index/postings.h"
+
+namespace cottage {
+
+/** Append one value, VByte-encoded (7 bits per byte, MSB = continue). */
+void vbyteEncode(uint32_t value, std::vector<uint8_t> &out);
+
+/**
+ * Decode one value starting at @p offset; advances @p offset past the
+ * consumed bytes. Behaviour is undefined on truncated input (the
+ * container below never produces any).
+ */
+uint32_t vbyteDecode(const std::vector<uint8_t> &bytes, std::size_t &offset);
+
+/**
+ * A posting list stored as VByte-encoded (doc-gap, freq) pairs.
+ * Iteration is strictly sequential — exactly what TAAT and the
+ * exhaustive DAAT need; the pruning evaluators keep the uncompressed
+ * form for O(log n) skipping.
+ */
+class CompressedPostingList
+{
+  public:
+    CompressedPostingList() = default;
+
+    /** Compress an uncompressed list (ascending doc ids). */
+    explicit CompressedPostingList(const PostingList &list);
+
+    TermId term() const { return term_; }
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+
+    /** Compressed footprint in bytes. */
+    std::size_t bytes() const { return bytes_.size(); }
+
+    /** Decompress back to the flat form (for tests and conversion). */
+    PostingList decompress() const;
+
+    /** Sequential read cursor. */
+    class Cursor
+    {
+      public:
+        explicit Cursor(const CompressedPostingList &list)
+            : list_(&list)
+        {
+        }
+
+        /** True while another posting is available. */
+        bool
+        hasNext() const
+        {
+            return read_ < list_->count_;
+        }
+
+        /** Decode and return the next posting. */
+        Posting next();
+
+      private:
+        const CompressedPostingList *list_;
+        std::size_t offset_ = 0;
+        std::size_t read_ = 0;
+        LocalDocId lastDoc_ = 0;
+    };
+
+    Cursor cursor() const { return Cursor(*this); }
+
+  private:
+    friend class Cursor;
+
+    TermId term_ = invalidTerm;
+    std::size_t count_ = 0;
+    std::vector<uint8_t> bytes_;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_INDEX_VARBYTE_H

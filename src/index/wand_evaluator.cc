@@ -1,0 +1,132 @@
+#include "index/wand_evaluator.h"
+
+#include <algorithm>
+
+namespace cottage {
+
+namespace {
+
+struct Cursor
+{
+    const PostingList *list;
+    double idf;
+    double maxScore;
+    std::size_t pos;
+
+    bool
+    exhausted() const
+    {
+        return pos >= list->size();
+    }
+
+    LocalDocId
+    doc() const
+    {
+        return list->postings[pos].doc;
+    }
+};
+
+uint64_t
+seek(Cursor &cursor, LocalDocId target)
+{
+    const auto &postings = cursor.list->postings;
+    const auto begin =
+        postings.begin() + static_cast<std::ptrdiff_t>(cursor.pos);
+    const auto it = std::lower_bound(
+        begin, postings.end(), target,
+        [](const Posting &p, LocalDocId d) { return p.doc < d; });
+    const auto skipped = static_cast<uint64_t>(it - begin);
+    cursor.pos += skipped;
+    return skipped;
+}
+
+} // namespace
+
+SearchResult
+WandEvaluator::search(const InvertedIndex &index,
+                      const std::vector<WeightedTerm> &terms,
+                      std::size_t k) const
+{
+    SearchResult result;
+    TopKHeap heap(k);
+
+    std::vector<Cursor> cursors;
+    cursors.reserve(terms.size());
+    for (const WeightedTerm &wt : terms) {
+        const PostingList *list = index.postings(wt.term);
+        if (list != nullptr && !list->empty()) {
+            cursors.push_back({list, index.idf(wt.term) * wt.weight,
+                               index.maxScore(wt.term) * wt.weight, 0});
+        }
+    }
+    if (cursors.empty() || k == 0) {
+        result.topK = heap.extractSorted();
+        return result;
+    }
+
+    // Live cursor pointers, kept sorted by current doc each round.
+    std::vector<Cursor *> order;
+    order.reserve(cursors.size());
+    for (Cursor &cursor : cursors)
+        order.push_back(&cursor);
+
+    while (true) {
+        order.erase(std::remove_if(order.begin(), order.end(),
+                                   [](Cursor *c) { return c->exhausted(); }),
+                    order.end());
+        if (order.empty())
+            break;
+        std::sort(order.begin(), order.end(), [](Cursor *a, Cursor *b) {
+            return a->doc() < b->doc();
+        });
+
+        // Pivot: first cursor where the cumulative bound could reach
+        // the heap. >= keeps ties evaluable (rank-safe with DocId
+        // tie-breaking).
+        const double threshold = heap.full() ? heap.threshold() : -1.0;
+        double accumulated = 0.0;
+        std::size_t pivot = order.size();
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            accumulated += order[i]->maxScore;
+            if (accumulated >= threshold) {
+                pivot = i;
+                break;
+            }
+        }
+        if (pivot == order.size())
+            break; // nothing remaining can enter the top-K
+
+        const LocalDocId pivotDoc = order[pivot]->doc();
+        if (order[0]->doc() == pivotDoc) {
+            // All cursors up to the pivot sit on pivotDoc: score it.
+            double score = 0.0;
+            for (Cursor *cursor : order) {
+                if (cursor->exhausted() || cursor->doc() != pivotDoc)
+                    continue;
+                score += index.scorePosting(
+                    cursor->idf, cursor->list->postings[cursor->pos]);
+                ++cursor->pos;
+                ++result.work.postingsScored;
+            }
+            ++result.work.docsScored;
+            if (heap.push({index.globalDoc(pivotDoc), score}))
+                ++result.work.heapInsertions;
+        } else {
+            // Advance the strongest cursor before the pivot; fewer
+            // future seeks than advancing the weakest.
+            Cursor *advance = order[0];
+            for (std::size_t i = 1; i < pivot; ++i) {
+                if (order[i]->doc() < pivotDoc &&
+                    order[i]->maxScore > advance->maxScore) {
+                    advance = order[i];
+                }
+            }
+            result.work.postingsSkipped += seek(*advance, pivotDoc);
+        }
+    }
+
+    result.topK = heap.extractSorted();
+    return result;
+}
+
+} // namespace cottage

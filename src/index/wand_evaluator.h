@@ -1,0 +1,33 @@
+/**
+ * @file
+ * WAND dynamic pruning (Broder et al. [3]).
+ *
+ * Rank-safe pivot-based skipping; like MaxScore it returns exactly the
+ * exhaustive top-K while decoding far fewer postings. Provided both as
+ * a second production retrieval mode and as an independent oracle for
+ * the evaluator-equivalence property tests.
+ */
+
+#ifndef COTTAGE_INDEX_WAND_EVALUATOR_H
+#define COTTAGE_INDEX_WAND_EVALUATOR_H
+
+#include "index/evaluator.h"
+
+namespace cottage {
+
+/** Document-at-a-time WAND. */
+class WandEvaluator : public Evaluator
+{
+  public:
+    const char *name() const override { return "wand"; }
+
+    using Evaluator::search;
+
+    SearchResult search(const InvertedIndex &index,
+                        const std::vector<WeightedTerm> &terms,
+                        std::size_t k) const override;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_INDEX_WAND_EVALUATOR_H

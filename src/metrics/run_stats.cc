@@ -1,0 +1,110 @@
+#include "metrics/run_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "stats/summary.h"
+
+namespace cottage {
+
+RunSummary
+summarizeRun(const std::string &policy, const std::string &trace,
+             const std::vector<QueryMeasurement> &measurements)
+{
+    RunSummary summary;
+    summary.policy = policy;
+    summary.trace = trace;
+    summary.queries = measurements.size();
+    if (measurements.empty())
+        return summary;
+
+    std::vector<double> latencies;
+    latencies.reserve(measurements.size());
+    RunningStat precision;
+    RunningStat ndcg;
+    RunningStat isnsUsed;
+    RunningStat isnsBoosted;
+    RunningStat docsSearched;
+    RunningStat budgets;
+    for (const QueryMeasurement &m : measurements) {
+        latencies.push_back(m.latencySeconds);
+        precision.add(m.precisionAtK);
+        ndcg.add(m.ndcgAtK);
+        isnsUsed.add(static_cast<double>(m.isnsUsed));
+        isnsBoosted.add(static_cast<double>(m.isnsBoosted));
+        docsSearched.add(static_cast<double>(m.docsSearched));
+        if (m.budgetSeconds != noBudget)
+            budgets.add(m.budgetSeconds);
+        summary.truncatedResponses +=
+            m.isnsUsed - m.isnsCompleted;
+    }
+    std::sort(latencies.begin(), latencies.end());
+    summary.avgLatencySeconds = mean(latencies);
+    summary.p50LatencySeconds = percentileSorted(latencies, 0.50);
+    summary.p95LatencySeconds = percentileSorted(latencies, 0.95);
+    summary.p99LatencySeconds = percentileSorted(latencies, 0.99);
+    summary.maxLatencySeconds = latencies.back();
+    summary.avgPrecision = precision.mean();
+    summary.avgNdcg = ndcg.mean();
+    summary.avgIsnsUsed = isnsUsed.mean();
+    summary.avgIsnsBoosted = isnsBoosted.mean();
+    summary.avgDocsSearched = docsSearched.mean();
+    summary.avgBudgetSeconds = budgets.mean();
+    return summary;
+}
+
+std::string
+toJson(const RunSummary &s)
+{
+    std::string out = "{";
+    const auto field = [&out](const char *key, const std::string &value,
+                              bool quote) {
+        if (out.size() > 1)
+            out += ",";
+        out += "\"";
+        out += key;
+        out += "\":";
+        if (quote)
+            out += "\"" + value + "\"";
+        else
+            out += value;
+    };
+    const auto num = [](double v) {
+        char buffer[64];
+        std::snprintf(buffer, sizeof(buffer), "%.9g", v);
+        return std::string(buffer);
+    };
+    field("policy", s.policy, true);
+    field("trace", s.trace, true);
+    field("queries", num(static_cast<double>(s.queries)), false);
+    field("avg_latency_s", num(s.avgLatencySeconds), false);
+    field("p50_latency_s", num(s.p50LatencySeconds), false);
+    field("p95_latency_s", num(s.p95LatencySeconds), false);
+    field("p99_latency_s", num(s.p99LatencySeconds), false);
+    field("max_latency_s", num(s.maxLatencySeconds), false);
+    field("avg_precision", num(s.avgPrecision), false);
+    field("avg_ndcg", num(s.avgNdcg), false);
+    field("avg_isns_used", num(s.avgIsnsUsed), false);
+    field("avg_isns_boosted", num(s.avgIsnsBoosted), false);
+    field("avg_docs_searched", num(s.avgDocsSearched), false);
+    field("truncated_responses",
+          num(static_cast<double>(s.truncatedResponses)), false);
+    field("avg_budget_s", num(s.avgBudgetSeconds), false);
+    field("energy_j", num(s.energyJoules), false);
+    field("duration_s", num(s.durationSeconds), false);
+    field("avg_power_w", num(s.avgPowerWatts), false);
+    out += "}";
+    return out;
+}
+
+std::vector<double>
+latencySeries(const std::vector<QueryMeasurement> &measurements)
+{
+    std::vector<double> series;
+    series.reserve(measurements.size());
+    for (const QueryMeasurement &m : measurements)
+        series.push_back(m.latencySeconds);
+    return series;
+}
+
+} // namespace cottage

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * In-memory labeled dataset for classifier training.
+ */
+
+#ifndef COTTAGE_NN_DATASET_H
+#define COTTAGE_NN_DATASET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace cottage {
+
+/** Flat feature matrix plus integer class labels. */
+class Dataset
+{
+  public:
+    explicit Dataset(std::size_t numFeatures) : numFeatures_(numFeatures) {}
+
+    /** Append one labeled sample; the feature count must match. */
+    void
+    add(const std::vector<double> &features, uint32_t label)
+    {
+        COTTAGE_CHECK(features.size() == numFeatures_);
+        features_.insert(features_.end(), features.begin(), features.end());
+        labels_.push_back(label);
+    }
+
+    std::size_t size() const { return labels_.size(); }
+    std::size_t numFeatures() const { return numFeatures_; }
+    bool empty() const { return labels_.empty(); }
+
+    /** Pointer to sample i's feature row. */
+    const double *
+    features(std::size_t i) const
+    {
+        return features_.data() + i * numFeatures_;
+    }
+
+    uint32_t label(std::size_t i) const { return labels_[i]; }
+    const std::vector<uint32_t> &labels() const { return labels_; }
+
+  private:
+    std::size_t numFeatures_;
+    std::vector<double> features_;
+    std::vector<uint32_t> labels_;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_NN_DATASET_H

@@ -1,0 +1,76 @@
+#include "nn/matrix.h"
+
+#include "util/logging.h"
+
+namespace cottage {
+
+void
+matmul(const Matrix &a, const Matrix &b, Matrix &c)
+{
+    COTTAGE_CHECK(a.cols() == b.rows());
+    COTTAGE_CHECK(c.rows() == a.rows() && c.cols() == b.cols());
+    c.setZero();
+    const std::size_t m = a.rows();
+    const std::size_t k = a.cols();
+    const std::size_t n = b.cols();
+    // i-k-j order: unit-stride inner loop over both B and C rows.
+    for (std::size_t i = 0; i < m; ++i) {
+        double *cRow = c.row(i);
+        const double *aRow = a.row(i);
+        for (std::size_t p = 0; p < k; ++p) {
+            const double av = aRow[p];
+            if (av == 0.0)
+                continue;
+            const double *bRow = b.row(p);
+            for (std::size_t j = 0; j < n; ++j)
+                cRow[j] += av * bRow[j];
+        }
+    }
+}
+
+void
+matmulTransposeA(const Matrix &a, const Matrix &b, Matrix &c)
+{
+    COTTAGE_CHECK(a.rows() == b.rows());
+    COTTAGE_CHECK(c.rows() == a.cols() && c.cols() == b.cols());
+    c.setZero();
+    const std::size_t k = a.rows();
+    const std::size_t m = a.cols();
+    const std::size_t n = b.cols();
+    for (std::size_t p = 0; p < k; ++p) {
+        const double *aRow = a.row(p);
+        const double *bRow = b.row(p);
+        for (std::size_t i = 0; i < m; ++i) {
+            const double av = aRow[i];
+            if (av == 0.0)
+                continue;
+            double *cRow = c.row(i);
+            for (std::size_t j = 0; j < n; ++j)
+                cRow[j] += av * bRow[j];
+        }
+    }
+}
+
+void
+matmulTransposeB(const Matrix &a, const Matrix &b, Matrix &c)
+{
+    COTTAGE_CHECK(a.cols() == b.cols());
+    COTTAGE_CHECK(c.rows() == a.rows() && c.cols() == b.rows());
+    c.setZero();
+    const std::size_t m = a.rows();
+    const std::size_t k = a.cols();
+    const std::size_t n = b.rows();
+    for (std::size_t i = 0; i < m; ++i) {
+        const double *aRow = a.row(i);
+        double *cRow = c.row(i);
+        for (std::size_t j = 0; j < n; ++j) {
+            const double *bRow = b.row(j);
+            double acc = 0.0;
+            for (std::size_t p = 0; p < k; ++p)
+                acc += aRow[p] * bRow[p];
+            cRow[j] = acc;
+        }
+    }
+}
+
+} // namespace cottage

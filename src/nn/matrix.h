@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Minimal dense row-major matrix used by the neural-network library.
+ *
+ * The paper's predictors are small MLPs (5 hidden layers x 128
+ * neurons); a straightforward loop-nest GEMM is plenty at this scale
+ * and keeps the code dependency-free and auditable.
+ */
+
+#ifndef COTTAGE_NN_MATRIX_H
+#define COTTAGE_NN_MATRIX_H
+
+#include <cstddef>
+#include <vector>
+
+namespace cottage {
+
+/** Dense row-major matrix of doubles. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** rows x cols, zero-initialized. */
+    Matrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+    {
+    }
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+
+    double &operator()(std::size_t r, std::size_t c)
+    {
+        return data_[r * cols_ + c];
+    }
+
+    double operator()(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Raw row pointer (row-major layout). */
+    double *row(std::size_t r) { return data_.data() + r * cols_; }
+    const double *row(std::size_t r) const { return data_.data() + r * cols_; }
+
+    double *data() { return data_.data(); }
+    const double *data() const { return data_.data(); }
+
+    /** Reset all entries to zero, keeping the shape. */
+    void
+    setZero()
+    {
+        std::fill(data_.begin(), data_.end(), 0.0);
+    }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/** C = A (m x k) * B (k x n). C must be m x n. */
+void matmul(const Matrix &a, const Matrix &b, Matrix &c);
+
+/** C = A^T (k x m -> m x k view) * B (k x n). C must be m x n. */
+void matmulTransposeA(const Matrix &a, const Matrix &b, Matrix &c);
+
+/** C = A (m x k) * B^T (n x k -> k x n view). C must be m x n. */
+void matmulTransposeB(const Matrix &a, const Matrix &b, Matrix &c);
+
+} // namespace cottage
+
+#endif // COTTAGE_NN_MATRIX_H

@@ -1,0 +1,395 @@
+#include "nn/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <numeric>
+#include <ostream>
+
+#include "util/logging.h"
+
+namespace cottage {
+
+namespace {
+
+/** In-place numerically-stable softmax of one row. */
+void
+softmaxRow(double *row, std::size_t n)
+{
+    double peak = row[0];
+    for (std::size_t i = 1; i < n; ++i)
+        peak = std::max(peak, row[i]);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        row[i] = std::exp(row[i] - peak);
+        total += row[i];
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        row[i] /= total;
+}
+
+} // namespace
+
+MlpClassifier::MlpClassifier(const MlpConfig &config)
+    : config_(config)
+{
+    COTTAGE_CHECK_MSG(config.inputDim >= 1, "MLP needs input features");
+    COTTAGE_CHECK_MSG(config.numClasses >= 2, "MLP needs >= 2 classes");
+
+    featureMean_.assign(config.inputDim, 0.0);
+    featureStd_.assign(config.inputDim, 1.0);
+
+    std::vector<std::size_t> widths;
+    widths.push_back(config.inputDim);
+    for (std::size_t h : config.hiddenLayers) {
+        COTTAGE_CHECK_MSG(h >= 1, "hidden layer width must be positive");
+        widths.push_back(h);
+    }
+    widths.push_back(config.numClasses);
+
+    Rng rng(config.seed);
+    layers_.resize(widths.size() - 1);
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        const std::size_t fanIn = widths[l];
+        const std::size_t fanOut = widths[l + 1];
+        Layer &layer = layers_[l];
+        layer.weights = Matrix(fanIn, fanOut);
+        layer.bias.assign(fanOut, 0.0);
+        // He-normal initialization suits ReLU layers.
+        const double scale = std::sqrt(2.0 / static_cast<double>(fanIn));
+        for (std::size_t i = 0; i < fanIn; ++i)
+            for (std::size_t j = 0; j < fanOut; ++j)
+                layer.weights(i, j) = rng.normal(0.0, scale);
+        layer.mWeights = Matrix(fanIn, fanOut);
+        layer.vWeights = Matrix(fanIn, fanOut);
+        layer.mBias.assign(fanOut, 0.0);
+        layer.vBias.assign(fanOut, 0.0);
+    }
+}
+
+void
+MlpClassifier::fitNormalization(const Dataset &data)
+{
+    COTTAGE_CHECK(data.numFeatures() == config_.inputDim);
+    COTTAGE_CHECK_MSG(!data.empty(), "cannot fit normalization on nothing");
+    const double n = static_cast<double>(data.size());
+    featureMean_.assign(config_.inputDim, 0.0);
+    featureStd_.assign(config_.inputDim, 0.0);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        const double *row = data.features(i);
+        for (std::size_t f = 0; f < config_.inputDim; ++f)
+            featureMean_[f] += row[f];
+    }
+    for (double &m : featureMean_)
+        m /= n;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        const double *row = data.features(i);
+        for (std::size_t f = 0; f < config_.inputDim; ++f) {
+            const double d = row[f] - featureMean_[f];
+            featureStd_[f] += d * d;
+        }
+    }
+    for (double &s : featureStd_) {
+        s = std::sqrt(s / n);
+        if (s < 1e-9)
+            s = 1.0; // constant feature: leave it centered only
+    }
+}
+
+std::vector<double>
+MlpClassifier::normalize(const double *features) const
+{
+    std::vector<double> out(config_.inputDim);
+    for (std::size_t f = 0; f < config_.inputDim; ++f)
+        out[f] = (features[f] - featureMean_[f]) / featureStd_[f];
+    return out;
+}
+
+void
+MlpClassifier::forward(const Matrix &input,
+                       std::vector<Matrix> &activations) const
+{
+    activations.clear();
+    activations.reserve(layers_.size() + 1);
+    activations.push_back(input);
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        const Layer &layer = layers_[l];
+        Matrix z(activations.back().rows(), layer.weights.cols());
+        matmul(activations.back(), layer.weights, z);
+        const bool hidden = l + 1 < layers_.size();
+        for (std::size_t r = 0; r < z.rows(); ++r) {
+            double *row = z.row(r);
+            for (std::size_t c = 0; c < z.cols(); ++c) {
+                row[c] += layer.bias[c];
+                if (hidden && row[c] < 0.0)
+                    row[c] = 0.0; // ReLU
+            }
+        }
+        activations.push_back(std::move(z));
+    }
+}
+
+double
+MlpClassifier::train(const Dataset &data, std::size_t iterations,
+                     const AdamConfig &adam)
+{
+    COTTAGE_CHECK(data.numFeatures() == config_.inputDim);
+    COTTAGE_CHECK_MSG(!data.empty(), "cannot train on an empty dataset");
+    for (uint32_t label : data.labels())
+        COTTAGE_CHECK_MSG(label < config_.numClasses, "label out of range");
+
+    Rng rng(config_.seed ^ 0x5bd1e995u ^ adamStep_);
+    std::vector<std::size_t> order(data.size());
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+    std::size_t cursor = 0;
+
+    const std::size_t batchSize = std::min(adam.batchSize, data.size());
+    Matrix batch(batchSize, config_.inputDim);
+    std::vector<uint32_t> batchLabels(batchSize);
+    std::vector<Matrix> activations;
+    double lastLoss = 0.0;
+
+    for (std::size_t iter = 0; iter < iterations; ++iter) {
+        // Assemble the next minibatch (reshuffle at epoch boundaries).
+        for (std::size_t b = 0; b < batchSize; ++b) {
+            if (cursor >= order.size()) {
+                rng.shuffle(order);
+                cursor = 0;
+            }
+            const std::size_t sample = order[cursor++];
+            const std::vector<double> normalized =
+                normalize(data.features(sample));
+            std::copy(normalized.begin(), normalized.end(), batch.row(b));
+            batchLabels[b] = data.label(sample);
+        }
+
+        forward(batch, activations);
+
+        // Softmax + cross-entropy gradient at the output.
+        Matrix delta = activations.back();
+        double batchLoss = 0.0;
+        for (std::size_t r = 0; r < batchSize; ++r) {
+            double *row = delta.row(r);
+            softmaxRow(row, config_.numClasses);
+            const double p = std::max(row[batchLabels[r]], 1e-12);
+            batchLoss -= std::log(p);
+            row[batchLabels[r]] -= 1.0;
+            for (std::size_t c = 0; c < config_.numClasses; ++c)
+                row[c] /= static_cast<double>(batchSize);
+        }
+        lastLoss = batchLoss / static_cast<double>(batchSize);
+
+        // Backpropagate and apply one Adam step per layer.
+        ++adamStep_;
+        const double correction1 =
+            1.0 - std::pow(adam.beta1, static_cast<double>(adamStep_));
+        const double correction2 =
+            1.0 - std::pow(adam.beta2, static_cast<double>(adamStep_));
+
+        for (std::size_t l = layers_.size(); l-- > 0;) {
+            Layer &layer = layers_[l];
+            const Matrix &activationIn = activations[l];
+
+            Matrix gradW(layer.weights.rows(), layer.weights.cols());
+            matmulTransposeA(activationIn, delta, gradW);
+            std::vector<double> gradB(layer.bias.size(), 0.0);
+            for (std::size_t r = 0; r < delta.rows(); ++r) {
+                const double *row = delta.row(r);
+                for (std::size_t c = 0; c < delta.cols(); ++c)
+                    gradB[c] += row[c];
+            }
+
+            if (l > 0) {
+                Matrix next(delta.rows(), layer.weights.rows());
+                matmulTransposeB(delta, layer.weights, next);
+                // ReLU derivative: gate by the post-activation sign.
+                for (std::size_t r = 0; r < next.rows(); ++r) {
+                    double *row = next.row(r);
+                    const double *act = activationIn.row(r);
+                    for (std::size_t c = 0; c < next.cols(); ++c) {
+                        if (act[c] <= 0.0)
+                            row[c] = 0.0;
+                    }
+                }
+                delta = std::move(next);
+            }
+
+            // Adam.
+            const auto update = [&](double &param, double grad, double &m,
+                                    double &v) {
+                m = adam.beta1 * m + (1.0 - adam.beta1) * grad;
+                v = adam.beta2 * v + (1.0 - adam.beta2) * grad * grad;
+                const double mHat = m / correction1;
+                const double vHat = v / correction2;
+                param -=
+                    adam.learningRate * mHat / (std::sqrt(vHat) + adam.epsilon);
+            };
+            for (std::size_t i = 0; i < layer.weights.size(); ++i) {
+                update(layer.weights.data()[i], gradW.data()[i],
+                       layer.mWeights.data()[i], layer.vWeights.data()[i]);
+                // Decoupled (AdamW-style) weight decay.
+                if (adam.weightDecay > 0.0) {
+                    layer.weights.data()[i] -= adam.learningRate *
+                                               adam.weightDecay *
+                                               layer.weights.data()[i];
+                }
+            }
+            for (std::size_t c = 0; c < layer.bias.size(); ++c)
+                update(layer.bias[c], gradB[c], layer.mBias[c],
+                       layer.vBias[c]);
+        }
+    }
+    return lastLoss;
+}
+
+std::vector<double>
+MlpClassifier::forwardSingle(const std::vector<double> &input) const
+{
+    std::vector<double> current = input;
+    std::vector<double> next;
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        const Layer &layer = layers_[l];
+        const std::size_t fanOut = layer.weights.cols();
+        next.assign(layer.bias.begin(), layer.bias.end());
+        for (std::size_t i = 0; i < current.size(); ++i) {
+            const double v = current[i];
+            if (v == 0.0)
+                continue;
+            const double *wRow = layer.weights.row(i);
+            for (std::size_t j = 0; j < fanOut; ++j)
+                next[j] += v * wRow[j];
+        }
+        const bool hidden = l + 1 < layers_.size();
+        if (hidden) {
+            for (double &v : next)
+                if (v < 0.0)
+                    v = 0.0;
+        }
+        current.swap(next);
+    }
+    softmaxRow(current.data(), current.size());
+    return current;
+}
+
+double
+MlpClassifier::loss(const Dataset &data) const
+{
+    COTTAGE_CHECK(!data.empty());
+    double total = 0.0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        const auto probs = forwardSingle(normalize(data.features(i)));
+        total -= std::log(std::max(probs[data.label(i)], 1e-12));
+    }
+    return total / static_cast<double>(data.size());
+}
+
+double
+MlpClassifier::accuracy(const Dataset &data) const
+{
+    COTTAGE_CHECK(!data.empty());
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < data.size(); ++i)
+        correct += predict(data.features(i)) == data.label(i);
+    return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+uint32_t
+MlpClassifier::predict(const double *features) const
+{
+    const auto probs = forwardSingle(normalize(features));
+    return static_cast<uint32_t>(
+        std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+uint32_t
+MlpClassifier::predict(const std::vector<double> &features) const
+{
+    COTTAGE_CHECK(features.size() == config_.inputDim);
+    return predict(features.data());
+}
+
+std::vector<double>
+MlpClassifier::probabilities(const double *features) const
+{
+    return forwardSingle(normalize(features));
+}
+
+double
+MlpClassifier::expectedClass(const double *features) const
+{
+    const auto probs = forwardSingle(normalize(features));
+    double expected = 0.0;
+    for (std::size_t c = 0; c < probs.size(); ++c)
+        expected += static_cast<double>(c) * probs[c];
+    return expected;
+}
+
+std::size_t
+MlpClassifier::numParameters() const
+{
+    std::size_t total = 0;
+    for (const Layer &layer : layers_)
+        total += layer.weights.size() + layer.bias.size();
+    return total;
+}
+
+void
+MlpClassifier::save(std::ostream &out) const
+{
+    out.precision(17);
+    out << "cottage-mlp 1\n";
+    out << config_.inputDim << ' ' << config_.numClasses << ' '
+        << config_.hiddenLayers.size();
+    for (std::size_t h : config_.hiddenLayers)
+        out << ' ' << h;
+    out << '\n';
+    for (double m : featureMean_)
+        out << m << ' ';
+    out << '\n';
+    for (double s : featureStd_)
+        out << s << ' ';
+    out << '\n';
+    for (const Layer &layer : layers_) {
+        for (std::size_t i = 0; i < layer.weights.size(); ++i)
+            out << layer.weights.data()[i] << ' ';
+        out << '\n';
+        for (double b : layer.bias)
+            out << b << ' ';
+        out << '\n';
+    }
+}
+
+MlpClassifier
+MlpClassifier::load(std::istream &in)
+{
+    std::string magic;
+    int version = 0;
+    in >> magic >> version;
+    if (magic != "cottage-mlp" || version != 1)
+        fatal("not a cottage MLP model file");
+
+    MlpConfig config;
+    std::size_t numHidden = 0;
+    in >> config.inputDim >> config.numClasses >> numHidden;
+    config.hiddenLayers.resize(numHidden);
+    for (std::size_t &h : config.hiddenLayers)
+        in >> h;
+
+    MlpClassifier model(config);
+    for (double &m : model.featureMean_)
+        in >> m;
+    for (double &s : model.featureStd_)
+        in >> s;
+    for (Layer &layer : model.layers_) {
+        for (std::size_t i = 0; i < layer.weights.size(); ++i)
+            in >> layer.weights.data()[i];
+        for (double &b : layer.bias)
+            in >> b;
+    }
+    if (!in)
+        fatal("truncated cottage MLP model file");
+    return model;
+}
+
+} // namespace cottage

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Multi-layer perceptron classifier with ReLU activations, softmax
+ * output, sparse categorical cross-entropy loss and the Adam optimizer
+ * — exactly the architecture the paper trains with Keras (§III-B:
+ * 5 hidden layers x 128 ReLU neurons, Adam, sparse categorical
+ * cross-entropy). Implemented from scratch on the Matrix type.
+ *
+ * Input features are standardized (z-scored) with statistics captured
+ * from the training set; the trained normalization travels with the
+ * model through save()/load().
+ */
+
+#ifndef COTTAGE_NN_MLP_H
+#define COTTAGE_NN_MLP_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "nn/dataset.h"
+#include "nn/matrix.h"
+#include "util/rng.h"
+
+namespace cottage {
+
+/** Network shape. */
+struct MlpConfig
+{
+    /** Input feature count. */
+    std::size_t inputDim = 0;
+
+    /** Number of output classes. */
+    std::size_t numClasses = 0;
+
+    /** Hidden layer widths (paper default: five layers of 128). */
+    std::vector<std::size_t> hiddenLayers = {128, 128, 128, 128, 128};
+
+    /** Weight-initialization seed. */
+    uint64_t seed = 1234;
+};
+
+/** Optimization hyper-parameters. */
+struct AdamConfig
+{
+    double learningRate = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    std::size_t batchSize = 64;
+
+    /**
+     * Decoupled weight decay (AdamW). Applied to weights only, not
+     * biases. 0 disables it.
+     */
+    double weightDecay = 0.0;
+};
+
+/** ReLU MLP classifier trained with Adam on softmax cross-entropy. */
+class MlpClassifier
+{
+  public:
+    explicit MlpClassifier(const MlpConfig &config);
+
+    const MlpConfig &config() const { return config_; }
+
+    /**
+     * Capture feature standardization statistics from a training set.
+     * Must be called before train() / predictions (the constructor
+     * starts with identity normalization, so it is optional for
+     * already-normalized data).
+     */
+    void fitNormalization(const Dataset &data);
+
+    /**
+     * Run @p iterations minibatch Adam steps over the dataset
+     * (samples drawn round-robin from a reshuffled order each epoch).
+     *
+     * @return Mean training loss of the final iteration.
+     */
+    double train(const Dataset &data, std::size_t iterations,
+                 const AdamConfig &adam = {});
+
+    /** Mean cross-entropy loss over a dataset. */
+    double loss(const Dataset &data) const;
+
+    /** Classification accuracy over a dataset, in [0, 1]. */
+    double accuracy(const Dataset &data) const;
+
+    /** Most probable class of a single sample. */
+    uint32_t predict(const double *features) const;
+    uint32_t predict(const std::vector<double> &features) const;
+
+    /** Full softmax distribution of a single sample. */
+    std::vector<double> probabilities(const double *features) const;
+
+    /**
+     * Expected class index under the softmax distribution. Useful when
+     * classes are ordered bins (the latency predictor's buckets).
+     */
+    double expectedClass(const double *features) const;
+
+    /** Serialize the model (architecture, normalization, weights). */
+    void save(std::ostream &out) const;
+
+    /** Restore a model saved with save(). Fatal on malformed input. */
+    static MlpClassifier load(std::istream &in);
+
+    /** Total trainable parameter count. */
+    std::size_t numParameters() const;
+
+  private:
+    struct Layer
+    {
+        Matrix weights; // in x out
+        std::vector<double> bias;
+
+        // Adam state.
+        Matrix mWeights;
+        Matrix vWeights;
+        std::vector<double> mBias;
+        std::vector<double> vBias;
+    };
+
+    /** Forward pass for a batch; fills activations_ (post-ReLU). */
+    void forward(const Matrix &input, std::vector<Matrix> &activations) const;
+
+    /** Apply normalization to one raw sample. */
+    std::vector<double> normalize(const double *features) const;
+
+    /** Softmax probabilities of one normalized sample (no batch). */
+    std::vector<double> forwardSingle(const std::vector<double> &input) const;
+
+    MlpConfig config_;
+    std::vector<Layer> layers_;
+    std::vector<double> featureMean_;
+    std::vector<double> featureStd_;
+    uint64_t adamStep_ = 0;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_NN_MLP_H

@@ -1,0 +1,34 @@
+#include "policy/aggregation_policy.h"
+
+#include "stats/summary.h"
+
+namespace cottage {
+
+QueryPlan
+AggregationPolicy::plan(const Query &query, const DistributedEngine &engine)
+{
+    (void)query;
+    QueryPlan plan = QueryPlan::allIsns(engine.index().numShards());
+    plan.budgetSeconds =
+        budget_ == noBudget ? config_.warmupBudgetSeconds : budget_;
+    return plan;
+}
+
+void
+AggregationPolicy::observe(const QueryMeasurement &measurement)
+{
+    window_.push_back(measurement.latencySeconds);
+    if (window_.size() >= config_.epochQueries) {
+        budget_ = percentile(window_, config_.latencyQuantile);
+        window_.clear();
+    }
+}
+
+void
+AggregationPolicy::reset()
+{
+    window_.clear();
+    budget_ = noBudget;
+}
+
+} // namespace cottage

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Epoch-based aggregation policy (the paper's Fig. 3(b) comparison,
+ * after Yun et al. [6] / Chou et al. [25]): one time budget is chosen
+ * per epoch from recently observed latencies and applied to *all*
+ * queries of the next epoch, ignoring per-query quality. Stragglers
+ * are simply cut off at the budget.
+ */
+
+#ifndef COTTAGE_POLICY_AGGREGATION_POLICY_H
+#define COTTAGE_POLICY_AGGREGATION_POLICY_H
+
+#include <cstddef>
+#include <vector>
+
+#include "policy/policy.h"
+
+namespace cottage {
+
+/** Configuration of the epoch budget. */
+struct AggregationPolicyConfig
+{
+    /** Queries per epoch (budget recomputed at epoch boundaries). */
+    std::size_t epochQueries = 100;
+
+    /**
+     * The budget is this quantile of the previous epoch's client
+     * latencies — the "optimal average response time for most
+     * queries" heuristic.
+     */
+    double latencyQuantile = 0.75;
+
+    /** Budget applied before the first epoch completes (none). */
+    double warmupBudgetSeconds = noBudget;
+};
+
+/** All ISNs participate; a shared epoch budget cuts the tail. */
+class AggregationPolicy : public Policy
+{
+  public:
+    explicit AggregationPolicy(AggregationPolicyConfig config = {})
+        : config_(config)
+    {
+    }
+
+    const char *name() const override { return "aggregation"; }
+
+    QueryPlan plan(const Query &query,
+                   const DistributedEngine &engine) override;
+
+    void observe(const QueryMeasurement &measurement) override;
+
+    void reset() override;
+
+    /** Budget currently in force (for tests/inspection). */
+    double currentBudgetSeconds() const { return budget_; }
+
+  private:
+    AggregationPolicyConfig config_;
+    std::vector<double> window_;
+    double budget_ = noBudget;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_POLICY_AGGREGATION_POLICY_H

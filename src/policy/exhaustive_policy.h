@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Exhaustive search: every ISN answers every query, the aggregator
+ * waits for the slowest. The paper's baseline (P@10 = 1 by
+ * construction, worst latency and power).
+ */
+
+#ifndef COTTAGE_POLICY_EXHAUSTIVE_POLICY_H
+#define COTTAGE_POLICY_EXHAUSTIVE_POLICY_H
+
+#include "policy/policy.h"
+
+namespace cottage {
+
+/** All ISNs, no budget, default frequency. */
+class ExhaustivePolicy : public Policy
+{
+  public:
+    const char *name() const override { return "exhaustive"; }
+
+    QueryPlan
+    plan(const Query &query, const DistributedEngine &engine) override
+    {
+        (void)query;
+        return QueryPlan::allIsns(engine.index().numShards());
+    }
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_POLICY_EXHAUSTIVE_POLICY_H

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The ISN-selection / time-budget policy interface.
+ *
+ * A policy inspects a query (and read-only engine state such as queue
+ * backlogs) and produces a QueryPlan: which ISNs run the query, at what
+ * frequency, under what budget. The engine executes plans; the harness
+ * replays traces through (policy, engine) pairs.
+ */
+
+#ifndef COTTAGE_POLICY_POLICY_H
+#define COTTAGE_POLICY_POLICY_H
+
+#include "engine/distributed_engine.h"
+#include "engine/query_plan.h"
+#include "text/query.h"
+
+namespace cottage {
+
+/** Per-query ISN selection and budget assignment strategy. */
+class Policy
+{
+  public:
+    virtual ~Policy() = default;
+
+    /** Policy name for reports ("exhaustive", "taily", "cottage"...). */
+    virtual const char *name() const = 0;
+
+    /**
+     * Decide the plan for a query arriving at query.arrivalSeconds.
+     * The engine is read-only here: policies may inspect indexes,
+     * term statistics and ISN backlogs but never mutate cluster state.
+     */
+    virtual QueryPlan plan(const Query &query,
+                           const DistributedEngine &engine) = 0;
+
+    /**
+     * Feedback hook: called with the measurement of every executed
+     * query. Adaptive policies (the epoch-based aggregation baseline)
+     * use it; the default is a no-op.
+     */
+    virtual void
+    observe(const QueryMeasurement &measurement)
+    {
+        (void)measurement;
+    }
+
+    /** Reset any adaptive state between experiment runs. */
+    virtual void reset() {}
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_POLICY_POLICY_H

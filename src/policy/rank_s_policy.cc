@@ -1,0 +1,67 @@
+#include "policy/rank_s_policy.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cottage {
+
+RankSPolicy::RankSPolicy(const Corpus &corpus, const ShardedIndex &index,
+                         RankSConfig config)
+    : config_(config), index_(&index),
+      csi_(corpus, index, config.sampleRate, config.seed)
+{
+    COTTAGE_CHECK_MSG(config.decayBase > 1.0, "decay base must exceed 1");
+}
+
+std::vector<double>
+RankSPolicy::shardVotes(const std::vector<TermId> &terms) const
+{
+    return shardVotes(toWeighted(terms));
+}
+
+std::vector<double>
+RankSPolicy::shardVotes(const std::vector<WeightedTerm> &terms) const
+{
+    const std::vector<ScoredDoc> hits =
+        csi_.search(terms, config_.csiDepth);
+
+    std::vector<double> votes(index_->numShards(), 0.0);
+    double total = 0.0;
+    for (std::size_t rank = 0; rank < hits.size(); ++rank) {
+        const double vote =
+            hits[rank].score *
+            std::pow(config_.decayBase, -static_cast<double>(rank));
+        votes[csi_.shardOf(hits[rank].doc)] += vote;
+        total += vote;
+    }
+    if (total > 0.0) {
+        for (double &vote : votes)
+            vote /= total;
+    }
+    return votes;
+}
+
+QueryPlan
+RankSPolicy::plan(const Query &query, const DistributedEngine &engine)
+{
+    QueryPlan plan = QueryPlan::allIsns(engine.index().numShards());
+    // The vote computation is weight-transparent: personalized weights
+    // pass through the CSI scores.
+    const std::vector<double> votes =
+        shardVotes(DistributedEngine::weightedTerms(query));
+    bool anySelected = false;
+    for (ShardId s = 0; s < votes.size(); ++s) {
+        plan.isns[s].participate = votes[s] >= config_.voteThreshold;
+        anySelected |= plan.isns[s].participate;
+    }
+    // A query whose terms miss the CSI entirely degenerates to
+    // exhaustive search rather than returning nothing.
+    if (!anySelected) {
+        for (IsnDirective &directive : plan.isns)
+            directive.participate = true;
+    }
+    return plan;
+}
+
+} // namespace cottage

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Rank-S selective search (Kulkarni et al. [17]).
+ *
+ * A Central Sample Index (CSI) at the aggregator holds a small sample
+ * of every shard's documents. At query time the CSI is searched, and
+ * each sampled hit votes for its source shard with an exponentially
+ * decaying weight; shards whose vote mass falls below a fixed
+ * threshold are cut off. Sampling noise is what costs Rank-S quality
+ * in the paper's comparison (it knows shard *rankings*, not true
+ * contributions).
+ */
+
+#ifndef COTTAGE_POLICY_RANK_S_POLICY_H
+#define COTTAGE_POLICY_RANK_S_POLICY_H
+
+#include <memory>
+#include <vector>
+
+#include "policy/csi.h"
+#include "policy/policy.h"
+#include "text/corpus.h"
+
+namespace cottage {
+
+/** Rank-S knobs. */
+struct RankSConfig
+{
+    /** Fraction of each shard's documents sampled into the CSI. */
+    double sampleRate = 0.01;
+
+    /** CSI result depth used for voting. */
+    std::size_t csiDepth = 80;
+
+    /** Exponential decay base of the rank-discounted votes. */
+    double decayBase = 1.08;
+
+    /**
+     * Fixed cutoff: shards keeping less than this fraction of the
+     * total vote mass are dropped.
+     */
+    double voteThreshold = 0.003;
+
+    /** Sampling seed. */
+    uint64_t seed = 4242;
+};
+
+/** CSI-based shard selection with a fixed vote threshold. */
+class RankSPolicy : public Policy
+{
+  public:
+    /**
+     * Build the CSI by sampling the corpus. The corpus reference is
+     * used only during construction.
+     */
+    RankSPolicy(const Corpus &corpus, const ShardedIndex &index,
+                RankSConfig config = {});
+
+    const char *name() const override { return "rank-s"; }
+
+    QueryPlan plan(const Query &query,
+                   const DistributedEngine &engine) override;
+
+    /** Number of documents sampled into the CSI. */
+    std::size_t csiSize() const { return csi_.size(); }
+
+    /**
+     * The per-shard vote mass for a query (normalized to sum 1);
+     * exposed for tests and the Fig. 3(c) analysis bench.
+     */
+    std::vector<double> shardVotes(const std::vector<TermId> &terms) const;
+
+    /** Weighted (personalized) variant. */
+    std::vector<double>
+    shardVotes(const std::vector<WeightedTerm> &terms) const;
+
+  private:
+    RankSConfig config_;
+    const ShardedIndex *index_;
+    CentralSampleIndex csi_;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_POLICY_RANK_S_POLICY_H

@@ -1,0 +1,72 @@
+#include "policy/redde_policy.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace cottage {
+
+ReddePolicy::ReddePolicy(const Corpus &corpus, const ShardedIndex &index,
+                         ReddeConfig config)
+    : config_(config), index_(&index),
+      csi_(corpus, index, config.sampleRate, config.seed)
+{
+    COTTAGE_CHECK_MSG(config.coverage > 0.0 && config.coverage <= 1.0,
+                      "coverage must be a fraction");
+}
+
+std::vector<double>
+ReddePolicy::shardEstimates(const std::vector<TermId> &terms) const
+{
+    return shardEstimates(toWeighted(terms));
+}
+
+std::vector<double>
+ReddePolicy::shardEstimates(const std::vector<WeightedTerm> &terms) const
+{
+    const std::vector<ScoredDoc> hits =
+        csi_.search(terms, config_.csiDepth);
+    std::vector<double> estimates(index_->numShards(), 0.0);
+    for (const ScoredDoc &hit : hits) {
+        const ShardId owner = csi_.shardOf(hit.doc);
+        estimates[owner] += csi_.scaleFactor(owner);
+    }
+    return estimates;
+}
+
+QueryPlan
+ReddePolicy::plan(const Query &query, const DistributedEngine &engine)
+{
+    QueryPlan plan = QueryPlan::allIsns(engine.index().numShards());
+    const std::vector<double> estimates =
+        shardEstimates(DistributedEngine::weightedTerms(query));
+    const double total =
+        std::accumulate(estimates.begin(), estimates.end(), 0.0);
+    if (total <= 0.0)
+        return plan; // CSI blind to this query: exhaustive fallback
+
+    // Decreasing-estimate order; keep shards until coverage reached.
+    std::vector<ShardId> order(estimates.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](ShardId a, ShardId b) {
+        if (estimates[a] != estimates[b])
+            return estimates[a] > estimates[b];
+        return a < b;
+    });
+
+    for (IsnDirective &directive : plan.isns)
+        directive.participate = false;
+    double covered = 0.0;
+    for (ShardId shard : order) {
+        if (estimates[shard] <= 0.0)
+            break;
+        plan.isns[shard].participate = true;
+        covered += estimates[shard];
+        if (covered >= config_.coverage * total)
+            break;
+    }
+    return plan;
+}
+
+} // namespace cottage

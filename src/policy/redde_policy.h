@@ -1,0 +1,66 @@
+/**
+ * @file
+ * ReDDE resource selection (Si & Callan [18]): search the CSI, scale
+ * each sampled hit by its shard's sampling factor to estimate the
+ * number of relevant documents per shard, and select the shards
+ * holding a target fraction of the estimated relevance mass. The
+ * ancestor of the CSI family the paper's related-work section
+ * discusses; included as an extra comparator beyond the paper's three.
+ */
+
+#ifndef COTTAGE_POLICY_REDDE_POLICY_H
+#define COTTAGE_POLICY_REDDE_POLICY_H
+
+#include "policy/csi.h"
+#include "policy/policy.h"
+
+namespace cottage {
+
+/** ReDDE knobs. */
+struct ReddeConfig
+{
+    /** CSI sampling rate. */
+    double sampleRate = 0.01;
+
+    /** CSI result depth treated as "relevant". */
+    std::size_t csiDepth = 100;
+
+    /**
+     * Shards are taken in decreasing estimated-relevance order until
+     * this fraction of the total estimate is covered.
+     */
+    double coverage = 0.85;
+
+    /** Sampling seed. */
+    uint64_t seed = 777;
+};
+
+/** CSI + scale-factor shard ranking with coverage cutoff. */
+class ReddePolicy : public Policy
+{
+  public:
+    ReddePolicy(const Corpus &corpus, const ShardedIndex &index,
+                ReddeConfig config = {});
+
+    const char *name() const override { return "redde"; }
+
+    QueryPlan plan(const Query &query,
+                   const DistributedEngine &engine) override;
+
+    /** Estimated relevant-document mass per shard (unnormalized). */
+    std::vector<double>
+    shardEstimates(const std::vector<TermId> &terms) const;
+
+    /** Weighted (personalized) variant. */
+    std::vector<double>
+    shardEstimates(const std::vector<WeightedTerm> &terms) const;
+
+  private:
+    ReddeConfig config_;
+    const ShardedIndex *index_;
+    CentralSampleIndex csi_;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_POLICY_REDDE_POLICY_H

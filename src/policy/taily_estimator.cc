@@ -1,0 +1,149 @@
+#include "policy/taily_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/gamma.h"
+#include "util/logging.h"
+
+namespace cottage {
+
+std::vector<TailyEstimator::ShardModel>
+TailyEstimator::fitShards(const std::vector<TermId> &terms) const
+{
+    return fitShards(toWeighted(terms));
+}
+
+std::vector<double>
+TailyEstimator::expectedTopContributions(const std::vector<TermId> &terms,
+                                         double target) const
+{
+    return expectedTopContributions(toWeighted(terms), target);
+}
+
+std::vector<TailyEstimator::ShardModel>
+TailyEstimator::fitShards(const std::vector<WeightedTerm> &terms) const
+{
+    std::vector<ShardModel> models(index_->numShards());
+    for (ShardId s = 0; s < index_->numShards(); ++s) {
+        const TermStatsStore &stats = index_->termStats(s);
+        ShardModel &model = models[s];
+        if (unionSemantics_) {
+            // Mixture form: the score population is the df-weighted
+            // pool of per-term score distributions. Personalization
+            // weights scale each term's score linearly, so its mean
+            // scales by w and its second moment by w^2.
+            double totalDf = 0.0;
+            double weightedMean = 0.0;
+            double weightedSecondMoment = 0.0;
+            for (const WeightedTerm &wt : terms) {
+                const TermStats *ts = stats.get(wt.term);
+                if (ts == nullptr)
+                    continue;
+                const double df = ts->postingLength;
+                const double w = wt.weight;
+                totalDf += df;
+                weightedMean += df * w * ts->meanScore;
+                weightedSecondMoment +=
+                    df * w * w *
+                    (ts->scoreVariance + ts->meanScore * ts->meanScore);
+            }
+            if (totalDf <= 0.0)
+                continue;
+            model.candidates = std::min(
+                totalDf, static_cast<double>(index_->shard(s).numDocs()));
+            model.mean = weightedMean / totalDf;
+            model.variance =
+                weightedSecondMoment / totalDf - model.mean * model.mean;
+            if (model.variance < 0.0)
+                model.variance = 0.0;
+        } else {
+            // Original Taily: documents containing *all* query terms
+            // (independence estimate of the intersection size), whose
+            // scores are sums of independent per-term scores.
+            const double shardDocs =
+                static_cast<double>(index_->shard(s).numDocs());
+            double candidates = shardDocs;
+            double meanSum = 0.0;
+            double varSum = 0.0;
+            bool anyMissing = false;
+            for (const WeightedTerm &wt : terms) {
+                const TermStats *ts = stats.get(wt.term);
+                if (ts == nullptr) {
+                    anyMissing = true;
+                    break;
+                }
+                candidates *= ts->postingLength / shardDocs;
+                meanSum += wt.weight * ts->meanScore;
+                varSum += wt.weight * wt.weight * ts->scoreVariance;
+            }
+            if (anyMissing || candidates < 1e-9)
+                continue;
+            model.candidates = candidates;
+            model.mean = meanSum;
+            model.variance = varSum;
+        }
+    }
+    return models;
+}
+
+std::vector<double>
+TailyEstimator::expectedTopContributions(
+    const std::vector<WeightedTerm> &terms, double target) const
+{
+    COTTAGE_CHECK_MSG(target > 0.0, "target must be positive");
+    const std::vector<ShardModel> models = fitShards(terms);
+
+    std::vector<double> contributions(models.size(), 0.0);
+    std::vector<GammaDistribution> fits;
+    fits.reserve(models.size());
+    double totalCandidates = 0.0;
+    double maxMean = 0.0;
+    for (const ShardModel &model : models) {
+        fits.push_back(
+            GammaDistribution::fitMoments(model.mean, model.variance));
+        totalCandidates += model.candidates;
+        maxMean = std::max(maxMean, model.mean);
+    }
+
+    if (totalCandidates <= target) {
+        // Fewer candidates than slots: every candidate is expected in.
+        for (std::size_t s = 0; s < models.size(); ++s)
+            contributions[s] = models[s].candidates;
+        return contributions;
+    }
+
+    // Expected docs above a score threshold, collection-wide.
+    const auto docsAbove = [&](double threshold) {
+        double total = 0.0;
+        for (std::size_t s = 0; s < models.size(); ++s) {
+            if (models[s].candidates > 0.0)
+                total += models[s].candidates * fits[s].survival(threshold);
+        }
+        return total;
+    };
+
+    // Bisection for s_c with docsAbove(s_c) = target; docsAbove is
+    // monotone decreasing in the threshold.
+    double lo = 0.0;
+    double hi = maxMean + 1.0;
+    while (docsAbove(hi) > target)
+        hi *= 2.0;
+    for (int iter = 0; iter < 100; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (docsAbove(mid) > target)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    const double threshold = 0.5 * (lo + hi);
+
+    for (std::size_t s = 0; s < models.size(); ++s) {
+        if (models[s].candidates > 0.0)
+            contributions[s] =
+                models[s].candidates * fits[s].survival(threshold);
+    }
+    return contributions;
+}
+
+} // namespace cottage

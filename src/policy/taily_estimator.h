@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Taily's Gamma-distribution quality estimation (Aly et al. [21]).
+ *
+ * Taily models each query's per-document score distribution on a shard
+ * as a Gamma recovered from indexing-time term statistics (score mean
+ * and variance per term), then estimates how many of a shard's
+ * documents exceed the global score threshold of the top-N results.
+ * The same estimator powers both the Taily baseline policy and the
+ * Cottage-withoutML ablation (which swaps Cottage's learned quality
+ * predictor for this one).
+ *
+ * Adaptation note (documented in DESIGN.md): Taily's original
+ * intersection semantics ("docs containing all terms") collapses on a
+ * disjunctive (OR) engine like ours, so we estimate union moments: the
+ * per-shard score population is the df-weighted mixture of the
+ * per-term score distributions. The Gamma fit and threshold logic are
+ * unchanged.
+ */
+
+#ifndef COTTAGE_POLICY_TAILY_ESTIMATOR_H
+#define COTTAGE_POLICY_TAILY_ESTIMATOR_H
+
+#include <vector>
+
+#include "index/evaluator.h"
+#include "shard/sharded_index.h"
+#include "text/types.h"
+
+namespace cottage {
+
+/** Per-shard Gamma score-model built from term statistics. */
+class TailyEstimator
+{
+  public:
+    /**
+     * @param unionSemantics When false (default, faithful to Aly et
+     *        al.), multi-term queries use intersection semantics:
+     *        candidate count = product of df over collection size,
+     *        score = sum of per-term moments. When true, the
+     *        df-weighted mixture (union) form is used instead — less
+     *        faithful but better matched to a disjunctive engine.
+     */
+    explicit TailyEstimator(const ShardedIndex &index,
+                            bool unionSemantics = false)
+        : index_(&index), unionSemantics_(unionSemantics)
+    {
+    }
+
+    /** One shard's candidate count and fitted score moments. */
+    struct ShardModel
+    {
+        /** Estimated number of scoring documents on the shard. */
+        double candidates = 0.0;
+
+        /** Mixture mean of the score population. */
+        double mean = 0.0;
+
+        /** Mixture variance of the score population. */
+        double variance = 0.0;
+    };
+
+    /** Fit the per-shard score models for a (weighted) query. */
+    std::vector<ShardModel>
+    fitShards(const std::vector<WeightedTerm> &terms) const;
+
+    /** Uniform-weight convenience. */
+    std::vector<ShardModel>
+    fitShards(const std::vector<TermId> &terms) const;
+
+    /**
+     * Expected per-shard document counts among the global top-@p
+     * target results: solves for the score threshold s_c with
+     * sum_i n_i * P(S_i > s_c) = target, then returns each shard's
+     * n_i * P(S_i > s_c). Entries sum to ~target (less when the whole
+     * collection has fewer candidates).
+     */
+    std::vector<double>
+    expectedTopContributions(const std::vector<WeightedTerm> &terms,
+                             double target) const;
+
+    /** Uniform-weight convenience. */
+    std::vector<double>
+    expectedTopContributions(const std::vector<TermId> &terms,
+                             double target) const;
+
+  private:
+    const ShardedIndex *index_;
+    bool unionSemantics_;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_POLICY_TAILY_ESTIMATOR_H

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Taily shard selection (Aly et al. [21]): cut off shards whose
+ * Gamma-estimated contribution to the top-N results falls below a
+ * fixed document cutoff. Distributed (no CSI), quality-only — it
+ * ignores the latency dimension entirely, which is why it barely
+ * improves tail latency in the paper's Fig. 10.
+ */
+
+#ifndef COTTAGE_POLICY_TAILY_POLICY_H
+#define COTTAGE_POLICY_TAILY_POLICY_H
+
+#include "policy/policy.h"
+#include "policy/taily_estimator.h"
+
+namespace cottage {
+
+/** Taily knobs (nc and v in the original paper's notation). */
+struct TailyConfig
+{
+    /**
+     * Depth of the estimated global ranking (Taily's n_c). The
+     * original default is 400 on ~25M-doc collections; scaled to this
+     * reproduction's corpus as a multiple of K.
+     */
+    double rankingDepth = 60.0;
+
+    /** Minimum expected docs for a shard to stay selected (Taily's v). */
+    double docCutoff = 0.15;
+
+    /** See TailyEstimator: intersection (false, faithful) or union. */
+    bool unionSemantics = false;
+};
+
+/** Gamma-estimate based shard cutoff. */
+class TailyPolicy : public Policy
+{
+  public:
+    TailyPolicy(const ShardedIndex &index, TailyConfig config = {})
+        : config_(config), estimator_(index, config.unionSemantics)
+    {
+    }
+
+    const char *name() const override { return "taily"; }
+
+    QueryPlan
+    plan(const Query &query, const DistributedEngine &engine) override
+    {
+        QueryPlan plan = QueryPlan::allIsns(engine.index().numShards());
+        const std::vector<double> contributions =
+            estimator_.expectedTopContributions(
+                DistributedEngine::weightedTerms(query),
+                config_.rankingDepth);
+        bool anySelected = false;
+        for (ShardId s = 0; s < contributions.size(); ++s) {
+            plan.isns[s].participate =
+                contributions[s] >= config_.docCutoff;
+            anySelected |= plan.isns[s].participate;
+        }
+        if (!anySelected) {
+            // Degenerate estimate: fall back to exhaustive rather than
+            // answering with nothing.
+            for (IsnDirective &directive : plan.isns)
+                directive.participate = true;
+        }
+        return plan;
+    }
+
+    const TailyEstimator &estimator() const { return estimator_; }
+
+  private:
+    TailyConfig config_;
+    TailyEstimator estimator_;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_POLICY_TAILY_POLICY_H

@@ -1,0 +1,115 @@
+#include "predict/quality_predictor.h"
+
+#include <istream>
+#include <ostream>
+
+#include "util/logging.h"
+
+namespace cottage {
+
+namespace {
+
+MlpConfig
+headConfig(std::size_t k, std::size_t numClasses,
+           const std::vector<std::size_t> &hiddenLayers, uint64_t seed)
+{
+    COTTAGE_CHECK_MSG(k >= 2, "quality predictor needs K >= 2");
+    MlpConfig config;
+    config.inputDim = numQualityFeatures;
+    config.numClasses = numClasses;
+    config.hiddenLayers = hiddenLayers;
+    config.seed = seed;
+    return config;
+}
+
+} // namespace
+
+QualityPredictor::QualityPredictor(
+    std::size_t k, const std::vector<std::size_t> &hiddenLayers,
+    uint64_t seed)
+    : k_(k),
+      headK_(headConfig(k, k + 1, hiddenLayers, seed)),
+      headHalf_(headConfig(k, k / 2 + 1, hiddenLayers, seed ^ 0xabcdefull))
+{
+}
+
+QualityPredictor::QualityPredictor(std::size_t k, MlpClassifier headK,
+                                   MlpClassifier headHalf)
+    : k_(k), headK_(std::move(headK)), headHalf_(std::move(headHalf))
+{
+}
+
+double
+QualityPredictor::train(const Dataset &topK, const Dataset &topHalf,
+                        std::size_t iterations, const AdamConfig &adam)
+{
+    headK_.fitNormalization(topK);
+    headHalf_.fitNormalization(topHalf);
+    const double loss = headK_.train(topK, iterations, adam);
+    headHalf_.train(topHalf, iterations, adam);
+    return loss;
+}
+
+uint32_t
+QualityPredictor::predictTopK(const std::vector<double> &features) const
+{
+    COTTAGE_CHECK(features.size() == numQualityFeatures);
+    return headK_.predict(features.data());
+}
+
+uint32_t
+QualityPredictor::predictTopHalf(const std::vector<double> &features) const
+{
+    COTTAGE_CHECK(features.size() == numQualityFeatures);
+    return headHalf_.predict(features.data());
+}
+
+double
+QualityPredictor::probNonzeroTopK(const std::vector<double> &features) const
+{
+    COTTAGE_CHECK(features.size() == numQualityFeatures);
+    return 1.0 - headK_.probabilities(features.data())[0];
+}
+
+double
+QualityPredictor::probNonzeroTopHalf(
+    const std::vector<double> &features) const
+{
+    COTTAGE_CHECK(features.size() == numQualityFeatures);
+    return 1.0 - headHalf_.probabilities(features.data())[0];
+}
+
+double
+QualityPredictor::accuracyTopK(const Dataset &data) const
+{
+    return headK_.accuracy(data);
+}
+
+double
+QualityPredictor::accuracyTopHalf(const Dataset &data) const
+{
+    return headHalf_.accuracy(data);
+}
+
+void
+QualityPredictor::save(std::ostream &out) const
+{
+    out << "cottage-quality " << k_ << '\n';
+    headK_.save(out);
+    headHalf_.save(out);
+}
+
+QualityPredictor
+QualityPredictor::load(std::istream &in)
+{
+    std::string magic;
+    std::size_t k = 0;
+    in >> magic >> k;
+    if (magic != "cottage-quality" || k < 2)
+        fatal("not a cottage quality-predictor file");
+    MlpClassifier headK = MlpClassifier::load(in);
+    MlpClassifier headHalf = MlpClassifier::load(in);
+    return QualityPredictor(k, std::move(headK), std::move(headHalf));
+}
+
+} // namespace cottage

@@ -1,0 +1,208 @@
+#include "predict/training.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "index/top_k.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cottage {
+
+TrainingSets
+buildTrainingSets(const ShardedIndex &index, const Evaluator &evaluator,
+                  const WorkModel &work, const QueryTrace &trace,
+                  std::size_t numBuckets)
+{
+    COTTAGE_CHECK_MSG(trace.size() >= 10, "training trace too small");
+    const ShardId numShards = index.numShards();
+    const std::size_t k = index.topK();
+
+    TrainingSets sets;
+    sets.shards.resize(numShards);
+
+    // Pass 1: run every training query on every shard once, recording
+    // per-shard work (cycles) and the merged global ranking.
+    std::vector<std::vector<double>> cyclesPerQuery(
+        trace.size(), std::vector<double>(numShards, 0.0));
+    std::vector<std::vector<uint32_t>> labelK(
+        trace.size(), std::vector<uint32_t>(numShards, 0));
+    std::vector<std::vector<uint32_t>> labelHalf(
+        trace.size(), std::vector<uint32_t>(numShards, 0));
+
+    double minCycles = 1e300;
+    double maxCycles = 0.0;
+    for (std::size_t q = 0; q < trace.size(); ++q) {
+        const Query &query = trace.query(q);
+        std::vector<WeightedTerm> weighted;
+        weighted.reserve(query.terms.size());
+        for (std::size_t i = 0; i < query.terms.size(); ++i)
+            weighted.push_back({query.terms[i], query.weight(i)});
+        TopKHeap merged(k);
+        std::vector<SearchResult> shardResults;
+        shardResults.reserve(numShards);
+        for (ShardId s = 0; s < numShards; ++s) {
+            SearchResult result =
+                evaluator.search(index.shard(s), weighted, k);
+            const double cycles = work.cycles(result.work);
+            cyclesPerQuery[q][s] = cycles;
+            minCycles = std::min(minCycles, cycles);
+            maxCycles = std::max(maxCycles, cycles);
+            for (const ScoredDoc &hit : result.topK)
+                merged.push(hit);
+            shardResults.push_back(std::move(result));
+        }
+        const std::vector<ScoredDoc> ranking = merged.extractSorted();
+        for (std::size_t rank = 0; rank < ranking.size(); ++rank) {
+            const ShardId owner = index.shardOf(ranking[rank].doc);
+            ++labelK[q][owner];
+            if (rank < k / 2)
+                ++labelHalf[q][owner];
+        }
+    }
+
+    // Bucket the observed cycle range with some headroom so unseen
+    // heavier queries still land inside the top bucket sensibly.
+    sets.buckets = CycleBuckets(std::max(1.0, minCycles * 0.8),
+                                maxCycles * 1.25, numBuckets);
+
+    // Pass 2: materialize per-shard datasets.
+    for (ShardId s = 0; s < numShards; ++s) {
+        const TermStatsStore &stats = index.termStats(s);
+        ShardDatasets &shard = sets.shards[s];
+        for (std::size_t q = 0; q < trace.size(); ++q) {
+            const Query &query = trace.query(q);
+            std::vector<WeightedTerm> weighted;
+            weighted.reserve(query.terms.size());
+            for (std::size_t i = 0; i < query.terms.size(); ++i)
+                weighted.push_back({query.terms[i], query.weight(i)});
+            const std::vector<double> qf =
+                qualityFeatures(stats, weighted);
+            const std::vector<double> lf =
+                latencyFeatures(stats, weighted);
+            shard.qualityK.add(qf, std::min<uint32_t>(
+                                       labelK[q][s],
+                                       static_cast<uint32_t>(k)));
+            shard.qualityHalf.add(
+                qf, std::min<uint32_t>(labelHalf[q][s],
+                                       static_cast<uint32_t>(k / 2)));
+            shard.latency.add(lf,
+                              sets.buckets.bucketOf(cyclesPerQuery[q][s]));
+        }
+    }
+    return sets;
+}
+
+PredictorBank::PredictorBank(const ShardedIndex &index,
+                             const Evaluator &evaluator,
+                             const WorkModel &work,
+                             const QueryTrace &trainTrace,
+                             const PredictorTrainConfig &config)
+{
+    const TrainingSets sets = buildTrainingSets(
+        index, evaluator, work, trainTrace, config.numBuckets);
+    buckets_ = sets.buckets;
+
+    const ShardId numShards = index.numShards();
+    quality_.reserve(numShards);
+    latency_.reserve(numShards);
+    for (ShardId s = 0; s < numShards; ++s) {
+        // Per-ISN models with per-ISN seeds, as in the paper ("each
+        // ISN has a separate neural network model trained with its own
+        // index data").
+        auto qp = std::make_unique<QualityPredictor>(
+            index.topK(), config.hiddenLayers, config.seed + 17 * s);
+        qp->train(sets.shards[s].qualityK, sets.shards[s].qualityHalf,
+                  config.iterations, config.adam);
+        quality_.push_back(std::move(qp));
+
+        auto lp = std::make_unique<LatencyPredictor>(
+            buckets_, config.hiddenLayers, config.seed + 17 * s + 7);
+        lp->train(sets.shards[s].latency, config.iterations, config.adam);
+        latency_.push_back(std::move(lp));
+    }
+}
+
+const QualityPredictor &
+PredictorBank::quality(ShardId shard) const
+{
+    COTTAGE_CHECK(shard < quality_.size());
+    return *quality_[shard];
+}
+
+const LatencyPredictor &
+PredictorBank::latency(ShardId shard) const
+{
+    COTTAGE_CHECK(shard < latency_.size());
+    return *latency_[shard];
+}
+
+void
+PredictorBank::setInferenceOverheadSeconds(double seconds)
+{
+    COTTAGE_CHECK_MSG(seconds >= 0.0, "overhead cannot be negative");
+    inferenceOverhead_ = seconds;
+}
+
+void
+PredictorBank::save(const std::string &directory) const
+{
+    std::filesystem::create_directories(directory);
+    {
+        std::ofstream meta(directory + "/bank.meta");
+        if (!meta)
+            fatal("cannot write " + directory + "/bank.meta");
+        meta.precision(17);
+        meta << "cottage-bank 1\n"
+             << numShards() << ' ' << inferenceOverhead_ << '\n';
+    }
+    for (ShardId s = 0; s < numShards(); ++s) {
+        std::ofstream qout(
+            strformat("%s/quality-%02u.model", directory.c_str(), s));
+        if (!qout)
+            fatal("cannot write quality model for ISN " +
+                  std::to_string(s));
+        quality_[s]->save(qout);
+        std::ofstream lout(
+            strformat("%s/latency-%02u.model", directory.c_str(), s));
+        if (!lout)
+            fatal("cannot write latency model for ISN " +
+                  std::to_string(s));
+        latency_[s]->save(lout);
+    }
+}
+
+PredictorBank
+PredictorBank::load(const std::string &directory)
+{
+    std::ifstream meta(directory + "/bank.meta");
+    if (!meta)
+        fatal("cannot read " + directory + "/bank.meta");
+    std::string magic;
+    int version = 0;
+    std::size_t shards = 0;
+    PredictorBank bank;
+    meta >> magic >> version >> shards >> bank.inferenceOverhead_;
+    if (magic != "cottage-bank" || version != 1 || shards == 0)
+        fatal("not a cottage predictor-bank directory");
+
+    for (ShardId s = 0; s < shards; ++s) {
+        std::ifstream qin(
+            strformat("%s/quality-%02u.model", directory.c_str(), s));
+        if (!qin)
+            fatal("missing quality model for ISN " + std::to_string(s));
+        bank.quality_.push_back(std::make_unique<QualityPredictor>(
+            QualityPredictor::load(qin)));
+        std::ifstream lin(
+            strformat("%s/latency-%02u.model", directory.c_str(), s));
+        if (!lin)
+            fatal("missing latency model for ISN " + std::to_string(s));
+        bank.latency_.push_back(std::make_unique<LatencyPredictor>(
+            LatencyPredictor::load(lin)));
+    }
+    bank.buckets_ = bank.latency_.front()->buckets();
+    return bank;
+}
+
+} // namespace cottage

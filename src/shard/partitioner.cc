@@ -1,0 +1,78 @@
+#include "shard/partitioner.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace cottage {
+
+const char *
+partitionPolicyName(PartitionPolicy policy)
+{
+    switch (policy) {
+      case PartitionPolicy::RoundRobin: return "round-robin";
+      case PartitionPolicy::Random: return "random";
+      case PartitionPolicy::Topical: return "topical";
+    }
+    return "?";
+}
+
+std::vector<std::vector<DocId>>
+partitionCorpus(const Corpus &corpus, ShardId numShards,
+                PartitionPolicy policy, uint64_t seed)
+{
+    COTTAGE_CHECK_MSG(numShards >= 1, "need at least one shard");
+    COTTAGE_CHECK_MSG(corpus.numDocs() >= numShards,
+                      "fewer documents than shards");
+
+    const uint32_t numDocs = corpus.numDocs();
+    std::vector<std::vector<DocId>> shards(numShards);
+    for (auto &shard : shards)
+        shard.reserve(numDocs / numShards + 1);
+
+    switch (policy) {
+      case PartitionPolicy::RoundRobin:
+        for (DocId d = 0; d < numDocs; ++d)
+            shards[d % numShards].push_back(d);
+        break;
+
+      case PartitionPolicy::Random: {
+        Rng rng(seed);
+        // Guarantee non-empty shards by seeding one doc each, then
+        // spreading the rest uniformly.
+        std::vector<DocId> docs(numDocs);
+        for (DocId d = 0; d < numDocs; ++d)
+            docs[d] = d;
+        rng.shuffle(docs);
+        for (ShardId s = 0; s < numShards; ++s)
+            shards[s].push_back(docs[s]);
+        for (uint32_t i = numShards; i < numDocs; ++i) {
+            const auto s = static_cast<ShardId>(
+                rng.uniformInt(0, static_cast<int64_t>(numShards) - 1));
+            shards[s].push_back(docs[i]);
+        }
+        // Restore ascending DocId order within each shard so posting
+        // construction stays in document order.
+        for (auto &shard : shards)
+            std::sort(shard.begin(), shard.end());
+        break;
+      }
+
+      case PartitionPolicy::Topical:
+        // Contiguous blocks: documents generated near each other share
+        // topic slices more often than distant ones.
+        for (DocId d = 0; d < numDocs; ++d) {
+            const auto s = static_cast<ShardId>(
+                (static_cast<uint64_t>(d) * numShards) / numDocs);
+            shards[s].push_back(d);
+        }
+        break;
+    }
+
+    for (const auto &shard : shards)
+        COTTAGE_CHECK(!shard.empty());
+    return shards;
+}
+
+} // namespace cottage

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Document-to-shard partitioning policies.
+ *
+ * The paper partitions a Wikipedia dump across 16 ISNs (random
+ * document allocation, the common web-search layout [24]); topical
+ * allocation is what selective-search literature uses. Both are
+ * provided so the Rank-S/Taily comparisons can be studied under either
+ * layout.
+ */
+
+#ifndef COTTAGE_SHARD_PARTITIONER_H
+#define COTTAGE_SHARD_PARTITIONER_H
+
+#include <vector>
+
+#include "text/corpus.h"
+#include "text/types.h"
+
+namespace cottage {
+
+/** How documents are assigned to shards. */
+enum class PartitionPolicy {
+    /** doc i -> shard i mod n (deterministic spread). */
+    RoundRobin,
+
+    /** Seeded uniform random assignment. */
+    Random,
+
+    /**
+     * Topical: contiguous blocks of documents (which share topic
+     * slices in the synthetic corpus) map to the same shard, giving
+     * shards distinct term profiles as in selective-search corpora.
+     */
+    Topical,
+};
+
+/** Name for reports. */
+const char *partitionPolicyName(PartitionPolicy policy);
+
+/**
+ * Assign every document of a corpus to one of @p numShards shards.
+ *
+ * @return One DocId list per shard; every document appears exactly
+ *         once; no shard is empty (guaranteed for numDocs >= shards).
+ */
+std::vector<std::vector<DocId>> partitionCorpus(const Corpus &corpus,
+                                                ShardId numShards,
+                                                PartitionPolicy policy,
+                                                uint64_t seed);
+
+} // namespace cottage
+
+#endif // COTTAGE_SHARD_PARTITIONER_H

@@ -1,0 +1,55 @@
+#include "shard/sharded_index.h"
+
+#include "util/logging.h"
+
+namespace cottage {
+
+ShardedIndex::ShardedIndex(const Corpus &corpus,
+                           const ShardedIndexConfig &config)
+    : config_(config),
+      stats_(std::make_shared<CollectionStats>(corpus))
+{
+    docAssignment_ = partitionCorpus(corpus, config.numShards,
+                                     config.partition, config.seed);
+    shards_.reserve(config.numShards);
+    termStats_.reserve(config.numShards);
+    ownerOf_.assign(corpus.numDocs(), 0);
+    for (ShardId s = 0; s < config.numShards; ++s) {
+        shards_.push_back(std::make_unique<InvertedIndex>(
+            corpus, docAssignment_[s], stats_, config.bm25));
+        termStats_.push_back(
+            std::make_unique<TermStatsStore>(*shards_.back(), config.topK));
+        for (DocId doc : docAssignment_[s])
+            ownerOf_[doc] = s;
+    }
+}
+
+const InvertedIndex &
+ShardedIndex::shard(ShardId id) const
+{
+    COTTAGE_CHECK(id < shards_.size());
+    return *shards_[id];
+}
+
+const TermStatsStore &
+ShardedIndex::termStats(ShardId id) const
+{
+    COTTAGE_CHECK(id < termStats_.size());
+    return *termStats_[id];
+}
+
+const std::vector<DocId> &
+ShardedIndex::shardDocs(ShardId id) const
+{
+    COTTAGE_CHECK(id < docAssignment_.size());
+    return docAssignment_[id];
+}
+
+ShardId
+ShardedIndex::shardOf(DocId doc) const
+{
+    COTTAGE_CHECK(doc < ownerOf_.size());
+    return ownerOf_[doc];
+}
+
+} // namespace cottage

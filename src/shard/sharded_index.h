@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The sharded collection: global statistics plus one inverted index
+ * and one term-statistics store per ISN. This is the static data the
+ * distributed engine serves from; the engine layer adds queues,
+ * frequencies and policies on top.
+ */
+
+#ifndef COTTAGE_SHARD_SHARDED_INDEX_H
+#define COTTAGE_SHARD_SHARDED_INDEX_H
+
+#include <memory>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "index/term_stats.h"
+#include "shard/partitioner.h"
+#include "text/corpus.h"
+
+namespace cottage {
+
+/** Construction parameters for a sharded index. */
+struct ShardedIndexConfig
+{
+    /** Number of ISNs (the paper uses 16). */
+    ShardId numShards = 16;
+
+    /** How documents map to shards. */
+    PartitionPolicy partition = PartitionPolicy::Random;
+
+    /** Seed for the Random partitioner. */
+    uint64_t seed = 1;
+
+    /** Result depth K served by the engine (paper: 10). */
+    std::size_t topK = 10;
+
+    /** Ranking parameters shared by every shard. */
+    Bm25Params bm25;
+};
+
+/** Immutable sharded index over a corpus. */
+class ShardedIndex
+{
+  public:
+    ShardedIndex(const Corpus &corpus, const ShardedIndexConfig &config);
+
+    ShardId numShards() const { return static_cast<ShardId>(shards_.size()); }
+    const ShardedIndexConfig &config() const { return config_; }
+    const CollectionStats &collectionStats() const { return *stats_; }
+    std::size_t topK() const { return config_.topK; }
+
+    /** One shard's inverted index. */
+    const InvertedIndex &shard(ShardId id) const;
+
+    /** One shard's indexing-time term statistics. */
+    const TermStatsStore &termStats(ShardId id) const;
+
+    /** Global DocIds assigned to a shard. */
+    const std::vector<DocId> &shardDocs(ShardId id) const;
+
+    /** Shard that owns a global document. */
+    ShardId shardOf(DocId doc) const;
+
+  private:
+    ShardedIndexConfig config_;
+    std::shared_ptr<const CollectionStats> stats_;
+    std::vector<std::vector<DocId>> docAssignment_;
+    std::vector<std::unique_ptr<InvertedIndex>> shards_;
+    std::vector<std::unique_ptr<TermStatsStore>> termStats_;
+    std::vector<ShardId> ownerOf_;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_SHARD_SHARDED_INDEX_H

@@ -1,0 +1,63 @@
+#include "sim/cluster.h"
+
+#include "util/logging.h"
+
+namespace cottage {
+
+ClusterSim::ClusterSim(ShardId numIsns, FrequencyLadder ladder,
+                       PowerModel power, NetworkModel network,
+                       uint32_t coresPerIsn)
+    : ladder_(std::move(ladder)), power_(power), network_(network)
+{
+    COTTAGE_CHECK_MSG(numIsns >= 1, "cluster needs at least one ISN");
+    servers_.reserve(numIsns);
+    for (ShardId s = 0; s < numIsns; ++s)
+        servers_.emplace_back(ladder_, power_, coresPerIsn);
+}
+
+IsnServerSim &
+ClusterSim::isn(ShardId id)
+{
+    COTTAGE_CHECK(id < servers_.size());
+    return servers_[id];
+}
+
+const IsnServerSim &
+ClusterSim::isn(ShardId id) const
+{
+    COTTAGE_CHECK(id < servers_.size());
+    return servers_[id];
+}
+
+double
+ClusterSim::totalEnergyJoules() const
+{
+    double total = 0.0;
+    for (const IsnServerSim &server : servers_)
+        total += server.energyJoules();
+    return total;
+}
+
+double
+ClusterSim::totalBusySeconds() const
+{
+    double total = 0.0;
+    for (const IsnServerSim &server : servers_)
+        total += server.busySeconds();
+    return total;
+}
+
+double
+ClusterSim::averagePowerWatts(double windowSeconds) const
+{
+    return power_.averagePowerWatts(totalEnergyJoules(), windowSeconds);
+}
+
+void
+ClusterSim::reset()
+{
+    for (IsnServerSim &server : servers_)
+        server.reset();
+}
+
+} // namespace cottage

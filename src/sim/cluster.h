@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The simulated search cluster: one ISN server per shard plus the
+ * datacenter network and the package-level power/energy view.
+ */
+
+#ifndef COTTAGE_SIM_CLUSTER_H
+#define COTTAGE_SIM_CLUSTER_H
+
+#include <vector>
+
+#include "sim/frequency.h"
+#include "sim/isn_server.h"
+#include "sim/power_model.h"
+#include "text/types.h"
+
+namespace cottage {
+
+/** Network cost parameters (datacenter-internal, paper §III-A). */
+struct NetworkModel
+{
+    /** One aggregator<->ISN round trip, seconds (paper: a few µs). */
+    double rttSeconds = 20e-6;
+
+    /** Aggregator-side merge cost per query, seconds. */
+    double mergeSeconds = 50e-6;
+};
+
+/** A set of ISN servers sharing a package power model. */
+class ClusterSim
+{
+  public:
+    /**
+     * @param coresPerIsn Worker cores per ISN (default 1; the paper's
+     *        server spreads 24 cores over 16 ISNs).
+     */
+    ClusterSim(ShardId numIsns, FrequencyLadder ladder, PowerModel power,
+               NetworkModel network = {}, uint32_t coresPerIsn = 1);
+
+    ShardId numIsns() const { return static_cast<ShardId>(servers_.size()); }
+    IsnServerSim &isn(ShardId id);
+    const IsnServerSim &isn(ShardId id) const;
+
+    const FrequencyLadder &ladder() const { return ladder_; }
+    const PowerModel &power() const { return power_; }
+    const NetworkModel &network() const { return network_; }
+
+    /** Sum of all ISNs' busy energy, joules. */
+    double totalEnergyJoules() const;
+
+    /** Sum of all ISNs' busy seconds. */
+    double totalBusySeconds() const;
+
+    /** Average package power over a window (idle + busy energy). */
+    double averagePowerWatts(double windowSeconds) const;
+
+    /** Reset every ISN's queue and meters. */
+    void reset();
+
+  private:
+    FrequencyLadder ladder_;
+    PowerModel power_;
+    NetworkModel network_;
+    std::vector<IsnServerSim> servers_;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_SIM_CLUSTER_H

@@ -1,0 +1,51 @@
+#include "sim/frequency.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cottage {
+
+FrequencyLadder::FrequencyLadder()
+{
+    for (int step = 12; step <= 27; ++step)
+        steps_.push_back(static_cast<double>(step) / 10.0);
+    default_ = 2.1;
+}
+
+FrequencyLadder::FrequencyLadder(std::vector<double> stepsGhz,
+                                 double defaultGhz)
+    : steps_(std::move(stepsGhz)), default_(defaultGhz)
+{
+    COTTAGE_CHECK_MSG(!steps_.empty(), "frequency ladder needs steps");
+    for (std::size_t i = 0; i < steps_.size(); ++i) {
+        COTTAGE_CHECK_MSG(steps_[i] > 0.0, "frequencies must be positive");
+        if (i > 0)
+            COTTAGE_CHECK_MSG(steps_[i - 1] < steps_[i],
+                              "frequency ladder must ascend");
+    }
+    COTTAGE_CHECK_MSG(contains(defaultGhz),
+                      "default frequency must be a ladder step");
+}
+
+double
+FrequencyLadder::atLeast(double freqGhz) const
+{
+    for (double step : steps_) {
+        if (step >= freqGhz - 1e-12)
+            return step;
+    }
+    return steps_.back();
+}
+
+bool
+FrequencyLadder::contains(double freqGhz) const
+{
+    for (double step : steps_) {
+        if (std::fabs(step - freqGhz) < 1e-9)
+            return true;
+    }
+    return false;
+}
+
+} // namespace cottage

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * DVFS frequency ladder, mirroring the paper's testbed: ACPI P-states
+ * from 1.2 GHz to 2.7 GHz with per-core frequency selection, 2.7 GHz
+ * being the boost target.
+ */
+
+#ifndef COTTAGE_SIM_FREQUENCY_H
+#define COTTAGE_SIM_FREQUENCY_H
+
+#include <vector>
+
+namespace cottage {
+
+/** A discrete set of selectable core frequencies (GHz, ascending). */
+class FrequencyLadder
+{
+  public:
+    /**
+     * Default ladder: 1.2 to 2.7 GHz in 0.1 GHz steps (the paper's
+     * Xeon E5-2697 range), default operating point 2.1 GHz.
+     */
+    FrequencyLadder();
+
+    /** Custom ladder; steps must be positive and strictly ascending. */
+    FrequencyLadder(std::vector<double> stepsGhz, double defaultGhz);
+
+    double minGhz() const { return steps_.front(); }
+    double maxGhz() const { return steps_.back(); }
+
+    /** Normal (non-boosted) operating frequency. */
+    double defaultGhz() const { return default_; }
+
+    const std::vector<double> &steps() const { return steps_; }
+
+    /**
+     * Smallest ladder frequency >= the requested one (saturates to the
+     * maximum). This is how a power governor picks the slowest
+     * budget-meeting P-state.
+     */
+    double atLeast(double freqGhz) const;
+
+    /** True if the frequency is (numerically) one of the steps. */
+    bool contains(double freqGhz) const;
+
+  private:
+    std::vector<double> steps_;
+    double default_;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_SIM_FREQUENCY_H

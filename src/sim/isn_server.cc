@@ -1,0 +1,90 @@
+#include "sim/isn_server.h"
+
+#include <algorithm>
+
+#include "sim/work_model.h"
+#include "util/logging.h"
+
+namespace cottage {
+
+IsnServerSim::IsnServerSim(const FrequencyLadder &ladder,
+                           const PowerModel &power, uint32_t workers)
+    : ladder_(&ladder), power_(&power), currentFreq_(ladder.defaultGhz())
+{
+    COTTAGE_CHECK_MSG(workers >= 1, "an ISN needs at least one worker");
+    workerBusyUntil_.assign(workers, 0.0);
+}
+
+double
+IsnServerSim::backlogSeconds(double nowSeconds) const
+{
+    const double earliest =
+        *std::min_element(workerBusyUntil_.begin(), workerBusyUntil_.end());
+    return earliest > nowSeconds ? earliest - nowSeconds : 0.0;
+}
+
+double
+IsnServerSim::busyUntilSeconds() const
+{
+    return *std::max_element(workerBusyUntil_.begin(),
+                             workerBusyUntil_.end());
+}
+
+IsnExecution
+IsnServerSim::execute(double arrivalSeconds, double cycles, double freqGhz,
+                      double deadlineSeconds)
+{
+    COTTAGE_CHECK_MSG(cycles >= 0.0, "negative work");
+    COTTAGE_CHECK_MSG(freqGhz > 0.0, "invalid frequency");
+
+    // FIFO dispatch to the worker that frees up first.
+    double *worker = &*std::min_element(workerBusyUntil_.begin(),
+                                        workerBusyUntil_.end());
+
+    IsnExecution exec;
+    exec.freqGhz = freqGhz;
+    exec.startSeconds = std::max(arrivalSeconds, *worker);
+
+    const double service = WorkModel::secondsForCycles(cycles, freqGhz);
+    const double wouldFinish = exec.startSeconds + service;
+
+    if (wouldFinish <= deadlineSeconds) {
+        exec.finishSeconds = wouldFinish;
+        exec.busySeconds = service;
+        exec.completed = true;
+    } else {
+        // Deadline expires mid-service (or before the queue drains):
+        // the ISN abandons the request at the deadline.
+        exec.finishSeconds = std::max(exec.startSeconds, deadlineSeconds);
+        exec.busySeconds = exec.finishSeconds - exec.startSeconds;
+        exec.completed = false;
+        ++requestsTruncated_;
+    }
+
+    *worker = exec.finishSeconds;
+    busySeconds_ += exec.busySeconds;
+    energyJoules_ += power_->busyEnergyJoules(exec.busySeconds, freqGhz);
+    ++requestsServed_;
+    return exec;
+}
+
+void
+IsnServerSim::setCurrentFreqGhz(double freqGhz)
+{
+    COTTAGE_CHECK_MSG(ladder_->contains(freqGhz),
+                      "frequency is not a ladder step");
+    currentFreq_ = freqGhz;
+}
+
+void
+IsnServerSim::reset()
+{
+    std::fill(workerBusyUntil_.begin(), workerBusyUntil_.end(), 0.0);
+    energyJoules_ = 0.0;
+    busySeconds_ = 0.0;
+    requestsServed_ = 0;
+    requestsTruncated_ = 0;
+    currentFreq_ = ladder_->defaultGhz();
+}
+
+} // namespace cottage

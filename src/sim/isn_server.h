@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Simulated ISN server: a FIFO work queue in front of one worker core
+ * with per-request frequency selection, deadline-bounded execution and
+ * energy accounting.
+ *
+ * Queries are dispatched in arrival order (open-loop replay), so the
+ * queue is simulated chronologically: the server tracks when its core
+ * frees up, and each execution is start/finish interval arithmetic.
+ * This models exactly what the paper's Eq. (2) "equivalent latency"
+ * captures — queueing backlog plus frequency-scaled service time.
+ */
+
+#ifndef COTTAGE_SIM_ISN_SERVER_H
+#define COTTAGE_SIM_ISN_SERVER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/frequency.h"
+#include "sim/power_model.h"
+
+namespace cottage {
+
+/** Outcome of one simulated request execution on an ISN. */
+struct IsnExecution
+{
+    /** When the core started the request (>= arrival). */
+    double startSeconds = 0.0;
+
+    /** When the core finished or was cut off. */
+    double finishSeconds = 0.0;
+
+    /** Seconds actually spent computing. */
+    double busySeconds = 0.0;
+
+    /** True if the full service completed before the deadline. */
+    bool completed = false;
+
+    /** Frequency the request ran at (GHz). */
+    double freqGhz = 0.0;
+};
+
+/** One ISN's simulated queue, worker cores, DVFS state and meter. */
+class IsnServerSim
+{
+  public:
+    /**
+     * @param workers Worker cores serving this ISN's queue (the
+     *        paper's testbed runs 16 ISNs on a 24-core server; more
+     *        workers per ISN shorten queueing, not service).
+     */
+    IsnServerSim(const FrequencyLadder &ladder, const PowerModel &power,
+                 uint32_t workers = 1);
+
+    /**
+     * Execute a request.
+     *
+     * @param arrivalSeconds Dispatch time at the ISN.
+     * @param cycles Total compute cycles the request needs.
+     * @param freqGhz Core frequency for this request (a ladder step).
+     * @param deadlineSeconds Absolute cutoff; infinity for none. Work
+     *        past the deadline is abandoned (the paper's step 6: ISNs
+     *        complete within the budget), so a request that cannot
+     *        finish is truncated and marked incomplete.
+     */
+    IsnExecution execute(double arrivalSeconds, double cycles, double freqGhz,
+                         double deadlineSeconds);
+
+    /**
+     * Seconds a request arriving now would wait before a worker frees
+     * up (0 when some worker is idle).
+     */
+    double backlogSeconds(double nowSeconds) const;
+
+    /** When the last worker drains (the power/energy window edge). */
+    double busyUntilSeconds() const;
+
+    /** Worker cores serving this ISN. */
+    uint32_t workers() const { return static_cast<uint32_t>(
+        workerBusyUntil_.size()); }
+
+    /** Total busy-interval energy consumed, joules. */
+    double energyJoules() const { return energyJoules_; }
+
+    /** Total seconds spent computing. */
+    double busySeconds() const { return busySeconds_; }
+
+    /** Requests executed (including truncated ones). */
+    uint64_t requestsServed() const { return requestsServed_; }
+
+    /** Requests that missed their deadline (truncated). */
+    uint64_t requestsTruncated() const { return requestsTruncated_; }
+
+    /** Sticky operating frequency used when a policy does not pick. */
+    double currentFreqGhz() const { return currentFreq_; }
+    void setCurrentFreqGhz(double freqGhz);
+
+    /** Clear all queue/energy state (fresh experiment). */
+    void reset();
+
+    const FrequencyLadder &ladder() const { return *ladder_; }
+
+  private:
+    const FrequencyLadder *ladder_;
+    const PowerModel *power_;
+    double currentFreq_;
+    std::vector<double> workerBusyUntil_;
+    double energyJoules_ = 0.0;
+    double busySeconds_ = 0.0;
+    uint64_t requestsServed_ = 0;
+    uint64_t requestsTruncated_ = 0;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_SIM_ISN_SERVER_H

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Package power model with RAPL-style energy integration.
+ *
+ * Calibrated against the paper's Fig. 14 operating points: the 16-ISN
+ * server idles at 14.53 W and draws ~36 W under exhaustive search at
+ * the default experiment's load (~8 busy-ISN-equivalents). Dynamic
+ * power scales with f^3 (voltage tracks frequency), so boosting a core
+ * to 2.7 GHz costs superlinearly more than the default 2.1 GHz — the
+ * trade Cottage's budget optimizer navigates.
+ */
+
+#ifndef COTTAGE_SIM_POWER_MODEL_H
+#define COTTAGE_SIM_POWER_MODEL_H
+
+#include <cmath>
+
+namespace cottage {
+
+/** Static + per-busy-ISN dynamic package power. */
+struct PowerModel
+{
+    /** Whole-package idle power in watts (paper: 14.53 W). */
+    double idleWatts = 14.53;
+
+    /** One ISN's extra power when busy at the reference frequency. */
+    double busyWattsAtReference = 2.68;
+
+    /** Reference frequency for the dynamic term, GHz. */
+    double referenceGhz = 2.1;
+
+    /** Dynamic-power frequency exponent (V ~ f gives ~f^3). */
+    double frequencyExponent = 3.0;
+
+    /** Extra power of one busy ISN core at the given frequency. */
+    double
+    busyWatts(double freqGhz) const
+    {
+        return busyWattsAtReference *
+               std::pow(freqGhz / referenceGhz, frequencyExponent);
+    }
+
+    /** Energy (J) of one busy interval at a frequency. */
+    double
+    busyEnergyJoules(double seconds, double freqGhz) const
+    {
+        return seconds * busyWatts(freqGhz);
+    }
+
+    /**
+     * Average package power over a window: idle floor plus the busy
+     * energy all ISNs accumulated inside the window.
+     */
+    double
+    averagePowerWatts(double busyEnergyTotal, double windowSeconds) const
+    {
+        if (windowSeconds <= 0.0)
+            return idleWatts;
+        return idleWatts + busyEnergyTotal / windowSeconds;
+    }
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_SIM_POWER_MODEL_H

@@ -1,0 +1,231 @@
+#include "stats/gamma.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace cottage {
+
+namespace {
+
+constexpr int maxIterations = 500;
+constexpr double convergeEps = 1e-12;
+
+/** Lower incomplete gamma by series expansion (x < a + 1). */
+double
+gammaPSeries(double a, double x)
+{
+    double term = 1.0 / a;
+    double sum = term;
+    double ap = a;
+    for (int i = 0; i < maxIterations; ++i) {
+        ap += 1.0;
+        term *= x / ap;
+        sum += term;
+        if (std::fabs(term) < std::fabs(sum) * convergeEps)
+            break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/** Upper incomplete gamma by Lentz continued fraction (x >= a + 1). */
+double
+gammaQContinuedFraction(double a, double x)
+{
+    const double tiny = 1e-300;
+    double b = x + 1.0 - a;
+    double c = 1.0 / tiny;
+    double d = 1.0 / b;
+    double h = d;
+    for (int i = 1; i <= maxIterations; ++i) {
+        const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+        b += 2.0;
+        d = an * d + b;
+        if (std::fabs(d) < tiny)
+            d = tiny;
+        c = b + an / c;
+        if (std::fabs(c) < tiny)
+            c = tiny;
+        d = 1.0 / d;
+        const double delta = d * c;
+        h *= delta;
+        if (std::fabs(delta - 1.0) < convergeEps)
+            break;
+    }
+    return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+} // namespace
+
+double
+regularizedGammaP(double a, double x)
+{
+    COTTAGE_CHECK_MSG(a > 0.0, "regularizedGammaP needs a > 0");
+    if (x <= 0.0)
+        return 0.0;
+    if (x < a + 1.0)
+        return gammaPSeries(a, x);
+    return 1.0 - gammaQContinuedFraction(a, x);
+}
+
+double
+regularizedGammaQ(double a, double x)
+{
+    COTTAGE_CHECK_MSG(a > 0.0, "regularizedGammaQ needs a > 0");
+    if (x <= 0.0)
+        return 1.0;
+    if (x < a + 1.0)
+        return 1.0 - gammaPSeries(a, x);
+    return gammaQContinuedFraction(a, x);
+}
+
+double
+digamma(double x)
+{
+    COTTAGE_CHECK_MSG(x > 0.0, "digamma needs x > 0");
+    double result = 0.0;
+    // Recurrence psi(x) = psi(x + 1) - 1/x until the asymptotic series
+    // is accurate.
+    while (x < 12.0) {
+        result -= 1.0 / x;
+        x += 1.0;
+    }
+    // Asymptotic expansion.
+    const double inv = 1.0 / x;
+    const double inv2 = inv * inv;
+    result += std::log(x) - 0.5 * inv -
+              inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 / 252.0));
+    return result;
+}
+
+GammaDistribution::GammaDistribution(double shape, double scale)
+    : shape_(shape), scale_(scale)
+{
+    COTTAGE_CHECK_MSG(shape > 0.0, "gamma shape must be positive");
+    COTTAGE_CHECK_MSG(scale > 0.0, "gamma scale must be positive");
+}
+
+double
+GammaDistribution::pdf(double x) const
+{
+    if (x < 0.0)
+        return 0.0;
+    if (x == 0.0)
+        return shape_ < 1.0 ? std::numeric_limits<double>::infinity()
+                            : (shape_ == 1.0 ? 1.0 / scale_ : 0.0);
+    const double logPdf = (shape_ - 1.0) * std::log(x) - x / scale_ -
+                          std::lgamma(shape_) - shape_ * std::log(scale_);
+    return std::exp(logPdf);
+}
+
+double
+GammaDistribution::cdf(double x) const
+{
+    if (x <= 0.0)
+        return 0.0;
+    return regularizedGammaP(shape_, x / scale_);
+}
+
+double
+GammaDistribution::survival(double x) const
+{
+    if (x <= 0.0)
+        return 1.0;
+    return regularizedGammaQ(shape_, x / scale_);
+}
+
+double
+GammaDistribution::quantile(double p) const
+{
+    COTTAGE_CHECK_MSG(p > 0.0 && p < 1.0, "quantile needs p in (0,1)");
+    // Bracket: the mean plus enough standard deviations always covers
+    // (0, 1 - eps) for a Gamma.
+    double lo = 0.0;
+    double hi = mean() + 10.0 * std::sqrt(variance()) + scale_;
+    while (cdf(hi) < p)
+        hi *= 2.0;
+    for (int i = 0; i < 200; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (cdf(mid) < p)
+            lo = mid;
+        else
+            hi = mid;
+        if (hi - lo < 1e-12 * (1.0 + hi))
+            break;
+    }
+    return 0.5 * (lo + hi);
+}
+
+GammaDistribution
+GammaDistribution::fitMoments(double sampleMean, double sampleVariance)
+{
+    // Degenerate inputs get a tight, nearly-point-mass Gamma so callers
+    // (Taily on single-document postings) never have to special-case.
+    if (sampleMean <= 0.0)
+        return GammaDistribution(1.0, 1e-9);
+    if (sampleVariance <= 0.0)
+        sampleVariance = 1e-9 * sampleMean * sampleMean;
+    const double shape = sampleMean * sampleMean / sampleVariance;
+    const double scale = sampleVariance / sampleMean;
+    return GammaDistribution(shape, scale);
+}
+
+GammaDistribution
+GammaDistribution::fitMoments(const std::vector<double> &values)
+{
+    double total = 0.0;
+    for (double v : values)
+        total += v;
+    const double n = static_cast<double>(values.size());
+    const double m = values.empty() ? 0.0 : total / n;
+    double varSum = 0.0;
+    for (double v : values)
+        varSum += (v - m) * (v - m);
+    const double var = values.empty() ? 0.0 : varSum / n;
+    return fitMoments(m, var);
+}
+
+GammaDistribution
+GammaDistribution::fitMle(const std::vector<double> &values)
+{
+    if (values.size() < 2)
+        return fitMoments(values);
+    double sum = 0.0;
+    double logSum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            return fitMoments(values); // MLE needs positive support
+        sum += v;
+        logSum += std::log(v);
+    }
+    const double n = static_cast<double>(values.size());
+    const double meanValue = sum / n;
+    const double s = std::log(meanValue) - logSum / n;
+    if (s <= 0.0)
+        return fitMoments(values); // all values equal (up to rounding)
+
+    // Initial estimate (Minka 2002), then Newton on
+    // f(k) = log(k) - psi(k) - s.
+    double k = (3.0 - s + std::sqrt((s - 3.0) * (s - 3.0) + 24.0 * s)) /
+               (12.0 * s);
+    for (int i = 0; i < 100; ++i) {
+        const double f = std::log(k) - digamma(k) - s;
+        // f'(k) = 1/k - psi'(k); approximate psi' numerically.
+        const double h = std::max(1e-6, 1e-6 * k);
+        const double fPrime = 1.0 / k - (digamma(k + h) - digamma(k)) / h;
+        const double step = f / fPrime;
+        const double next = k - step;
+        if (next <= 0.0) {
+            k *= 0.5;
+        } else {
+            k = next;
+        }
+        if (std::fabs(step) < 1e-10 * (1.0 + k))
+            break;
+    }
+    return GammaDistribution(k, meanValue / k);
+}
+
+} // namespace cottage

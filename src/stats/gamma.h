@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Gamma distribution: density, CDF, quantile and parameter fitting.
+ *
+ * Taily [21] models each query's document-score distribution on a shard
+ * as a Gamma; its shard-selection rule and the paper's Fig. 6 misfit
+ * analysis (and the Cottage-withoutML ablation) both need a faithful
+ * Gamma implementation, which the standard library does not provide.
+ */
+
+#ifndef COTTAGE_STATS_GAMMA_H
+#define COTTAGE_STATS_GAMMA_H
+
+#include <vector>
+
+namespace cottage {
+
+/**
+ * Regularized lower incomplete gamma P(a, x) in [0, 1].
+ * Series expansion for x < a + 1, continued fraction otherwise.
+ */
+double regularizedGammaP(double a, double x);
+
+/** Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x). */
+double regularizedGammaQ(double a, double x);
+
+/** Digamma function psi(x) for x > 0 (recurrence + asymptotic series). */
+double digamma(double x);
+
+/**
+ * Gamma distribution with shape k > 0 and scale theta > 0
+ * (mean = k * theta, variance = k * theta^2).
+ */
+class GammaDistribution
+{
+  public:
+    GammaDistribution(double shape, double scale);
+
+    double shape() const { return shape_; }
+    double scale() const { return scale_; }
+    double mean() const { return shape_ * scale_; }
+    double variance() const { return shape_ * scale_ * scale_; }
+
+    /** Probability density at x (0 for x < 0). */
+    double pdf(double x) const;
+
+    /** P(X <= x). */
+    double cdf(double x) const;
+
+    /** P(X > x); this is Taily's "docs above threshold" kernel. */
+    double survival(double x) const;
+
+    /** Inverse CDF by bisection; p in (0, 1). */
+    double quantile(double p) const;
+
+    /**
+     * Method-of-moments fit from a sample mean and *population*
+     * variance: shape = mean^2 / var, scale = var / mean. This is
+     * exactly how Taily recovers per-query Gamma parameters from term
+     * statistics. Degenerate inputs (non-positive mean or variance)
+     * yield a near-point-mass distribution.
+     */
+    static GammaDistribution fitMoments(double sampleMean,
+                                        double sampleVariance);
+
+    /** Method-of-moments fit from raw data. */
+    static GammaDistribution fitMoments(const std::vector<double> &values);
+
+    /**
+     * Maximum-likelihood fit via Newton iteration on
+     * log(k) - psi(k) = log(mean) - mean(log x). Falls back to the
+     * moments fit when the data are degenerate.
+     */
+    static GammaDistribution fitMle(const std::vector<double> &values);
+
+  private:
+    double shape_;
+    double scale_;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_STATS_GAMMA_H

@@ -1,0 +1,117 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cottage {
+
+Histogram::Histogram(bool logScale, double lo, double hi, std::size_t bins)
+    : logScale_(logScale), lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    COTTAGE_CHECK_MSG(bins >= 1, "histogram needs at least one bin");
+    COTTAGE_CHECK_MSG(lo < hi, "histogram needs lo < hi");
+    if (logScale_) {
+        COTTAGE_CHECK_MSG(lo > 0.0, "log histogram needs lo > 0");
+        logLo_ = std::log(lo_);
+        logHi_ = std::log(hi_);
+    }
+}
+
+Histogram
+Histogram::linear(double lo, double hi, std::size_t bins)
+{
+    return Histogram(false, lo, hi, bins);
+}
+
+Histogram
+Histogram::logarithmic(double lo, double hi, std::size_t bins)
+{
+    return Histogram(true, lo, hi, bins);
+}
+
+std::size_t
+Histogram::binIndex(double value) const
+{
+    double position;
+    if (logScale_) {
+        if (value <= lo_)
+            return 0;
+        position = (std::log(value) - logLo_) / (logHi_ - logLo_);
+    } else {
+        position = (value - lo_) / (hi_ - lo_);
+    }
+    if (position < 0.0)
+        return 0;
+    const auto bin = static_cast<std::size_t>(
+        position * static_cast<double>(counts_.size()));
+    return std::min(bin, counts_.size() - 1);
+}
+
+void
+Histogram::add(double value)
+{
+    ++counts_[binIndex(value)];
+    ++total_;
+}
+
+double
+Histogram::binLow(std::size_t bin) const
+{
+    COTTAGE_CHECK(bin < counts_.size());
+    const double frac =
+        static_cast<double>(bin) / static_cast<double>(counts_.size());
+    if (logScale_)
+        return std::exp(logLo_ + frac * (logHi_ - logLo_));
+    return lo_ + frac * (hi_ - lo_);
+}
+
+double
+Histogram::binHigh(std::size_t bin) const
+{
+    COTTAGE_CHECK(bin < counts_.size());
+    const double frac =
+        static_cast<double>(bin + 1) / static_cast<double>(counts_.size());
+    if (logScale_)
+        return std::exp(logLo_ + frac * (logHi_ - logLo_));
+    return lo_ + frac * (hi_ - lo_);
+}
+
+double
+Histogram::binCenter(std::size_t bin) const
+{
+    if (logScale_)
+        return std::sqrt(binLow(bin) * binHigh(bin));
+    return 0.5 * (binLow(bin) + binHigh(bin));
+}
+
+double
+Histogram::fraction(std::size_t bin) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(count(bin)) / static_cast<double>(total_);
+}
+
+std::string
+Histogram::toAscii(std::size_t barWidth) const
+{
+    uint64_t peak = 1;
+    for (uint64_t c : counts_)
+        peak = std::max(peak, c);
+    std::string out;
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+        const auto stars = static_cast<std::size_t>(
+            static_cast<double>(counts_[b]) / static_cast<double>(peak) *
+            static_cast<double>(barWidth));
+        out += strformat("[%10.3f, %10.3f) %8llu | ", binLow(b), binHigh(b),
+                         static_cast<unsigned long long>(counts_[b]));
+        out.append(stars, '#');
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace cottage

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Fixed-bin histograms, linear or logarithmic, used for the Fig. 2(a)
+ * latency histogram, the Fig. 6 score histogram, and as the label space
+ * of the bucketed latency predictor.
+ */
+
+#ifndef COTTAGE_STATS_HISTOGRAM_H
+#define COTTAGE_STATS_HISTOGRAM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cottage {
+
+/**
+ * A histogram over [lo, hi) with a fixed number of bins. Values below lo
+ * land in the first bin; values at or above hi land in the last bin
+ * (saturating, so no sample is ever dropped).
+ */
+class Histogram
+{
+  public:
+    /** Linear binning: bin width = (hi - lo) / bins. */
+    static Histogram linear(double lo, double hi, std::size_t bins);
+
+    /**
+     * Logarithmic binning: bin edges grow geometrically from lo to hi.
+     * Requires 0 < lo < hi.
+     */
+    static Histogram logarithmic(double lo, double hi, std::size_t bins);
+
+    /** Add one observation. */
+    void add(double value);
+
+    /** Bin index a value would fall into (after saturation). */
+    std::size_t binIndex(double value) const;
+
+    /** Lower edge of a bin. */
+    double binLow(std::size_t bin) const;
+
+    /** Upper edge of a bin. */
+    double binHigh(std::size_t bin) const;
+
+    /** Midpoint of a bin (geometric midpoint for log histograms). */
+    double binCenter(std::size_t bin) const;
+
+    std::size_t bins() const { return counts_.size(); }
+    uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+    uint64_t totalCount() const { return total_; }
+
+    /** Fraction of all samples in a bin; 0 when empty. */
+    double fraction(std::size_t bin) const;
+
+    /** All counts, for plotting. */
+    const std::vector<uint64_t> &counts() const { return counts_; }
+
+    /**
+     * Render as a fixed-width ASCII bar chart, one bin per line, for the
+     * bench harnesses' figure output.
+     */
+    std::string toAscii(std::size_t barWidth = 50) const;
+
+  private:
+    Histogram(bool logScale, double lo, double hi, std::size_t bins);
+
+    bool logScale_;
+    double lo_;
+    double hi_;
+    double logLo_ = 0.0;
+    double logHi_ = 0.0;
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_STATS_HISTOGRAM_H

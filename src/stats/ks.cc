@@ -1,0 +1,27 @@
+#include "stats/ks.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cottage {
+
+double
+ksDistance(std::vector<double> sample,
+           const std::function<double(double)> &cdf)
+{
+    if (sample.empty())
+        return 0.0;
+    std::sort(sample.begin(), sample.end());
+    const double n = static_cast<double>(sample.size());
+    double worst = 0.0;
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+        const double model = cdf(sample[i]);
+        const double below = static_cast<double>(i) / n;
+        const double above = static_cast<double>(i + 1) / n;
+        worst = std::max(worst, std::fabs(model - below));
+        worst = std::max(worst, std::fabs(model - above));
+    }
+    return worst;
+}
+
+} // namespace cottage

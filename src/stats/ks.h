@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Kolmogorov-Smirnov distance between an empirical sample and a model
+ * CDF. Used by the Fig. 6 reproduction to quantify how badly a fitted
+ * Gamma matches a real per-query score distribution (the misfit that
+ * motivates Cottage's learned quality predictor).
+ */
+
+#ifndef COTTAGE_STATS_KS_H
+#define COTTAGE_STATS_KS_H
+
+#include <functional>
+#include <vector>
+
+namespace cottage {
+
+/**
+ * Supremum distance between the empirical CDF of @p sample and the
+ * model @p cdf. The sample is copied and sorted. Returns 0 for an empty
+ * sample.
+ */
+double ksDistance(std::vector<double> sample,
+                  const std::function<double(double)> &cdf);
+
+} // namespace cottage
+
+#endif // COTTAGE_STATS_KS_H

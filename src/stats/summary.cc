@@ -1,0 +1,151 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cottage {
+
+void
+RunningStat::add(double value)
+{
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ < 1)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+RunningStat::sampleVariance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStat::min() const
+{
+    return count_ == 0 ? 0.0 : min_;
+}
+
+double
+RunningStat::max() const
+{
+    return count_ == 0 ? 0.0 : max_;
+}
+
+double
+percentile(std::vector<double> values, double q)
+{
+    std::sort(values.begin(), values.end());
+    return percentileSorted(values, q);
+}
+
+double
+percentileSorted(const std::vector<double> &sorted, double q)
+{
+    COTTAGE_CHECK(q >= 0.0 && q <= 1.0);
+    if (sorted.empty())
+        return 0.0;
+    if (sorted.size() == 1)
+        return sorted.front();
+    const double rank = q * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    if (lo + 1 >= sorted.size())
+        return sorted.back();
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double total = 0.0;
+    for (double v : values)
+        total += v;
+    return total / static_cast<double>(values.size());
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            return 0.0; // undefined for non-positive inputs
+        logSum += std::log(v);
+    }
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+double
+harmonicMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double invSum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            return 0.0; // undefined for non-positive inputs
+        invSum += 1.0 / v;
+    }
+    return static_cast<double>(values.size()) / invSum;
+}
+
+double
+variance(const std::vector<double> &values)
+{
+    RunningStat stat;
+    for (double v : values)
+        stat.add(v);
+    return stat.variance();
+}
+
+} // namespace cottage

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Streaming summary statistics and percentile helpers.
+ *
+ * These back both the feature extraction (score means/variances of
+ * Tables I and II) and the experiment reporting (average / p95 / p99
+ * latencies of Figs. 10-15).
+ */
+
+#ifndef COTTAGE_STATS_SUMMARY_H
+#define COTTAGE_STATS_SUMMARY_H
+
+#include <cstddef>
+#include <vector>
+
+namespace cottage {
+
+/**
+ * Single-pass running statistics using Welford's algorithm for a
+ * numerically stable variance.
+ */
+class RunningStat
+{
+  public:
+    RunningStat() = default;
+
+    /** Fold one observation into the summary. */
+    void add(double value);
+
+    /** Merge another summary into this one (parallel Welford). */
+    void merge(const RunningStat &other);
+
+    std::size_t count() const { return count_; }
+    double mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+    /** Population variance (divides by n). Zero when count < 1. */
+    double variance() const;
+
+    /** Sample variance (divides by n - 1). Zero when count < 2. */
+    double sampleVariance() const;
+
+    double stddev() const;
+    double min() const;
+    double max() const;
+    double sum() const { return mean_ * static_cast<double>(count_); }
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Percentile of a data set using linear interpolation between closest
+ * ranks. @p q is in [0, 1]. The input is copied and sorted; use
+ * percentileSorted when the caller already holds sorted data.
+ */
+double percentile(std::vector<double> values, double q);
+
+/** Percentile of already ascending-sorted data. */
+double percentileSorted(const std::vector<double> &sorted, double q);
+
+/** Arithmetic mean; 0 for empty input. */
+double mean(const std::vector<double> &values);
+
+/** Geometric mean of positive values; 0 for empty input. */
+double geometricMean(const std::vector<double> &values);
+
+/** Harmonic mean of positive values; 0 for empty input. */
+double harmonicMean(const std::vector<double> &values);
+
+/** Population variance; 0 for fewer than 1 value. */
+double variance(const std::vector<double> &values);
+
+} // namespace cottage
+
+#endif // COTTAGE_STATS_SUMMARY_H

@@ -1,0 +1,114 @@
+#include "text/corpus.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/zipf.h"
+
+namespace cottage {
+
+Corpus::Corpus(const CorpusConfig &config)
+    : config_(config),
+      vocabulary_(std::make_shared<Vocabulary>(config.vocabSize))
+{
+}
+
+Corpus
+Corpus::generate(const CorpusConfig &config)
+{
+    COTTAGE_CHECK_MSG(config.numDocs >= 1, "corpus needs documents");
+    COTTAGE_CHECK_MSG(config.vocabSize >= 2, "corpus needs a vocabulary");
+    COTTAGE_CHECK_MSG(config.topicMix >= 0.0 && config.topicMix <= 1.0,
+                      "topicMix must be a fraction");
+    COTTAGE_CHECK_MSG(config.numTopics >= 1, "corpus needs >= 1 topic");
+
+    Corpus corpus(config);
+    Rng master(config.seed);
+    Rng rng = master.split();
+
+    const ZipfSampler globalTerms(config.vocabSize, config.zipfExponent);
+
+    // Each topic owns a contiguous slice of the mid/low-popularity
+    // vocabulary. Topical tokens are drawn Zipf-within-slice, which
+    // makes those terms bursty: frequent in on-topic documents, absent
+    // elsewhere.
+    const uint64_t topicAreaStart =
+        std::min<uint64_t>(256, config.vocabSize / 8);
+    const uint64_t topicArea = config.vocabSize - topicAreaStart;
+    const uint64_t topicWidth =
+        std::max<uint64_t>(8, topicArea / config.numTopics);
+    const ZipfSampler topicLocal(topicWidth, 1.2);
+
+    // Lognormal document lengths with the configured mean:
+    // mean = exp(mu + sigma^2 / 2)  =>  mu = log(mean) - sigma^2 / 2.
+    const double sigma = config.docLengthSigma;
+    const double mu = std::log(config.meanDocLength) - 0.5 * sigma * sigma;
+
+    corpus.documents_.resize(config.numDocs);
+    std::vector<TermId> tokens;
+    for (uint32_t d = 0; d < config.numDocs; ++d) {
+        Document &doc = corpus.documents_[d];
+        doc.id = d;
+
+        const double drawnLength = rng.lognormal(mu, sigma);
+        const uint32_t length = std::max<uint32_t>(
+            8, static_cast<uint32_t>(std::lround(drawnLength)));
+
+        const uint64_t topic =
+            config.clusteredTopics
+                ? (static_cast<uint64_t>(d) * config.numTopics) /
+                      config.numDocs
+                : static_cast<uint64_t>(
+                      rng.uniformInt(0, config.numTopics - 1));
+        const uint64_t topicStart =
+            topicAreaStart +
+            (topic * topicWidth) % std::max<uint64_t>(1, topicArea);
+
+        tokens.clear();
+        tokens.reserve(length);
+        for (uint32_t t = 0; t < length; ++t) {
+            uint64_t rank;
+            if (rng.bernoulli(config.topicMix)) {
+                rank = topicStart + topicLocal.sample(rng) - 1;
+                if (rank >= config.vocabSize)
+                    rank = config.vocabSize - 1;
+            } else {
+                rank = globalTerms.sample(rng) - 1;
+            }
+            tokens.push_back(static_cast<TermId>(rank));
+        }
+
+        std::sort(tokens.begin(), tokens.end());
+        doc.terms.clear();
+        for (std::size_t i = 0; i < tokens.size();) {
+            std::size_t j = i;
+            while (j < tokens.size() && tokens[j] == tokens[i])
+                ++j;
+            doc.terms.push_back(
+                {tokens[i], static_cast<uint32_t>(j - i)});
+            i = j;
+        }
+        doc.length = length;
+        corpus.totalTokens_ += length;
+    }
+    return corpus;
+}
+
+const Document &
+Corpus::document(DocId id) const
+{
+    COTTAGE_CHECK(id < documents_.size());
+    return documents_[id];
+}
+
+double
+Corpus::averageDocLength() const
+{
+    if (documents_.empty())
+        return 0.0;
+    return static_cast<double>(totalTokens_) /
+           static_cast<double>(documents_.size());
+}
+
+} // namespace cottage

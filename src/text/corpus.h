@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Synthetic Zipfian corpus generation.
+ *
+ * The paper indexes a 34M-document Wikipedia dump. We cannot ship that
+ * here, so this generator produces a corpus with the statistical
+ * properties Cottage's mechanisms actually depend on:
+ *   - Zipf-distributed term popularity (heavy-tailed posting lists,
+ *     hence heavy-tailed per-query work and latency — Fig. 2a);
+ *   - per-document topical bias (documents about a topic repeat that
+ *     topic's terms), so per-term score distributions vary across
+ *     documents and shards (hence non-trivial quality prediction and
+ *     the Gamma misfit of Fig. 6);
+ *   - lognormal document lengths (BM25 length normalization variance).
+ */
+
+#ifndef COTTAGE_TEXT_CORPUS_H
+#define COTTAGE_TEXT_CORPUS_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "text/document.h"
+#include "text/vocabulary.h"
+#include "util/rng.h"
+
+namespace cottage {
+
+/** Parameters of the synthetic corpus. */
+struct CorpusConfig
+{
+    /** Number of documents to generate. */
+    uint32_t numDocs = 120000;
+
+    /** Vocabulary size (distinct terms of the synthetic language). */
+    uint32_t vocabSize = 60000;
+
+    /** Zipf exponent of the global term popularity distribution. */
+    double zipfExponent = 1.2;
+
+    /** Mean document length in tokens (lognormal across documents). */
+    double meanDocLength = 160.0;
+
+    /** Lognormal sigma of document lengths. */
+    double docLengthSigma = 0.3;
+
+    /** Number of latent topics used for per-document term bias. */
+    uint32_t numTopics = 64;
+
+    /** Fraction of tokens drawn from the document's topic slice. */
+    double topicMix = 0.5;
+
+    /**
+     * When true, topics are assigned to contiguous DocId blocks (like
+     * an alphabetically-ordered Wikipedia dump, where pages about one
+     * subject cluster together); when false, each document draws its
+     * topic independently. Clustered topics + the Topical partitioner
+     * give shards distinct term profiles, the regime selective-search
+     * systems (and Cottage's quality predictor) operate in.
+     */
+    bool clusteredTopics = true;
+
+    /** Master seed; every derived stream is split from it. */
+    uint64_t seed = 42;
+};
+
+/** A generated corpus: vocabulary plus documents. */
+class Corpus
+{
+  public:
+    /** Generate a corpus from the given configuration. */
+    static Corpus generate(const CorpusConfig &config);
+
+    const CorpusConfig &config() const { return config_; }
+    const Vocabulary &vocabulary() const { return *vocabulary_; }
+    const std::vector<Document> &documents() const { return documents_; }
+    const Document &document(DocId id) const;
+    uint32_t numDocs() const { return static_cast<uint32_t>(documents_.size()); }
+    uint64_t totalTokens() const { return totalTokens_; }
+    double averageDocLength() const;
+
+  private:
+    Corpus(const CorpusConfig &config);
+
+    CorpusConfig config_;
+    std::shared_ptr<Vocabulary> vocabulary_;
+    std::vector<Document> documents_;
+    uint64_t totalTokens_ = 0;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_TEXT_CORPUS_H

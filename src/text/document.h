@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Bag-of-words document representation. Positions are not needed by
+ * BM25 or by any of the paper's mechanisms, so a document is a sorted
+ * (termId, frequency) list plus its total length.
+ */
+
+#ifndef COTTAGE_TEXT_DOCUMENT_H
+#define COTTAGE_TEXT_DOCUMENT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "text/types.h"
+
+namespace cottage {
+
+/** One term occurrence count inside a document. */
+struct TermFreq
+{
+    TermId term;
+    uint32_t freq;
+};
+
+/** A bag-of-words document. */
+struct Document
+{
+    /** Global document id (unique across all shards). */
+    DocId id = invalidDoc;
+
+    /** Distinct terms with counts, ascending by term id. */
+    std::vector<TermFreq> terms;
+
+    /** Total token count (sum of freqs). */
+    uint32_t length = 0;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_TEXT_DOCUMENT_H

@@ -1,0 +1,17 @@
+#include "text/query.h"
+
+namespace cottage {
+
+std::string
+Query::text(const Vocabulary &vocabulary) const
+{
+    std::string out;
+    for (std::size_t i = 0; i < terms.size(); ++i) {
+        if (i > 0)
+            out += ' ';
+        out += vocabulary.term(terms[i]);
+    }
+    return out;
+}
+
+} // namespace cottage

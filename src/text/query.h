@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Query representation shared by the trace generators, the engine and
+ * the predictors.
+ */
+
+#ifndef COTTAGE_TEXT_QUERY_H
+#define COTTAGE_TEXT_QUERY_H
+
+#include <string>
+#include <vector>
+
+#include "text/types.h"
+#include "text/vocabulary.h"
+
+namespace cottage {
+
+/** A search query: one or more terms plus trace metadata. */
+struct Query
+{
+    /** Position in the trace. */
+    QueryId id = 0;
+
+    /** Distinct query terms. */
+    std::vector<TermId> terms;
+
+    /**
+     * Personalized term weights (the paper's future-work extension:
+     * "customized term weights ... based on the user profile").
+     * Either empty (uniform weights, the paper's evaluated setting) or
+     * parallel to terms with strictly positive multipliers applied to
+     * each term's BM25 contribution.
+     */
+    std::vector<double> weights;
+
+    /** Arrival time in simulated seconds from trace start. */
+    double arrivalSeconds = 0.0;
+
+    /** True when per-term weights are attached. */
+    bool personalized() const { return !weights.empty(); }
+
+    /** Weight of the i-th term (1 when unweighted). */
+    double
+    weight(std::size_t i) const
+    {
+        return weights.empty() ? 1.0 : weights[i];
+    }
+
+    /** Human-readable form, for logs and examples. */
+    std::string text(const Vocabulary &vocabulary) const;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_TEXT_QUERY_H

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fundamental identifier types shared by the text, index and engine
+ * layers.
+ */
+
+#ifndef COTTAGE_TEXT_TYPES_H
+#define COTTAGE_TEXT_TYPES_H
+
+#include <cstdint>
+
+namespace cottage {
+
+/** Identifier of a term in the vocabulary (dense, 0-based). */
+using TermId = uint32_t;
+
+/** Identifier of a document in the corpus (dense, 0-based, global). */
+using DocId = uint32_t;
+
+/** Identifier of an ISN / shard. */
+using ShardId = uint32_t;
+
+/** Identifier of a query within a trace. */
+using QueryId = uint64_t;
+
+/** Sentinel for "no term". */
+constexpr TermId invalidTerm = UINT32_MAX;
+
+/** Sentinel for "no document". */
+constexpr DocId invalidDoc = UINT32_MAX;
+
+} // namespace cottage
+
+#endif // COTTAGE_TEXT_TYPES_H

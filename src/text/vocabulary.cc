@@ -1,0 +1,109 @@
+#include "text/vocabulary.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cottage {
+
+namespace {
+
+/**
+ * Readable names for the head of the vocabulary: function words and
+ * very common nouns (the stopword zone query generation skips, plus
+ * the popular general terms multi-term queries mix in).
+ */
+const char *const seedWords[] = {
+    "the", "of", "and", "in", "to", "a", "was", "is", "for", "as",
+    "on", "with", "by", "he", "at", "from", "his", "that", "it", "an",
+    "world", "history", "city", "state", "national", "university",
+    "music", "film", "river", "island", "league", "season", "war",
+    "army", "church", "school", "county", "south", "north", "east",
+    "west", "king", "queen", "president", "party", "family", "album",
+    "band", "song", "art", "author", "language", "century", "empire",
+    "government", "law", "court", "military", "battle", "railway",
+    "station", "bridge", "mountain", "lake", "sea", "coast", "trade",
+    "company", "bank", "market", "power", "engine", "car", "train",
+    "ship", "computer", "network", "data", "search", "query",
+};
+
+/**
+ * Readable names for *content-area* ranks (the topical tail beyond
+ * rank 256 where query generation draws its mandatory content term).
+ * Includes the paper's running-example queries "canada", "tokyo" and
+ * "toyota". Spaced across the tail so they land in different topic
+ * slices of the synthetic corpus.
+ */
+const char *const contentWords[] = {
+    "canada",    "tokyo",     "toyota",    "wikipedia", "ottawa",
+    "quebec",    "osaka",     "kyoto",     "honda",     "nissan",
+    "bavaria",   "saxony",    "provence",  "tuscany",   "kyushu",
+    "ontario",   "alberta",   "yukon",     "nagoya",    "sapporo",
+    "yokohama",  "marseille", "lyon",      "florence",  "venice",
+    "kilimanjaro", "andes",   "danube",    "rhine",     "amazonas",
+    "sahara",    "gobi",      "everest",   "fuji",      "vesuvius",
+    "beethoven", "mozart",    "chopin",    "vivaldi",   "brahms",
+    "newton",    "einstein",  "darwin",    "curie",     "tesla",
+    "chess",     "sudoku",    "origami",   "ikebana",   "karate",
+};
+
+/** Content words are placed at these spaced tail ranks. */
+constexpr std::size_t contentStartRank = 261;
+constexpr std::size_t contentRankStride = 37;
+
+} // namespace
+
+Vocabulary::Vocabulary(std::size_t size)
+{
+    COTTAGE_CHECK_MSG(size >= 1, "vocabulary needs at least one term");
+    terms_.reserve(size);
+    const std::size_t seedCount = sizeof(seedWords) / sizeof(seedWords[0]);
+    const std::size_t contentCount =
+        sizeof(contentWords) / sizeof(contentWords[0]);
+    for (std::size_t i = 0; i < size; ++i) {
+        if (i < seedCount) {
+            terms_.emplace_back(seedWords[i]);
+            continue;
+        }
+        if (i >= contentStartRank &&
+            (i - contentStartRank) % contentRankStride == 0) {
+            const std::size_t slot =
+                (i - contentStartRank) / contentRankStride;
+            if (slot < contentCount) {
+                terms_.emplace_back(contentWords[slot]);
+                continue;
+            }
+        }
+        terms_.emplace_back(strformat("term_%06zu", i));
+    }
+    byName_.reserve(size * 2);
+    for (std::size_t i = 0; i < terms_.size(); ++i)
+        byName_.emplace(terms_[i], static_cast<TermId>(i));
+}
+
+const std::string &
+Vocabulary::term(TermId id) const
+{
+    COTTAGE_CHECK(id < terms_.size());
+    return terms_[id];
+}
+
+TermId
+Vocabulary::lookup(const std::string &text) const
+{
+    const auto it = byName_.find(toLower(text));
+    return it == byName_.end() ? invalidTerm : it->second;
+}
+
+std::vector<TermId>
+Vocabulary::tokenize(const std::string &text) const
+{
+    std::vector<TermId> ids;
+    for (const std::string &token : splitWhitespace(text)) {
+        const TermId id = lookup(token);
+        if (id != invalidTerm)
+            ids.push_back(id);
+    }
+    return ids;
+}
+
+} // namespace cottage

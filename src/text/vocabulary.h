@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Term vocabulary: a bidirectional mapping between term strings and
+ * dense TermIds, ordered by popularity rank (TermId 0 is the most
+ * frequent term of the synthetic language).
+ *
+ * The most popular ranks are given real English words (including the
+ * paper's example queries "canada", "tokyo", "toyota") so that example
+ * programs read naturally; the rest are synthetic "term_<rank>" forms.
+ */
+
+#ifndef COTTAGE_TEXT_VOCABULARY_H
+#define COTTAGE_TEXT_VOCABULARY_H
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "text/types.h"
+
+namespace cottage {
+
+/** Popularity-ranked term vocabulary. */
+class Vocabulary
+{
+  public:
+    /**
+     * Build a synthetic vocabulary of @p size terms. The first terms
+     * take names from an embedded English word list, the remainder are
+     * "term_<id>".
+     */
+    explicit Vocabulary(std::size_t size);
+
+    /** Number of terms. */
+    std::size_t size() const { return terms_.size(); }
+
+    /** String form of a term. */
+    const std::string &term(TermId id) const;
+
+    /**
+     * Look up a term string (case-insensitive). Returns invalidTerm
+     * when absent.
+     */
+    TermId lookup(const std::string &text) const;
+
+    /**
+     * Tokenize free text into TermIds, dropping unknown tokens. This is
+     * the query-side analyzer used by the examples.
+     */
+    std::vector<TermId> tokenize(const std::string &text) const;
+
+  private:
+    std::vector<std::string> terms_;
+    std::unordered_map<std::string, TermId> byName_;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_TEXT_VOCABULARY_H

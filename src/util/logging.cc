@@ -1,0 +1,87 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <iostream>
+
+namespace cottage {
+
+namespace {
+
+LogLevel globalLevel = LogLevel::Info;
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info: return "INFO";
+      case LogLevel::Warn: return "WARN";
+      case LogLevel::Error: return "ERROR";
+      case LogLevel::Off: return "OFF";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+logMessage(LogLevel level, const std::string &message)
+{
+    if (level < globalLevel)
+        return;
+    std::fprintf(stderr, "[%s] %s\n", levelTag(level), message.c_str());
+}
+
+void
+logDebug(const std::string &message)
+{
+    logMessage(LogLevel::Debug, message);
+}
+
+void
+logInfo(const std::string &message)
+{
+    logMessage(LogLevel::Info, message);
+}
+
+void
+logWarn(const std::string &message)
+{
+    logMessage(LogLevel::Warn, message);
+}
+
+void
+logError(const std::string &message)
+{
+    logMessage(LogLevel::Error, message);
+}
+
+void
+fatal(const std::string &message)
+{
+    std::fprintf(stderr, "[FATAL] %s\n", message.c_str());
+    std::exit(1);
+}
+
+void
+checkFailed(const char *file, int line, const char *expr,
+            const std::string &message)
+{
+    std::fprintf(stderr, "[PANIC] %s:%d: check failed: %s%s%s\n", file, line,
+                 expr, message.empty() ? "" : " -- ", message.c_str());
+    std::abort();
+}
+
+} // namespace cottage

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Lightweight logging and error-checking utilities used across the
+ * Cottage codebase.
+ *
+ * Two severities of failure are distinguished, following simulator
+ * conventions (gem5's panic/fatal split):
+ *   - COTTAGE_CHECK / checkFailed: internal invariant violation (a bug in
+ *     this library). Aborts.
+ *   - cottage::fatal: user error (bad configuration, invalid argument).
+ *     Exits with status 1.
+ */
+
+#ifndef COTTAGE_UTIL_LOGGING_H
+#define COTTAGE_UTIL_LOGGING_H
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace cottage {
+
+/** Log severity levels, in increasing order of importance. */
+enum class LogLevel {
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+    Off = 4,
+};
+
+/**
+ * Set the global minimum level for log output. Messages below this
+ * level are suppressed. Defaults to Info.
+ */
+void setLogLevel(LogLevel level);
+
+/** Current global log level. */
+LogLevel logLevel();
+
+/**
+ * Emit one log line to stderr with a severity tag.
+ *
+ * @param level Severity of the message.
+ * @param message Pre-formatted message body.
+ */
+void logMessage(LogLevel level, const std::string &message);
+
+/** Convenience wrappers around logMessage. */
+void logDebug(const std::string &message);
+void logInfo(const std::string &message);
+void logWarn(const std::string &message);
+void logError(const std::string &message);
+
+/**
+ * Terminate the process due to a user-level error (bad configuration or
+ * invalid arguments), printing the message to stderr. Never returns.
+ */
+[[noreturn]] void fatal(const std::string &message);
+
+/**
+ * Terminate the process due to an internal invariant violation (a bug),
+ * printing file/line context. Never returns; calls std::abort so a core
+ * dump or debugger trap is possible.
+ */
+[[noreturn]] void checkFailed(const char *file, int line, const char *expr,
+                              const std::string &message);
+
+} // namespace cottage
+
+/**
+ * Assert an internal invariant. Active in all build types: the cost of
+ * the checks in this codebase is negligible next to search work, and
+ * silent corruption in a simulator is far worse than a branch.
+ */
+#define COTTAGE_CHECK(expr)                                                  \
+    do {                                                                     \
+        if (!(expr)) {                                                       \
+            ::cottage::checkFailed(__FILE__, __LINE__, #expr, "");           \
+        }                                                                    \
+    } while (0)
+
+/** COTTAGE_CHECK with an explanatory message (streamed). */
+#define COTTAGE_CHECK_MSG(expr, msg)                                         \
+    do {                                                                     \
+        if (!(expr)) {                                                       \
+            std::ostringstream oss_;                                         \
+            oss_ << msg;                                                     \
+            ::cottage::checkFailed(__FILE__, __LINE__, #expr, oss_.str());   \
+        }                                                                    \
+    } while (0)
+
+#endif // COTTAGE_UTIL_LOGGING_H

@@ -1,0 +1,180 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cottage {
+
+namespace {
+
+/** splitmix64 step, used only for seeding. */
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+    : cachedNormal_(0.0), hasCachedNormal_(false)
+{
+    uint64_t sm = seed;
+    for (auto &word : state_)
+        word = splitmix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    // xoshiro256** by Blackman & Vigna.
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next());
+}
+
+double
+Rng::uniform()
+{
+    // 53 random bits into the mantissa: uniform on [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    COTTAGE_CHECK(lo <= hi);
+    return lo + (hi - lo) * uniform();
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    COTTAGE_CHECK(lo <= hi);
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<int64_t>(next());
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+    uint64_t draw;
+    do {
+        draw = next();
+    } while (draw >= limit);
+    return lo + static_cast<int64_t>(draw % span);
+}
+
+double
+Rng::normal()
+{
+    if (hasCachedNormal_) {
+        hasCachedNormal_ = false;
+        return cachedNormal_;
+    }
+    // Box-Muller; u1 must be strictly positive.
+    double u1;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * M_PI * u2;
+    cachedNormal_ = radius * std::sin(angle);
+    hasCachedNormal_ = true;
+    return radius * std::cos(angle);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::exponential(double rate)
+{
+    COTTAGE_CHECK(rate > 0.0);
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -std::log(u) / rate;
+}
+
+double
+Rng::lognormal(double mu, double sigma)
+{
+    return std::exp(normal(mu, sigma));
+}
+
+int64_t
+Rng::poisson(double mean)
+{
+    COTTAGE_CHECK(mean >= 0.0);
+    if (mean == 0.0)
+        return 0;
+    if (mean < 30.0) {
+        // Knuth's product-of-uniforms method.
+        const double threshold = std::exp(-mean);
+        int64_t count = 0;
+        double product = uniform();
+        while (product > threshold) {
+            ++count;
+            product *= uniform();
+        }
+        return count;
+    }
+    // Normal approximation with continuity correction for large means;
+    // accurate enough for arrival batching at the rates we simulate.
+    const double draw = normal(mean, std::sqrt(mean));
+    return draw < 0.0 ? 0 : static_cast<int64_t>(draw + 0.5);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+std::size_t
+Rng::discrete(const std::vector<double> &weights)
+{
+    COTTAGE_CHECK(!weights.empty());
+    double total = 0.0;
+    for (double w : weights) {
+        COTTAGE_CHECK(w >= 0.0);
+        total += w;
+    }
+    COTTAGE_CHECK_MSG(total > 0.0, "discrete() needs a positive weight sum");
+    double draw = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        draw -= weights[i];
+        if (draw < 0.0)
+            return i;
+    }
+    return weights.size() - 1; // numeric slack: fall to the last bucket
+}
+
+} // namespace cottage

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Wall-clock stopwatch used to measure real (host) time, e.g. predictor
+ * inference microseconds for the Fig. 7/8 reproductions. Simulated time
+ * lives in src/sim and is unrelated to this clock.
+ */
+
+#ifndef COTTAGE_UTIL_STOPWATCH_H
+#define COTTAGE_UTIL_STOPWATCH_H
+
+#include <chrono>
+
+namespace cottage {
+
+/** Monotonic wall-clock timer. Starts running on construction. */
+class Stopwatch
+{
+  public:
+    Stopwatch() { reset(); }
+
+    /** Restart the timer at zero. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double
+    elapsedSeconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** Microseconds elapsed since construction or the last reset(). */
+    double elapsedMicros() const { return elapsedSeconds() * 1e6; }
+
+    /** Milliseconds elapsed since construction or the last reset(). */
+    double elapsedMillis() const { return elapsedSeconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_UTIL_STOPWATCH_H

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Small string helpers shared by trace parsing, CLI handling and the
+ * table printers. Nothing here is clever; it exists so the rest of the
+ * code never hand-rolls tokenization.
+ */
+
+#ifndef COTTAGE_UTIL_STRING_UTIL_H
+#define COTTAGE_UTIL_STRING_UTIL_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cottage {
+
+/** Split on a single character; empty fields are kept. */
+std::vector<std::string> split(std::string_view text, char delimiter);
+
+/**
+ * Split on runs of whitespace; empty fields are dropped. This is the
+ * query tokenizer's backbone.
+ */
+std::vector<std::string> splitWhitespace(std::string_view text);
+
+/** Join parts with a separator. */
+std::string join(const std::vector<std::string> &parts,
+                 std::string_view separator);
+
+/** Strip leading/trailing whitespace. */
+std::string trim(std::string_view text);
+
+/** ASCII lowercase copy. */
+std::string toLower(std::string_view text);
+
+/** True if text begins with prefix. */
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/** printf-style formatting into a std::string. */
+std::string strformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace cottage
+
+#endif // COTTAGE_UTIL_STRING_UTIL_H

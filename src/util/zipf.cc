@@ -1,0 +1,67 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cottage {
+
+ZipfSampler::ZipfSampler(uint64_t n, double s)
+    : n_(n), s_(s)
+{
+    COTTAGE_CHECK_MSG(n >= 1, "ZipfSampler needs n >= 1");
+    COTTAGE_CHECK_MSG(s > 0.0, "ZipfSampler needs s > 0");
+    hX1_ = h(1.5) - 1.0;
+    hN_ = h(static_cast<double>(n) + 0.5);
+    sDiv_ = 2.0 - hInverse(h(2.5) - std::pow(2.0, -s_));
+    normalizer_ = 0.0;
+    for (uint64_t k = 1; k <= n_; ++k)
+        normalizer_ += std::pow(static_cast<double>(k), -s_);
+}
+
+double
+ZipfSampler::h(double x) const
+{
+    // Integral of x^-s: the "H function" of rejection-inversion.
+    if (s_ == 1.0)
+        return std::log(x);
+    return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double
+ZipfSampler::hInverse(double x) const
+{
+    if (s_ == 1.0)
+        return std::exp(x);
+    const double t = std::max(-1.0, x * (1.0 - s_));
+    return std::pow(1.0 + t, 1.0 / (1.0 - s_));
+}
+
+uint64_t
+ZipfSampler::sample(Rng &rng) const
+{
+    if (n_ == 1)
+        return 1;
+    // Rejection-inversion (Hörmann & Derflinger 1996).
+    while (true) {
+        const double u = hN_ + rng.uniform() * (hX1_ - hN_);
+        const double x = hInverse(u);
+        uint64_t k = static_cast<uint64_t>(x + 0.5);
+        k = std::clamp<uint64_t>(k, 1, n_);
+        const double kd = static_cast<double>(k);
+        if (kd - x <= sDiv_ ||
+            u >= h(kd + 0.5) - std::pow(kd, -s_)) {
+            return k;
+        }
+    }
+}
+
+double
+ZipfSampler::pmf(uint64_t rank) const
+{
+    COTTAGE_CHECK(rank >= 1 && rank <= n_);
+    return std::pow(static_cast<double>(rank), -s_) / normalizer_;
+}
+
+} // namespace cottage

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Zipf-distributed sampling over ranks 1..n.
+ *
+ * Term frequencies in natural-language corpora follow a Zipf law; the
+ * synthetic corpus and query-trace generators rely on this sampler to
+ * reproduce the heavy-tailed posting-list lengths and query costs that
+ * drive the latency variation studied in the paper (Fig. 2).
+ *
+ * Uses the rejection-inversion method of Hörmann & Derflinger (1996),
+ * which is O(1) per sample and exact for any exponent s > 0 (s != 1 is
+ * handled together with s == 1 via the usual H-function limits).
+ */
+
+#ifndef COTTAGE_UTIL_ZIPF_H
+#define COTTAGE_UTIL_ZIPF_H
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace cottage {
+
+/**
+ * Sampler for P(rank = k) proportional to 1 / k^s, k in [1, n].
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n Number of ranks (must be >= 1).
+     * @param s Zipf exponent (must be > 0).
+     */
+    ZipfSampler(uint64_t n, double s);
+
+    /** Draw one rank in [1, n]. */
+    uint64_t sample(Rng &rng) const;
+
+    /** Probability mass of a given rank (normalized). */
+    double pmf(uint64_t rank) const;
+
+    uint64_t n() const { return n_; }
+    double exponent() const { return s_; }
+
+  private:
+    double h(double x) const;
+    double hInverse(double x) const;
+
+    uint64_t n_;
+    double s_;
+    double hX1_;
+    double hN_;
+    double sDiv_;
+    double normalizer_; // generalized harmonic number H_{n,s}
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_UTIL_ZIPF_H

@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Tests for the paper's contribution: Algorithm 1 (including the
+ * worked Fig. 9 example) and the Cottage policy family.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/budget_algorithm.h"
+#include "core/cottage_isn_policy.h"
+#include "core/cottage_policy.h"
+#include "core/cottage_without_ml_policy.h"
+#include "core/oracle_policy.h"
+#include "core/slo_policy.h"
+#include "engine/distributed_engine.h"
+#include "index/maxscore_evaluator.h"
+#include "text/trace.h"
+
+namespace cottage {
+namespace {
+
+IsnPrediction
+pred(ShardId isn, uint32_t qK, uint32_t qHalf, double boostedMs)
+{
+    IsnPrediction p;
+    p.isn = isn;
+    p.qualityK = qK;
+    p.qualityHalf = qHalf;
+    p.latencyBoosted = boostedMs * 1e-3;
+    p.latencyCurrent = p.latencyBoosted * 2.7 / 2.1;
+    p.serviceCycles = p.latencyBoosted * 2.7e9;
+    return p;
+}
+
+bool
+contains(const std::vector<ShardId> &set, ShardId isn)
+{
+    return std::find(set.begin(), set.end(), isn) != set.end();
+}
+
+TEST(BudgetAlgorithm, ReproducesFig9Example)
+{
+    // The paper's worked example (K = 20): ISNs 4, 9, 12, 14 predict
+    // zero Quality-K and are cut; the descending-boosted-latency walk
+    // visits <7, 1, 13, ...>; ISN-7 contributes nothing to the top-K/2
+    // so the budget lands on ISN-1's boosted latency of 16 ms and
+    // ISN-7 is sacrificed.
+    std::vector<IsnPrediction> predictions = {
+        pred(7, 2, 0, 18.0),  pred(1, 3, 1, 16.0),  pred(13, 4, 2, 15.0),
+        pred(2, 2, 1, 14.0),  pred(6, 1, 0, 12.0),  pred(5, 2, 1, 11.0),
+        pred(15, 1, 0, 10.0), pred(16, 1, 1, 9.0),  pred(3, 3, 2, 8.0),
+        pred(8, 2, 1, 7.0),   pred(10, 1, 0, 6.0),  pred(11, 1, 2, 5.0),
+        pred(4, 0, 0, 13.0),  pred(9, 0, 0, 4.0),   pred(12, 0, 0, 20.0),
+        pred(14, 0, 0, 3.0),
+    };
+
+    const BudgetDecision decision =
+        determineTimeBudget(std::move(predictions));
+
+    EXPECT_NEAR(decision.budgetSeconds, 16e-3, 1e-12);
+
+    ASSERT_EQ(decision.droppedZeroQuality.size(), 4u);
+    for (ShardId isn : {4, 9, 12, 14})
+        EXPECT_TRUE(contains(decision.droppedZeroQuality, isn))
+            << "ISN " << isn;
+
+    ASSERT_EQ(decision.droppedOverBudget.size(), 1u);
+    EXPECT_EQ(decision.droppedOverBudget[0], 7u);
+
+    EXPECT_EQ(decision.selected.size(), 11u);
+    for (ShardId isn : {1, 13, 2, 6, 5, 15, 16, 3, 8, 10, 11})
+        EXPECT_TRUE(contains(decision.selected, isn)) << "ISN " << isn;
+}
+
+TEST(BudgetAlgorithm, EmptyInputYieldsEmptyDecision)
+{
+    const BudgetDecision decision = determineTimeBudget({});
+    EXPECT_TRUE(decision.selected.empty());
+    EXPECT_DOUBLE_EQ(decision.budgetSeconds, 0.0);
+}
+
+TEST(BudgetAlgorithm, AllZeroQualityDropsEverything)
+{
+    const BudgetDecision decision = determineTimeBudget(
+        {pred(0, 0, 0, 5.0), pred(1, 0, 0, 8.0), pred(2, 0, 0, 2.0)});
+    EXPECT_TRUE(decision.selected.empty());
+    EXPECT_EQ(decision.droppedZeroQuality.size(), 3u);
+}
+
+TEST(BudgetAlgorithm, NoHalfContributorShrinksToFastest)
+{
+    // Nobody contributes to the top-K/2: the walk runs to the fastest
+    // ISN (the pseudocode's loop leaves T at the last boosted latency).
+    const BudgetDecision decision = determineTimeBudget(
+        {pred(0, 1, 0, 12.0), pred(1, 2, 0, 6.0), pred(2, 1, 0, 3.0)});
+    EXPECT_NEAR(decision.budgetSeconds, 3e-3, 1e-12);
+    ASSERT_EQ(decision.selected.size(), 1u);
+    EXPECT_EQ(decision.selected[0], 2u);
+    EXPECT_EQ(decision.droppedOverBudget.size(), 2u);
+}
+
+TEST(BudgetAlgorithm, SlowestIsHalfContributorKeepsEveryone)
+{
+    const BudgetDecision decision = determineTimeBudget(
+        {pred(0, 2, 1, 15.0), pred(1, 1, 0, 8.0), pred(2, 1, 1, 4.0)});
+    EXPECT_NEAR(decision.budgetSeconds, 15e-3, 1e-12);
+    EXPECT_EQ(decision.selected.size(), 3u);
+    EXPECT_TRUE(decision.droppedOverBudget.empty());
+}
+
+TEST(BudgetAlgorithm, EqualBoostedLatenciesAllSelected)
+{
+    const BudgetDecision decision = determineTimeBudget(
+        {pred(0, 1, 0, 7.0), pred(1, 1, 1, 7.0), pred(2, 2, 1, 7.0)});
+    EXPECT_NEAR(decision.budgetSeconds, 7e-3, 1e-12);
+    EXPECT_EQ(decision.selected.size(), 3u);
+}
+
+/** Small end-to-end stack with a quickly-trained bank. */
+class CottageFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        CorpusConfig corpusConfig;
+        corpusConfig.numDocs = 3000;
+        corpusConfig.vocabSize = 6000;
+        corpusConfig.seed = 14;
+        corpus_ = std::make_unique<Corpus>(Corpus::generate(corpusConfig));
+
+        ShardedIndexConfig shardConfig;
+        shardConfig.numShards = 4;
+        shardConfig.topK = 10;
+        // Topical shards (the default experiment layout): quality
+        // contributions concentrate, so selection is meaningful.
+        shardConfig.partition = PartitionPolicy::Topical;
+        index_ = std::make_unique<ShardedIndex>(*corpus_, shardConfig);
+        cluster_ = std::make_unique<ClusterSim>(4, FrequencyLadder(),
+                                                PowerModel());
+        engine_ = std::make_unique<DistributedEngine>(*index_, *cluster_,
+                                                      evaluator_);
+
+        TraceConfig traceConfig;
+        traceConfig.numQueries = 300;
+        traceConfig.vocabSize = corpusConfig.vocabSize;
+        traceConfig.seed = 91;
+        trainTrace_ = QueryTrace::generate(traceConfig);
+
+        PredictorTrainConfig trainConfig;
+        trainConfig.hiddenLayers = {16, 16};
+        trainConfig.iterations = 200;
+        bank_ = std::make_unique<PredictorBank>(*index_, evaluator_,
+                                                WorkModel(), trainTrace_,
+                                                trainConfig);
+
+        query_.terms = {40, 700};
+        query_.arrivalSeconds = 0.0;
+    }
+
+    MaxScoreEvaluator evaluator_;
+    std::unique_ptr<Corpus> corpus_;
+    std::unique_ptr<ShardedIndex> index_;
+    std::unique_ptr<ClusterSim> cluster_;
+    std::unique_ptr<DistributedEngine> engine_;
+    QueryTrace trainTrace_;
+    std::unique_ptr<PredictorBank> bank_;
+    Query query_;
+};
+
+TEST_F(CottageFixture, PredictionsAreWellFormed)
+{
+    CottagePolicy policy(*bank_);
+    const std::vector<IsnPrediction> predictions =
+        policy.predictions(query_, *engine_);
+    ASSERT_EQ(predictions.size(), 4u);
+    for (const IsnPrediction &p : predictions) {
+        EXPECT_GT(p.latencyCurrent, 0.0);
+        // Boosting cannot be slower than the current frequency.
+        EXPECT_LE(p.latencyBoosted, p.latencyCurrent + 1e-12);
+        EXPECT_DOUBLE_EQ(p.backlogSeconds, 0.0); // idle cluster
+        EXPECT_LE(p.qualityK, 10u);
+        EXPECT_LE(p.qualityHalf, 5u);
+    }
+}
+
+TEST_F(CottageFixture, PlanRespectsLadderAndBudget)
+{
+    CottagePolicy policy(*bank_);
+    const QueryPlan plan = policy.plan(query_, *engine_);
+    ASSERT_EQ(plan.isns.size(), 4u);
+    EXPECT_GE(plan.participants(), 1u);
+    if (plan.budgetSeconds != noBudget) {
+        EXPECT_GT(plan.budgetSeconds, 0.0);
+        for (const IsnDirective &directive : plan.isns) {
+            if (!directive.participate)
+                continue;
+            EXPECT_TRUE(engine_->cluster().ladder().contains(
+                directive.freqGhz))
+                << directive.freqGhz;
+        }
+    }
+    EXPECT_GT(plan.decisionOverheadSeconds, 0.0);
+}
+
+TEST_F(CottageFixture, BacklogRaisesEquivalentLatency)
+{
+    // Saturate ISN 0, then check the prediction includes the backlog.
+    cluster_->isn(0).execute(0.0, 2.1e9, 2.1,
+                             std::numeric_limits<double>::infinity());
+    CottagePolicy policy(*bank_);
+    const std::vector<IsnPrediction> predictions =
+        policy.predictions(query_, *engine_);
+    EXPECT_NEAR(predictions[0].backlogSeconds, 1.0, 1e-9);
+    EXPECT_GT(predictions[0].latencyBoosted, 0.9);
+    cluster_->reset();
+}
+
+TEST_F(CottageFixture, CottageUsesFewerIsnsThanExhaustive)
+{
+    CottagePolicy policy(*bank_);
+    uint32_t total = 0;
+    for (const Query &query : trainTrace_.queries()) {
+        const QueryPlan plan = policy.plan(query, *engine_);
+        total += plan.participants();
+    }
+    const double average =
+        static_cast<double>(total) /
+        static_cast<double>(trainTrace_.size());
+    EXPECT_LT(average, 4.0);
+    EXPECT_GE(average, 1.0);
+}
+
+TEST_F(CottageFixture, IsnVariantHasNoBudgetOrBoost)
+{
+    CottageIsnPolicy policy(*bank_);
+    const QueryPlan plan = policy.plan(query_, *engine_);
+    EXPECT_EQ(plan.budgetSeconds, noBudget);
+    for (const IsnDirective &directive : plan.isns)
+        EXPECT_DOUBLE_EQ(directive.freqGhz, 0.0);
+    // Local decision: cheaper than the coordinated round.
+    CottagePolicy full(*bank_);
+    EXPECT_LT(plan.decisionOverheadSeconds,
+              full.plan(query_, *engine_).decisionOverheadSeconds);
+}
+
+TEST_F(CottageFixture, WithoutMlVariantProducesValidPlans)
+{
+    CottageWithoutMlPolicy policy(*bank_, *index_);
+    EXPECT_STREQ(policy.name(), "cottage-without-ml");
+    const QueryPlan plan = policy.plan(query_, *engine_);
+    EXPECT_GE(plan.participants(), 1u);
+    EXPECT_EQ(plan.isns.size(), 4u);
+}
+
+TEST_F(CottageFixture, OracleSelectsExactlyTheContributors)
+{
+    OraclePolicy policy;
+    const auto truth = engine_->globalTopK(query_.terms);
+    const auto contributions = engine_->shardContributions(truth);
+
+    const QueryPlan plan = policy.plan(query_, *engine_);
+    // Participants must be a subset of true contributors; any true
+    // contributor left out was sacrificed by the budget walk (and must
+    // then be slower than the budget when boosted).
+    for (ShardId s = 0; s < 4; ++s) {
+        if (plan.isns[s].participate) {
+            EXPECT_GT(contributions[s], 0u) << "ISN " << s;
+        }
+    }
+    EXPECT_GE(plan.participants(), 1u);
+    EXPECT_DOUBLE_EQ(plan.decisionOverheadSeconds, 0.0);
+}
+
+TEST_F(CottageFixture, OracleExecutionMeetsItsOwnBudget)
+{
+    OraclePolicy policy;
+    cluster_->reset();
+    const auto truth = engine_->globalTopK(query_.terms);
+    const QueryPlan plan = policy.plan(query_, *engine_);
+    const QueryMeasurement m = engine_->execute(query_, plan, truth);
+    // Exact cycle knowledge: every dispatched ISN completes.
+    EXPECT_EQ(m.isnsCompleted, m.isnsUsed);
+}
+
+TEST_F(CottageFixture, OracleQualityDominatesCottage)
+{
+    OraclePolicy oracle;
+    CottagePolicy cottage(*bank_);
+    double oraclePrecision = 0.0;
+    double cottagePrecision = 0.0;
+    for (std::size_t q = 0; q < 60; ++q) {
+        const Query &query = trainTrace_.query(q);
+        const auto truth = engine_->globalTopK(query.terms);
+        cluster_->reset();
+        oraclePrecision +=
+            engine_->execute(query, oracle.plan(query, *engine_), truth)
+                .precisionAtK;
+        cluster_->reset();
+        cottagePrecision +=
+            engine_->execute(query, cottage.plan(query, *engine_), truth)
+                .precisionAtK;
+    }
+    EXPECT_GE(oraclePrecision, cottagePrecision - 1.0);
+    EXPECT_GT(oraclePrecision / 60.0, 0.9);
+    cluster_->reset();
+}
+
+TEST_F(CottageFixture, SloDvfsServesEveryoneAtFixedDeadline)
+{
+    SloDvfsPolicy policy(*bank_, 50e-3);
+    const QueryPlan plan = policy.plan(query_, *engine_);
+    EXPECT_EQ(plan.participants(), 4u);
+    EXPECT_DOUBLE_EQ(plan.budgetSeconds, 50e-3);
+    // A generous SLO lets every ISN run below the default frequency.
+    for (const IsnDirective &directive : plan.isns) {
+        EXPECT_TRUE(engine_->cluster().ladder().contains(
+            directive.freqGhz));
+        EXPECT_LE(directive.freqGhz,
+                  engine_->cluster().ladder().defaultGhz() + 1e-12);
+    }
+    // A hopeless SLO forces max frequency everywhere.
+    SloDvfsPolicy tight(*bank_, 1e-6);
+    const QueryPlan tightPlan = tight.plan(query_, *engine_);
+    for (const IsnDirective &directive : tightPlan.isns)
+        EXPECT_DOUBLE_EQ(directive.freqGhz,
+                         engine_->cluster().ladder().maxGhz());
+}
+
+TEST_F(CottageFixture, BudgetSlackOnlyWidensDeadline)
+{
+    CottageConfig tight;
+    tight.budgetSlack = 1.0;
+    CottageConfig loose;
+    loose.budgetSlack = 2.0;
+    CottagePolicy tightPolicy(*bank_, tight);
+    CottagePolicy loosePolicy(*bank_, loose);
+    const QueryPlan a = tightPolicy.plan(query_, *engine_);
+    const QueryPlan b = loosePolicy.plan(query_, *engine_);
+    if (a.budgetSeconds != noBudget && b.budgetSeconds != noBudget) {
+        EXPECT_NEAR(b.budgetSeconds, 2.0 * a.budgetSeconds,
+                    1e-9 * a.budgetSeconds);
+        // Same participants either way: slack is margin, not policy.
+        EXPECT_EQ(a.participants(), b.participants());
+    }
+}
+
+} // namespace
+} // namespace cottage

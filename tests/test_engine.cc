@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests for the distributed engine: plan semantics (participation,
+ * budgets, frequencies), latency composition, quality measurement and
+ * work accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "engine/distributed_engine.h"
+#include "index/maxscore_evaluator.h"
+#include "shard/sharded_index.h"
+#include "text/trace.h"
+
+namespace cottage {
+namespace {
+
+class EngineFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        CorpusConfig corpusConfig;
+        corpusConfig.numDocs = 2000;
+        corpusConfig.vocabSize = 5000;
+        corpusConfig.meanDocLength = 80.0;
+        corpusConfig.seed = 11;
+        corpus_ = std::make_unique<Corpus>(Corpus::generate(corpusConfig));
+
+        ShardedIndexConfig shardConfig;
+        shardConfig.numShards = 4;
+        shardConfig.topK = 10;
+        index_ = std::make_unique<ShardedIndex>(*corpus_, shardConfig);
+
+        cluster_ = std::make_unique<ClusterSim>(4, FrequencyLadder(),
+                                                PowerModel());
+        engine_ = std::make_unique<DistributedEngine>(*index_, *cluster_,
+                                                      evaluator_);
+
+        query_.id = 0;
+        query_.terms = {30, 200};
+        query_.arrivalSeconds = 0.0;
+        truth_ = engine_->globalTopK(query_.terms);
+        ASSERT_FALSE(truth_.empty());
+    }
+
+    MaxScoreEvaluator evaluator_;
+    std::unique_ptr<Corpus> corpus_;
+    std::unique_ptr<ShardedIndex> index_;
+    std::unique_ptr<ClusterSim> cluster_;
+    std::unique_ptr<DistributedEngine> engine_;
+    Query query_;
+    std::vector<ScoredDoc> truth_;
+};
+
+TEST_F(EngineFixture, ExhaustivePlanIsPerfect)
+{
+    const QueryPlan plan = QueryPlan::allIsns(4);
+    const QueryMeasurement m = engine_->execute(query_, plan, truth_);
+    EXPECT_EQ(m.isnsUsed, 4u);
+    EXPECT_EQ(m.isnsCompleted, 4u);
+    EXPECT_DOUBLE_EQ(m.precisionAtK, 1.0);
+    EXPECT_EQ(m.results.size(), truth_.size());
+    for (std::size_t i = 0; i < truth_.size(); ++i)
+        EXPECT_EQ(m.results[i].doc, truth_[i].doc);
+    EXPECT_GT(m.latencySeconds, 0.0);
+    EXPECT_EQ(m.isnsBoosted, 0u);
+}
+
+TEST_F(EngineFixture, NonParticipantsContributeNothing)
+{
+    QueryPlan plan = QueryPlan::allIsns(4);
+    plan.isns[0].participate = false;
+    plan.isns[2].participate = false;
+    cluster_->reset();
+    const QueryMeasurement m = engine_->execute(query_, plan, truth_);
+    EXPECT_EQ(m.isnsUsed, 2u);
+    // Every returned doc must belong to a participating shard.
+    for (const ScoredDoc &hit : m.results) {
+        const ShardId owner = index_->shardOf(hit.doc);
+        EXPECT_TRUE(owner == 1 || owner == 3);
+    }
+    // Quality can only drop.
+    EXPECT_LE(m.precisionAtK, 1.0);
+}
+
+TEST_F(EngineFixture, TightBudgetDropsResponsesAndCapsLatency)
+{
+    QueryPlan plan = QueryPlan::allIsns(4);
+    plan.budgetSeconds = 1e-7; // impossibly tight
+    cluster_->reset();
+    const QueryMeasurement m = engine_->execute(query_, plan, truth_);
+    EXPECT_EQ(m.isnsCompleted, 0u);
+    EXPECT_DOUBLE_EQ(m.precisionAtK, 0.0);
+    // Latency collapses to roughly budget + network + merge.
+    const double expected = cluster_->network().rttSeconds +
+                            plan.budgetSeconds +
+                            cluster_->network().mergeSeconds;
+    EXPECT_NEAR(m.latencySeconds, expected, 1e-9);
+}
+
+TEST_F(EngineFixture, GenerousBudgetBehavesLikeNoBudget)
+{
+    QueryPlan noBudgetPlan = QueryPlan::allIsns(4);
+    cluster_->reset();
+    const QueryMeasurement a =
+        engine_->execute(query_, noBudgetPlan, truth_);
+
+    QueryPlan budgetPlan = QueryPlan::allIsns(4);
+    budgetPlan.budgetSeconds = 10.0;
+    cluster_->reset();
+    const QueryMeasurement b = engine_->execute(query_, budgetPlan, truth_);
+
+    EXPECT_NEAR(a.latencySeconds, b.latencySeconds, 1e-12);
+    EXPECT_DOUBLE_EQ(b.precisionAtK, 1.0);
+}
+
+TEST_F(EngineFixture, BoostedFrequencyShortensLatencyAndIsCounted)
+{
+    QueryPlan defaultPlan = QueryPlan::allIsns(4);
+    cluster_->reset();
+    const QueryMeasurement slow =
+        engine_->execute(query_, defaultPlan, truth_);
+
+    QueryPlan boostPlan = QueryPlan::allIsns(4);
+    for (IsnDirective &directive : boostPlan.isns)
+        directive.freqGhz = 2.7;
+    cluster_->reset();
+    const QueryMeasurement fast =
+        engine_->execute(query_, boostPlan, truth_);
+
+    EXPECT_EQ(fast.isnsBoosted, 4u);
+    EXPECT_LT(fast.latencySeconds, slow.latencySeconds);
+    EXPECT_DOUBLE_EQ(fast.precisionAtK, 1.0);
+}
+
+TEST_F(EngineFixture, DecisionOverheadAddsToLatency)
+{
+    QueryPlan plan = QueryPlan::allIsns(4);
+    cluster_->reset();
+    const QueryMeasurement base = engine_->execute(query_, plan, truth_);
+
+    plan.decisionOverheadSeconds = 5e-3;
+    cluster_->reset();
+    const QueryMeasurement delayed = engine_->execute(query_, plan, truth_);
+    EXPECT_NEAR(delayed.latencySeconds - base.latencySeconds, 5e-3, 1e-9);
+}
+
+TEST_F(EngineFixture, NdcgPenalizesLosingTopRanks)
+{
+    // Exhaustive: perfect NDCG.
+    QueryPlan plan = QueryPlan::allIsns(4);
+    cluster_->reset();
+    const QueryMeasurement full = engine_->execute(query_, plan, truth_);
+    EXPECT_DOUBLE_EQ(full.ndcgAtK, 1.0);
+
+    // Drop the shard owning the rank-1 document: both quality metrics
+    // fall below perfect, and NDCG stays a valid fraction. (NDCG can
+    // exceed P@K here because surviving hits close ranks upward.)
+    const ShardId topOwner = index_->shardOf(truth_[0].doc);
+    plan.isns[topOwner].participate = false;
+    cluster_->reset();
+    const QueryMeasurement cut = engine_->execute(query_, plan, truth_);
+    EXPECT_LT(cut.ndcgAtK, 1.0);
+    EXPECT_LT(cut.precisionAtK, 1.0);
+    EXPECT_GT(cut.ndcgAtK, 0.0);
+}
+
+TEST_F(EngineFixture, DocsSearchedSumsParticipatingWork)
+{
+    QueryPlan plan = QueryPlan::allIsns(4);
+    cluster_->reset();
+    const QueryMeasurement m = engine_->execute(query_, plan, truth_);
+    uint64_t expected = 0;
+    for (ShardId s = 0; s < 4; ++s)
+        expected += engine_->shardWork(s, query_.terms).docsScored;
+    EXPECT_EQ(m.docsSearched, expected);
+}
+
+TEST_F(EngineFixture, ShardContributionsMatchOwnership)
+{
+    const std::vector<uint32_t> contributions =
+        engine_->shardContributions(truth_);
+    uint32_t total = 0;
+    for (uint32_t c : contributions)
+        total += c;
+    EXPECT_EQ(total, truth_.size());
+    for (const ScoredDoc &hit : truth_)
+        EXPECT_GT(contributions[index_->shardOf(hit.doc)], 0u);
+}
+
+TEST_F(EngineFixture, QueueingCouplesConsecutiveQueries)
+{
+    // Two identical queries back to back: the second waits behind the
+    // first on every ISN, so its latency must be strictly larger.
+    QueryPlan plan = QueryPlan::allIsns(4);
+    cluster_->reset();
+    Query first = query_;
+    Query second = query_;
+    second.id = 1;
+    second.arrivalSeconds = 1e-6;
+    const QueryMeasurement a = engine_->execute(first, plan, truth_);
+    const QueryMeasurement b = engine_->execute(second, plan, truth_);
+    EXPECT_GT(b.latencySeconds, a.latencySeconds * 1.5);
+    // The extra wait is (up to arrival offset) one full service time.
+    EXPECT_NEAR(b.latencySeconds - a.latencySeconds + second.arrivalSeconds,
+                a.latencySeconds - cluster_->network().rttSeconds -
+                    cluster_->network().mergeSeconds,
+                2e-5);
+}
+
+TEST_F(EngineFixture, EmptyGroundTruthMeansPerfectPrecision)
+{
+    Query nonsense;
+    nonsense.terms = {4999999};
+    nonsense.arrivalSeconds = 0.0;
+    const QueryPlan plan = QueryPlan::allIsns(4);
+    cluster_->reset();
+    const QueryMeasurement m = engine_->execute(nonsense, plan, {});
+    EXPECT_DOUBLE_EQ(m.precisionAtK, 1.0);
+    EXPECT_TRUE(m.results.empty());
+}
+
+} // namespace
+} // namespace cottage

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the experiment harness: configuration flag overrides and
+ * experiment-stack accessors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/experiment.h"
+
+namespace cottage {
+namespace {
+
+TEST(ExperimentConfig, DefaultsMatchPaperSetup)
+{
+    const ExperimentConfig config;
+    EXPECT_EQ(config.shards.numShards, 16u);
+    EXPECT_EQ(config.shards.topK, 10u);
+    EXPECT_EQ(config.traceQueries, 10000u);
+    EXPECT_DOUBLE_EQ(config.power.idleWatts, 14.53);
+}
+
+TEST(ExperimentConfig, FlagsOverrideDefaults)
+{
+    const char *argv[] = {"prog",           "--docs=1234",
+                          "--shards=5",     "--queries=99",
+                          "--qps=12.5",     "--train-queries=55",
+                          "--iterations=7", "--budget-slack=2.5",
+                          "--k=20"};
+    const CliFlags flags(9, argv);
+    const ExperimentConfig config = ExperimentConfig::fromFlags(flags);
+    EXPECT_EQ(config.corpus.numDocs, 1234u);
+    EXPECT_EQ(config.shards.numShards, 5u);
+    EXPECT_EQ(config.shards.topK, 20u);
+    EXPECT_EQ(config.traceQueries, 99u);
+    EXPECT_DOUBLE_EQ(config.arrivalQps, 12.5);
+    EXPECT_EQ(config.trainQueries, 55u);
+    EXPECT_EQ(config.train.iterations, 7u);
+    EXPECT_DOUBLE_EQ(config.cottage.budgetSlack, 2.5);
+}
+
+TEST(ExperimentConfig, PrintEchoesKeyKnobs)
+{
+    ExperimentConfig config;
+    config.corpus.numDocs = 777;
+    std::ostringstream out;
+    config.print(out);
+    EXPECT_NE(out.str().find("docs=777"), std::string::npos);
+    EXPECT_NE(out.str().find("shards=16"), std::string::npos);
+}
+
+TEST(Experiment, StackAccessorsAreConsistent)
+{
+    ExperimentConfig config;
+    config.corpus.numDocs = 2000;
+    config.corpus.vocabSize = 4000;
+    config.shards.numShards = 3;
+    config.traceQueries = 40;
+    config.trainQueries = 60;
+    config.train.hiddenLayers = {8};
+    config.train.iterations = 40;
+    Experiment experiment(std::move(config));
+
+    EXPECT_EQ(experiment.corpus().numDocs(), 2000u);
+    EXPECT_EQ(experiment.index().numShards(), 3u);
+    EXPECT_EQ(experiment.cluster().numIsns(), 3u);
+    EXPECT_EQ(experiment.trace(TraceFlavor::Wikipedia).size(), 40u);
+    EXPECT_EQ(experiment.trainTrace().size(), 60u);
+    EXPECT_EQ(experiment.groundTruth(TraceFlavor::Wikipedia).size(), 40u);
+    EXPECT_EQ(experiment.bank().numShards(), 3u);
+}
+
+TEST(Experiment, GroundTruthMatchesEngineGlobalTopK)
+{
+    ExperimentConfig config;
+    config.corpus.numDocs = 2000;
+    config.corpus.vocabSize = 4000;
+    config.shards.numShards = 3;
+    config.traceQueries = 20;
+    Experiment experiment(std::move(config));
+
+    const auto &truth = experiment.groundTruth(TraceFlavor::Wikipedia);
+    const QueryTrace &trace = experiment.trace(TraceFlavor::Wikipedia);
+    for (std::size_t q = 0; q < trace.size(); ++q) {
+        const auto expected =
+            experiment.engine().globalTopK(trace.query(q).terms);
+        ASSERT_EQ(truth[q].size(), expected.size());
+        for (std::size_t i = 0; i < expected.size(); ++i)
+            EXPECT_EQ(truth[q][i].doc, expected[i].doc);
+    }
+}
+
+} // namespace
+} // namespace cottage

@@ -1,0 +1,481 @@
+/**
+ * @file
+ * Unit and property tests for the index module: BM25, inverted index
+ * construction, term statistics, and the three evaluators (including
+ * the rank-safety equivalence property: MaxScore and WAND must return
+ * exactly the exhaustive top-K).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "index/bm25.h"
+#include "index/collection_stats.h"
+#include "index/exhaustive_evaluator.h"
+#include "index/inverted_index.h"
+#include "index/maxscore_evaluator.h"
+#include "index/taat_evaluator.h"
+#include "index/term_stats.h"
+#include "index/top_k.h"
+#include "index/varbyte.h"
+#include "index/wand_evaluator.h"
+#include "text/corpus.h"
+#include "text/trace.h"
+#include "util/rng.h"
+
+namespace cottage {
+namespace {
+
+TEST(Bm25, IdfDecreasesWithDocFreq)
+{
+    const Bm25 bm25(1000, 100.0);
+    EXPECT_GT(bm25.idf(1), bm25.idf(10));
+    EXPECT_GT(bm25.idf(10), bm25.idf(500));
+    EXPECT_GT(bm25.idf(1000), 0.0); // Lucene-style IDF stays positive
+}
+
+TEST(Bm25, ScoreSaturatesWithTermFreq)
+{
+    const Bm25 bm25(1000, 100.0);
+    const double idf = bm25.idf(10);
+    const double s1 = bm25.score(idf, 1, 100);
+    const double s2 = bm25.score(idf, 2, 100);
+    const double s100 = bm25.score(idf, 100, 100);
+    EXPECT_GT(s2, s1);
+    EXPECT_GT(s100, s2);
+    // Diminishing returns; never exceeds the static upper bound.
+    EXPECT_LT(s2 - s1, s1);
+    EXPECT_LT(s100, bm25.staticUpperBound(idf));
+}
+
+TEST(Bm25, LongerDocumentsScoreLower)
+{
+    const Bm25 bm25(1000, 100.0);
+    const double idf = bm25.idf(10);
+    EXPECT_GT(bm25.score(idf, 2, 50), bm25.score(idf, 2, 200));
+}
+
+TEST(TopKHeap, KeepsBestKWithDeterministicTies)
+{
+    TopKHeap heap(3);
+    EXPECT_TRUE(heap.push({5, 1.0}));
+    EXPECT_TRUE(heap.push({4, 2.0}));
+    EXPECT_TRUE(heap.push({9, 1.0}));
+    EXPECT_TRUE(heap.full());
+    // Equal score, smaller doc id: must displace doc 9.
+    EXPECT_TRUE(heap.push({2, 1.0}));
+    // Equal score, larger doc id than current worst (5 @ 1.0): rejected.
+    EXPECT_FALSE(heap.push({7, 1.0}));
+    const auto ranked = heap.extractSorted();
+    ASSERT_EQ(ranked.size(), 3u);
+    EXPECT_EQ(ranked[0].doc, 4u);
+    EXPECT_EQ(ranked[1].doc, 2u);
+    EXPECT_EQ(ranked[2].doc, 5u);
+}
+
+TEST(TopKHeap, ZeroCapacityRejectsEverything)
+{
+    TopKHeap heap(0);
+    EXPECT_FALSE(heap.push({1, 5.0}));
+    EXPECT_TRUE(heap.extractSorted().empty());
+}
+
+class IndexFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        CorpusConfig config;
+        config.numDocs = 800;
+        config.vocabSize = 3000;
+        config.meanDocLength = 80.0;
+        config.numTopics = 12;
+        config.seed = 77;
+        corpus_ = std::make_unique<Corpus>(Corpus::generate(config));
+        stats_ = std::make_shared<CollectionStats>(*corpus_);
+
+        allDocs_.resize(corpus_->numDocs());
+        for (DocId d = 0; d < corpus_->numDocs(); ++d)
+            allDocs_[d] = d;
+        index_ = std::make_unique<InvertedIndex>(*corpus_, allDocs_, stats_);
+    }
+
+    std::unique_ptr<Corpus> corpus_;
+    std::shared_ptr<CollectionStats> stats_;
+    std::vector<DocId> allDocs_;
+    std::unique_ptr<InvertedIndex> index_;
+};
+
+TEST_F(IndexFixture, CollectionStatsMatchCorpus)
+{
+    EXPECT_EQ(stats_->numDocs(), corpus_->numDocs());
+    EXPECT_NEAR(stats_->avgDocLength(), corpus_->averageDocLength(), 1e-9);
+    // df of a term equals the number of documents containing it.
+    uint64_t df0 = 0;
+    for (const Document &doc : corpus_->documents()) {
+        for (const TermFreq &tf : doc.terms) {
+            if (tf.term == 0) {
+                ++df0;
+                break;
+            }
+        }
+    }
+    EXPECT_EQ(stats_->docFreq(0), df0);
+    EXPECT_GE(stats_->collectionFreq(0), stats_->docFreq(0));
+    EXPECT_EQ(stats_->docFreq(999999), 0u);
+}
+
+TEST_F(IndexFixture, PostingsAreSortedAndComplete)
+{
+    uint64_t totalPostings = 0;
+    for (const PostingList &list : index_->allPostings()) {
+        EXPECT_FALSE(list.empty());
+        for (std::size_t i = 1; i < list.size(); ++i)
+            EXPECT_LT(list.postings[i - 1].doc, list.postings[i].doc);
+        totalPostings += list.size();
+    }
+    EXPECT_EQ(totalPostings, index_->totalPostings());
+
+    uint64_t expected = 0;
+    for (const Document &doc : corpus_->documents())
+        expected += doc.terms.size();
+    EXPECT_EQ(totalPostings, expected);
+}
+
+TEST_F(IndexFixture, PostingFrequenciesMatchDocuments)
+{
+    const PostingList *list = index_->postings(0);
+    ASSERT_NE(list, nullptr);
+    for (const Posting &posting : list->postings) {
+        const Document &doc =
+            corpus_->document(index_->globalDoc(posting.doc));
+        const auto it = std::find_if(
+            doc.terms.begin(), doc.terms.end(),
+            [](const TermFreq &tf) { return tf.term == 0; });
+        ASSERT_NE(it, doc.terms.end());
+        EXPECT_EQ(it->freq, posting.freq);
+    }
+}
+
+TEST_F(IndexFixture, MaxScoreBoundIsTightAndExact)
+{
+    const PostingList *list = index_->postings(0);
+    ASSERT_NE(list, nullptr);
+    const double idf = index_->idf(0);
+    double best = 0.0;
+    for (const Posting &posting : list->postings)
+        best = std::max(best, index_->scorePosting(idf, posting));
+    EXPECT_DOUBLE_EQ(index_->maxScore(0), best);
+    // The static bound dominates the exact bound.
+    EXPECT_GE(index_->scorer().staticUpperBound(idf), best);
+    // Absent term -> zero bound.
+    EXPECT_DOUBLE_EQ(index_->maxScore(2999999), 0.0);
+}
+
+TEST_F(IndexFixture, EvaluatorsAgreeWithExhaustive)
+{
+    // The core rank-safety property: identical top-K from all four
+    // strategies across many random queries.
+    const ExhaustiveEvaluator exhaustive;
+    const MaxScoreEvaluator maxscore;
+    const WandEvaluator wand;
+    const TaatEvaluator taat;
+
+    TraceConfig traceConfig;
+    traceConfig.numQueries = 150;
+    traceConfig.vocabSize = 3000;
+    traceConfig.seed = 5;
+    const QueryTrace trace = QueryTrace::generate(traceConfig);
+
+    for (const Query &query : trace.queries()) {
+        const SearchResult base = exhaustive.search(*index_, query.terms, 10);
+        for (const Evaluator *other :
+             {static_cast<const Evaluator *>(&maxscore),
+              static_cast<const Evaluator *>(&wand),
+              static_cast<const Evaluator *>(&taat)}) {
+            const SearchResult result =
+                other->search(*index_, query.terms, 10);
+            ASSERT_EQ(result.topK.size(), base.topK.size())
+                << other->name() << " query " << query.id;
+            for (std::size_t i = 0; i < base.topK.size(); ++i) {
+                EXPECT_EQ(result.topK[i].doc, base.topK[i].doc)
+                    << other->name() << " rank " << i << " query "
+                    << query.id;
+                EXPECT_NEAR(result.topK[i].score, base.topK[i].score,
+                            1e-9);
+            }
+        }
+    }
+}
+
+/**
+ * The same equivalence property swept over result depths K — the
+ * pruning thresholds behave differently at each depth.
+ */
+class EvaluatorDepthSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(EvaluatorDepthSweep, RankSafetyHoldsAtEveryDepth)
+{
+    CorpusConfig config;
+    config.numDocs = 600;
+    config.vocabSize = 2500;
+    config.seed = 55;
+    const Corpus corpus = Corpus::generate(config);
+    std::vector<DocId> allDocs(corpus.numDocs());
+    for (DocId d = 0; d < corpus.numDocs(); ++d)
+        allDocs[d] = d;
+    const InvertedIndex index(
+        corpus, allDocs, std::make_shared<CollectionStats>(corpus));
+
+    const ExhaustiveEvaluator exhaustive;
+    const MaxScoreEvaluator maxscore;
+    const WandEvaluator wand;
+    const std::size_t k = GetParam();
+
+    TraceConfig traceConfig;
+    traceConfig.numQueries = 60;
+    traceConfig.vocabSize = 2500;
+    traceConfig.seed = 56;
+    const QueryTrace trace = QueryTrace::generate(traceConfig);
+    for (const Query &query : trace.queries()) {
+        const SearchResult base = exhaustive.search(index, query.terms, k);
+        const SearchResult ms = maxscore.search(index, query.terms, k);
+        const SearchResult wd = wand.search(index, query.terms, k);
+        ASSERT_EQ(ms.topK.size(), base.topK.size());
+        ASSERT_EQ(wd.topK.size(), base.topK.size());
+        for (std::size_t i = 0; i < base.topK.size(); ++i) {
+            EXPECT_EQ(ms.topK[i].doc, base.topK[i].doc) << "k=" << k;
+            EXPECT_EQ(wd.topK[i].doc, base.topK[i].doc) << "k=" << k;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, EvaluatorDepthSweep,
+                         ::testing::Values(1u, 3u, 10u, 50u, 500u));
+
+TEST_F(IndexFixture, WeightedQueriesStayRankSafe)
+{
+    // Personalization weights must not break pruning: all evaluators
+    // agree on weighted queries too.
+    const ExhaustiveEvaluator exhaustive;
+    const MaxScoreEvaluator maxscore;
+    const WandEvaluator wand;
+    const TaatEvaluator taat;
+
+    Rng rng(99);
+    TraceConfig traceConfig;
+    traceConfig.numQueries = 80;
+    traceConfig.vocabSize = 3000;
+    traceConfig.seed = 7;
+    const QueryTrace trace = QueryTrace::generate(traceConfig);
+    for (const Query &query : trace.queries()) {
+        std::vector<WeightedTerm> weighted;
+        for (TermId term : query.terms)
+            weighted.push_back({term, rng.uniform(0.25, 3.0)});
+
+        const SearchResult base = exhaustive.search(*index_, weighted, 10);
+        for (const Evaluator *other :
+             {static_cast<const Evaluator *>(&maxscore),
+              static_cast<const Evaluator *>(&wand),
+              static_cast<const Evaluator *>(&taat)}) {
+            const SearchResult result =
+                other->search(*index_, weighted, 10);
+            ASSERT_EQ(result.topK.size(), base.topK.size())
+                << other->name();
+            for (std::size_t i = 0; i < base.topK.size(); ++i) {
+                EXPECT_EQ(result.topK[i].doc, base.topK[i].doc)
+                    << other->name() << " rank " << i;
+            }
+        }
+    }
+}
+
+TEST_F(IndexFixture, UnitWeightsEqualUnweightedSearch)
+{
+    const MaxScoreEvaluator maxscore;
+    const std::vector<TermId> terms = {30, 200};
+    const SearchResult plain = maxscore.search(*index_, terms, 10);
+    const SearchResult unit = maxscore.search(*index_, toWeighted(terms), 10);
+    ASSERT_EQ(plain.topK.size(), unit.topK.size());
+    for (std::size_t i = 0; i < plain.topK.size(); ++i) {
+        EXPECT_EQ(plain.topK[i].doc, unit.topK[i].doc);
+        EXPECT_DOUBLE_EQ(plain.topK[i].score, unit.topK[i].score);
+    }
+}
+
+TEST_F(IndexFixture, UpweightingATermScalesItsContribution)
+{
+    const ExhaustiveEvaluator exhaustive;
+    // Single-term query: doubling the weight doubles every score and
+    // preserves the ranking exactly.
+    const SearchResult base =
+        exhaustive.search(*index_, std::vector<TermId>{30}, 10);
+    const SearchResult boosted =
+        exhaustive.search(*index_, std::vector<WeightedTerm>{{30, 2.0}}, 10);
+    ASSERT_EQ(base.topK.size(), boosted.topK.size());
+    for (std::size_t i = 0; i < base.topK.size(); ++i) {
+        EXPECT_EQ(boosted.topK[i].doc, base.topK[i].doc);
+        EXPECT_NEAR(boosted.topK[i].score, 2.0 * base.topK[i].score,
+                    1e-9);
+    }
+}
+
+TEST(VByte, EncodeDecodeRoundTripAllMagnitudes)
+{
+    std::vector<uint8_t> bytes;
+    const std::vector<uint32_t> values = {0,    1,     127,        128,
+                                          300,  16383, 16384,      1u << 20,
+                                          1u << 28, 0xffffffffu};
+    for (uint32_t v : values)
+        vbyteEncode(v, bytes);
+    std::size_t offset = 0;
+    for (uint32_t v : values)
+        EXPECT_EQ(vbyteDecode(bytes, offset), v);
+    EXPECT_EQ(offset, bytes.size());
+}
+
+TEST(VByte, SmallValuesTakeOneByte)
+{
+    std::vector<uint8_t> bytes;
+    vbyteEncode(127, bytes);
+    EXPECT_EQ(bytes.size(), 1u);
+    vbyteEncode(128, bytes);
+    EXPECT_EQ(bytes.size(), 3u); // 128 needs two bytes
+}
+
+TEST_F(IndexFixture, CompressedPostingListRoundTrip)
+{
+    for (const PostingList &list : index_->allPostings()) {
+        const CompressedPostingList compressed(list);
+        EXPECT_EQ(compressed.size(), list.size());
+        EXPECT_EQ(compressed.term(), list.term);
+        const PostingList restored = compressed.decompress();
+        ASSERT_EQ(restored.postings.size(), list.postings.size());
+        for (std::size_t i = 0; i < list.size(); ++i) {
+            EXPECT_EQ(restored.postings[i].doc, list.postings[i].doc);
+            EXPECT_EQ(restored.postings[i].freq, list.postings[i].freq);
+        }
+    }
+}
+
+TEST_F(IndexFixture, CompressionShrinksTheIndex)
+{
+    const InvertedIndex::Footprint fp = index_->footprint();
+    EXPECT_GT(fp.rawPostingBytes, 0u);
+    EXPECT_GT(fp.compressedPostingBytes, 0u);
+    // Delta-gap VByte should at least halve 8-byte flat postings.
+    EXPECT_LT(fp.compressedPostingBytes, fp.rawPostingBytes / 2);
+    EXPECT_GT(fp.docTableBytes, 0u);
+}
+
+TEST_F(IndexFixture, PruningReducesWork)
+{
+    const ExhaustiveEvaluator exhaustive;
+    const MaxScoreEvaluator maxscore;
+    const WandEvaluator wand;
+
+    TraceConfig traceConfig;
+    traceConfig.numQueries = 100;
+    traceConfig.vocabSize = 3000;
+    traceConfig.seed = 6;
+    const QueryTrace trace = QueryTrace::generate(traceConfig);
+
+    uint64_t exhaustiveDocs = 0;
+    uint64_t maxscoreDocs = 0;
+    uint64_t wandDocs = 0;
+    for (const Query &query : trace.queries()) {
+        exhaustiveDocs +=
+            exhaustive.search(*index_, query.terms, 10).work.docsScored;
+        maxscoreDocs +=
+            maxscore.search(*index_, query.terms, 10).work.docsScored;
+        wandDocs += wand.search(*index_, query.terms, 10).work.docsScored;
+    }
+    EXPECT_LT(maxscoreDocs, exhaustiveDocs);
+    EXPECT_LT(wandDocs, exhaustiveDocs);
+}
+
+TEST_F(IndexFixture, ResultsSortedBestFirst)
+{
+    const ExhaustiveEvaluator exhaustive;
+    const std::vector<TermId> terms = {0, 5};
+    const SearchResult result = exhaustive.search(*index_, terms, 10);
+    ASSERT_FALSE(result.topK.empty());
+    for (std::size_t i = 1; i < result.topK.size(); ++i)
+        EXPECT_TRUE(ranksBetter(result.topK[i - 1], result.topK[i]) ||
+                    (result.topK[i - 1].score == result.topK[i].score &&
+                     result.topK[i - 1].doc == result.topK[i].doc));
+}
+
+TEST_F(IndexFixture, MissingTermsYieldEmptyResult)
+{
+    const ExhaustiveEvaluator exhaustive;
+    const MaxScoreEvaluator maxscore;
+    const std::vector<TermId> terms = {2999999};
+    EXPECT_TRUE(exhaustive.search(*index_, terms, 10).topK.empty());
+    EXPECT_TRUE(maxscore.search(*index_, terms, 10).topK.empty());
+}
+
+TEST_F(IndexFixture, TermStatsBasicInvariants)
+{
+    const TermStatsStore store(*index_, 10);
+    EXPECT_EQ(store.size(), index_->numTerms());
+    const TermStats *ts = store.get(0);
+    ASSERT_NE(ts, nullptr);
+
+    const PostingList *list = index_->postings(0);
+    EXPECT_DOUBLE_EQ(ts->postingLength, static_cast<double>(list->size()));
+    EXPECT_DOUBLE_EQ(ts->maxScore, index_->maxScore(0));
+    EXPECT_DOUBLE_EQ(ts->idf, index_->idf(0));
+
+    // Percentile ordering.
+    EXPECT_LE(ts->firstQuartile, ts->median);
+    EXPECT_LE(ts->median, ts->thirdQuartile);
+    EXPECT_LE(ts->thirdQuartile, ts->maxScore);
+    EXPECT_LE(ts->kthScore, ts->maxScore);
+
+    // Mean inequalities (harmonic <= geometric <= arithmetic).
+    EXPECT_LE(ts->harmMeanScore, ts->geoMeanScore + 1e-9);
+    EXPECT_LE(ts->geoMeanScore, ts->meanScore + 1e-9);
+
+    // Count features are bounded by the posting length.
+    EXPECT_GE(ts->numMaxScore, 1.0);
+    EXPECT_LE(ts->docsNearMax, ts->postingLength);
+    EXPECT_LE(ts->docsNearKth, ts->postingLength);
+    EXPECT_LE(ts->localMaximaAboveMean, ts->localMaxima);
+    EXPECT_LE(ts->localMaxima, ts->postingLength);
+
+    // Heap-insertion feature: at least min(K, df), at most df.
+    EXPECT_GE(ts->docsEverInTopK,
+              std::min<double>(10.0, ts->postingLength));
+    EXPECT_LE(ts->docsEverInTopK, ts->postingLength);
+
+    // The static bound dominates the exact max.
+    EXPECT_GE(ts->estimatedMaxScore, ts->maxScore);
+
+    EXPECT_EQ(store.get(2999999), nullptr);
+}
+
+TEST_F(IndexFixture, TermStatsKthScoreMatchesSortedScores)
+{
+    const TermStatsStore store(*index_, 10);
+    const PostingList *list = index_->postings(2);
+    ASSERT_NE(list, nullptr);
+    const double idf = index_->idf(2);
+    std::vector<double> scores;
+    for (const Posting &posting : list->postings)
+        scores.push_back(index_->scorePosting(idf, posting));
+    std::sort(scores.begin(), scores.end(), std::greater<double>());
+    const TermStats *ts = store.get(2);
+    ASSERT_NE(ts, nullptr);
+    const double expected =
+        scores.size() >= 10 ? scores[9] : scores.back();
+    EXPECT_NEAR(ts->kthScore, expected, 1e-12);
+}
+
+} // namespace
+} // namespace cottage

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Tests for the neural-network library: matrix algebra, MLP training
+ * dynamics (loss decreases, learnable functions are learned),
+ * normalization, serialization round-trip and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "nn/dataset.h"
+#include "nn/matrix.h"
+#include "nn/mlp.h"
+#include "util/rng.h"
+
+namespace cottage {
+namespace {
+
+TEST(Matrix, MatmulSmallKnownValues)
+{
+    Matrix a(2, 3);
+    a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+    a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+    Matrix b(3, 2);
+    b(0, 0) = 7;  b(0, 1) = 8;
+    b(1, 0) = 9;  b(1, 1) = 10;
+    b(2, 0) = 11; b(2, 1) = 12;
+    Matrix c(2, 2);
+    matmul(a, b, c);
+    EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matrix, TransposedVariantsAgreeWithExplicitTranspose)
+{
+    Rng rng(42);
+    Matrix a(4, 3);
+    Matrix b(4, 5);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        a.data()[i] = rng.uniform(-1, 1);
+    for (std::size_t i = 0; i < b.size(); ++i)
+        b.data()[i] = rng.uniform(-1, 1);
+
+    // a^T * b via matmulTransposeA vs explicit transpose.
+    Matrix at(3, 4);
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            at(c, r) = a(r, c);
+    Matrix expected(3, 5);
+    matmul(at, b, expected);
+    Matrix got(3, 5);
+    matmulTransposeA(a, b, got);
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        EXPECT_NEAR(got.data()[i], expected.data()[i], 1e-12);
+
+    // x * b^T via matmulTransposeB vs explicit transpose.
+    Matrix x(2, 5);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x.data()[i] = rng.uniform(-1, 1);
+    Matrix bt(5, 4);
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 5; ++c)
+            bt(c, r) = b(r, c);
+    Matrix expected2(2, 4);
+    matmul(x, bt, expected2);
+    Matrix got2(2, 4);
+    matmulTransposeB(x, b, got2);
+    for (std::size_t i = 0; i < expected2.size(); ++i)
+        EXPECT_NEAR(got2.data()[i], expected2.data()[i], 1e-12);
+}
+
+/** Two interleaved Gaussian blobs per class on a ring: learnable. */
+Dataset
+blobDataset(std::size_t classes, std::size_t perClass, uint64_t seed)
+{
+    Rng rng(seed);
+    Dataset data(2);
+    for (std::size_t c = 0; c < classes; ++c) {
+        const double angle =
+            2.0 * M_PI * static_cast<double>(c) / static_cast<double>(classes);
+        for (std::size_t i = 0; i < perClass; ++i) {
+            data.add({3.0 * std::cos(angle) + rng.normal(0.0, 0.4),
+                      3.0 * std::sin(angle) + rng.normal(0.0, 0.4)},
+                     static_cast<uint32_t>(c));
+        }
+    }
+    return data;
+}
+
+TEST(Mlp, LearnsSeparableBlobs)
+{
+    const Dataset train = blobDataset(4, 200, 1);
+    const Dataset test = blobDataset(4, 50, 2);
+
+    MlpConfig config;
+    config.inputDim = 2;
+    config.numClasses = 4;
+    config.hiddenLayers = {32, 32};
+    config.seed = 3;
+    MlpClassifier model(config);
+    model.fitNormalization(train);
+
+    const double lossBefore = model.loss(test);
+    model.train(train, 400);
+    const double lossAfter = model.loss(test);
+
+    EXPECT_LT(lossAfter, lossBefore * 0.5);
+    EXPECT_GT(model.accuracy(test), 0.95);
+}
+
+TEST(Mlp, TrainingLossDecreasesMonotonicallyOnAverage)
+{
+    const Dataset train = blobDataset(3, 150, 4);
+    MlpConfig config;
+    config.inputDim = 2;
+    config.numClasses = 3;
+    config.hiddenLayers = {16};
+    MlpClassifier model(config);
+    model.fitNormalization(train);
+
+    double previous = model.loss(train);
+    for (int round = 0; round < 4; ++round) {
+        model.train(train, 100);
+        const double current = model.loss(train);
+        EXPECT_LT(current, previous + 0.05) << "round " << round;
+        previous = current;
+    }
+    EXPECT_LT(previous, 0.3);
+}
+
+TEST(Mlp, DeterministicGivenSeed)
+{
+    const Dataset train = blobDataset(3, 100, 5);
+    MlpConfig config;
+    config.inputDim = 2;
+    config.numClasses = 3;
+    config.hiddenLayers = {8, 8};
+    config.seed = 77;
+
+    MlpClassifier a(config);
+    a.fitNormalization(train);
+    a.train(train, 50);
+
+    MlpClassifier b(config);
+    b.fitNormalization(train);
+    b.train(train, 50);
+
+    const std::vector<double> probe = {1.0, -2.0};
+    const auto pa = a.probabilities(probe.data());
+    const auto pb = b.probabilities(probe.data());
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i)
+        EXPECT_DOUBLE_EQ(pa[i], pb[i]);
+}
+
+TEST(Mlp, ProbabilitiesFormDistribution)
+{
+    MlpConfig config;
+    config.inputDim = 3;
+    config.numClasses = 5;
+    config.hiddenLayers = {8};
+    const MlpClassifier model(config);
+    const std::vector<double> sample = {0.3, -1.0, 2.0};
+    const auto probs = model.probabilities(sample.data());
+    ASSERT_EQ(probs.size(), 5u);
+    double total = 0.0;
+    for (double p : probs) {
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, 1.0);
+        total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Mlp, ExpectedClassLiesWithinRange)
+{
+    MlpConfig config;
+    config.inputDim = 2;
+    config.numClasses = 10;
+    config.hiddenLayers = {8};
+    const MlpClassifier model(config);
+    const std::vector<double> sample = {1.0, 1.0};
+    const double expected = model.expectedClass(sample.data());
+    EXPECT_GE(expected, 0.0);
+    EXPECT_LE(expected, 9.0);
+}
+
+TEST(Mlp, SaveLoadRoundTripPreservesOutputs)
+{
+    const Dataset train = blobDataset(4, 100, 6);
+    MlpConfig config;
+    config.inputDim = 2;
+    config.numClasses = 4;
+    config.hiddenLayers = {16, 16};
+    MlpClassifier model(config);
+    model.fitNormalization(train);
+    model.train(train, 100);
+
+    std::stringstream buffer;
+    model.save(buffer);
+    const MlpClassifier restored = MlpClassifier::load(buffer);
+
+    EXPECT_EQ(restored.numParameters(), model.numParameters());
+    Rng rng(7);
+    for (int i = 0; i < 20; ++i) {
+        const std::vector<double> sample = {rng.uniform(-4, 4),
+                                            rng.uniform(-4, 4)};
+        const auto pa = model.probabilities(sample.data());
+        const auto pb = restored.probabilities(sample.data());
+        for (std::size_t c = 0; c < pa.size(); ++c)
+            EXPECT_NEAR(pa[c], pb[c], 1e-12);
+    }
+}
+
+TEST(Mlp, NumParametersMatchesArchitecture)
+{
+    MlpConfig config;
+    config.inputDim = 10;
+    config.numClasses = 11;
+    config.hiddenLayers = {128, 128, 128, 128, 128};
+    const MlpClassifier model(config);
+    // 10*128+128 + 4*(128*128+128) + 128*11+11
+    const std::size_t expected =
+        (10 * 128 + 128) + 4 * (128 * 128 + 128) + (128 * 11 + 11);
+    EXPECT_EQ(model.numParameters(), expected);
+}
+
+TEST(Mlp, NormalizationHandlesConstantFeatures)
+{
+    Dataset data(2);
+    for (int i = 0; i < 10; ++i)
+        data.add({5.0, static_cast<double>(i)}, i % 2);
+    MlpConfig config;
+    config.inputDim = 2;
+    config.numClasses = 2;
+    config.hiddenLayers = {4};
+    MlpClassifier model(config);
+    model.fitNormalization(data);
+    // Must not produce NaNs.
+    const auto probs = model.probabilities(data.features(0));
+    for (double p : probs)
+        EXPECT_FALSE(std::isnan(p));
+}
+
+TEST(Dataset, StoresSamplesContiguously)
+{
+    Dataset data(3);
+    data.add({1.0, 2.0, 3.0}, 0);
+    data.add({4.0, 5.0, 6.0}, 2);
+    EXPECT_EQ(data.size(), 2u);
+    EXPECT_DOUBLE_EQ(data.features(1)[0], 4.0);
+    EXPECT_DOUBLE_EQ(data.features(1)[2], 6.0);
+    EXPECT_EQ(data.label(0), 0u);
+    EXPECT_EQ(data.label(1), 2u);
+}
+
+} // namespace
+} // namespace cottage

@@ -1,0 +1,372 @@
+/**
+ * @file
+ * Tests for feature extraction (Tables I/II), cycle buckets, the
+ * quality and latency predictors, and the training pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+
+#include "index/maxscore_evaluator.h"
+#include "predict/features.h"
+#include "predict/latency_predictor.h"
+#include "predict/quality_predictor.h"
+#include "predict/training.h"
+#include "shard/sharded_index.h"
+#include "text/trace.h"
+#include "util/rng.h"
+
+namespace cottage {
+namespace {
+
+class PredictFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        CorpusConfig corpusConfig;
+        corpusConfig.numDocs = 4000;
+        corpusConfig.vocabSize = 8000;
+        corpusConfig.meanDocLength = 100.0;
+        corpusConfig.seed = 12;
+        corpus_ = std::make_unique<Corpus>(Corpus::generate(corpusConfig));
+
+        ShardedIndexConfig shardConfig;
+        shardConfig.numShards = 4;
+        shardConfig.topK = 10;
+        index_ = std::make_unique<ShardedIndex>(*corpus_, shardConfig);
+
+        TraceConfig traceConfig;
+        traceConfig.numQueries = 400;
+        traceConfig.vocabSize = corpusConfig.vocabSize;
+        traceConfig.seed = 90;
+        trainTrace_ = QueryTrace::generate(traceConfig);
+    }
+
+    MaxScoreEvaluator evaluator_;
+    WorkModel work_;
+    std::unique_ptr<Corpus> corpus_;
+    std::unique_ptr<ShardedIndex> index_;
+    QueryTrace trainTrace_;
+};
+
+TEST_F(PredictFixture, FeatureNamesAreDistinct)
+{
+    for (std::size_t i = 0; i < numQualityFeatures; ++i)
+        for (std::size_t j = i + 1; j < numQualityFeatures; ++j)
+            EXPECT_STRNE(qualityFeatureName(i), qualityFeatureName(j));
+    for (std::size_t i = 0; i < numLatencyFeatures; ++i)
+        for (std::size_t j = i + 1; j < numLatencyFeatures; ++j)
+            EXPECT_STRNE(latencyFeatureName(i), latencyFeatureName(j));
+}
+
+TEST_F(PredictFixture, QualityFeaturesMatchTermStats)
+{
+    const TermStatsStore &stats = index_->termStats(0);
+    const TermId term = 30;
+    const TermStats *ts = stats.get(term);
+    ASSERT_NE(ts, nullptr);
+    const std::vector<double> features = qualityFeatures(stats, std::vector<TermId>{term});
+    ASSERT_EQ(features.size(), numQualityFeatures);
+    EXPECT_DOUBLE_EQ(features[0], ts->firstQuartile);
+    EXPECT_DOUBLE_EQ(features[1], ts->meanScore);
+    EXPECT_DOUBLE_EQ(features[7], ts->maxScore);
+    // Posting length is log-compressed.
+    EXPECT_DOUBLE_EQ(features[9], std::log1p(ts->postingLength));
+}
+
+TEST_F(PredictFixture, MultiTermFeaturesUseMaxAggregation)
+{
+    const TermStatsStore &stats = index_->termStats(0);
+    const std::vector<double> a = qualityFeatures(stats, std::vector<TermId>{30});
+    const std::vector<double> b = qualityFeatures(stats, std::vector<TermId>{200});
+    const std::vector<double> both = qualityFeatures(stats, std::vector<TermId>{30, 200});
+    for (std::size_t f = 0; f < numQualityFeatures; ++f)
+        EXPECT_DOUBLE_EQ(both[f], std::max(a[f], b[f])) << "feature " << f;
+}
+
+TEST_F(PredictFixture, MissingTermsContributeZeros)
+{
+    const TermStatsStore &stats = index_->termStats(0);
+    const std::vector<double> features =
+        qualityFeatures(stats, std::vector<TermId>{7999999});
+    for (double f : features)
+        EXPECT_DOUBLE_EQ(f, 0.0);
+}
+
+TEST_F(PredictFixture, LatencyFeaturesIncludeQueryLength)
+{
+    const TermStatsStore &stats = index_->termStats(0);
+    const std::vector<double> one = latencyFeatures(stats, std::vector<TermId>{30});
+    const std::vector<double> three = latencyFeatures(stats, std::vector<TermId>{30, 40, 50});
+    EXPECT_DOUBLE_EQ(one[5], 1.0);
+    EXPECT_DOUBLE_EQ(three[5], 3.0);
+}
+
+TEST_F(PredictFixture, WeightedFeaturesScaleScoreStatistics)
+{
+    const TermStatsStore &stats = index_->termStats(0);
+    const std::vector<double> unit =
+        qualityFeatures(stats, std::vector<TermId>{30});
+    const std::vector<double> doubled =
+        qualityFeatures(stats, std::vector<WeightedTerm>{{30, 2.0}});
+    // Score-valued features scale by w, variance by w^2, posting
+    // length not at all.
+    for (std::size_t f = 0; f <= 7; ++f)
+        EXPECT_NEAR(doubled[f], 2.0 * unit[f], 1e-12) << "feature " << f;
+    EXPECT_NEAR(doubled[8], 4.0 * unit[8], 1e-12);
+    EXPECT_DOUBLE_EQ(doubled[9], unit[9]);
+
+    const std::vector<double> latUnit =
+        latencyFeatures(stats, std::vector<TermId>{30});
+    const std::vector<double> latDoubled =
+        latencyFeatures(stats, std::vector<WeightedTerm>{{30, 2.0}});
+    for (std::size_t f = 0; f <= 4; ++f)
+        EXPECT_DOUBLE_EQ(latDoubled[f], latUnit[f]) << "count feature " << f;
+    EXPECT_NEAR(latDoubled[11], 2.0 * latUnit[11], 1e-12); // max score
+    EXPECT_NEAR(latDoubled[13], 4.0 * latUnit[13], 1e-12); // variance
+    EXPECT_NEAR(latDoubled[14], 2.0 * latUnit[14], 1e-12); // idf
+}
+
+TEST(CycleBuckets, RoundTripAndSaturation)
+{
+    const CycleBuckets buckets(1e4, 1e8, 16);
+    EXPECT_EQ(buckets.bucketOf(1e3), 0u);
+    EXPECT_EQ(buckets.bucketOf(1e4), 0u);
+    EXPECT_EQ(buckets.bucketOf(2e8), 15u);
+    for (uint32_t b = 0; b < 16; ++b) {
+        EXPECT_EQ(buckets.bucketOf(buckets.representativeCycles(b)), b);
+        EXPECT_GT(buckets.upperCycles(b), buckets.representativeCycles(b));
+    }
+    // Buckets grow geometrically.
+    const double ratio0 =
+        buckets.representativeCycles(1) / buckets.representativeCycles(0);
+    const double ratio1 =
+        buckets.representativeCycles(9) / buckets.representativeCycles(8);
+    EXPECT_NEAR(ratio0, ratio1, 1e-9);
+}
+
+TEST_F(PredictFixture, TrainingSetsAreConsistent)
+{
+    const TrainingSets sets =
+        buildTrainingSets(*index_, evaluator_, work_, trainTrace_, 12);
+    ASSERT_EQ(sets.shards.size(), 4u);
+    for (const ShardDatasets &shard : sets.shards) {
+        EXPECT_EQ(shard.qualityK.size(), trainTrace_.size());
+        EXPECT_EQ(shard.qualityHalf.size(), trainTrace_.size());
+        EXPECT_EQ(shard.latency.size(), trainTrace_.size());
+        for (std::size_t i = 0; i < shard.qualityK.size(); ++i) {
+            EXPECT_LE(shard.qualityK.label(i), 10u);
+            EXPECT_LE(shard.qualityHalf.label(i),
+                      shard.qualityK.label(i));
+            EXPECT_LT(shard.latency.label(i), 12u);
+        }
+    }
+    // Across shards, top-K labels of one query sum to the result size.
+    for (std::size_t q = 0; q < trainTrace_.size(); ++q) {
+        uint32_t total = 0;
+        for (const ShardDatasets &shard : sets.shards)
+            total += shard.qualityK.label(q);
+        EXPECT_LE(total, 10u);
+        uint32_t half = 0;
+        for (const ShardDatasets &shard : sets.shards)
+            half += shard.qualityHalf.label(q);
+        EXPECT_LE(half, 5u);
+    }
+}
+
+TEST_F(PredictFixture, QualityPredictorLearnsAboveMajorityBaseline)
+{
+    const TrainingSets sets =
+        buildTrainingSets(*index_, evaluator_, work_, trainTrace_, 12);
+    QualityPredictor predictor(10, {32, 32}, 5);
+    predictor.train(sets.shards[0].qualityK, sets.shards[0].qualityHalf,
+                    600);
+
+    // Modal-label baseline: always answering the most common count.
+    std::vector<std::size_t> counts(11, 0);
+    for (std::size_t i = 0; i < sets.shards[0].qualityK.size(); ++i)
+        ++counts[sets.shards[0].qualityK.label(i)];
+    const double modal =
+        static_cast<double>(
+            *std::max_element(counts.begin(), counts.end())) /
+        static_cast<double>(sets.shards[0].qualityK.size());
+
+    EXPECT_GT(predictor.accuracyTopK(sets.shards[0].qualityK),
+              modal + 0.02);
+}
+
+TEST_F(PredictFixture, QualityPredictorProbabilitiesAreCalibratedish)
+{
+    const TrainingSets sets =
+        buildTrainingSets(*index_, evaluator_, work_, trainTrace_, 12);
+    QualityPredictor predictor(10, {32, 32}, 6);
+    predictor.train(sets.shards[1].qualityK, sets.shards[1].qualityHalf,
+                    600);
+    const Dataset &data = sets.shards[1].qualityK;
+    for (std::size_t i = 0; i < 20; ++i) {
+        const std::vector<double> features(
+            data.features(i), data.features(i) + data.numFeatures());
+        const double p = predictor.probNonzeroTopK(features);
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, 1.0);
+    }
+}
+
+TEST_F(PredictFixture, QualityPredictorSaveLoadRoundTrip)
+{
+    const TrainingSets sets =
+        buildTrainingSets(*index_, evaluator_, work_, trainTrace_, 12);
+    QualityPredictor predictor(10, {16, 16}, 7);
+    predictor.train(sets.shards[0].qualityK, sets.shards[0].qualityHalf,
+                    200);
+    std::stringstream buffer;
+    predictor.save(buffer);
+    const QualityPredictor restored = QualityPredictor::load(buffer);
+    const Dataset &data = sets.shards[0].qualityK;
+    for (std::size_t i = 0; i < 30; ++i) {
+        const std::vector<double> features(
+            data.features(i), data.features(i) + data.numFeatures());
+        EXPECT_EQ(restored.predictTopK(features),
+                  predictor.predictTopK(features));
+        EXPECT_EQ(restored.predictTopHalf(features),
+                  predictor.predictTopHalf(features));
+    }
+}
+
+TEST_F(PredictFixture, LatencyPredictorBeatsUniformGuessing)
+{
+    const TrainingSets sets =
+        buildTrainingSets(*index_, evaluator_, work_, trainTrace_, 12);
+    LatencyPredictor predictor(sets.buckets, {32, 32}, 8);
+    predictor.train(sets.shards[0].latency, 800);
+    const double exact = predictor.accuracyWithin(sets.shards[0].latency, 0);
+    EXPECT_GT(exact, 2.0 / 12.0); // far above uniform over 12 buckets
+    const double within1 =
+        predictor.accuracyWithin(sets.shards[0].latency, 1);
+    EXPECT_GE(within1, exact);
+}
+
+TEST_F(PredictFixture, LatencyPredictorConservativeDominates)
+{
+    const TrainingSets sets =
+        buildTrainingSets(*index_, evaluator_, work_, trainTrace_, 12);
+    LatencyPredictor predictor(sets.buckets, {16}, 9);
+    predictor.train(sets.shards[0].latency, 200);
+    const Dataset &data = sets.shards[0].latency;
+    for (std::size_t i = 0; i < 30; ++i) {
+        const std::vector<double> features(
+            data.features(i), data.features(i) + data.numFeatures());
+        EXPECT_GT(predictor.predictCyclesConservative(features),
+                  predictor.predictCycles(features));
+        EXPECT_GT(predictor.expectedCycles(features), 0.0);
+    }
+}
+
+TEST_F(PredictFixture, LatencyPredictorSaveLoadRoundTrip)
+{
+    const TrainingSets sets =
+        buildTrainingSets(*index_, evaluator_, work_, trainTrace_, 12);
+    LatencyPredictor predictor(sets.buckets, {16}, 10);
+    predictor.train(sets.shards[2].latency, 200);
+    std::stringstream buffer;
+    predictor.save(buffer);
+    const LatencyPredictor restored = LatencyPredictor::load(buffer);
+    EXPECT_EQ(restored.buckets().count(), predictor.buckets().count());
+    const Dataset &data = sets.shards[2].latency;
+    for (std::size_t i = 0; i < 30; ++i) {
+        const std::vector<double> features(
+            data.features(i), data.features(i) + data.numFeatures());
+        EXPECT_EQ(restored.predictBucket(features),
+                  predictor.predictBucket(features));
+    }
+}
+
+TEST_F(PredictFixture, PredictorBankSaveLoadRoundTrip)
+{
+    PredictorTrainConfig config;
+    config.hiddenLayers = {16};
+    config.iterations = 100;
+    const PredictorBank bank(*index_, evaluator_, work_, trainTrace_,
+                             config);
+    const std::string dir = "/tmp/cottage-test-bank";
+    bank.save(dir);
+    const PredictorBank restored = PredictorBank::load(dir);
+
+    ASSERT_EQ(restored.numShards(), bank.numShards());
+    EXPECT_DOUBLE_EQ(restored.inferenceOverheadSeconds(),
+                     bank.inferenceOverheadSeconds());
+    EXPECT_EQ(restored.buckets().count(), bank.buckets().count());
+    for (ShardId s = 0; s < bank.numShards(); ++s) {
+        for (const Query &query : trainTrace_.queries()) {
+            const std::vector<double> qf =
+                qualityFeatures(index_->termStats(s), query.terms);
+            ASSERT_EQ(restored.quality(s).predictTopK(qf),
+                      bank.quality(s).predictTopK(qf));
+            const std::vector<double> lf =
+                latencyFeatures(index_->termStats(s), query.terms);
+            ASSERT_EQ(restored.latency(s).predictBucket(lf),
+                      bank.latency(s).predictBucket(lf));
+            if (query.id > 40)
+                break; // spot check is enough per shard
+        }
+    }
+}
+
+TEST(Adam, WeightDecayShrinksWeightNorm)
+{
+    // Same data, same seed; the decayed model must end with a smaller
+    // weight norm (and still learn).
+    Dataset data(2);
+    Rng rng(5);
+    for (int i = 0; i < 400; ++i) {
+        const double x = rng.uniform(-2, 2);
+        const double y = rng.uniform(-2, 2);
+        data.add({x, y}, x + y > 0.0 ? 1u : 0u);
+    }
+    MlpConfig config;
+    config.inputDim = 2;
+    config.numClasses = 2;
+    config.hiddenLayers = {16};
+    config.seed = 9;
+
+    const auto weightScale = [&](double decay) {
+        MlpClassifier model(config);
+        model.fitNormalization(data);
+        AdamConfig adam;
+        adam.weightDecay = decay;
+        model.train(data, 600, adam);
+        // Probe the logit magnitude as a norm proxy.
+        const std::vector<double> probe = {1.5, 1.5};
+        const auto probs = model.probabilities(probe.data());
+        EXPECT_GT(model.accuracy(data), 0.9) << "decay " << decay;
+        return std::abs(std::log(probs[1] / probs[0]));
+    };
+    EXPECT_LT(weightScale(0.05), weightScale(0.0));
+}
+
+TEST_F(PredictFixture, PredictorBankTrainsEveryShard)
+{
+    PredictorTrainConfig config;
+    config.hiddenLayers = {16, 16};
+    config.iterations = 150;
+    const PredictorBank bank(*index_, evaluator_, work_, trainTrace_,
+                             config);
+    EXPECT_EQ(bank.numShards(), 4u);
+    for (ShardId s = 0; s < 4; ++s) {
+        const std::vector<double> qf =
+            qualityFeatures(index_->termStats(s), std::vector<TermId>{30});
+        EXPECT_LE(bank.quality(s).predictTopK(qf), 10u);
+        const std::vector<double> lf =
+            latencyFeatures(index_->termStats(s), std::vector<TermId>{30});
+        EXPECT_GT(bank.latency(s).predictCycles(lf), 0.0);
+    }
+    EXPECT_GT(bank.inferenceOverheadSeconds(), 0.0);
+}
+
+} // namespace
+} // namespace cottage

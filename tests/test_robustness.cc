@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Robustness and failure-injection tests: degenerate configurations,
+ * out-of-distribution queries, untrained predictors, saturated queues.
+ * The system must degrade gracefully (fall back, truncate, keep
+ * invariants) rather than crash or return garbage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+
+#include "core/cottage_policy.h"
+#include "harness/experiment.h"
+
+namespace cottage {
+namespace {
+
+ExperimentConfig
+tinyConfig()
+{
+    ExperimentConfig config;
+    config.corpus.numDocs = 1500;
+    config.corpus.vocabSize = 3000;
+    config.shards.numShards = 3;
+    config.traceQueries = 60;
+    config.trainQueries = 150;
+    config.train.hiddenLayers = {8};
+    config.train.iterations = 60;
+    return config;
+}
+
+TEST(Robustness, SingleShardClusterWorks)
+{
+    ExperimentConfig config = tinyConfig();
+    config.shards.numShards = 1;
+    Experiment experiment(std::move(config));
+    for (const char *name : {"exhaustive", "taily", "cottage"}) {
+        const RunResult result =
+            experiment.run(name, TraceFlavor::Wikipedia);
+        // One shard: nothing to select away from. Selection policies
+        // stay near-perfect (cottage can still truncate on a cycle
+        // misprediction, which costs a query, not the run).
+        EXPECT_GT(result.summary.avgPrecision, 0.95) << name;
+        EXPECT_DOUBLE_EQ(result.summary.avgIsnsUsed, 1.0) << name;
+    }
+    EXPECT_DOUBLE_EQ(
+        experiment.run("exhaustive", TraceFlavor::Wikipedia)
+            .summary.avgPrecision,
+        1.0);
+}
+
+TEST(Robustness, KTwoAndLargeKWork)
+{
+    for (const std::size_t k : {2u, 50u}) {
+        ExperimentConfig config = tinyConfig();
+        config.shards.topK = k;
+        Experiment experiment(std::move(config));
+        const RunResult result =
+            experiment.run("cottage", TraceFlavor::Wikipedia);
+        EXPECT_GT(result.summary.avgPrecision, 0.5) << "k=" << k;
+        for (const QueryMeasurement &m : result.measurements)
+            EXPECT_LE(m.results.size(), k);
+    }
+}
+
+TEST(Robustness, UntrainedPredictorsNeverCrashCottage)
+{
+    // A bank trained for a single iteration on a tiny trace is close
+    // to random; Cottage must still produce valid plans (possibly
+    // falling back to exhaustive) and the engine valid measurements.
+    ExperimentConfig config = tinyConfig();
+    config.train.iterations = 1;
+    config.trainQueries = 30;
+    Experiment experiment(std::move(config));
+    const RunResult result =
+        experiment.run("cottage", TraceFlavor::Wikipedia);
+    EXPECT_EQ(result.summary.queries, 60u);
+    for (const QueryMeasurement &m : result.measurements) {
+        EXPECT_GE(m.isnsUsed, 1u);
+        EXPECT_LE(m.precisionAtK, 1.0 + 1e-12);
+    }
+}
+
+TEST(Robustness, QueriesWithUnknownTermsAreHandled)
+{
+    ExperimentConfig config = tinyConfig();
+    Experiment experiment(std::move(config));
+    CottagePolicy policy(experiment.bank(), experiment.config().cottage);
+
+    Query nonsense;
+    nonsense.terms = {999999u}; // beyond the vocabulary
+    nonsense.arrivalSeconds = 0.0;
+    const QueryPlan plan = policy.plan(nonsense, experiment.engine());
+    EXPECT_GE(plan.participants(), 1u);
+    const QueryMeasurement m =
+        experiment.engine().execute(nonsense, plan, {});
+    EXPECT_TRUE(m.results.empty());
+    EXPECT_DOUBLE_EQ(m.precisionAtK, 1.0); // vacuous ground truth
+}
+
+TEST(Robustness, OverloadedClusterKeepsMeasurementInvariants)
+{
+    // 50x the calibrated load: queues explode, latencies grow without
+    // bound, but every measurement stays internally consistent.
+    ExperimentConfig config = tinyConfig();
+    config.arrivalQps = 5000.0;
+    Experiment experiment(std::move(config));
+    const RunResult result =
+        experiment.run("cottage", TraceFlavor::Wikipedia);
+    double lastArrival = 0.0;
+    for (const QueryMeasurement &m : result.measurements) {
+        EXPECT_GE(m.arrivalSeconds, lastArrival);
+        lastArrival = m.arrivalSeconds;
+        EXPECT_LE(m.isnsCompleted, m.isnsUsed);
+        EXPECT_GE(m.latencySeconds, 0.0);
+        EXPECT_FALSE(std::isnan(m.latencySeconds));
+    }
+    EXPECT_GT(result.summary.avgPowerWatts,
+              experiment.config().power.idleWatts);
+}
+
+TEST(Robustness, ZeroSlackCottageTruncatesButSurvives)
+{
+    ExperimentConfig config = tinyConfig();
+    config.cottage.budgetSlack = 1.0; // no safety margin at all
+    Experiment experiment(std::move(config));
+    const RunResult result =
+        experiment.run("cottage", TraceFlavor::Wikipedia);
+    // Quality may suffer, the run must not.
+    EXPECT_EQ(result.summary.queries, 60u);
+    EXPECT_GE(result.summary.avgPrecision, 0.0);
+}
+
+TEST(Robustness, RepeatedRunsDoNotLeakClusterState)
+{
+    ExperimentConfig config = tinyConfig();
+    Experiment experiment(std::move(config));
+    const RunResult first =
+        experiment.run("exhaustive", TraceFlavor::Wikipedia);
+    // A second, different policy, then exhaustive again: identical.
+    experiment.run("taily", TraceFlavor::Wikipedia);
+    const RunResult again =
+        experiment.run("exhaustive", TraceFlavor::Wikipedia);
+    EXPECT_DOUBLE_EQ(first.summary.avgLatencySeconds,
+                     again.summary.avgLatencySeconds);
+    EXPECT_DOUBLE_EQ(first.summary.energyJoules,
+                     again.summary.energyJoules);
+}
+
+TEST(Robustness, PersonalizedTraceRunsEndToEnd)
+{
+    // The paper's future-work scenario: every query carries user-
+    // profile term weights. The full stack (ground truth, features,
+    // estimators, evaluators) must honour them consistently.
+    ExperimentConfig config = tinyConfig();
+    Experiment experiment(std::move(config));
+
+    TraceConfig personalConfig;
+    personalConfig.numQueries = 60;
+    personalConfig.vocabSize =
+        experiment.config().corpus.vocabSize;
+    personalConfig.personalizedFraction = 1.0;
+    personalConfig.seed = 404;
+    const QueryTrace personalized = QueryTrace::generate(personalConfig);
+
+    CottagePolicy policy(experiment.bank(), experiment.config().cottage);
+    experiment.cluster().reset();
+    double precision = 0.0;
+    for (const Query &query : personalized.queries()) {
+        EXPECT_TRUE(query.personalized());
+        EXPECT_EQ(query.weights.size(), query.terms.size());
+        const auto truth = experiment.engine().globalTopK(query);
+        const QueryPlan plan = policy.plan(query, experiment.engine());
+        const QueryMeasurement m =
+            experiment.engine().execute(query, plan, truth);
+        precision += m.precisionAtK;
+        EXPECT_GE(m.isnsUsed, 1u);
+    }
+    EXPECT_GT(precision / 60.0, 0.6);
+}
+
+TEST(Robustness, WeightsChangeTheGroundTruth)
+{
+    ExperimentConfig config = tinyConfig();
+    Experiment experiment(std::move(config));
+
+    // Find a two-term query where extreme re-weighting changes the
+    // global top-K (demonstrates weights actually flow into scoring).
+    bool anyDiffers = false;
+    for (TermId a = 40; a < 90 && !anyDiffers; a += 7) {
+        Query query;
+        query.terms = {a, static_cast<TermId>(a + 400)};
+        const auto unweighted = experiment.engine().globalTopK(query);
+        if (unweighted.empty())
+            continue;
+        query.weights = {10.0, 0.1};
+        const auto weighted = experiment.engine().globalTopK(query);
+        bool differs = unweighted.size() != weighted.size();
+        for (std::size_t i = 0; !differs && i < unweighted.size(); ++i)
+            differs = unweighted[i].doc != weighted[i].doc;
+        anyDiffers |= differs;
+    }
+    EXPECT_TRUE(anyDiffers);
+}
+
+TEST(Robustness, ManyShardsFewDocs)
+{
+    ExperimentConfig config = tinyConfig();
+    config.shards.numShards = 24; // ~60 docs per shard
+    config.trainQueries = 100;
+    Experiment experiment(std::move(config));
+    const RunResult result =
+        experiment.run("cottage", TraceFlavor::Wikipedia);
+    EXPECT_EQ(result.summary.queries, 60u);
+    EXPECT_LE(result.summary.avgIsnsUsed, 24.0);
+}
+
+} // namespace
+} // namespace cottage

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for partitioning and the sharded index, including the exactness
+ * property that merging per-shard top-K lists reproduces the global
+ * exhaustive top-K (the foundation of the paper's quality metric).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "index/exhaustive_evaluator.h"
+#include "index/top_k.h"
+#include "shard/sharded_index.h"
+#include "text/trace.h"
+
+namespace cottage {
+namespace {
+
+CorpusConfig
+testCorpusConfig()
+{
+    CorpusConfig config;
+    config.numDocs = 1200;
+    config.vocabSize = 4000;
+    config.meanDocLength = 70.0;
+    config.numTopics = 16;
+    config.seed = 31;
+    return config;
+}
+
+TEST(Partitioner, EveryDocAssignedExactlyOnce)
+{
+    const Corpus corpus = Corpus::generate(testCorpusConfig());
+    for (const PartitionPolicy policy :
+         {PartitionPolicy::RoundRobin, PartitionPolicy::Random,
+          PartitionPolicy::Topical}) {
+        const auto shards = partitionCorpus(corpus, 7, policy, 99);
+        ASSERT_EQ(shards.size(), 7u);
+        std::set<DocId> seen;
+        for (const auto &shard : shards) {
+            EXPECT_FALSE(shard.empty())
+                << partitionPolicyName(policy);
+            for (DocId doc : shard) {
+                EXPECT_LT(doc, corpus.numDocs());
+                EXPECT_TRUE(seen.insert(doc).second)
+                    << "doc " << doc << " duplicated under "
+                    << partitionPolicyName(policy);
+            }
+        }
+        EXPECT_EQ(seen.size(), corpus.numDocs());
+    }
+}
+
+TEST(Partitioner, RoundRobinIsBalanced)
+{
+    const Corpus corpus = Corpus::generate(testCorpusConfig());
+    const auto shards =
+        partitionCorpus(corpus, 16, PartitionPolicy::RoundRobin, 0);
+    for (const auto &shard : shards) {
+        EXPECT_GE(shard.size(), corpus.numDocs() / 16);
+        EXPECT_LE(shard.size(), corpus.numDocs() / 16 + 1);
+    }
+}
+
+TEST(Partitioner, RandomIsSeedDeterministic)
+{
+    const Corpus corpus = Corpus::generate(testCorpusConfig());
+    const auto a = partitionCorpus(corpus, 8, PartitionPolicy::Random, 5);
+    const auto b = partitionCorpus(corpus, 8, PartitionPolicy::Random, 5);
+    EXPECT_EQ(a, b);
+    const auto c = partitionCorpus(corpus, 8, PartitionPolicy::Random, 6);
+    EXPECT_NE(a, c);
+}
+
+class ShardedFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        corpus_ = std::make_unique<Corpus>(Corpus::generate(testCorpusConfig()));
+        ShardedIndexConfig config;
+        config.numShards = 8;
+        config.topK = 10;
+        sharded_ = std::make_unique<ShardedIndex>(*corpus_, config);
+    }
+
+    std::unique_ptr<Corpus> corpus_;
+    std::unique_ptr<ShardedIndex> sharded_;
+};
+
+TEST_F(ShardedFixture, ShardOfIsConsistentWithAssignment)
+{
+    for (ShardId s = 0; s < sharded_->numShards(); ++s)
+        for (DocId doc : sharded_->shardDocs(s))
+            EXPECT_EQ(sharded_->shardOf(doc), s);
+}
+
+TEST_F(ShardedFixture, MergedShardTopKEqualsGlobalTopK)
+{
+    // Build a single global index as the oracle.
+    std::vector<DocId> allDocs(corpus_->numDocs());
+    for (DocId d = 0; d < corpus_->numDocs(); ++d)
+        allDocs[d] = d;
+    const auto stats = std::make_shared<CollectionStats>(*corpus_);
+    const InvertedIndex globalIndex(*corpus_, allDocs, stats);
+
+    const ExhaustiveEvaluator evaluator;
+    TraceConfig traceConfig;
+    traceConfig.numQueries = 80;
+    traceConfig.vocabSize = 4000;
+    traceConfig.seed = 17;
+    const QueryTrace trace = QueryTrace::generate(traceConfig);
+
+    for (const Query &query : trace.queries()) {
+        const SearchResult oracle =
+            evaluator.search(globalIndex, query.terms, 10);
+
+        TopKHeap merged(10);
+        for (ShardId s = 0; s < sharded_->numShards(); ++s) {
+            const SearchResult shardResult =
+                evaluator.search(sharded_->shard(s), query.terms, 10);
+            for (const ScoredDoc &hit : shardResult.topK)
+                merged.push(hit);
+        }
+        const auto mergedTopK = merged.extractSorted();
+
+        ASSERT_EQ(mergedTopK.size(), oracle.topK.size())
+            << "query " << query.id;
+        for (std::size_t i = 0; i < oracle.topK.size(); ++i) {
+            EXPECT_EQ(mergedTopK[i].doc, oracle.topK[i].doc)
+                << "rank " << i << " query " << query.id;
+            EXPECT_NEAR(mergedTopK[i].score, oracle.topK[i].score, 1e-9);
+        }
+    }
+}
+
+TEST_F(ShardedFixture, TermStatsBuiltPerShard)
+{
+    for (ShardId s = 0; s < sharded_->numShards(); ++s) {
+        EXPECT_EQ(sharded_->termStats(s).size(),
+                  sharded_->shard(s).numTerms());
+        EXPECT_EQ(sharded_->termStats(s).k(), 10u);
+    }
+}
+
+TEST_F(ShardedFixture, ShardsPartitionTheCollection)
+{
+    uint64_t totalDocs = 0;
+    for (ShardId s = 0; s < sharded_->numShards(); ++s)
+        totalDocs += sharded_->shard(s).numDocs();
+    EXPECT_EQ(totalDocs, corpus_->numDocs());
+}
+
+} // namespace
+} // namespace cottage

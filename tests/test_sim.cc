@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Tests for the cluster simulator: frequency ladder, power model,
+ * FIFO queueing arithmetic, deadline truncation and energy accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "sim/cluster.h"
+#include "sim/frequency.h"
+#include "sim/isn_server.h"
+#include "sim/power_model.h"
+#include "sim/work_model.h"
+
+namespace cottage {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(FrequencyLadder, DefaultMatchesPaperRange)
+{
+    const FrequencyLadder ladder;
+    EXPECT_DOUBLE_EQ(ladder.minGhz(), 1.2);
+    EXPECT_DOUBLE_EQ(ladder.maxGhz(), 2.7);
+    EXPECT_DOUBLE_EQ(ladder.defaultGhz(), 2.1);
+    EXPECT_EQ(ladder.steps().size(), 16u);
+    EXPECT_TRUE(ladder.contains(1.5));
+    EXPECT_FALSE(ladder.contains(1.55));
+}
+
+TEST(FrequencyLadder, AtLeastRoundsUpAndSaturates)
+{
+    const FrequencyLadder ladder;
+    EXPECT_DOUBLE_EQ(ladder.atLeast(0.3), 1.2);
+    EXPECT_DOUBLE_EQ(ladder.atLeast(1.21), 1.3);
+    EXPECT_DOUBLE_EQ(ladder.atLeast(1.3), 1.3);
+    EXPECT_DOUBLE_EQ(ladder.atLeast(5.0), 2.7);
+}
+
+TEST(WorkModel, CyclesAreLinearInWork)
+{
+    const WorkModel model;
+    SearchWork work;
+    work.postingsScored = 1000;
+    work.docsScored = 400;
+    work.postingsSkipped = 2000;
+    const double cycles = model.cycles(work);
+    EXPECT_DOUBLE_EQ(cycles, model.baseCycles +
+                                 model.cyclesPerPosting * 1000 +
+                                 model.cyclesPerDoc * 400 +
+                                 model.cyclesPerSkip * 2000);
+    // Doubling frequency halves service time.
+    EXPECT_NEAR(model.serviceSeconds(work, 1.2),
+                2.0 * model.serviceSeconds(work, 2.4), 1e-15);
+}
+
+TEST(PowerModel, FrequencyCubeScaling)
+{
+    const PowerModel power;
+    EXPECT_NEAR(power.busyWatts(2.1), power.busyWattsAtReference, 1e-12);
+    const double ratio = power.busyWatts(2.7) / power.busyWatts(2.1);
+    EXPECT_NEAR(ratio, std::pow(2.7 / 2.1, 3.0), 1e-12);
+    // Slowing down saves power.
+    EXPECT_LT(power.busyWatts(1.2), power.busyWatts(2.1));
+}
+
+TEST(PowerModel, CalibrationMatchesFig14OperatingPoints)
+{
+    // The default experiment's exhaustive replay keeps ~8 of 16 ISNs
+    // busy on average; that operating point should land near the
+    // paper's 36 W exhaustive-search package power.
+    const PowerModel power;
+    const double seconds = 100.0;
+    const double busyEnergy = 8.0 * power.busyWatts(2.1) * seconds;
+    const double watts = power.averagePowerWatts(busyEnergy, seconds);
+    EXPECT_NEAR(watts, 36.0, 0.75);
+    EXPECT_NEAR(power.averagePowerWatts(0.0, seconds), 14.53, 1e-9);
+}
+
+TEST(IsnServer, IdleServerStartsImmediately)
+{
+    const FrequencyLadder ladder;
+    const PowerModel power;
+    IsnServerSim server(ladder, power);
+    // 2.1e9 cycles at 2.1 GHz = 1 second.
+    const IsnExecution exec = server.execute(5.0, 2.1e9, 2.1, kInf);
+    EXPECT_DOUBLE_EQ(exec.startSeconds, 5.0);
+    EXPECT_NEAR(exec.finishSeconds, 6.0, 1e-12);
+    EXPECT_TRUE(exec.completed);
+    EXPECT_NEAR(server.busySeconds(), 1.0, 1e-12);
+}
+
+TEST(IsnServer, FifoQueueingDelaysSecondRequest)
+{
+    const FrequencyLadder ladder;
+    const PowerModel power;
+    IsnServerSim server(ladder, power);
+    server.execute(0.0, 2.1e9, 2.1, kInf); // busy until t=1
+    const IsnExecution second = server.execute(0.2, 1.05e9, 2.1, kInf);
+    EXPECT_NEAR(second.startSeconds, 1.0, 1e-12);
+    EXPECT_NEAR(second.finishSeconds, 1.5, 1e-12);
+    EXPECT_NEAR(server.backlogSeconds(1.2), 0.3, 1e-12);
+    EXPECT_DOUBLE_EQ(server.backlogSeconds(9.9), 0.0);
+}
+
+TEST(IsnServer, BoostShortensService)
+{
+    const FrequencyLadder ladder;
+    const PowerModel power;
+    IsnServerSim server(ladder, power);
+    const IsnExecution slow = server.execute(0.0, 2.7e9, 1.2, kInf);
+    server.reset();
+    const IsnExecution fast = server.execute(0.0, 2.7e9, 2.7, kInf);
+    EXPECT_NEAR(slow.busySeconds / fast.busySeconds, 2.7 / 1.2, 1e-9);
+}
+
+TEST(IsnServer, DeadlineTruncatesWork)
+{
+    const FrequencyLadder ladder;
+    const PowerModel power;
+    IsnServerSim server(ladder, power);
+    // Needs 1s, deadline at 0.4s.
+    const IsnExecution exec = server.execute(0.0, 2.1e9, 2.1, 0.4);
+    EXPECT_FALSE(exec.completed);
+    EXPECT_NEAR(exec.finishSeconds, 0.4, 1e-12);
+    EXPECT_NEAR(exec.busySeconds, 0.4, 1e-12);
+    EXPECT_EQ(server.requestsTruncated(), 1u);
+    // A deadline already passed at queue head: no work at all.
+    const IsnExecution dead = server.execute(0.0, 2.1e9, 2.1, 0.2);
+    EXPECT_FALSE(dead.completed);
+    EXPECT_DOUBLE_EQ(dead.busySeconds, 0.0);
+}
+
+TEST(IsnServer, EnergyMatchesBusyIntervalsTimesPower)
+{
+    const FrequencyLadder ladder;
+    const PowerModel power;
+    IsnServerSim server(ladder, power);
+    server.execute(0.0, 2.1e9, 2.1, kInf); // 1 s at reference power
+    server.execute(0.0, 2.7e9, 2.7, kInf); // 1 s at boosted power
+    const double expected =
+        1.0 * power.busyWatts(2.1) + 1.0 * power.busyWatts(2.7);
+    EXPECT_NEAR(server.energyJoules(), expected, 1e-9);
+}
+
+TEST(IsnServer, ResetClearsEverything)
+{
+    const FrequencyLadder ladder;
+    const PowerModel power;
+    IsnServerSim server(ladder, power);
+    server.execute(0.0, 1e9, 2.1, 0.1);
+    server.setCurrentFreqGhz(2.7);
+    server.reset();
+    EXPECT_DOUBLE_EQ(server.busyUntilSeconds(), 0.0);
+    EXPECT_DOUBLE_EQ(server.energyJoules(), 0.0);
+    EXPECT_EQ(server.requestsServed(), 0u);
+    EXPECT_EQ(server.requestsTruncated(), 0u);
+    EXPECT_DOUBLE_EQ(server.currentFreqGhz(), 2.1);
+}
+
+TEST(IsnServer, MultipleWorkersServeInParallel)
+{
+    const FrequencyLadder ladder;
+    const PowerModel power;
+    IsnServerSim single(ladder, power, 1);
+    IsnServerSim dual(ladder, power, 2);
+    EXPECT_EQ(dual.workers(), 2u);
+
+    // Two 1-second requests arriving together: the dual-worker server
+    // finishes both at t=1, the single-worker at t=2.
+    for (IsnServerSim *server : {&single, &dual}) {
+        server->execute(0.0, 2.1e9, 2.1, kInf);
+        server->execute(0.0, 2.1e9, 2.1, kInf);
+    }
+    EXPECT_NEAR(single.busyUntilSeconds(), 2.0, 1e-12);
+    EXPECT_NEAR(dual.busyUntilSeconds(), 1.0, 1e-12);
+    // Same total energy either way (same work).
+    EXPECT_NEAR(single.energyJoules(), dual.energyJoules(), 1e-9);
+    // Backlog: a request arriving now at the dual server waits for the
+    // earliest worker.
+    EXPECT_NEAR(dual.backlogSeconds(0.5), 0.5, 1e-12);
+    EXPECT_NEAR(single.backlogSeconds(0.5), 1.5, 1e-12);
+}
+
+TEST(IsnServer, WorkersResetTogether)
+{
+    const FrequencyLadder ladder;
+    const PowerModel power;
+    IsnServerSim server(ladder, power, 3);
+    server.execute(0.0, 1e9, 2.1, kInf);
+    server.execute(0.0, 1e9, 2.1, kInf);
+    server.reset();
+    EXPECT_DOUBLE_EQ(server.busyUntilSeconds(), 0.0);
+    EXPECT_DOUBLE_EQ(server.backlogSeconds(0.0), 0.0);
+}
+
+TEST(Cluster, AggregatesAcrossIsns)
+{
+    ClusterSim cluster(4, FrequencyLadder(), PowerModel());
+    EXPECT_EQ(cluster.numIsns(), 4u);
+    cluster.isn(0).execute(0.0, 2.1e9, 2.1, kInf);
+    cluster.isn(3).execute(0.0, 2.1e9, 2.1, kInf);
+    EXPECT_NEAR(cluster.totalBusySeconds(), 2.0, 1e-12);
+    const double expectedPower =
+        14.53 + 2.0 * cluster.power().busyWatts(2.1) / 10.0;
+    EXPECT_NEAR(cluster.averagePowerWatts(10.0), expectedPower, 1e-9);
+    cluster.reset();
+    EXPECT_DOUBLE_EQ(cluster.totalEnergyJoules(), 0.0);
+}
+
+TEST(Cluster, NetworkDefaultsAreMicroseconds)
+{
+    const ClusterSim cluster(2, FrequencyLadder(), PowerModel());
+    EXPECT_LT(cluster.network().rttSeconds, 1e-3);
+    EXPECT_GT(cluster.network().rttSeconds, 0.0);
+}
+
+} // namespace
+} // namespace cottage

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Unit tests for the stats module: running summaries, percentiles,
+ * histograms, the Gamma distribution (pdf/cdf/quantile/fits) and the
+ * Kolmogorov-Smirnov distance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/gamma.h"
+#include "stats/histogram.h"
+#include "stats/ks.h"
+#include "stats/summary.h"
+#include "util/rng.h"
+
+namespace cottage {
+namespace {
+
+TEST(RunningStat, MatchesDirectComputation)
+{
+    const std::vector<double> data = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    RunningStat stat;
+    for (double v : data)
+        stat.add(v);
+    EXPECT_EQ(stat.count(), data.size());
+    EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(stat.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(stat.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+    EXPECT_DOUBLE_EQ(stat.sum(), 40.0);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat stat;
+    EXPECT_EQ(stat.count(), 0u);
+    EXPECT_DOUBLE_EQ(stat.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+}
+
+TEST(RunningStat, MergeEqualsSequential)
+{
+    Rng rng(21);
+    RunningStat whole;
+    RunningStat partA;
+    RunningStat partB;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.normal(3.0, 2.0);
+        whole.add(v);
+        (i % 2 == 0 ? partA : partB).add(v);
+    }
+    partA.merge(partB);
+    EXPECT_EQ(partA.count(), whole.count());
+    EXPECT_NEAR(partA.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(partA.variance(), whole.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(partA.min(), whole.min());
+    EXPECT_DOUBLE_EQ(partA.max(), whole.max());
+}
+
+TEST(Percentile, InterpolatesBetweenRanks)
+{
+    const std::vector<double> data = {10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(percentile(data, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(data, 1.0), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(data, 0.5), 25.0);
+    EXPECT_DOUBLE_EQ(percentile(data, 0.25), 17.5);
+}
+
+TEST(Percentile, HandlesDegenerateInputs)
+{
+    EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+    EXPECT_DOUBLE_EQ(percentile({3.0}, 0.95), 3.0);
+}
+
+TEST(Means, ArithmeticGeometricHarmonicOrdering)
+{
+    const std::vector<double> data = {1.0, 2.0, 4.0, 8.0};
+    const double a = mean(data);
+    const double g = geometricMean(data);
+    const double h = harmonicMean(data);
+    EXPECT_DOUBLE_EQ(a, 3.75);
+    EXPECT_NEAR(g, std::pow(64.0, 0.25), 1e-12);
+    EXPECT_NEAR(h, 4.0 / (1.0 + 0.5 + 0.25 + 0.125), 1e-12);
+    EXPECT_GT(a, g);
+    EXPECT_GT(g, h);
+}
+
+TEST(Means, NonPositiveInputsYieldZero)
+{
+    EXPECT_DOUBLE_EQ(geometricMean({1.0, 0.0}), 0.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({1.0, -1.0}), 0.0);
+}
+
+TEST(Histogram, LinearBinningAndSaturation)
+{
+    Histogram hist = Histogram::linear(0.0, 10.0, 5);
+    hist.add(-5.0);  // below range -> first bin
+    hist.add(0.0);
+    hist.add(3.9);
+    hist.add(9.99);
+    hist.add(10.0);  // at hi -> last bin
+    hist.add(100.0); // above range -> last bin
+    EXPECT_EQ(hist.totalCount(), 6u);
+    EXPECT_EQ(hist.count(0), 2u);
+    EXPECT_EQ(hist.count(1), 1u);
+    EXPECT_EQ(hist.count(4), 3u);
+    EXPECT_DOUBLE_EQ(hist.binLow(1), 2.0);
+    EXPECT_DOUBLE_EQ(hist.binHigh(1), 4.0);
+    EXPECT_DOUBLE_EQ(hist.binCenter(1), 3.0);
+    EXPECT_NEAR(hist.fraction(4), 0.5, 1e-12);
+}
+
+TEST(Histogram, LogBinningEdgesGrowGeometrically)
+{
+    Histogram hist = Histogram::logarithmic(1.0, 100.0, 2);
+    EXPECT_NEAR(hist.binHigh(0), 10.0, 1e-9);
+    EXPECT_NEAR(hist.binLow(1), 10.0, 1e-9);
+    hist.add(5.0);
+    hist.add(50.0);
+    hist.add(0.5); // below lo -> first bin
+    EXPECT_EQ(hist.count(0), 2u);
+    EXPECT_EQ(hist.count(1), 1u);
+}
+
+TEST(Histogram, AsciiRenderingContainsBars)
+{
+    Histogram hist = Histogram::linear(0.0, 2.0, 2);
+    for (int i = 0; i < 10; ++i)
+        hist.add(0.5);
+    hist.add(1.5);
+    const std::string ascii = hist.toAscii(10);
+    EXPECT_NE(ascii.find("##########"), std::string::npos);
+}
+
+TEST(Gamma, RegularizedGammaKnownValues)
+{
+    // P(1, x) = 1 - exp(-x).
+    for (double x : {0.1, 1.0, 3.0, 10.0})
+        EXPECT_NEAR(regularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-10);
+    // Q + P = 1.
+    EXPECT_NEAR(regularizedGammaP(2.5, 3.0) + regularizedGammaQ(2.5, 3.0),
+                1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(regularizedGammaP(2.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(regularizedGammaQ(2.0, 0.0), 1.0);
+}
+
+TEST(Gamma, DigammaKnownValues)
+{
+    const double eulerGamma = 0.5772156649015329;
+    EXPECT_NEAR(digamma(1.0), -eulerGamma, 1e-9);
+    // psi(x + 1) = psi(x) + 1/x.
+    EXPECT_NEAR(digamma(2.0), -eulerGamma + 1.0, 1e-9);
+    EXPECT_NEAR(digamma(0.5), -eulerGamma - 2.0 * std::log(2.0), 1e-8);
+}
+
+TEST(Gamma, PdfIntegratesToCdf)
+{
+    const GammaDistribution dist(3.0, 2.0);
+    // Trapezoidal integral of the pdf vs the analytic cdf.
+    const double upper = 10.0;
+    const int steps = 20000;
+    double integral = 0.0;
+    for (int i = 0; i < steps; ++i) {
+        const double x0 = upper * i / steps;
+        const double x1 = upper * (i + 1) / steps;
+        integral += 0.5 * (dist.pdf(x0) + dist.pdf(x1)) * (x1 - x0);
+    }
+    EXPECT_NEAR(integral, dist.cdf(upper), 1e-6);
+}
+
+TEST(Gamma, ShapeOneIsExponential)
+{
+    const GammaDistribution dist(1.0, 4.0);
+    for (double x : {0.5, 2.0, 8.0}) {
+        EXPECT_NEAR(dist.cdf(x), 1.0 - std::exp(-x / 4.0), 1e-10);
+        EXPECT_NEAR(dist.survival(x), std::exp(-x / 4.0), 1e-10);
+    }
+}
+
+TEST(Gamma, MomentsAndQuantileInverse)
+{
+    const GammaDistribution dist(5.0, 1.5);
+    EXPECT_DOUBLE_EQ(dist.mean(), 7.5);
+    EXPECT_DOUBLE_EQ(dist.variance(), 11.25);
+    for (double p : {0.01, 0.25, 0.5, 0.9, 0.999}) {
+        const double x = dist.quantile(p);
+        EXPECT_NEAR(dist.cdf(x), p, 1e-8) << "p " << p;
+    }
+}
+
+TEST(Gamma, FitMomentsRecoversParameters)
+{
+    const GammaDistribution fit = GammaDistribution::fitMoments(6.0, 12.0);
+    EXPECT_NEAR(fit.shape(), 3.0, 1e-12);
+    EXPECT_NEAR(fit.scale(), 2.0, 1e-12);
+}
+
+TEST(Gamma, FitMomentsDegenerateInputs)
+{
+    // Must not crash; must produce a valid distribution.
+    const GammaDistribution a = GammaDistribution::fitMoments(0.0, 0.0);
+    EXPECT_GT(a.shape(), 0.0);
+    const GammaDistribution b = GammaDistribution::fitMoments(5.0, 0.0);
+    EXPECT_NEAR(b.mean(), 5.0, 1e-6);
+}
+
+TEST(Gamma, FitMleOnSampledData)
+{
+    Rng rng(22);
+    // Sample Gamma(4, 2) as a sum of 4 exponentials of scale 2.
+    std::vector<double> sample;
+    for (int i = 0; i < 20000; ++i) {
+        double x = 0.0;
+        for (int j = 0; j < 4; ++j)
+            x += rng.exponential(0.5);
+        sample.push_back(x);
+    }
+    const GammaDistribution fit = GammaDistribution::fitMle(sample);
+    EXPECT_NEAR(fit.shape(), 4.0, 0.2);
+    EXPECT_NEAR(fit.scale(), 2.0, 0.12);
+}
+
+TEST(Gamma, FitMleFallsBackOnDegenerateData)
+{
+    const GammaDistribution fit =
+        GammaDistribution::fitMle({3.0, 3.0, 3.0, 3.0});
+    EXPECT_NEAR(fit.mean(), 3.0, 1e-3);
+}
+
+TEST(Ks, ZeroForPerfectFit)
+{
+    // Empirical CDF of a sample against its own empirical CDF must be
+    // within 1/n.
+    const std::vector<double> sample = {1.0, 2.0, 3.0, 4.0};
+    const double d = ksDistance(sample, [](double x) {
+        if (x < 1.0) return 0.0;
+        if (x >= 4.0) return 1.0;
+        return (x - 0.0) / 4.0; // crude but close
+    });
+    EXPECT_LE(d, 0.26);
+}
+
+TEST(Ks, DetectsGrossMisfit)
+{
+    std::vector<double> sample(100, 10.0); // point mass at 10
+    const double d =
+        ksDistance(sample, [](double x) { return x < 100.0 ? 0.0 : 1.0; });
+    EXPECT_GT(d, 0.9);
+}
+
+TEST(Ks, EmptySampleIsZero)
+{
+    EXPECT_DOUBLE_EQ(ksDistance({}, [](double) { return 0.5; }), 0.0);
+}
+
+TEST(Ks, GammaSampleMatchesItsOwnCdf)
+{
+    Rng rng(23);
+    std::vector<double> sample;
+    for (int i = 0; i < 5000; ++i) {
+        double x = 0.0;
+        for (int j = 0; j < 3; ++j)
+            x += rng.exponential(1.0);
+        sample.push_back(x);
+    }
+    const GammaDistribution dist(3.0, 1.0);
+    const double d =
+        ksDistance(sample, [&](double x) { return dist.cdf(x); });
+    EXPECT_LT(d, 0.03); // n = 5000 -> KS stat ~ 1.36/sqrt(n) ~ 0.02
+}
+
+} // namespace
+} // namespace cottage

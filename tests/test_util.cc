@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Unit tests for the util module: RNG determinism and distribution
+ * sanity, Zipf sampling, string helpers, CLI flag parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/zipf.h"
+
+namespace cottage {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, SplitStreamsAreIndependent)
+{
+    Rng parent(99);
+    Rng childA = parent.split();
+    Rng childB = parent.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += childA.next() == childB.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsHalf)
+{
+    Rng rng(8);
+    double total = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        total += rng.uniform();
+    EXPECT_NEAR(total / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive)
+{
+    Rng rng(9);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const int64_t v = rng.uniformInt(3, 7);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 7);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntSingleton)
+{
+    Rng rng(10);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.uniformInt(42, 42), 42);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    double sumSq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sumSq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sumSq / n, 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate)
+{
+    Rng rng(12);
+    double total = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        total += rng.exponential(4.0);
+    EXPECT_NEAR(total / n, 0.25, 0.01);
+}
+
+TEST(Rng, PoissonMeanSmallAndLarge)
+{
+    Rng rng(13);
+    for (double mean : {0.5, 3.0, 80.0}) {
+        double total = 0.0;
+        const int n = 50000;
+        for (int i = 0; i < n; ++i)
+            total += static_cast<double>(rng.poisson(mean));
+        EXPECT_NEAR(total / n, mean, mean * 0.05 + 0.05) << "mean " << mean;
+    }
+}
+
+TEST(Rng, DiscretePicksProportionally)
+{
+    Rng rng(14);
+    const std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+    std::vector<int> counts(4, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.discrete(weights)];
+    EXPECT_EQ(counts[2], 0);
+    EXPECT_NEAR(counts[0] / double(n), 0.1, 0.01);
+    EXPECT_NEAR(counts[1] / double(n), 0.3, 0.015);
+    EXPECT_NEAR(counts[3] / double(n), 0.6, 0.015);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(15);
+    std::vector<int> values = {1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<int> shuffled = values;
+    rng.shuffle(shuffled);
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, values);
+}
+
+TEST(Zipf, PmfSumsToOne)
+{
+    const ZipfSampler zipf(100, 1.1);
+    double total = 0.0;
+    for (uint64_t k = 1; k <= 100; ++k)
+        total += zipf.pmf(k);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, PmfMonotoneDecreasing)
+{
+    const ZipfSampler zipf(1000, 0.9);
+    for (uint64_t k = 1; k < 1000; ++k)
+        EXPECT_GT(zipf.pmf(k), zipf.pmf(k + 1));
+}
+
+TEST(Zipf, SamplesWithinRange)
+{
+    Rng rng(16);
+    const ZipfSampler zipf(50, 1.3);
+    for (int i = 0; i < 10000; ++i) {
+        const uint64_t k = zipf.sample(rng);
+        EXPECT_GE(k, 1u);
+        EXPECT_LE(k, 50u);
+    }
+}
+
+TEST(Zipf, EmpiricalMatchesPmf)
+{
+    Rng rng(17);
+    const ZipfSampler zipf(20, 1.0);
+    std::vector<int> counts(21, 0);
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        ++counts[zipf.sample(rng)];
+    for (uint64_t k = 1; k <= 20; ++k) {
+        const double expected = zipf.pmf(k);
+        const double observed = counts[k] / double(n);
+        EXPECT_NEAR(observed, expected, 0.15 * expected + 0.002)
+            << "rank " << k;
+    }
+}
+
+TEST(Zipf, SingletonAlwaysReturnsOne)
+{
+    Rng rng(18);
+    const ZipfSampler zipf(1, 1.0);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(zipf.sample(rng), 1u);
+}
+
+TEST(Zipf, NonUnitExponent)
+{
+    Rng rng(19);
+    const ZipfSampler zipf(100, 0.5);
+    double total = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        total += static_cast<double>(zipf.sample(rng));
+    double expectedMean = 0.0;
+    for (uint64_t k = 1; k <= 100; ++k)
+        expectedMean += static_cast<double>(k) * zipf.pmf(k);
+    EXPECT_NEAR(total / n, expectedMean, expectedMean * 0.03);
+}
+
+TEST(StringUtil, SplitKeepsEmptyFields)
+{
+    const auto parts = split("a,,b,", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+    EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtil, SplitWhitespaceDropsEmpty)
+{
+    const auto parts = splitWhitespace("  canada   maple\tsyrup \n");
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "canada");
+    EXPECT_EQ(parts[1], "maple");
+    EXPECT_EQ(parts[2], "syrup");
+}
+
+TEST(StringUtil, JoinRoundTrip)
+{
+    const std::vector<std::string> parts = {"a", "b", "c"};
+    EXPECT_EQ(join(parts, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(StringUtil, TrimAndLower)
+{
+    EXPECT_EQ(trim("  Hello \t"), "Hello");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(toLower("ToKyO"), "tokyo");
+}
+
+TEST(StringUtil, StartsWith)
+{
+    EXPECT_TRUE(startsWith("--flag", "--"));
+    EXPECT_FALSE(startsWith("-f", "--"));
+    EXPECT_FALSE(startsWith("", "--"));
+}
+
+TEST(StringUtil, Strformat)
+{
+    EXPECT_EQ(strformat("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+    EXPECT_EQ(strformat("empty"), "empty");
+}
+
+TEST(Cli, ParsesAllFlagForms)
+{
+    const char *argv[] = {"prog", "--alpha=3", "--beta=4.5", "--verbose",
+                          "positional", "--name=wiki"};
+    const CliFlags flags(6, argv);
+    EXPECT_EQ(flags.getInt("alpha", 0), 3);
+    EXPECT_DOUBLE_EQ(flags.getDouble("beta", 0.0), 4.5);
+    EXPECT_TRUE(flags.getBool("verbose", false));
+    EXPECT_EQ(flags.getString("name", ""), "wiki");
+    ASSERT_EQ(flags.positional().size(), 1u);
+    EXPECT_EQ(flags.positional()[0], "positional");
+}
+
+TEST(Cli, FallbacksWhenAbsent)
+{
+    const char *argv[] = {"prog"};
+    const CliFlags flags(1, argv);
+    EXPECT_EQ(flags.getInt("x", -2), -2);
+    EXPECT_DOUBLE_EQ(flags.getDouble("y", 2.5), 2.5);
+    EXPECT_FALSE(flags.getBool("z", false));
+    EXPECT_EQ(flags.getString("s", "dflt"), "dflt");
+    EXPECT_FALSE(flags.has("x"));
+}
+
+TEST(Cli, TrailingBooleanFlag)
+{
+    const char *argv[] = {"prog", "--go"};
+    const CliFlags flags(2, argv);
+    EXPECT_TRUE(flags.getBool("go", false));
+}
+
+} // namespace
+} // namespace cottage
