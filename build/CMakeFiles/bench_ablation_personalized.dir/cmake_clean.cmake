@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_personalized.dir/bench/bench_ablation_personalized.cpp.o"
+  "CMakeFiles/bench_ablation_personalized.dir/bench/bench_ablation_personalized.cpp.o.d"
+  "bench/bench_ablation_personalized"
+  "bench/bench_ablation_personalized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_personalized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_variation.dir/bench/bench_fig02_variation.cpp.o"
+  "CMakeFiles/bench_fig02_variation.dir/bench/bench_fig02_variation.cpp.o.d"
+  "bench/bench_fig02_variation"
+  "bench/bench_fig02_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

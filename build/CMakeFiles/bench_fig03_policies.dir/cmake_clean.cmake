@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_policies.dir/bench/bench_fig03_policies.cpp.o"
+  "CMakeFiles/bench_fig03_policies.dir/bench/bench_fig03_policies.cpp.o.d"
+  "bench/bench_fig03_policies"
+  "bench/bench_fig03_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_dvfs.dir/bench/bench_fig04_dvfs.cpp.o"
+  "CMakeFiles/bench_fig04_dvfs.dir/bench/bench_fig04_dvfs.cpp.o.d"
+  "bench/bench_fig04_dvfs"
+  "bench/bench_fig04_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

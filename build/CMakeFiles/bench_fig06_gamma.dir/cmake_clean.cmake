@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_gamma.dir/bench/bench_fig06_gamma.cpp.o"
+  "CMakeFiles/bench_fig06_gamma.dir/bench/bench_fig06_gamma.cpp.o.d"
+  "bench/bench_fig06_gamma"
+  "bench/bench_fig06_gamma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_gamma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

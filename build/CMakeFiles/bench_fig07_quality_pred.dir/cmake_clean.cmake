@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_quality_pred.dir/bench/bench_fig07_quality_pred.cpp.o"
+  "CMakeFiles/bench_fig07_quality_pred.dir/bench/bench_fig07_quality_pred.cpp.o.d"
+  "bench/bench_fig07_quality_pred"
+  "bench/bench_fig07_quality_pred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_quality_pred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_quality.dir/bench/bench_fig11_quality.cpp.o"
+  "CMakeFiles/bench_fig11_quality.dir/bench/bench_fig11_quality.cpp.o.d"
+  "bench/bench_fig11_quality"
+  "bench/bench_fig11_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_scatter.dir/bench/bench_fig12_scatter.cpp.o"
+  "CMakeFiles/bench_fig12_scatter.dir/bench/bench_fig12_scatter.cpp.o.d"
+  "bench/bench_fig12_scatter"
+  "bench/bench_fig12_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

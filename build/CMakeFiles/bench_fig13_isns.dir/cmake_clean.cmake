@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_isns.dir/bench/bench_fig13_isns.cpp.o"
+  "CMakeFiles/bench_fig13_isns.dir/bench/bench_fig13_isns.cpp.o.d"
+  "bench/bench_fig13_isns"
+  "bench/bench_fig13_isns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_isns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tables_features.dir/bench/bench_tables_features.cpp.o"
+  "CMakeFiles/bench_tables_features.dir/bench/bench_tables_features.cpp.o.d"
+  "bench/bench_tables_features"
+  "bench/bench_tables_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tables_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

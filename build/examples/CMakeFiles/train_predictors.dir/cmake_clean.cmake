@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_predictors.dir/train_predictors.cpp.o"
+  "CMakeFiles/train_predictors.dir/train_predictors.cpp.o.d"
+  "train_predictors"
+  "train_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cottage_core.dir/budget_algorithm.cc.o"
+  "CMakeFiles/cottage_core.dir/budget_algorithm.cc.o.d"
+  "CMakeFiles/cottage_core.dir/cottage_policy.cc.o"
+  "CMakeFiles/cottage_core.dir/cottage_policy.cc.o.d"
+  "CMakeFiles/cottage_core.dir/oracle_policy.cc.o"
+  "CMakeFiles/cottage_core.dir/oracle_policy.cc.o.d"
+  "CMakeFiles/cottage_core.dir/slo_policy.cc.o"
+  "CMakeFiles/cottage_core.dir/slo_policy.cc.o.d"
+  "libcottage_core.a"
+  "libcottage_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cottage_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cottage_engine.dir/distributed_engine.cc.o"
+  "CMakeFiles/cottage_engine.dir/distributed_engine.cc.o.d"
+  "libcottage_engine.a"
+  "libcottage_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cottage_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

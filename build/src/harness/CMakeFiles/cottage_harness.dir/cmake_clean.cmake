@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cottage_harness.dir/experiment.cc.o"
+  "CMakeFiles/cottage_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/cottage_harness.dir/table.cc.o"
+  "CMakeFiles/cottage_harness.dir/table.cc.o.d"
+  "libcottage_harness.a"
+  "libcottage_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cottage_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/collection_stats.cc" "src/index/CMakeFiles/cottage_index.dir/collection_stats.cc.o" "gcc" "src/index/CMakeFiles/cottage_index.dir/collection_stats.cc.o.d"
+  "/root/repo/src/index/evaluator.cc" "src/index/CMakeFiles/cottage_index.dir/evaluator.cc.o" "gcc" "src/index/CMakeFiles/cottage_index.dir/evaluator.cc.o.d"
+  "/root/repo/src/index/exhaustive_evaluator.cc" "src/index/CMakeFiles/cottage_index.dir/exhaustive_evaluator.cc.o" "gcc" "src/index/CMakeFiles/cottage_index.dir/exhaustive_evaluator.cc.o.d"
+  "/root/repo/src/index/inverted_index.cc" "src/index/CMakeFiles/cottage_index.dir/inverted_index.cc.o" "gcc" "src/index/CMakeFiles/cottage_index.dir/inverted_index.cc.o.d"
+  "/root/repo/src/index/maxscore_evaluator.cc" "src/index/CMakeFiles/cottage_index.dir/maxscore_evaluator.cc.o" "gcc" "src/index/CMakeFiles/cottage_index.dir/maxscore_evaluator.cc.o.d"
+  "/root/repo/src/index/taat_evaluator.cc" "src/index/CMakeFiles/cottage_index.dir/taat_evaluator.cc.o" "gcc" "src/index/CMakeFiles/cottage_index.dir/taat_evaluator.cc.o.d"
+  "/root/repo/src/index/term_stats.cc" "src/index/CMakeFiles/cottage_index.dir/term_stats.cc.o" "gcc" "src/index/CMakeFiles/cottage_index.dir/term_stats.cc.o.d"
+  "/root/repo/src/index/varbyte.cc" "src/index/CMakeFiles/cottage_index.dir/varbyte.cc.o" "gcc" "src/index/CMakeFiles/cottage_index.dir/varbyte.cc.o.d"
+  "/root/repo/src/index/wand_evaluator.cc" "src/index/CMakeFiles/cottage_index.dir/wand_evaluator.cc.o" "gcc" "src/index/CMakeFiles/cottage_index.dir/wand_evaluator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/cottage_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cottage_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cottage_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

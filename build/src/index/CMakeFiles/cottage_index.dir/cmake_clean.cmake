@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cottage_index.dir/collection_stats.cc.o"
+  "CMakeFiles/cottage_index.dir/collection_stats.cc.o.d"
+  "CMakeFiles/cottage_index.dir/evaluator.cc.o"
+  "CMakeFiles/cottage_index.dir/evaluator.cc.o.d"
+  "CMakeFiles/cottage_index.dir/exhaustive_evaluator.cc.o"
+  "CMakeFiles/cottage_index.dir/exhaustive_evaluator.cc.o.d"
+  "CMakeFiles/cottage_index.dir/inverted_index.cc.o"
+  "CMakeFiles/cottage_index.dir/inverted_index.cc.o.d"
+  "CMakeFiles/cottage_index.dir/maxscore_evaluator.cc.o"
+  "CMakeFiles/cottage_index.dir/maxscore_evaluator.cc.o.d"
+  "CMakeFiles/cottage_index.dir/taat_evaluator.cc.o"
+  "CMakeFiles/cottage_index.dir/taat_evaluator.cc.o.d"
+  "CMakeFiles/cottage_index.dir/term_stats.cc.o"
+  "CMakeFiles/cottage_index.dir/term_stats.cc.o.d"
+  "CMakeFiles/cottage_index.dir/varbyte.cc.o"
+  "CMakeFiles/cottage_index.dir/varbyte.cc.o.d"
+  "CMakeFiles/cottage_index.dir/wand_evaluator.cc.o"
+  "CMakeFiles/cottage_index.dir/wand_evaluator.cc.o.d"
+  "libcottage_index.a"
+  "libcottage_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cottage_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

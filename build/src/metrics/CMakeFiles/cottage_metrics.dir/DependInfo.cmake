@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/run_stats.cc" "src/metrics/CMakeFiles/cottage_metrics.dir/run_stats.cc.o" "gcc" "src/metrics/CMakeFiles/cottage_metrics.dir/run_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/cottage_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cottage_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/shard/CMakeFiles/cottage_shard.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cottage_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/cottage_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/cottage_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cottage_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cottage_metrics.dir/run_stats.cc.o"
+  "CMakeFiles/cottage_metrics.dir/run_stats.cc.o.d"
+  "libcottage_metrics.a"
+  "libcottage_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cottage_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

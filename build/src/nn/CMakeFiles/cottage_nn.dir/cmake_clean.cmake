@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cottage_nn.dir/matrix.cc.o"
+  "CMakeFiles/cottage_nn.dir/matrix.cc.o.d"
+  "CMakeFiles/cottage_nn.dir/mlp.cc.o"
+  "CMakeFiles/cottage_nn.dir/mlp.cc.o.d"
+  "libcottage_nn.a"
+  "libcottage_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cottage_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/aggregation_policy.cc" "src/policy/CMakeFiles/cottage_policy.dir/aggregation_policy.cc.o" "gcc" "src/policy/CMakeFiles/cottage_policy.dir/aggregation_policy.cc.o.d"
+  "/root/repo/src/policy/csi.cc" "src/policy/CMakeFiles/cottage_policy.dir/csi.cc.o" "gcc" "src/policy/CMakeFiles/cottage_policy.dir/csi.cc.o.d"
+  "/root/repo/src/policy/rank_s_policy.cc" "src/policy/CMakeFiles/cottage_policy.dir/rank_s_policy.cc.o" "gcc" "src/policy/CMakeFiles/cottage_policy.dir/rank_s_policy.cc.o.d"
+  "/root/repo/src/policy/redde_policy.cc" "src/policy/CMakeFiles/cottage_policy.dir/redde_policy.cc.o" "gcc" "src/policy/CMakeFiles/cottage_policy.dir/redde_policy.cc.o.d"
+  "/root/repo/src/policy/taily_estimator.cc" "src/policy/CMakeFiles/cottage_policy.dir/taily_estimator.cc.o" "gcc" "src/policy/CMakeFiles/cottage_policy.dir/taily_estimator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/cottage_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cottage_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/shard/CMakeFiles/cottage_shard.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cottage_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/cottage_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/cottage_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cottage_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

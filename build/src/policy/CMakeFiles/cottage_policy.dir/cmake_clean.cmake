@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cottage_policy.dir/aggregation_policy.cc.o"
+  "CMakeFiles/cottage_policy.dir/aggregation_policy.cc.o.d"
+  "CMakeFiles/cottage_policy.dir/csi.cc.o"
+  "CMakeFiles/cottage_policy.dir/csi.cc.o.d"
+  "CMakeFiles/cottage_policy.dir/rank_s_policy.cc.o"
+  "CMakeFiles/cottage_policy.dir/rank_s_policy.cc.o.d"
+  "CMakeFiles/cottage_policy.dir/redde_policy.cc.o"
+  "CMakeFiles/cottage_policy.dir/redde_policy.cc.o.d"
+  "CMakeFiles/cottage_policy.dir/taily_estimator.cc.o"
+  "CMakeFiles/cottage_policy.dir/taily_estimator.cc.o.d"
+  "libcottage_policy.a"
+  "libcottage_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cottage_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cottage_predict.dir/features.cc.o"
+  "CMakeFiles/cottage_predict.dir/features.cc.o.d"
+  "CMakeFiles/cottage_predict.dir/latency_predictor.cc.o"
+  "CMakeFiles/cottage_predict.dir/latency_predictor.cc.o.d"
+  "CMakeFiles/cottage_predict.dir/quality_predictor.cc.o"
+  "CMakeFiles/cottage_predict.dir/quality_predictor.cc.o.d"
+  "CMakeFiles/cottage_predict.dir/training.cc.o"
+  "CMakeFiles/cottage_predict.dir/training.cc.o.d"
+  "libcottage_predict.a"
+  "libcottage_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cottage_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cottage_shard.dir/partitioner.cc.o"
+  "CMakeFiles/cottage_shard.dir/partitioner.cc.o.d"
+  "CMakeFiles/cottage_shard.dir/sharded_index.cc.o"
+  "CMakeFiles/cottage_shard.dir/sharded_index.cc.o.d"
+  "libcottage_shard.a"
+  "libcottage_shard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cottage_shard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

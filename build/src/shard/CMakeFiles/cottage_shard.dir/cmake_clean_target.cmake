@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcottage_shard.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cottage_sim.dir/cluster.cc.o"
+  "CMakeFiles/cottage_sim.dir/cluster.cc.o.d"
+  "CMakeFiles/cottage_sim.dir/frequency.cc.o"
+  "CMakeFiles/cottage_sim.dir/frequency.cc.o.d"
+  "CMakeFiles/cottage_sim.dir/isn_server.cc.o"
+  "CMakeFiles/cottage_sim.dir/isn_server.cc.o.d"
+  "libcottage_sim.a"
+  "libcottage_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cottage_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cottage_stats.dir/gamma.cc.o"
+  "CMakeFiles/cottage_stats.dir/gamma.cc.o.d"
+  "CMakeFiles/cottage_stats.dir/histogram.cc.o"
+  "CMakeFiles/cottage_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/cottage_stats.dir/ks.cc.o"
+  "CMakeFiles/cottage_stats.dir/ks.cc.o.d"
+  "CMakeFiles/cottage_stats.dir/summary.cc.o"
+  "CMakeFiles/cottage_stats.dir/summary.cc.o.d"
+  "libcottage_stats.a"
+  "libcottage_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cottage_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

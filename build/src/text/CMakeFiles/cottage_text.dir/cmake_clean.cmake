@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cottage_text.dir/corpus.cc.o"
+  "CMakeFiles/cottage_text.dir/corpus.cc.o.d"
+  "CMakeFiles/cottage_text.dir/query.cc.o"
+  "CMakeFiles/cottage_text.dir/query.cc.o.d"
+  "CMakeFiles/cottage_text.dir/trace.cc.o"
+  "CMakeFiles/cottage_text.dir/trace.cc.o.d"
+  "CMakeFiles/cottage_text.dir/vocabulary.cc.o"
+  "CMakeFiles/cottage_text.dir/vocabulary.cc.o.d"
+  "libcottage_text.a"
+  "libcottage_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cottage_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cottage_util.dir/cli.cc.o"
+  "CMakeFiles/cottage_util.dir/cli.cc.o.d"
+  "CMakeFiles/cottage_util.dir/logging.cc.o"
+  "CMakeFiles/cottage_util.dir/logging.cc.o.d"
+  "CMakeFiles/cottage_util.dir/rng.cc.o"
+  "CMakeFiles/cottage_util.dir/rng.cc.o.d"
+  "CMakeFiles/cottage_util.dir/string_util.cc.o"
+  "CMakeFiles/cottage_util.dir/string_util.cc.o.d"
+  "CMakeFiles/cottage_util.dir/zipf.cc.o"
+  "CMakeFiles/cottage_util.dir/zipf.cc.o.d"
+  "libcottage_util.a"
+  "libcottage_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cottage_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_robustness.cc" "tests/CMakeFiles/test_robustness.dir/test_robustness.cc.o" "gcc" "tests/CMakeFiles/test_robustness.dir/test_robustness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/cottage_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cottage_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/cottage_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/cottage_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/cottage_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/cottage_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/shard/CMakeFiles/cottage_shard.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cottage_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cottage_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/cottage_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cottage_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/cottage_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cottage_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
