@@ -42,7 +42,11 @@ struct ReplayResults
 /**
  * Build the experiment from CLI flags (default: 5000 queries per
  * trace so a full bench sweep stays tractable on one core) and replay
- * the given policies over both trace flavors.
+ * the given policies over both trace flavors. The replay is sequential
+ * over policies/queries (the cluster-sim must advance in arrival
+ * order) but every per-shard retrieval inside fans out over the
+ * `--threads` work-stealing pool, so wall-clock scales with cores
+ * while the reported numbers stay bit-identical.
  */
 inline ReplayResults
 replayAll(Experiment &experiment, const std::vector<std::string> &policies)
@@ -58,7 +62,11 @@ replayAll(Experiment &experiment, const std::vector<std::string> &policies)
     return results;
 }
 
-/** Standard bench experiment construction (echoes the config). */
+/**
+ * Standard bench experiment construction (echoes the config).
+ * Honors `--threads=N` (default: hardware concurrency; 1 = the
+ * sequential baseline for determinism checks and speedup baselines).
+ */
 inline Experiment
 makeBenchExperiment(int argc, char **argv, uint64_t defaultQueries = 3000)
 {

@@ -33,9 +33,11 @@ main(int argc, char **argv)
     std::size_t worstQuery = 0;
     ShardId worstShard = 0;
     for (std::size_t q = 0; q < trace.size(); q += 20) {
+        const std::vector<SearchWork> shardWork =
+            experiment.engine().shardWorkAll(trace.query(q).terms);
         for (ShardId s = 0; s < experiment.index().numShards(); ++s) {
-            const double cycles = experiment.config().work.cycles(
-                experiment.engine().shardWork(s, trace.query(q).terms));
+            const double cycles =
+                experiment.config().work.cycles(shardWork[s]);
             if (cycles > worstCycles) {
                 worstCycles = cycles;
                 worstQuery = q;

@@ -48,14 +48,14 @@ main(int argc, char **argv)
     for (ShardId s = 0; s < experiment.index().numShards(); ++s)
         testSets.emplace_back(numLatencyFeatures);
     for (const Query &query : heldOut.queries()) {
+        const std::vector<SearchWork> shardWork =
+            experiment.engine().shardWorkAll(query.terms);
         for (ShardId s = 0; s < experiment.index().numShards(); ++s) {
-            const SearchWork work =
-                experiment.engine().shardWork(s, query.terms);
             testSets[s].add(
                 latencyFeatures(experiment.index().termStats(s),
                                 query.terms),
                 train.buckets.bucketOf(
-                    experiment.config().work.cycles(work)));
+                    experiment.config().work.cycles(shardWork[s])));
         }
     }
 

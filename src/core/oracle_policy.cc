@@ -22,14 +22,16 @@ OraclePolicy::plan(const Query &query, const DistributedEngine &engine)
             ++contributionsHalf[owner];
     }
 
+    // Batch path: one parallel fan-out instead of a sequential
+    // per-shard evaluation loop.
+    const std::vector<SearchWork> shardWork = engine.shardWorkAll(query);
     std::vector<IsnPrediction> predictions(numShards);
     for (ShardId s = 0; s < numShards; ++s) {
         IsnPrediction &p = predictions[s];
         p.isn = s;
         p.qualityK = contributionsK[s];
         p.qualityHalf = contributionsHalf[s];
-        p.serviceCycles =
-            engine.workModel().cycles(engine.shardWork(s, query));
+        p.serviceCycles = engine.workModel().cycles(shardWork[s]);
         const IsnServerSim &server = engine.cluster().isn(s);
         p.backlogSeconds = server.backlogSeconds(query.arrivalSeconds);
         p.latencyCurrent = p.backlogSeconds +

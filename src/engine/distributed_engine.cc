@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace cottage {
 
@@ -27,31 +28,43 @@ DistributedEngine::weightedTerms(const Query &query)
     return weighted;
 }
 
+std::vector<SearchResult>
+DistributedEngine::searchAllShards(
+    const std::vector<WeightedTerm> &terms) const
+{
+    const ShardId numShards = index_->numShards();
+    std::vector<SearchResult> results(numShards);
+    ThreadPool::global().parallelFor(0, numShards, [&](std::size_t s) {
+        results[s] = evaluator_->search(
+            index_->shard(static_cast<ShardId>(s)), terms, index_->topK());
+    });
+    return results;
+}
+
+std::vector<ScoredDoc>
+DistributedEngine::mergeShardResults(
+    const std::vector<SearchResult> &results) const
+{
+    // Merge in ascending shard order. The (score, doc) total order
+    // makes the merged set order-invariant anyway (tests assert it),
+    // but a fixed order keeps the determinism argument trivial.
+    TopKHeap merged(index_->topK());
+    for (const SearchResult &result : results)
+        for (const ScoredDoc &hit : result.topK)
+            merged.push(hit);
+    return merged.extractSorted();
+}
+
 std::vector<ScoredDoc>
 DistributedEngine::globalTopK(const std::vector<TermId> &terms) const
 {
-    TopKHeap merged(index_->topK());
-    for (ShardId s = 0; s < index_->numShards(); ++s) {
-        const SearchResult result =
-            evaluator_->search(index_->shard(s), terms, index_->topK());
-        for (const ScoredDoc &hit : result.topK)
-            merged.push(hit);
-    }
-    return merged.extractSorted();
+    return mergeShardResults(searchAllShards(toWeighted(terms)));
 }
 
 std::vector<ScoredDoc>
 DistributedEngine::globalTopK(const Query &query) const
 {
-    const std::vector<WeightedTerm> terms = weightedTerms(query);
-    TopKHeap merged(index_->topK());
-    for (ShardId s = 0; s < index_->numShards(); ++s) {
-        const SearchResult result =
-            evaluator_->search(index_->shard(s), terms, index_->topK());
-        for (const ScoredDoc &hit : result.topK)
-            merged.push(hit);
-    }
-    return merged.extractSorted();
+    return mergeShardResults(searchAllShards(weightedTerms(query)));
 }
 
 std::vector<uint32_t>
@@ -81,6 +94,28 @@ DistributedEngine::shardWork(ShardId shard, const Query &query) const
         .work;
 }
 
+std::vector<SearchWork>
+DistributedEngine::shardWorkAll(const std::vector<TermId> &terms) const
+{
+    const std::vector<SearchResult> results =
+        searchAllShards(toWeighted(terms));
+    std::vector<SearchWork> work(results.size());
+    for (std::size_t s = 0; s < results.size(); ++s)
+        work[s] = results[s].work;
+    return work;
+}
+
+std::vector<SearchWork>
+DistributedEngine::shardWorkAll(const Query &query) const
+{
+    const std::vector<SearchResult> results =
+        searchAllShards(weightedTerms(query));
+    std::vector<SearchWork> work(results.size());
+    for (std::size_t s = 0; s < results.size(); ++s)
+        work[s] = results[s].work;
+    return work;
+}
+
 QueryMeasurement
 DistributedEngine::execute(const Query &query, const QueryPlan &plan,
                            const std::vector<ScoredDoc> &groundTruth)
@@ -103,12 +138,29 @@ DistributedEngine::execute(const Query &query, const QueryPlan &plan,
                                 ? noBudget
                                 : dispatch + plan.budgetSeconds;
 
+    const ShardId numShards = index_->numShards();
+    const std::vector<WeightedTerm> terms = weightedTerms(query);
+
+    // Phase 1 — the real retrieval, fanned out across the pool. The
+    // evaluator is pure over the immutable index, so each shard's
+    // result is independent of scheduling; non-participants stay
+    // empty slots.
+    std::vector<SearchResult> results(numShards);
+    ThreadPool::global().parallelFor(0, numShards, [&](std::size_t s) {
+        if (plan.isns[s].participate)
+            results[s] = evaluator_->search(
+                index_->shard(static_cast<ShardId>(s)), terms,
+                index_->topK());
+    });
+
+    // Phase 2 — the simulated cluster, advanced sequentially in
+    // ascending shard order so the ISN queue/energy state and the
+    // merged ranking are bit-identical to the single-threaded replay.
     TopKHeap merged(index_->topK());
     double slowestResponse = 0.0; // relative to dispatch
     bool anyMissed = false;
-    const std::vector<WeightedTerm> terms = weightedTerms(query);
 
-    for (ShardId s = 0; s < index_->numShards(); ++s) {
+    for (ShardId s = 0; s < numShards; ++s) {
         const IsnDirective &directive = plan.isns[s];
         if (!directive.participate)
             continue;
@@ -121,8 +173,7 @@ DistributedEngine::execute(const Query &query, const QueryPlan &plan,
         if (freq > cluster_->ladder().defaultGhz() + 1e-12)
             ++measurement.isnsBoosted;
 
-        const SearchResult result =
-            evaluator_->search(index_->shard(s), terms, index_->topK());
+        const SearchResult &result = results[s];
         measurement.docsSearched += result.work.docsScored;
 
         const IsnExecution exec = server.execute(

@@ -54,6 +54,8 @@ class DistributedEngine
      * The exhaustive global top-K for a set of terms: every shard's
      * full top-K merged. This is the paper's quality ground truth;
      * it performs no simulation and leaves cluster state untouched.
+     * The per-shard evaluations fan out over ThreadPool::global();
+     * the merge is order-invariant so the result is unaffected.
      */
     std::vector<ScoredDoc> globalTopK(const std::vector<TermId> &terms) const;
 
@@ -79,6 +81,17 @@ class DistributedEngine
     /** shardWork honouring a query's personalization weights. */
     SearchWork shardWork(ShardId shard, const Query &query) const;
 
+    /**
+     * shardWork for every shard at once, fanned out over the pool.
+     * Batch path for oracle policies and training-set builders that
+     * need the full per-shard work vector anyway.
+     */
+    std::vector<SearchWork>
+    shardWorkAll(const std::vector<TermId> &terms) const;
+
+    /** shardWorkAll honouring a query's personalization weights. */
+    std::vector<SearchWork> shardWorkAll(const Query &query) const;
+
     /** A query's terms with their weights attached. */
     static std::vector<WeightedTerm> weightedTerms(const Query &query);
 
@@ -90,6 +103,14 @@ class DistributedEngine
     std::size_t topK() const { return index_->topK(); }
 
   private:
+    /** Every shard's evaluation of @p terms, fanned out over the pool. */
+    std::vector<SearchResult>
+    searchAllShards(const std::vector<WeightedTerm> &terms) const;
+
+    /** Deterministic (ascending-shard) merge into the global top-K. */
+    std::vector<ScoredDoc>
+    mergeShardResults(const std::vector<SearchResult> &results) const;
+
     const ShardedIndex *index_;
     ClusterSim *cluster_;
     const Evaluator *evaluator_;

@@ -7,10 +7,15 @@
 #include "core/cottage_without_ml_policy.h"
 #include "core/oracle_policy.h"
 #include "core/slo_policy.h"
+#include "index/exhaustive_evaluator.h"
+#include "index/maxscore_evaluator.h"
+#include "index/taat_evaluator.h"
+#include "index/wand_evaluator.h"
 #include "policy/exhaustive_policy.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace cottage {
 
@@ -70,6 +75,9 @@ ExperimentConfig::fromFlags(const CliFlags &flags)
         flags.getDouble("slo-ms", config.sloSeconds * 1e3) * 1e-3;
     config.coresPerIsn = static_cast<uint32_t>(
         flags.getInt("cores-per-isn", config.coresPerIsn));
+    config.evaluator = flags.getString("evaluator", config.evaluator);
+    config.threads =
+        static_cast<uint32_t>(flags.getInt("threads", config.threads));
     return config;
 }
 
@@ -79,17 +87,34 @@ ExperimentConfig::print(std::ostream &out) const
     out << strformat(
         "config: docs=%u vocab=%u shards=%u k=%zu queries=%llu qps=%.1f "
         "train-queries=%llu iterations=%zu corpus-seed=%llu "
-        "trace-seed=%llu\n",
+        "trace-seed=%llu evaluator=%s threads=%u\n",
         corpus.numDocs, corpus.vocabSize, shards.numShards, shards.topK,
         static_cast<unsigned long long>(traceQueries), arrivalQps,
         static_cast<unsigned long long>(trainQueries), train.iterations,
         static_cast<unsigned long long>(corpus.seed),
-        static_cast<unsigned long long>(traceSeed));
+        static_cast<unsigned long long>(traceSeed), evaluator.c_str(),
+        threads == 0 ? ThreadPool::defaultThreads() : threads);
+}
+
+std::unique_ptr<Evaluator>
+Experiment::makeEvaluator(const std::string &name)
+{
+    if (name == "exhaustive")
+        return std::make_unique<ExhaustiveEvaluator>();
+    if (name == "taat")
+        return std::make_unique<TaatEvaluator>();
+    if (name == "maxscore")
+        return std::make_unique<MaxScoreEvaluator>();
+    if (name == "wand")
+        return std::make_unique<WandEvaluator>();
+    fatal("unknown evaluator: " + name);
 }
 
 Experiment::Experiment(ExperimentConfig config)
-    : config_(std::move(config))
+    : config_(std::move(config)), evaluator_(makeEvaluator(config_.evaluator))
 {
+    if (config_.threads > 0)
+        ThreadPool::setGlobalThreads(config_.threads);
     Stopwatch watch;
     corpus_ = std::make_unique<Corpus>(Corpus::generate(config_.corpus));
     index_ = std::make_unique<ShardedIndex>(*corpus_, config_.shards);
@@ -97,7 +122,7 @@ Experiment::Experiment(ExperimentConfig config)
         config_.shards.numShards, FrequencyLadder(), config_.power,
         config_.network, config_.coresPerIsn);
     engine_ = std::make_unique<DistributedEngine>(*index_, *cluster_,
-                                                  evaluator_, config_.work);
+                                                  *evaluator_, config_.work);
     logInfo(strformat("experiment stack built in %.1fs (%u docs, %u shards)",
                       watch.elapsedSeconds(), corpus_->numDocs(),
                       index_->numShards()));
@@ -111,7 +136,7 @@ Experiment::bank()
     if (!bank_) {
         Stopwatch watch;
         bank_ = std::make_unique<PredictorBank>(
-            *index_, evaluator_, config_.work, trainTrace(), config_.train);
+            *index_, *evaluator_, config_.work, trainTrace(), config_.train);
         logInfo(strformat("predictor bank trained in %.1fs (%zu queries)",
                           watch.elapsedSeconds(),
                           static_cast<std::size_t>(config_.trainQueries)));
@@ -157,10 +182,15 @@ Experiment::groundTruth(TraceFlavor flavor)
     if (it == truths_.end()) {
         Stopwatch watch;
         const QueryTrace &queryTrace = trace(flavor);
-        std::vector<std::vector<ScoredDoc>> truth;
-        truth.reserve(queryTrace.size());
-        for (const Query &query : queryTrace.queries())
-            truth.push_back(engine_->globalTopK(query));
+        // Each query's exhaustive top-K is independent: fan the trace
+        // out over the pool, one dedicated slot per query. globalTopK
+        // itself fans out over shards; nested parallelism is fine
+        // because waiting pool threads help.
+        std::vector<std::vector<ScoredDoc>> truth(queryTrace.size());
+        ThreadPool::global().parallelFor(
+            0, queryTrace.size(), [&](std::size_t q) {
+                truth[q] = engine_->globalTopK(queryTrace.query(q));
+            });
         it = truths_.emplace(flavor, std::move(truth)).first;
         logInfo(strformat("ground truth for %s built in %.1fs",
                           traceFlavorName(flavor), watch.elapsedSeconds()));
@@ -206,6 +236,12 @@ Experiment::run(Policy &policy, TraceFlavor flavor)
     cluster_->reset();
     policy.reset();
 
+    // Replay determinism contract: queries advance the cluster-sim
+    // strictly in arrival order (plans may read backlog state left by
+    // earlier queries), while each execute() fans its per-shard
+    // retrieval out over the pool. Parallelism lives entirely inside
+    // the pure retrieval phase, so the measured latency/energy stream
+    // is bit-identical at any thread count (tests/test_parallel.cc).
     RunResult result;
     result.measurements.reserve(queryTrace.size());
     for (std::size_t q = 0; q < queryTrace.size(); ++q) {

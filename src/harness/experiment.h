@@ -17,7 +17,7 @@
 
 #include "core/cottage_policy.h"
 #include "engine/distributed_engine.h"
-#include "index/maxscore_evaluator.h"
+#include "index/evaluator.h"
 #include "metrics/run_stats.h"
 #include "policy/aggregation_policy.h"
 #include "policy/rank_s_policy.h"
@@ -74,6 +74,24 @@ struct ExperimentConfig
     /** Worker cores per ISN. */
     uint32_t coresPerIsn = 1;
 
+    /**
+     * Retrieval strategy every ISN runs: "exhaustive", "taat",
+     * "maxscore" (default) or "wand". All are rank-safe, so the
+     * measured quality is identical; only the work (and therefore the
+     * simulated latency/energy) differs.
+     */
+    std::string evaluator = "maxscore";
+
+    /**
+     * Host worker threads for the parallel shard fan-out and the
+     * harness's batch loops (--threads). 0 keeps the current global
+     * pool (default: hardware concurrency); 1 is the sequential
+     * baseline. This knob changes wall-clock only: every measured
+     * quantity is bit-identical at any thread count (see DESIGN.md,
+     * "Threading model").
+     */
+    uint32_t threads = 0;
+
     /** Baseline policy knobs. */
     TailyConfig taily;
     RankSConfig rankS;
@@ -124,7 +142,14 @@ class Experiment
     const ShardedIndex &index() const { return *index_; }
     ClusterSim &cluster() { return *cluster_; }
     DistributedEngine &engine() { return *engine_; }
-    const Evaluator &evaluator() const { return evaluator_; }
+    const Evaluator &evaluator() const { return *evaluator_; }
+
+    /**
+     * Instantiate a retrieval strategy by name: exhaustive, taat,
+     * maxscore, wand. Fatal on an unknown name.
+     */
+    static std::unique_ptr<Evaluator>
+    makeEvaluator(const std::string &name);
 
     /** The trained per-ISN predictor bank (built on first use). */
     const PredictorBank &bank();
@@ -158,7 +183,7 @@ class Experiment
 
   private:
     ExperimentConfig config_;
-    MaxScoreEvaluator evaluator_;
+    std::unique_ptr<Evaluator> evaluator_;
     std::unique_ptr<Corpus> corpus_;
     std::unique_ptr<ShardedIndex> index_;
     std::unique_ptr<ClusterSim> cluster_;

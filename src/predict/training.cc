@@ -7,6 +7,7 @@
 #include "index/top_k.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace cottage {
 
@@ -23,7 +24,11 @@ buildTrainingSets(const ShardedIndex &index, const Evaluator &evaluator,
     sets.shards.resize(numShards);
 
     // Pass 1: run every training query on every shard once, recording
-    // per-shard work (cycles) and the merged global ranking.
+    // per-shard work (cycles) and the merged global ranking. Queries
+    // are independent, so the trace fans out over the pool with one
+    // slot per query; the min/max cycle reduction happens sequentially
+    // afterwards so the bucket edges stay bit-identical at any thread
+    // count.
     std::vector<std::vector<double>> cyclesPerQuery(
         trace.size(), std::vector<double>(numShards, 0.0));
     std::vector<std::vector<uint32_t>> labelK(
@@ -31,27 +36,19 @@ buildTrainingSets(const ShardedIndex &index, const Evaluator &evaluator,
     std::vector<std::vector<uint32_t>> labelHalf(
         trace.size(), std::vector<uint32_t>(numShards, 0));
 
-    double minCycles = 1e300;
-    double maxCycles = 0.0;
-    for (std::size_t q = 0; q < trace.size(); ++q) {
+    ThreadPool::global().parallelFor(0, trace.size(), [&](std::size_t q) {
         const Query &query = trace.query(q);
         std::vector<WeightedTerm> weighted;
         weighted.reserve(query.terms.size());
         for (std::size_t i = 0; i < query.terms.size(); ++i)
             weighted.push_back({query.terms[i], query.weight(i)});
         TopKHeap merged(k);
-        std::vector<SearchResult> shardResults;
-        shardResults.reserve(numShards);
         for (ShardId s = 0; s < numShards; ++s) {
-            SearchResult result =
+            const SearchResult result =
                 evaluator.search(index.shard(s), weighted, k);
-            const double cycles = work.cycles(result.work);
-            cyclesPerQuery[q][s] = cycles;
-            minCycles = std::min(minCycles, cycles);
-            maxCycles = std::max(maxCycles, cycles);
+            cyclesPerQuery[q][s] = work.cycles(result.work);
             for (const ScoredDoc &hit : result.topK)
                 merged.push(hit);
-            shardResults.push_back(std::move(result));
         }
         const std::vector<ScoredDoc> ranking = merged.extractSorted();
         for (std::size_t rank = 0; rank < ranking.size(); ++rank) {
@@ -60,6 +57,15 @@ buildTrainingSets(const ShardedIndex &index, const Evaluator &evaluator,
             if (rank < k / 2)
                 ++labelHalf[q][owner];
         }
+    });
+
+    double minCycles = 1e300;
+    double maxCycles = 0.0;
+    for (std::size_t q = 0; q < trace.size(); ++q) {
+        for (ShardId s = 0; s < numShards; ++s) {
+            minCycles = std::min(minCycles, cyclesPerQuery[q][s]);
+            maxCycles = std::max(maxCycles, cyclesPerQuery[q][s]);
+        }
     }
 
     // Bucket the observed cycle range with some headroom so unseen
@@ -67,8 +73,9 @@ buildTrainingSets(const ShardedIndex &index, const Evaluator &evaluator,
     sets.buckets = CycleBuckets(std::max(1.0, minCycles * 0.8),
                                 maxCycles * 1.25, numBuckets);
 
-    // Pass 2: materialize per-shard datasets.
-    for (ShardId s = 0; s < numShards; ++s) {
+    // Pass 2: materialize per-shard datasets (one slot per shard).
+    ThreadPool::global().parallelFor(0, numShards, [&](std::size_t sIdx) {
+        const ShardId s = static_cast<ShardId>(sIdx);
         const TermStatsStore &stats = index.termStats(s);
         ShardDatasets &shard = sets.shards[s];
         for (std::size_t q = 0; q < trace.size(); ++q) {
@@ -90,7 +97,7 @@ buildTrainingSets(const ShardedIndex &index, const Evaluator &evaluator,
             shard.latency.add(lf,
                               sets.buckets.bucketOf(cyclesPerQuery[q][s]));
         }
-    }
+    });
     return sets;
 }
 
@@ -105,23 +112,26 @@ PredictorBank::PredictorBank(const ShardedIndex &index,
     buckets_ = sets.buckets;
 
     const ShardId numShards = index.numShards();
-    quality_.reserve(numShards);
-    latency_.reserve(numShards);
-    for (ShardId s = 0; s < numShards; ++s) {
-        // Per-ISN models with per-ISN seeds, as in the paper ("each
-        // ISN has a separate neural network model trained with its own
-        // index data").
+    quality_.resize(numShards);
+    latency_.resize(numShards);
+    // Per-ISN models with per-ISN seeds, as in the paper ("each ISN
+    // has a separate neural network model trained with its own index
+    // data"). Each shard's training is self-contained (own datasets,
+    // own RNG seed), so the bank trains in parallel, one slot per
+    // shard, with weights identical to the sequential run.
+    ThreadPool::global().parallelFor(0, numShards, [&](std::size_t sIdx) {
+        const ShardId s = static_cast<ShardId>(sIdx);
         auto qp = std::make_unique<QualityPredictor>(
             index.topK(), config.hiddenLayers, config.seed + 17 * s);
         qp->train(sets.shards[s].qualityK, sets.shards[s].qualityHalf,
                   config.iterations, config.adam);
-        quality_.push_back(std::move(qp));
+        quality_[s] = std::move(qp);
 
         auto lp = std::make_unique<LatencyPredictor>(
             buckets_, config.hiddenLayers, config.seed + 17 * s + 7);
         lp->train(sets.shards[s].latency, config.iterations, config.adam);
-        latency_.push_back(std::move(lp));
-    }
+        latency_[s] = std::move(lp);
+    });
 }
 
 const QualityPredictor &

@@ -1,0 +1,219 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+namespace cottage {
+namespace {
+
+/**
+ * Which queue the current thread owns, if it is a pool worker. Lets
+ * submissions from inside a task land on the submitter's own deque
+ * (LIFO locality) and lets tryRunOne() start its steal scan there.
+ */
+thread_local const ThreadPool *tlsPool = nullptr;
+thread_local std::size_t tlsQueue = 0;
+
+} // namespace
+
+unsigned
+ThreadPool::defaultThreads()
+{
+    if (const char *env = std::getenv("COTTAGE_THREADS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed >= 1)
+            return static_cast<unsigned>(parsed);
+    }
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : threads_(threads == 0 ? defaultThreads() : threads)
+{
+    if (threads_ <= 1)
+        return; // inline mode: no queues, no workers
+    queues_.reserve(threads_);
+    for (unsigned i = 0; i < threads_; ++i)
+        queues_.push_back(std::make_unique<Queue>());
+    workers_.reserve(threads_);
+    for (unsigned i = 0; i < threads_; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    stop_.store(true, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lock(sleepMutex_);
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::post(Task task)
+{
+    // A worker pushes onto its own deque; outside threads round-robin.
+    std::size_t target;
+    if (tlsPool == this)
+        target = tlsQueue;
+    else
+        target = nextQueue_.fetch_add(1, std::memory_order_relaxed) %
+                 queues_.size();
+    {
+        std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+        queues_[target]->tasks.push_back(std::move(task));
+    }
+    pending_.fetch_add(1, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lock(sleepMutex_);
+    }
+    wake_.notify_one();
+}
+
+bool
+ThreadPool::popOwn(std::size_t self, Task &task)
+{
+    Queue &queue = *queues_[self];
+    std::lock_guard<std::mutex> lock(queue.mutex);
+    if (queue.tasks.empty())
+        return false;
+    task = std::move(queue.tasks.back());
+    queue.tasks.pop_back();
+    return true;
+}
+
+bool
+ThreadPool::stealFrom(std::size_t victim, Task &task)
+{
+    Queue &queue = *queues_[victim];
+    std::lock_guard<std::mutex> lock(queue.mutex);
+    if (queue.tasks.empty())
+        return false;
+    task = std::move(queue.tasks.front());
+    queue.tasks.pop_front();
+    return true;
+}
+
+bool
+ThreadPool::tryRunOne()
+{
+    if (queues_.empty() || pending_.load(std::memory_order_acquire) == 0)
+        return false;
+    const std::size_t start = tlsPool == this ? tlsQueue : 0;
+    Task task;
+    bool found = false;
+    if (tlsPool == this && popOwn(start, task)) {
+        found = true;
+    } else {
+        for (std::size_t i = 0; i < queues_.size() && !found; ++i)
+            found = stealFrom((start + i) % queues_.size(), task);
+    }
+    if (!found)
+        return false;
+    pending_.fetch_sub(1, std::memory_order_release);
+    task();
+    return true;
+}
+
+void
+ThreadPool::workerLoop(std::size_t self)
+{
+    tlsPool = this;
+    tlsQueue = self;
+    while (true) {
+        if (tryRunOne())
+            continue;
+        std::unique_lock<std::mutex> lock(sleepMutex_);
+        wake_.wait(lock, [this] {
+            return stop_.load(std::memory_order_acquire) ||
+                   pending_.load(std::memory_order_acquire) > 0;
+        });
+        if (stop_.load(std::memory_order_acquire) &&
+            pending_.load(std::memory_order_acquire) == 0)
+            return;
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t begin, std::size_t end,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (begin >= end)
+        return;
+    const std::size_t count = end - begin;
+    if (threads_ <= 1 || count == 1) {
+        for (std::size_t i = begin; i < end; ++i)
+            body(i);
+        return;
+    }
+
+    // Contiguous chunks, a few per worker so uneven bodies balance
+    // through stealing without drowning the queues in tiny tasks.
+    const std::size_t chunks =
+        std::min<std::size_t>(count, static_cast<std::size_t>(threads_) * 4);
+    const std::size_t chunkSize = (count + chunks - 1) / chunks;
+
+    std::vector<std::exception_ptr> errors(chunks);
+    std::atomic<std::size_t> remaining{chunks};
+
+    auto runChunk = [&](std::size_t chunk) {
+        const std::size_t lo = begin + chunk * chunkSize;
+        const std::size_t hi = std::min(end, lo + chunkSize);
+        try {
+            for (std::size_t i = lo; i < hi; ++i)
+                body(i);
+        } catch (...) {
+            errors[chunk] = std::current_exception();
+        }
+        remaining.fetch_sub(1, std::memory_order_release);
+    };
+
+    for (std::size_t chunk = 1; chunk < chunks; ++chunk)
+        post([&runChunk, chunk] { runChunk(chunk); });
+    runChunk(0);
+
+    // Help drain the pool while the stolen chunks finish.
+    while (remaining.load(std::memory_order_acquire) > 0) {
+        if (!tryRunOne())
+            std::this_thread::yield();
+    }
+
+    // Rethrow the lowest-indexed failure so the surfaced error does
+    // not depend on scheduling.
+    for (std::exception_ptr &error : errors)
+        if (error)
+            std::rethrow_exception(error);
+}
+
+namespace {
+
+std::mutex globalPoolMutex;
+std::unique_ptr<ThreadPool> globalPool;
+
+} // namespace
+
+ThreadPool &
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lock(globalPoolMutex);
+    if (!globalPool)
+        globalPool = std::make_unique<ThreadPool>();
+    return *globalPool;
+}
+
+void
+ThreadPool::setGlobalThreads(unsigned threads)
+{
+    std::lock_guard<std::mutex> lock(globalPoolMutex);
+    const unsigned desired = threads == 0 ? defaultThreads() : threads;
+    if (globalPool && globalPool->threads() == desired)
+        return;
+    globalPool.reset(); // join the old pool before replacing it
+    globalPool = std::make_unique<ThreadPool>(desired);
+}
+
+} // namespace cottage

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Work-stealing thread pool for the embarrassingly parallel loops of
+ * the reproduction: per-shard evaluator fan-out, ground-truth
+ * construction, trace replay and training-set building.
+ *
+ * Design notes:
+ *  - Per-thread deques: a worker pushes and pops its own queue LIFO
+ *    (cache-warm) and steals FIFO from siblings when it runs dry.
+ *  - Waiting helps: parallelFor() and waitFor() execute queued tasks
+ *    while they block, so nested submission (a pool task that itself
+ *    calls parallelFor) can never deadlock.
+ *  - Determinism contract: the pool schedules *execution*, never
+ *    *results*. Every parallel loop in this codebase writes to a
+ *    dedicated slot indexed by its loop variable and merges the slots
+ *    sequentially in a fixed order afterwards, so the output is
+ *    bit-identical to the single-threaded run (see DESIGN.md,
+ *    "Threading model").
+ *  - A thread count of 1 means strictly inline execution on the
+ *    calling thread: no workers are spawned and submit()/parallelFor()
+ *    run their work immediately. `--threads=1` is therefore the
+ *    sequential baseline the determinism tests compare against.
+ */
+
+#ifndef COTTAGE_UTIL_THREAD_POOL_H
+#define COTTAGE_UTIL_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace cottage {
+
+/** Work-stealing task pool; see the file comment for the contract. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Worker count; 0 picks defaultThreads(). A count
+     *        of 1 spawns no workers and executes everything inline.
+     */
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Configured parallelism (1 means inline execution). */
+    unsigned threads() const { return threads_; }
+
+    /**
+     * Schedule a nullary callable; the future carries its result or
+     * exception. On a single-thread pool the callable runs inline and
+     * the returned future is already ready.
+     */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<std::decay_t<F>>>
+    {
+        using R = std::invoke_result_t<std::decay_t<F>>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> future = task->get_future();
+        if (threads_ <= 1)
+            (*task)();
+        else
+            post([task] { (*task)(); });
+        return future;
+    }
+
+    /**
+     * Run body(i) for every i in [begin, end), distributed over the
+     * pool in contiguous chunks. Blocks until every index ran; the
+     * calling thread participates (and helps drain unrelated queued
+     * tasks while it waits, making nested calls safe). If bodies
+     * throw, the exception of the lowest-indexed failing chunk is
+     * rethrown — deterministically, regardless of completion order.
+     *
+     * The iteration-to-result mapping is the caller's job: write
+     * results to slot i and merge sequentially afterwards.
+     */
+    void parallelFor(std::size_t begin, std::size_t end,
+                     const std::function<void(std::size_t)> &body);
+
+    /**
+     * Block on a future while helping execute queued tasks, so a pool
+     * task may wait on work it submitted without deadlocking the pool.
+     */
+    template <typename T>
+    T
+    waitFor(std::future<T> future)
+    {
+        while (future.wait_for(std::chrono::seconds(0)) !=
+               std::future_status::ready) {
+            if (!tryRunOne())
+                std::this_thread::yield();
+        }
+        return future.get();
+    }
+
+    /** Pop-or-steal one queued task and run it; false if none found. */
+    bool tryRunOne();
+
+    /**
+     * The process-wide pool every parallel loop in the codebase uses.
+     * Built on first use with defaultThreads() workers.
+     */
+    static ThreadPool &global();
+
+    /**
+     * Replace the global pool (the `--threads` knob). Must be called
+     * while no tasks are in flight; the old pool is joined first.
+     * 0 restores defaultThreads().
+     */
+    static void setGlobalThreads(unsigned threads);
+
+    /**
+     * Default worker count: the COTTAGE_THREADS environment variable
+     * if set, else std::thread::hardware_concurrency(), at least 1.
+     */
+    static unsigned defaultThreads();
+
+  private:
+    using Task = std::function<void()>;
+
+    /** One worker's deque; owner pops back, thieves take front. */
+    struct Queue
+    {
+        std::mutex mutex;
+        std::deque<Task> tasks;
+    };
+
+    void post(Task task);
+    bool popOwn(std::size_t self, Task &task);
+    bool stealFrom(std::size_t victim, Task &task);
+    void workerLoop(std::size_t self);
+
+    unsigned threads_;
+    std::vector<std::unique_ptr<Queue>> queues_;
+    std::vector<std::thread> workers_;
+    std::mutex sleepMutex_;
+    std::condition_variable wake_;
+    std::atomic<std::size_t> pending_{0};
+    std::atomic<std::size_t> nextQueue_{0};
+    std::atomic<bool> stop_{false};
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_UTIL_THREAD_POOL_H

@@ -11,8 +11,10 @@
 
 #include "engine/distributed_engine.h"
 #include "index/maxscore_evaluator.h"
+#include "index/top_k.h"
 #include "shard/sharded_index.h"
 #include "text/trace.h"
+#include "util/rng.h"
 
 namespace cottage {
 namespace {
@@ -210,6 +212,81 @@ TEST_F(EngineFixture, QueueingCouplesConsecutiveQueries)
                 a.latencySeconds - cluster_->network().rttSeconds -
                     cluster_->network().mergeSeconds,
                 2e-5);
+}
+
+/**
+ * globalTopK must be invariant to the order shard responses arrive
+ * in. The engine merges in ascending shard order; here we replay the
+ * same per-shard results through a TopKHeap in shuffled "completion"
+ * orders and demand the identical ranking — the property that lets
+ * the parallel fan-out merge without caring which shard finishes
+ * first.
+ */
+TEST_F(EngineFixture, GlobalTopKMergeIsInvariantToShardArrivalOrder)
+{
+    const std::vector<ScoredDoc> expected =
+        engine_->globalTopK(query_.terms);
+
+    std::vector<std::vector<ScoredDoc>> shardResults;
+    for (ShardId s = 0; s < index_->numShards(); ++s)
+        shardResults.push_back(
+            evaluator_
+                .search(index_->shard(s), query_.terms, index_->topK())
+                .topK);
+
+    Rng rng(31337);
+    std::vector<std::size_t> order(shardResults.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    for (int shuffle = 0; shuffle < 25; ++shuffle) {
+        rng.shuffle(order);
+        TopKHeap merged(index_->topK());
+        for (std::size_t s : order)
+            for (const ScoredDoc &hit : shardResults[s])
+                merged.push(hit);
+        const std::vector<ScoredDoc> got = merged.extractSorted();
+        ASSERT_EQ(got.size(), expected.size());
+        for (std::size_t i = 0; i < expected.size(); ++i) {
+            ASSERT_EQ(got[i].doc, expected[i].doc)
+                << "shuffle " << shuffle << " rank " << i;
+            ASSERT_DOUBLE_EQ(got[i].score, expected[i].score);
+        }
+    }
+}
+
+/**
+ * Weighted (personalized) queries go through the same parallel
+ * fan-out; the merge must stay arrival-order invariant there too.
+ */
+TEST_F(EngineFixture, WeightedGlobalTopKMergeIsOrderInvariant)
+{
+    Query weighted = query_;
+    weighted.weights = {2.0, 0.5};
+    const std::vector<ScoredDoc> expected = engine_->globalTopK(weighted);
+
+    const auto terms = DistributedEngine::weightedTerms(weighted);
+    std::vector<std::vector<ScoredDoc>> shardResults;
+    for (ShardId s = 0; s < index_->numShards(); ++s)
+        shardResults.push_back(
+            evaluator_.search(index_->shard(s), terms, index_->topK())
+                .topK);
+
+    Rng rng(987);
+    std::vector<std::size_t> order(shardResults.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    for (int shuffle = 0; shuffle < 25; ++shuffle) {
+        rng.shuffle(order);
+        TopKHeap merged(index_->topK());
+        for (std::size_t s : order)
+            for (const ScoredDoc &hit : shardResults[s])
+                merged.push(hit);
+        const std::vector<ScoredDoc> got = merged.extractSorted();
+        ASSERT_EQ(got.size(), expected.size());
+        for (std::size_t i = 0; i < expected.size(); ++i)
+            ASSERT_EQ(got[i].doc, expected[i].doc)
+                << "shuffle " << shuffle << " rank " << i;
+    }
 }
 
 TEST_F(EngineFixture, EmptyGroundTruthMeansPerfectPrecision)

@@ -212,6 +212,111 @@ TEST_F(IndexFixture, EvaluatorsAgreeWithExhaustive)
 }
 
 /**
+ * The rank-safety property over *randomized* corpora: regenerate the
+ * whole collection (size, vocabulary, document length, topic mix) from
+ * a derived seed each round and re-assert MaxScore/WAND == exhaustive.
+ * Guards against pruning bugs that only fire under score distributions
+ * the one fixed fixture corpus happens not to produce.
+ */
+TEST(EvaluatorProperty, PruningMatchesExhaustiveOnRandomCorpora)
+{
+    const ExhaustiveEvaluator exhaustive;
+    const MaxScoreEvaluator maxscore;
+    const WandEvaluator wand;
+    Rng rng(0xC0774u);
+
+    for (int round = 0; round < 5; ++round) {
+        CorpusConfig config;
+        config.numDocs = 300 + static_cast<uint32_t>(rng.uniformInt(0, 699));
+        config.vocabSize = 800 + static_cast<uint32_t>(rng.uniformInt(0, 2199));
+        config.meanDocLength = 40.0 + 80.0 * rng.uniform();
+        config.numTopics = 4 + static_cast<uint32_t>(rng.uniformInt(0, 15));
+        config.seed = rng.next();
+        const Corpus corpus = Corpus::generate(config);
+        auto stats = std::make_shared<CollectionStats>(corpus);
+        std::vector<DocId> allDocs(corpus.numDocs());
+        for (DocId d = 0; d < corpus.numDocs(); ++d)
+            allDocs[d] = d;
+        const InvertedIndex index(corpus, allDocs, stats);
+
+        TraceConfig traceConfig;
+        traceConfig.numQueries = 40;
+        traceConfig.vocabSize = config.vocabSize;
+        traceConfig.seed = rng.next();
+        const QueryTrace trace = QueryTrace::generate(traceConfig);
+        const std::size_t k = static_cast<std::size_t>(rng.uniformInt(1, 20));
+
+        for (const Query &query : trace.queries()) {
+            const SearchResult base =
+                exhaustive.search(index, query.terms, k);
+            for (const Evaluator *other :
+                 {static_cast<const Evaluator *>(&maxscore),
+                  static_cast<const Evaluator *>(&wand)}) {
+                const SearchResult result =
+                    other->search(index, query.terms, k);
+                ASSERT_EQ(result.topK.size(), base.topK.size())
+                    << other->name() << " round " << round << " query "
+                    << query.id;
+                for (std::size_t i = 0; i < base.topK.size(); ++i) {
+                    ASSERT_EQ(result.topK[i].doc, base.topK[i].doc)
+                        << other->name() << " round " << round
+                        << " rank " << i << " query " << query.id;
+                    ASSERT_NEAR(result.topK[i].score,
+                                base.topK[i].score, 1e-9);
+                }
+            }
+        }
+    }
+}
+
+/**
+ * The merged top-K must not depend on the order shard results arrive
+ * in: with the strict (score, doc) total order, the best K of a
+ * multi-set is unique, so pushing per-shard rankings into a TopKHeap
+ * in any permutation must extract the identical sorted ranking. This
+ * is what makes the parallel fan-out's merge deterministic.
+ */
+TEST(TopKHeap, MergeIsOrderInvariantUnderShuffledArrival)
+{
+    Rng rng(4242);
+    for (int round = 0; round < 20; ++round) {
+        // Synthesize per-shard rankings with colliding scores.
+        std::vector<std::vector<ScoredDoc>> shardResults(8);
+        DocId nextDoc = 0;
+        for (auto &shard : shardResults) {
+            const std::size_t n =
+                static_cast<std::size_t>(rng.uniformInt(0, 12));
+            for (std::size_t i = 0; i < n; ++i)
+                shard.push_back(
+                    {nextDoc++, static_cast<double>(rng.uniformInt(0, 5))});
+        }
+
+        TopKHeap reference(10);
+        for (const auto &shard : shardResults)
+            for (const ScoredDoc &hit : shard)
+                reference.push(hit);
+        const std::vector<ScoredDoc> expected = reference.extractSorted();
+
+        std::vector<std::size_t> order(shardResults.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        for (int shuffle = 0; shuffle < 10; ++shuffle) {
+            rng.shuffle(order);
+            TopKHeap merged(10);
+            for (std::size_t s : order)
+                for (const ScoredDoc &hit : shardResults[s])
+                    merged.push(hit);
+            const std::vector<ScoredDoc> got = merged.extractSorted();
+            ASSERT_EQ(got.size(), expected.size());
+            for (std::size_t i = 0; i < expected.size(); ++i) {
+                ASSERT_EQ(got[i].doc, expected[i].doc) << "rank " << i;
+                ASSERT_EQ(got[i].score, expected[i].score);
+            }
+        }
+    }
+}
+
+/**
  * The same equivalence property swept over result depths K — the
  * pruning thresholds behave differently at each depth.
  */

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Determinism regression suite for the parallel shard fan-out: the
+ * same seed must produce byte-identical measurement streams and run
+ * summaries at --threads 1 (strictly sequential inline execution) and
+ * --threads 8 (oversubscribed work-stealing pool), for every
+ * evaluator and for policies covering full fan-out, selective
+ * participation and the oracle's batch paths.
+ *
+ * "Byte-identical" is literal: every double is compared by its bit
+ * pattern, not by tolerance. The parallel code paths are only allowed
+ * to reorder *scheduling*, never arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "metrics/run_stats.h"
+#include "predict/training.h"
+#include "util/thread_pool.h"
+
+namespace cottage {
+namespace {
+
+/** Append a value's raw bytes to a buffer. */
+template <typename T>
+void
+appendBytes(std::string &buffer, const T &value)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    const char *raw = reinterpret_cast<const char *>(&value);
+    buffer.append(raw, sizeof(T));
+}
+
+/** Bitwise serialization of a full measurement stream. */
+std::string
+serializeMeasurements(const std::vector<QueryMeasurement> &measurements)
+{
+    std::string buffer;
+    for (const QueryMeasurement &m : measurements) {
+        appendBytes(buffer, m.id);
+        appendBytes(buffer, m.arrivalSeconds);
+        appendBytes(buffer, m.latencySeconds);
+        appendBytes(buffer, m.budgetSeconds);
+        appendBytes(buffer, m.isnsUsed);
+        appendBytes(buffer, m.isnsCompleted);
+        appendBytes(buffer, m.isnsBoosted);
+        appendBytes(buffer, m.docsSearched);
+        appendBytes(buffer, m.precisionAtK);
+        appendBytes(buffer, m.ndcgAtK);
+        for (const ScoredDoc &hit : m.results) {
+            appendBytes(buffer, hit.doc);
+            appendBytes(buffer, hit.score);
+        }
+    }
+    return buffer;
+}
+
+ExperimentConfig
+smallConfig(const std::string &evaluator)
+{
+    ExperimentConfig config;
+    config.corpus.numDocs = 2000;
+    config.corpus.vocabSize = 6000;
+    config.corpus.meanDocLength = 90.0;
+    config.shards.numShards = 8;
+    config.traceQueries = 200;
+    config.evaluator = evaluator;
+    return config;
+}
+
+/**
+ * Replay @p policy twice — sequentially and on an oversubscribed
+ * 8-thread pool — and demand bitwise-equal results.
+ */
+void
+expectDeterministicReplay(Experiment &experiment,
+                          const std::string &policy)
+{
+    ThreadPool::setGlobalThreads(1);
+    const RunResult sequential =
+        experiment.run(policy, TraceFlavor::Wikipedia);
+
+    ThreadPool::setGlobalThreads(8);
+    const RunResult parallel =
+        experiment.run(policy, TraceFlavor::Wikipedia);
+    ThreadPool::setGlobalThreads(1);
+
+    ASSERT_EQ(sequential.measurements.size(),
+              parallel.measurements.size());
+    EXPECT_EQ(serializeMeasurements(sequential.measurements),
+              serializeMeasurements(parallel.measurements))
+        << policy << ": measurement streams diverge across thread counts";
+    EXPECT_EQ(toJson(sequential.summary), toJson(parallel.summary))
+        << policy << ": run summaries diverge across thread counts";
+}
+
+class ParallelDeterminism
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ParallelDeterminism, ReplayIsBitExactAcrossThreadCounts)
+{
+    Experiment experiment(smallConfig(GetParam()));
+    // Full fan-out and selective participation both cross the
+    // parallel execute() path; taily additionally plans from index
+    // statistics so some ISNs sit out each query.
+    expectDeterministicReplay(experiment, "exhaustive");
+    expectDeterministicReplay(experiment, "taily");
+}
+
+INSTANTIATE_TEST_SUITE_P(Evaluators, ParallelDeterminism,
+                         ::testing::Values("exhaustive", "maxscore",
+                                           "wand"));
+
+TEST(ParallelDeterminismOracle, BatchShardWorkPathIsBitExact)
+{
+    // The oracle exercises globalTopK() and shardWorkAll() inside its
+    // per-query planning, on top of the engine's execute() fan-out.
+    ExperimentConfig config = smallConfig("maxscore");
+    config.traceQueries = 100;
+    Experiment experiment(config);
+    expectDeterministicReplay(experiment, "oracle");
+}
+
+TEST(ParallelDeterminismGroundTruth, GlobalTopKMatchesSequential)
+{
+    Experiment experiment(smallConfig("maxscore"));
+    const QueryTrace &trace = experiment.trace(TraceFlavor::Lucene);
+    const std::size_t probe = std::min<std::size_t>(trace.size(), 100);
+
+    ThreadPool::setGlobalThreads(1);
+    std::vector<std::vector<ScoredDoc>> sequential;
+    for (std::size_t q = 0; q < probe; ++q)
+        sequential.push_back(experiment.engine().globalTopK(trace.query(q)));
+
+    ThreadPool::setGlobalThreads(8);
+    std::vector<std::vector<ScoredDoc>> parallel;
+    for (std::size_t q = 0; q < probe; ++q)
+        parallel.push_back(experiment.engine().globalTopK(trace.query(q)));
+    ThreadPool::setGlobalThreads(1);
+
+    for (std::size_t q = 0; q < probe; ++q) {
+        ASSERT_EQ(sequential[q].size(), parallel[q].size()) << "query " << q;
+        for (std::size_t i = 0; i < sequential[q].size(); ++i) {
+            ASSERT_EQ(sequential[q][i].doc, parallel[q][i].doc)
+                << "query " << q << " rank " << i;
+            // Bitwise: the merge order is fixed, so not even the
+            // floating-point representation may drift.
+            double a = sequential[q][i].score;
+            double b = parallel[q][i].score;
+            ASSERT_EQ(std::memcmp(&a, &b, sizeof a), 0)
+                << "query " << q << " rank " << i;
+        }
+    }
+}
+
+TEST(ParallelDeterminismTraining, TrainingSetsMatchSequential)
+{
+    ExperimentConfig config = smallConfig("maxscore");
+    Experiment experiment(config);
+
+    TraceConfig tc;
+    tc.numQueries = 60;
+    tc.vocabSize = config.corpus.vocabSize;
+    tc.seed = 4021;
+    const QueryTrace trace = QueryTrace::generate(tc);
+
+    ThreadPool::setGlobalThreads(1);
+    const TrainingSets sequential =
+        buildTrainingSets(experiment.index(), experiment.evaluator(),
+                          config.work, trace, config.train.numBuckets);
+    ThreadPool::setGlobalThreads(8);
+    const TrainingSets parallel =
+        buildTrainingSets(experiment.index(), experiment.evaluator(),
+                          config.work, trace, config.train.numBuckets);
+    ThreadPool::setGlobalThreads(1);
+
+    ASSERT_EQ(sequential.shards.size(), parallel.shards.size());
+    for (std::size_t s = 0; s < sequential.shards.size(); ++s) {
+        const ShardDatasets &a = sequential.shards[s];
+        const ShardDatasets &b = parallel.shards[s];
+        auto expectDatasetsEqual = [s](const Dataset &lhs,
+                                       const Dataset &rhs,
+                                       const char *which) {
+            ASSERT_EQ(lhs.size(), rhs.size()) << which << " shard " << s;
+            for (std::size_t i = 0; i < lhs.size(); ++i) {
+                ASSERT_EQ(lhs.label(i), rhs.label(i))
+                    << which << " shard " << s << " sample " << i;
+                ASSERT_EQ(std::memcmp(lhs.features(i), rhs.features(i),
+                                      lhs.numFeatures() * sizeof(double)),
+                          0)
+                    << which << " shard " << s << " sample " << i;
+            }
+        };
+        expectDatasetsEqual(a.qualityK, b.qualityK, "qualityK");
+        expectDatasetsEqual(a.qualityHalf, b.qualityHalf, "qualityHalf");
+        expectDatasetsEqual(a.latency, b.latency, "latency");
+    }
+}
+
+} // namespace
+} // namespace cottage

@@ -7,13 +7,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <future>
 #include <set>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/cli.h"
 #include "util/rng.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 #include "util/zipf.h"
 
 namespace cottage {
@@ -290,6 +295,138 @@ TEST(Cli, TrailingBooleanFlag)
     const char *argv[] = {"prog", "--go"};
     const CliFlags flags(2, argv);
     EXPECT_TRUE(flags.getBool("go", false));
+}
+
+TEST(ThreadPool, ZeroTaskParallelForReturnsImmediately)
+{
+    ThreadPool pool(4);
+    int calls = 0;
+    pool.parallelFor(0, 0, [&](std::size_t) { ++calls; });
+    pool.parallelFor(5, 5, [&](std::size_t) { ++calls; });
+    pool.parallelFor(7, 3, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t n = 10000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelFor(0, n, [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, SubmitReturnsValueThroughFuture)
+{
+    ThreadPool pool(2);
+    auto future = pool.submit([] { return 6 * 7; });
+    EXPECT_EQ(pool.waitFor(std::move(future)), 42);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.threads(), 1u);
+    const auto caller = std::this_thread::get_id();
+    std::thread::id ranOn;
+    auto future = pool.submit([&] { ranOn = std::this_thread::get_id(); });
+    future.get();
+    EXPECT_EQ(ranOn, caller);
+    pool.parallelFor(0, 8, [&](std::size_t) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+    });
+    EXPECT_FALSE(pool.tryRunOne());
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughSubmit)
+{
+    ThreadPool pool(2);
+    auto future =
+        pool.submit([]() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.waitFor(std::move(future)), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestIndexedFailure)
+{
+    for (const unsigned threads : {1u, 4u}) {
+        ThreadPool pool(threads);
+        try {
+            pool.parallelFor(0, 64, [&](std::size_t i) {
+                // Several chunks fail; the surfaced message must be
+                // the lowest failing chunk's regardless of schedule.
+                if (i % 16 == 0)
+                    throw std::runtime_error("chunk@" +
+                                             std::to_string(i / 16));
+            });
+            FAIL() << "expected an exception (threads=" << threads << ")";
+        } catch (const std::runtime_error &error) {
+            EXPECT_STREQ(error.what(), "chunk@0");
+        }
+    }
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t outer = 16;
+    constexpr std::size_t inner = 64;
+    std::vector<std::atomic<uint64_t>> sums(outer);
+    pool.parallelFor(0, outer, [&](std::size_t o) {
+        pool.parallelFor(0, inner, [&](std::size_t i) {
+            sums[o].fetch_add(i + 1, std::memory_order_relaxed);
+        });
+    });
+    for (std::size_t o = 0; o < outer; ++o)
+        ASSERT_EQ(sums[o].load(), inner * (inner + 1) / 2);
+}
+
+TEST(ThreadPool, NestedSubmitWaitedInsideATaskCompletes)
+{
+    ThreadPool pool(2);
+    auto outerFuture = pool.submit([&] {
+        auto innerFuture = pool.submit([] { return 19; });
+        // waitFor() helps drain the queues, so waiting on pool work
+        // from inside a pool task cannot deadlock even with every
+        // worker occupied by an outer task.
+        return pool.waitFor(std::move(innerFuture)) + 23;
+    });
+    EXPECT_EQ(pool.waitFor(std::move(outerFuture)), 42);
+}
+
+TEST(ThreadPool, OversubscriptionStress)
+{
+    // Far more workers than this machine has cores, far more tasks
+    // than workers, with mixed submit/parallelFor traffic.
+    ThreadPool pool(16);
+    std::atomic<uint64_t> total{0};
+    std::vector<std::future<void>> futures;
+    futures.reserve(200);
+    for (int t = 0; t < 200; ++t) {
+        futures.push_back(pool.submit([&total, t] {
+            total.fetch_add(static_cast<uint64_t>(t),
+                            std::memory_order_relaxed);
+        }));
+    }
+    pool.parallelFor(0, 1000, [&](std::size_t) {
+        total.fetch_add(1, std::memory_order_relaxed);
+    });
+    for (auto &future : futures)
+        pool.waitFor(std::move(future));
+    EXPECT_EQ(total.load(), 200ull * 199 / 2 + 1000);
+}
+
+TEST(ThreadPool, GlobalPoolHonorsThreadKnob)
+{
+    ThreadPool::setGlobalThreads(3);
+    EXPECT_EQ(ThreadPool::global().threads(), 3u);
+    ThreadPool::setGlobalThreads(1);
+    EXPECT_EQ(ThreadPool::global().threads(), 1u);
+    ThreadPool::setGlobalThreads(0); // restore the default
+    EXPECT_EQ(ThreadPool::global().threads(),
+              ThreadPool::defaultThreads());
 }
 
 } // namespace
