@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_set>
 
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -11,8 +12,9 @@ namespace cottage {
 DistributedEngine::DistributedEngine(const ShardedIndex &index,
                                      ClusterSim &cluster,
                                      const Evaluator &evaluator,
-                                     WorkModel work)
-    : index_(&index), cluster_(&cluster), evaluator_(&evaluator), work_(work)
+                                     WorkModel work, bool anytimePartials)
+    : index_(&index), cluster_(&cluster), evaluator_(&evaluator),
+      work_(work), anytimePartials_(anytimePartials)
 {
     COTTAGE_CHECK_MSG(index.numShards() == cluster.numIsns(),
                       "cluster size must match shard count");
@@ -153,12 +155,17 @@ DistributedEngine::execute(const Query &query, const QueryPlan &plan,
                 index_->topK());
     });
 
-    // Phase 2 — the simulated cluster, advanced sequentially in
-    // ascending shard order so the ISN queue/energy state and the
-    // merged ranking are bit-identical to the single-threaded replay.
-    TopKHeap merged(index_->topK());
+    // Phase 2a — the simulated cluster, advanced sequentially in
+    // ascending shard order so the ISN queue/energy state is
+    // bit-identical to the single-threaded replay. Deadline misses do
+    // not drop the response: the simulator reports what fraction of
+    // the service fit the budget, and the work model converts that
+    // fraction into a deterministic anytime docs cap.
     double slowestResponse = 0.0; // relative to dispatch
     bool anyMissed = false;
+    double fractionSum = 0.0;
+    std::vector<uint64_t> partialCap(numShards, 0);
+    std::vector<char> completed(numShards, 0);
 
     for (ShardId s = 0; s < numShards; ++s) {
         const IsnDirective &directive = plan.isns[s];
@@ -167,6 +174,15 @@ DistributedEngine::execute(const Query &query, const QueryPlan &plan,
         ++measurement.isnsUsed;
 
         IsnServerSim &server = cluster_->isn(s);
+        // A plan may leave the frequency to the ISN (0), but anything
+        // it does pick must be a real P-state: a fabricated frequency
+        // would silently corrupt the service-time and power models.
+        COTTAGE_CHECK_MSG(
+            directive.freqGhz == 0.0 ||
+                cluster_->ladder().contains(directive.freqGhz),
+            "plan frequency " << directive.freqGhz
+                              << " GHz for ISN " << s
+                              << " is not a ladder step");
         const double freq = directive.freqGhz > 0.0
                                 ? directive.freqGhz
                                 : server.currentFreqGhz();
@@ -174,21 +190,67 @@ DistributedEngine::execute(const Query &query, const QueryPlan &plan,
             ++measurement.isnsBoosted;
 
         const SearchResult &result = results[s];
-        measurement.docsSearched += result.work.docsScored;
-
         const IsnExecution exec = server.execute(
             dispatch, work_.cycles(result.work), freq, deadline);
+        fractionSum += exec.completedFraction;
 
         if (exec.completed) {
+            completed[s] = 1;
             ++measurement.isnsCompleted;
             slowestResponse =
                 std::max(slowestResponse, exec.finishSeconds - dispatch);
-            for (const ScoredDoc &hit : result.topK)
-                merged.push(hit);
         } else {
             anyMissed = true;
+            partialCap[s] = work_.docsCapForFraction(
+                result.work, exec.completedFraction);
         }
     }
+
+    // Phase 2b — truncated ISNs re-run their evaluator capped at the
+    // docs the deadline allowed, recovering the exact best-so-far
+    // top-K the anytime ISN would have responded with. The capped
+    // evaluation is pure (a deterministic prefix replay of phase 1),
+    // so it fans out over the pool without touching the contract.
+    std::vector<SearchResult> partials(numShards);
+    if (anyMissed && anytimePartials_) {
+        ThreadPool::global().parallelFor(0, numShards, [&](std::size_t s) {
+            if (plan.isns[s].participate && !completed[s]) {
+                partials[s] = evaluator_->search(
+                    index_->shard(static_cast<ShardId>(s)), terms,
+                    index_->topK(), partialCap[s]);
+            }
+        });
+    }
+
+    // Phase 2c — fixed-order merge and prorated work accounting.
+    // Truncated ISNs contribute (and count) only their anytime prefix,
+    // so C_RES reflects work actually performed before the cutoff
+    // (energy already does, via the simulator's busy-interval meter).
+    TopKHeap merged(index_->topK());
+    for (ShardId s = 0; s < numShards; ++s) {
+        if (!plan.isns[s].participate)
+            continue;
+        if (completed[s]) {
+            measurement.docsSearched += results[s].work.docsScored;
+            for (const ScoredDoc &hit : results[s].topK)
+                merged.push(hit);
+        } else if (anytimePartials_) {
+            measurement.docsSearched += partials[s].work.docsScored;
+            if (!partials[s].topK.empty())
+                ++measurement.partialResponses;
+            for (const ScoredDoc &hit : partials[s].topK)
+                merged.push(hit);
+        } else {
+            // Drop-whole-response mode keeps the prorated accounting:
+            // the ISN still burned cycles until the cutoff even though
+            // its response is discarded.
+            measurement.docsSearched += partialCap[s];
+        }
+    }
+    measurement.completedFraction =
+        measurement.isnsUsed > 0
+            ? fractionSum / static_cast<double>(measurement.isnsUsed)
+            : 1.0;
 
     // The aggregator returns when the last awaited response arrives,
     // or at the budget if any participant missed it.
@@ -201,19 +263,22 @@ DistributedEngine::execute(const Query &query, const QueryPlan &plan,
                                  network.mergeSeconds;
     measurement.results = merged.extractSorted();
 
-    // P@K and binary NDCG@K against the exhaustive ground truth.
+    // P@K and binary NDCG@K against the exhaustive ground truth. Truth
+    // membership is a hash-set probe: the result walk stays in rank
+    // order, so the DCG summation order (and hence every bit of the
+    // quality metrics) is identical to the former O(K^2) scan.
     if (!groundTruth.empty()) {
+        std::unordered_set<DocId> truthDocs;
+        truthDocs.reserve(groundTruth.size());
+        for (const ScoredDoc &truth : groundTruth)
+            truthDocs.insert(truth.doc);
         std::size_t overlap = 0;
         double dcg = 0.0;
         for (std::size_t rank = 0; rank < measurement.results.size();
              ++rank) {
-            for (const ScoredDoc &truth : groundTruth) {
-                if (measurement.results[rank].doc == truth.doc) {
-                    ++overlap;
-                    dcg += 1.0 /
-                           std::log2(static_cast<double>(rank) + 2.0);
-                    break;
-                }
+            if (truthDocs.count(measurement.results[rank].doc) != 0) {
+                ++overlap;
+                dcg += 1.0 / std::log2(static_cast<double>(rank) + 2.0);
             }
         }
         double idealDcg = 0.0;

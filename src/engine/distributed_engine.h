@@ -35,20 +35,39 @@ class DistributedEngine
      *        its ISN count must match the index's shard count.
      * @param evaluator Retrieval strategy every ISN runs (borrowed).
      * @param work Cost model converting evaluator work to cycles.
+     * @param anytimePartials Whether a deadline-missing ISN responds
+     *        with its best-so-far partial top-K (the paper's anytime
+     *        early-termination contract, default) or its whole
+     *        response is dropped (the pre-anytime degradation model,
+     *        kept for comparison experiments).
      */
     DistributedEngine(const ShardedIndex &index, ClusterSim &cluster,
-                      const Evaluator &evaluator, WorkModel work = {});
+                      const Evaluator &evaluator, WorkModel work = {},
+                      bool anytimePartials = true);
 
     /**
      * Execute one query under a plan, advancing the cluster state.
      *
+     * A participating ISN that misses the deadline is truncated by the
+     * simulator; the engine converts its completed service fraction
+     * into a docs cap (WorkModel::docsCapForFraction) and re-runs the
+     * evaluator capped to recover the exact anytime partial top-K the
+     * ISN would have returned. Work accounting (docsSearched) is
+     * prorated to that prefix; energy is already prorated by the
+     * simulator's busy-interval meter.
+     *
      * @param query The query (its arrivalSeconds stamps the dispatch).
-     * @param plan Participation, frequencies and budget.
+     * @param plan Participation, frequencies and budget. Any explicit
+     *        per-ISN frequency must be a FrequencyLadder step.
      * @param groundTruth The exhaustive global top-K for this query
      *        (use globalTopK() / a cached copy) used to measure P@K.
      */
     QueryMeasurement execute(const Query &query, const QueryPlan &plan,
                              const std::vector<ScoredDoc> &groundTruth);
+
+    /** Toggle the anytime-partial-results contract (default on). */
+    void setAnytimePartials(bool enabled) { anytimePartials_ = enabled; }
+    bool anytimePartials() const { return anytimePartials_; }
 
     /**
      * The exhaustive global top-K for a set of terms: every shard's
@@ -115,6 +134,7 @@ class DistributedEngine
     ClusterSim *cluster_;
     const Evaluator *evaluator_;
     WorkModel work_;
+    bool anytimePartials_;
 };
 
 } // namespace cottage

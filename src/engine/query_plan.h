@@ -91,10 +91,28 @@ struct QueryMeasurement
     /** ISNs whose response made it back before the deadline. */
     uint32_t isnsCompleted = 0;
 
+    /**
+     * Deadline-missing ISNs that still contributed a non-empty anytime
+     * partial top-K to the merge (the paper's early-termination
+     * contract; isnsCompleted + partialResponses <= isnsUsed).
+     */
+    uint32_t partialResponses = 0;
+
     /** ISNs that ran above the default frequency. */
     uint32_t isnsBoosted = 0;
 
-    /** Documents scored across used ISNs (the paper's C_RES). */
+    /**
+     * Mean completed service fraction across used ISNs: 1.0 when every
+     * response completed, the simulator's per-request fraction for
+     * truncated ones (1.0 when no ISN participates).
+     */
+    double completedFraction = 1.0;
+
+    /**
+     * Documents scored across used ISNs (the paper's C_RES). Truncated
+     * ISNs count only the documents their anytime prefix actually
+     * evaluated, not the full evaluation they were cut off from.
+     */
     uint64_t docsSearched = 0;
 
     /** Overlap with the exhaustive global top-K, in [0, 1] (P@K). */

@@ -78,6 +78,7 @@ ExperimentConfig::fromFlags(const CliFlags &flags)
     config.evaluator = flags.getString("evaluator", config.evaluator);
     config.threads =
         static_cast<uint32_t>(flags.getInt("threads", config.threads));
+    config.anytime = flags.getBool("anytime", config.anytime);
     return config;
 }
 
@@ -87,13 +88,14 @@ ExperimentConfig::print(std::ostream &out) const
     out << strformat(
         "config: docs=%u vocab=%u shards=%u k=%zu queries=%llu qps=%.1f "
         "train-queries=%llu iterations=%zu corpus-seed=%llu "
-        "trace-seed=%llu evaluator=%s threads=%u\n",
+        "trace-seed=%llu evaluator=%s threads=%u anytime=%d\n",
         corpus.numDocs, corpus.vocabSize, shards.numShards, shards.topK,
         static_cast<unsigned long long>(traceQueries), arrivalQps,
         static_cast<unsigned long long>(trainQueries), train.iterations,
         static_cast<unsigned long long>(corpus.seed),
         static_cast<unsigned long long>(traceSeed), evaluator.c_str(),
-        threads == 0 ? ThreadPool::defaultThreads() : threads);
+        threads == 0 ? ThreadPool::defaultThreads() : threads,
+        anytime ? 1 : 0);
 }
 
 std::unique_ptr<Evaluator>
@@ -122,7 +124,8 @@ Experiment::Experiment(ExperimentConfig config)
         config_.shards.numShards, FrequencyLadder(), config_.power,
         config_.network, config_.coresPerIsn);
     engine_ = std::make_unique<DistributedEngine>(*index_, *cluster_,
-                                                  *evaluator_, config_.work);
+                                                  *evaluator_, config_.work,
+                                                  config_.anytime);
     logInfo(strformat("experiment stack built in %.1fs (%u docs, %u shards)",
                       watch.elapsedSeconds(), corpus_->numDocs(),
                       index_->numShards()));

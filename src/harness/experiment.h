@@ -92,6 +92,14 @@ struct ExperimentConfig
      */
     uint32_t threads = 0;
 
+    /**
+     * Anytime partial results (--anytime): a deadline-missing ISN
+     * returns its best-so-far top-K, with work prorated to the
+     * completed service fraction. Off reverts to the drop-whole-
+     * response degradation model (for comparison experiments only).
+     */
+    bool anytime = true;
+
     /** Baseline policy knobs. */
     TailyConfig taily;
     RankSConfig rankS;

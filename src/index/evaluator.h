@@ -13,6 +13,7 @@
 #define COTTAGE_INDEX_EVALUATOR_H
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "index/inverted_index.h"
@@ -20,6 +21,9 @@
 #include "text/types.h"
 
 namespace cottage {
+
+/** "No document cap" sentinel for anytime evaluation. */
+constexpr uint64_t noDocCap = std::numeric_limits<uint64_t>::max();
 
 /** Work performed while evaluating one query on one shard. */
 struct SearchWork
@@ -36,6 +40,13 @@ struct SearchWork
     /** Postings skipped by dynamic pruning (never decoded). */
     uint64_t postingsSkipped = 0;
 
+    /**
+     * True if the evaluation stopped at its maxScoredDocs cap while
+     * scoreable candidates remained: the top-K is the anytime
+     * best-so-far, not the full shard ranking.
+     */
+    bool truncated = false;
+
     SearchWork &
     operator+=(const SearchWork &other)
     {
@@ -43,6 +54,7 @@ struct SearchWork
         docsScored += other.docsScored;
         heapInsertions += other.heapInsertions;
         postingsSkipped += other.postingsSkipped;
+        truncated = truncated || other.truncated;
         return *this;
     }
 };
@@ -74,6 +86,12 @@ std::vector<WeightedTerm> toWeighted(const std::vector<TermId> &terms);
  * A top-K retrieval strategy over one shard. Implementations must all
  * return exactly the same top-K ranking (rank-safe pruning); only the
  * work differs. Tests enforce this equivalence property.
+ *
+ * Every strategy is additionally an *anytime* algorithm: capped at
+ * maxScoredDocs candidate documents it stops there, returns its
+ * best-so-far heap and flags the work as truncated. The cap is counted
+ * in deterministic evaluation order, so a capped run is a bit-exact
+ * prefix replay — never a wall-clock race (see DESIGN.md §5c).
  */
 class Evaluator
 {
@@ -87,19 +105,31 @@ class Evaluator
      * Evaluate a weighted (personalized) query on a shard.
      *
      * @param index The shard's index.
-     * @param terms Distinct query terms with positive weights.
+     * @param terms Distinct query terms with non-zero weights (negative
+     *        weights demote; pruning bounds stay rank-safe).
      * @param k Result depth.
+     * @param maxScoredDocs Anytime cap: stop after scoring this many
+     *        candidate documents (noDocCap = run to completion).
      */
     virtual SearchResult search(const InvertedIndex &index,
                                 const std::vector<WeightedTerm> &terms,
-                                std::size_t k) const = 0;
+                                std::size_t k,
+                                uint64_t maxScoredDocs) const = 0;
+
+    /** Convenience: uncapped evaluation. */
+    SearchResult
+    search(const InvertedIndex &index,
+           const std::vector<WeightedTerm> &terms, std::size_t k) const
+    {
+        return search(index, terms, k, noDocCap);
+    }
 
     /** Convenience: uniform-weight evaluation. */
     SearchResult
     search(const InvertedIndex &index, const std::vector<TermId> &terms,
-           std::size_t k) const
+           std::size_t k, uint64_t maxScoredDocs = noDocCap) const
     {
-        return search(index, toWeighted(terms), k);
+        return search(index, toWeighted(terms), k, maxScoredDocs);
     }
 };
 

@@ -7,7 +7,8 @@ namespace cottage {
 SearchResult
 ExhaustiveEvaluator::search(const InvertedIndex &index,
                             const std::vector<WeightedTerm> &terms,
-                            std::size_t k) const
+                            std::size_t k,
+                            uint64_t maxScoredDocs) const
 {
     SearchResult result;
     TopKHeap heap(k);
@@ -38,6 +39,12 @@ ExhaustiveEvaluator::search(const InvertedIndex &index,
         }
         if (candidate == endDoc)
             break;
+        // Anytime cap: a scoreable candidate remains, so the heap is
+        // the best-so-far of a strict prefix of the shard's candidates.
+        if (result.work.docsScored >= maxScoredDocs) {
+            result.work.truncated = true;
+            break;
+        }
 
         double score = 0.0;
         for (Cursor &cursor : cursors) {

@@ -46,7 +46,8 @@ seek(Cursor &cursor, LocalDocId target)
 SearchResult
 MaxScoreEvaluator::search(const InvertedIndex &index,
                           const std::vector<WeightedTerm> &terms,
-                          std::size_t k) const
+                          std::size_t k,
+                          uint64_t maxScoredDocs) const
 {
     SearchResult result;
     TopKHeap heap(k);
@@ -57,9 +58,16 @@ MaxScoreEvaluator::search(const InvertedIndex &index,
         const PostingList *list = index.postings(wt.term);
         if (list != nullptr && !list->empty()) {
             // BM25 is linear in idf, so both the per-posting score and
-            // the exact pruning bound scale by the term weight.
-            cursors.push_back({list, index.idf(wt.term) * wt.weight,
-                               index.maxScore(wt.term) * wt.weight, 0});
+            // the exact pruning bound scale by the term weight — for
+            // positive weights. A negative weight flips the list's
+            // largest contribution to its *smallest*; the rank-safe
+            // upper bound of a demoting list is 0 (BM25 posting scores
+            // are non-negative).
+            const double bound =
+                wt.weight >= 0.0 ? index.maxScore(wt.term) * wt.weight
+                                 : 0.0;
+            cursors.push_back(
+                {list, index.idf(wt.term) * wt.weight, bound, 0});
         }
     }
     if (cursors.empty() || k == 0) {
@@ -99,6 +107,11 @@ MaxScoreEvaluator::search(const InvertedIndex &index,
         }
         if (candidate == endDoc)
             break;
+        // Anytime cap: stop before evaluating a fresh candidate.
+        if (result.work.docsScored >= maxScoredDocs) {
+            result.work.truncated = true;
+            break;
+        }
 
         // Score essential contributions.
         double score = 0.0;

@@ -7,7 +7,8 @@ namespace cottage {
 SearchResult
 TaatEvaluator::search(const InvertedIndex &index,
                       const std::vector<WeightedTerm> &terms,
-                      std::size_t k) const
+                      std::size_t k,
+                      uint64_t maxScoredDocs) const
 {
     SearchResult result;
 
@@ -29,8 +30,15 @@ TaatEvaluator::search(const InvertedIndex &index,
         }
     }
 
+    // Anytime cap: TAAT evaluates candidates during extraction, so the
+    // cap truncates the touched-list walk in its deterministic
+    // first-touch order.
     TopKHeap heap(k);
     for (LocalDocId doc : touched) {
+        if (result.work.docsScored >= maxScoredDocs) {
+            result.work.truncated = true;
+            break;
+        }
         ++result.work.docsScored;
         if (heap.push({index.globalDoc(doc), accumulators[doc]}))
             ++result.work.heapInsertions;

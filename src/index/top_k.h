@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "text/types.h"
@@ -62,11 +63,17 @@ class TopKHeap
         return heap_.front();
     }
 
-    /** Score a new result must strictly beat to enter a full heap. */
+    /**
+     * Score a new result must strictly beat to enter a full heap;
+     * -infinity while the heap is still filling (everything enters).
+     * A finite sentinel here would be wrong: weighted (demoting)
+     * queries legitimately produce scores in (-inf, 0].
+     */
     double
     threshold() const
     {
-        return full() ? heap_.front().score : -1.0;
+        return full() ? heap_.front().score
+                      : -std::numeric_limits<double>::infinity();
     }
 
     /**

@@ -45,7 +45,8 @@ seek(Cursor &cursor, LocalDocId target)
 SearchResult
 WandEvaluator::search(const InvertedIndex &index,
                       const std::vector<WeightedTerm> &terms,
-                      std::size_t k) const
+                      std::size_t k,
+                      uint64_t maxScoredDocs) const
 {
     SearchResult result;
     TopKHeap heap(k);
@@ -55,8 +56,14 @@ WandEvaluator::search(const InvertedIndex &index,
     for (const WeightedTerm &wt : terms) {
         const PostingList *list = index.postings(wt.term);
         if (list != nullptr && !list->empty()) {
-            cursors.push_back({list, index.idf(wt.term) * wt.weight,
-                               index.maxScore(wt.term) * wt.weight, 0});
+            // A demoting (negative-weight) list's rank-safe upper
+            // bound is 0, not maxScore * weight (which would be its
+            // lower bound); BM25 posting scores are non-negative.
+            const double bound =
+                wt.weight >= 0.0 ? index.maxScore(wt.term) * wt.weight
+                                 : 0.0;
+            cursors.push_back(
+                {list, index.idf(wt.term) * wt.weight, bound, 0});
         }
     }
     if (cursors.empty() || k == 0) {
@@ -82,8 +89,10 @@ WandEvaluator::search(const InvertedIndex &index,
 
         // Pivot: first cursor where the cumulative bound could reach
         // the heap. >= keeps ties evaluable (rank-safe with DocId
-        // tie-breaking).
-        const double threshold = heap.full() ? heap.threshold() : -1.0;
+        // tie-breaking). threshold() is -inf while the heap is filling,
+        // so every candidate pivots — even all-negative scores (a -1.0
+        // sentinel here used to prune legitimate demoted results).
+        const double threshold = heap.threshold();
         double accumulated = 0.0;
         std::size_t pivot = order.size();
         for (std::size_t i = 0; i < order.size(); ++i) {
@@ -98,6 +107,11 @@ WandEvaluator::search(const InvertedIndex &index,
 
         const LocalDocId pivotDoc = order[pivot]->doc();
         if (order[0]->doc() == pivotDoc) {
+            // Anytime cap: the next step would score a fresh candidate.
+            if (result.work.docsScored >= maxScoredDocs) {
+                result.work.truncated = true;
+                break;
+            }
             // All cursors up to the pivot sit on pivotDoc: score it.
             double score = 0.0;
             for (Cursor *cursor : order) {

@@ -26,6 +26,7 @@ summarizeRun(const std::string &policy, const std::string &trace,
     RunningStat isnsBoosted;
     RunningStat docsSearched;
     RunningStat budgets;
+    RunningStat completedFraction;
     for (const QueryMeasurement &m : measurements) {
         latencies.push_back(m.latencySeconds);
         precision.add(m.precisionAtK);
@@ -33,10 +34,12 @@ summarizeRun(const std::string &policy, const std::string &trace,
         isnsUsed.add(static_cast<double>(m.isnsUsed));
         isnsBoosted.add(static_cast<double>(m.isnsBoosted));
         docsSearched.add(static_cast<double>(m.docsSearched));
+        completedFraction.add(m.completedFraction);
         if (m.budgetSeconds != noBudget)
             budgets.add(m.budgetSeconds);
         summary.truncatedResponses +=
             m.isnsUsed - m.isnsCompleted;
+        summary.partialResponses += m.partialResponses;
     }
     std::sort(latencies.begin(), latencies.end());
     summary.avgLatencySeconds = mean(latencies);
@@ -50,6 +53,7 @@ summarizeRun(const std::string &policy, const std::string &trace,
     summary.avgIsnsBoosted = isnsBoosted.mean();
     summary.avgDocsSearched = docsSearched.mean();
     summary.avgBudgetSeconds = budgets.mean();
+    summary.avgCompletedFraction = completedFraction.mean();
     return summary;
 }
 
@@ -89,6 +93,9 @@ toJson(const RunSummary &s)
     field("avg_docs_searched", num(s.avgDocsSearched), false);
     field("truncated_responses",
           num(static_cast<double>(s.truncatedResponses)), false);
+    field("partial_responses",
+          num(static_cast<double>(s.partialResponses)), false);
+    field("avg_completed_fraction", num(s.avgCompletedFraction), false);
     field("avg_budget_s", num(s.avgBudgetSeconds), false);
     field("energy_j", num(s.energyJoules), false);
     field("duration_s", num(s.durationSeconds), false);

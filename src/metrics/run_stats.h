@@ -44,8 +44,21 @@ struct RunSummary
     /** Mean documents scored per query across used ISNs (C_RES). */
     double avgDocsSearched = 0.0;
 
-    /** Responses dropped at the budget across the whole run. */
+    /** Responses truncated at the budget across the whole run. */
     uint64_t truncatedResponses = 0;
+
+    /**
+     * Truncated responses that still contributed a non-empty anytime
+     * partial top-K (equals truncatedResponses minus responses whose
+     * budget share allowed zero documents).
+     */
+    uint64_t partialResponses = 0;
+
+    /**
+     * Mean per-query completed service fraction across used ISNs
+     * (1.0 = every response ran to completion).
+     */
+    double avgCompletedFraction = 0.0;
 
     /** Mean budget over the queries that had one (0 if none did). */
     double avgBudgetSeconds = 0.0;

@@ -52,12 +52,16 @@ IsnServerSim::execute(double arrivalSeconds, double cycles, double freqGhz,
         exec.finishSeconds = wouldFinish;
         exec.busySeconds = service;
         exec.completed = true;
+        exec.completedFraction = 1.0;
     } else {
         // Deadline expires mid-service (or before the queue drains):
-        // the ISN abandons the request at the deadline.
+        // the ISN abandons the request at the deadline and responds
+        // with whatever it has scored so far (anytime contract).
         exec.finishSeconds = std::max(exec.startSeconds, deadlineSeconds);
         exec.busySeconds = exec.finishSeconds - exec.startSeconds;
         exec.completed = false;
+        exec.completedFraction =
+            service > 0.0 ? exec.busySeconds / service : 0.0;
         ++requestsTruncated_;
     }
 

@@ -37,6 +37,15 @@ struct IsnExecution
     /** True if the full service completed before the deadline. */
     bool completed = false;
 
+    /**
+     * Fraction of the requested service performed before the cutoff:
+     * 1.0 when completed, busySeconds / full-service otherwise (0.0
+     * when the deadline expired before the queue drained). Derived
+     * purely from simulated time, so it is bit-identical at any host
+     * thread count — the engine converts it into an anytime docs cap.
+     */
+    double completedFraction = 1.0;
+
     /** Frequency the request ran at (GHz). */
     double freqGhz = 0.0;
 };

@@ -62,6 +62,25 @@ struct WorkModel
     {
         return cycleCount / (freqGhz * 1e9);
     }
+
+    /**
+     * Anytime docs cap for a request cut off after a fraction of its
+     * full service: cycles are proportional to documents scored (the
+     * per-posting/skip terms scale with the same prefix), so the
+     * number of candidates evaluated by the cutoff is the same
+     * fraction of the full run's, rounded down. Deterministic — the
+     * fraction comes from simulated time, never the host clock.
+     */
+    uint64_t
+    docsCapForFraction(const SearchWork &fullWork, double fraction) const
+    {
+        if (fraction <= 0.0)
+            return 0;
+        if (fraction >= 1.0)
+            return fullWork.docsScored;
+        return static_cast<uint64_t>(
+            fraction * static_cast<double>(fullWork.docsScored));
+    }
 };
 
 } // namespace cottage

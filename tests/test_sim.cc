@@ -134,6 +134,80 @@ TEST(IsnServer, DeadlineTruncatesWork)
     EXPECT_DOUBLE_EQ(dead.busySeconds, 0.0);
 }
 
+TEST(IsnServer, DeadlineBeforeQueueDrainsDoesNoWork)
+{
+    const FrequencyLadder ladder;
+    const PowerModel power;
+    IsnServerSim server(ladder, power);
+    server.execute(0.0, 4.2e9, 2.1, kInf); // busy until t=2
+    // Second request's deadline passes while it is still queued: the
+    // worker never touches it — zero busy-seconds, zero fraction.
+    const IsnExecution starved = server.execute(0.1, 2.1e9, 2.1, 1.5);
+    EXPECT_FALSE(starved.completed);
+    EXPECT_DOUBLE_EQ(starved.busySeconds, 0.0);
+    EXPECT_DOUBLE_EQ(starved.completedFraction, 0.0);
+    EXPECT_NEAR(starved.startSeconds, 2.0, 1e-12);
+    EXPECT_NEAR(starved.finishSeconds, 2.0, 1e-12);
+    EXPECT_EQ(server.requestsTruncated(), 1u);
+    // Energy was only charged for actual busy intervals.
+    EXPECT_NEAR(server.busySeconds(), 2.0, 1e-12);
+}
+
+TEST(IsnServer, FinishExactlyAtDeadlineCompletes)
+{
+    const FrequencyLadder ladder;
+    const PowerModel power;
+    IsnServerSim server(ladder, power);
+    // 2.1e9 cycles at 2.1 GHz = 1 s; deadline exactly at the finish.
+    const IsnExecution exec = server.execute(0.0, 2.1e9, 2.1, 1.0);
+    EXPECT_TRUE(exec.completed);
+    EXPECT_DOUBLE_EQ(exec.completedFraction, 1.0);
+    EXPECT_NEAR(exec.finishSeconds, 1.0, 1e-12);
+    EXPECT_EQ(server.requestsTruncated(), 0u);
+}
+
+TEST(IsnServer, ZeroCycleRequests)
+{
+    const FrequencyLadder ladder;
+    const PowerModel power;
+    IsnServerSim server(ladder, power);
+    // Zero work on an idle server completes instantly, even with a
+    // deadline at the arrival instant.
+    const IsnExecution instant = server.execute(1.0, 0.0, 2.1, 1.0);
+    EXPECT_TRUE(instant.completed);
+    EXPECT_DOUBLE_EQ(instant.busySeconds, 0.0);
+    EXPECT_DOUBLE_EQ(instant.completedFraction, 1.0);
+    EXPECT_DOUBLE_EQ(instant.finishSeconds, 1.0);
+
+    // Zero work behind a backlog that outlives the deadline: truncated
+    // with fraction 0 (not a 0/0 NaN).
+    server.execute(1.0, 4.2e9, 2.1, kInf); // busy until t=3
+    const IsnExecution starved = server.execute(1.0, 0.0, 2.1, 2.0);
+    EXPECT_FALSE(starved.completed);
+    EXPECT_DOUBLE_EQ(starved.busySeconds, 0.0);
+    EXPECT_DOUBLE_EQ(starved.completedFraction, 0.0);
+    EXPECT_EQ(server.requestsTruncated(), 1u);
+}
+
+TEST(IsnServer, TruncatedCounterAccumulatesAndFractionIsProportional)
+{
+    const FrequencyLadder ladder;
+    const PowerModel power;
+    IsnServerSim server(ladder, power);
+    // Needs 1 s, cut off at 0.25 s: a quarter of the service fit.
+    const IsnExecution quarter = server.execute(0.0, 2.1e9, 2.1, 0.25);
+    EXPECT_FALSE(quarter.completed);
+    EXPECT_NEAR(quarter.completedFraction, 0.25, 1e-12);
+    server.reset();
+    EXPECT_EQ(server.requestsTruncated(), 0u);
+    // Three consecutive misses count individually.
+    server.execute(0.0, 2.1e9, 2.1, 0.5);
+    server.execute(0.0, 2.1e9, 2.1, 0.6);
+    server.execute(0.0, 2.1e9, 2.1, 0.7);
+    EXPECT_EQ(server.requestsTruncated(), 3u);
+    EXPECT_EQ(server.requestsServed(), 3u);
+}
+
 TEST(IsnServer, EnergyMatchesBusyIntervalsTimesPower)
 {
     const FrequencyLadder ladder;
