@@ -7,7 +7,9 @@
  *
  * Usage:
  *   trace_replay [--policy=cottage] [--trace=wikipedia|lucene]
- *                [--csv=out.csv] [--docs=] [--queries=] [--qps=] ...
+ *                [--csv=out.csv] [--trace-out=trace.jsonl]
+ *                [--metrics-out=metrics.json] [--power-window-ms=100]
+ *                [--docs=] [--queries=] [--qps=] ...
  */
 
 #include <fstream>
@@ -88,6 +90,16 @@ main(int argc, char **argv)
     summary.addRow({"avg power W", TextTable::cell(s.avgPowerWatts, 2)});
     summary.addRow({"busy energy J", TextTable::cell(s.energyJoules, 1)});
     std::cout << "\n" << summary.render();
+
+    if (result.trace)
+        std::cout << "\nwrote " << result.trace->records().size()
+                  << " trace records to " << experiment.config().traceOut
+                  << "\n";
+    if (result.metrics) {
+        std::cout << "\n" << result.metrics->toAsciiReport();
+        std::cout << "wrote metrics to "
+                  << experiment.config().metricsOut << "\n";
+    }
 
     if (flags.getBool("json", false))
         std::cout << "\n" << toJson(s) << "\n";

@@ -167,6 +167,25 @@ DistributedEngine::execute(const Query &query, const QueryPlan &plan,
     std::vector<uint64_t> partialCap(numShards, 0);
     std::vector<char> completed(numShards, 0);
 
+    // Observability: recording happens entirely inside this sequential
+    // shard-order loop (and the fixed-order merge below), so the span
+    // stream and every metric sample are deterministic at any host
+    // thread count. Both hooks only read values the simulation already
+    // computed — with them detached, not one measured byte changes.
+    QueryTraceRecord record;
+    std::vector<int> spanOf;
+    if (tracer_ != nullptr) {
+        record.id = query.id;
+        record.arrivalSeconds = query.arrivalSeconds;
+        record.dispatchSeconds = dispatch;
+        record.budgetSeconds =
+            plan.budgetSeconds == noBudget ? -1.0 : plan.budgetSeconds;
+        record.decisionOverheadSeconds = plan.decisionOverheadSeconds;
+        record.rttSeconds = network.rttSeconds;
+        record.mergeSeconds = network.mergeSeconds;
+        spanOf.assign(numShards, -1);
+    }
+
     for (ShardId s = 0; s < numShards; ++s) {
         const IsnDirective &directive = plan.isns[s];
         if (!directive.participate)
@@ -174,6 +193,9 @@ DistributedEngine::execute(const Query &query, const QueryPlan &plan,
         ++measurement.isnsUsed;
 
         IsnServerSim &server = cluster_->isn(s);
+        const double backlog = metrics_ != nullptr
+                                   ? server.backlogSeconds(dispatch)
+                                   : 0.0;
         // A plan may leave the frequency to the ISN (0), but anything
         // it does pick must be a real P-state: a fabricated frequency
         // would silently corrupt the service-time and power models.
@@ -193,6 +215,32 @@ DistributedEngine::execute(const Query &query, const QueryPlan &plan,
         const IsnExecution exec = server.execute(
             dispatch, work_.cycles(result.work), freq, deadline);
         fractionSum += exec.completedFraction;
+
+        if (tracer_ != nullptr) {
+            IsnSpan span;
+            span.isn = s;
+            span.queueWaitSeconds = exec.startSeconds - dispatch;
+            span.serviceStartSeconds = exec.startSeconds;
+            span.serviceFinishSeconds = exec.finishSeconds;
+            span.busySeconds = exec.busySeconds;
+            span.cycles = work_.cycles(result.work);
+            span.freqGhz = exec.freqGhz;
+            span.boosted =
+                freq > cluster_->ladder().defaultGhz() + 1e-12;
+            span.energyJoules =
+                cluster_->power().busyEnergyJoules(exec.busySeconds,
+                                                   exec.freqGhz);
+            span.completed = exec.completed;
+            span.completedFraction = exec.completedFraction;
+            spanOf[s] = static_cast<int>(record.isns.size());
+            record.isns.push_back(span);
+        }
+        if (metrics_ != nullptr) {
+            metrics_->histogram("backlog_at_dispatch_s", 1e-6, 1.0, 30)
+                .add(backlog);
+            metrics_->histogram("service_busy_s", 1e-5, 1.0, 30)
+                .add(exec.busySeconds);
+        }
 
         if (exec.completed) {
             completed[s] = 1;
@@ -230,14 +278,24 @@ DistributedEngine::execute(const Query &query, const QueryPlan &plan,
     for (ShardId s = 0; s < numShards; ++s) {
         if (!plan.isns[s].participate)
             continue;
+        IsnSpan *span = tracer_ != nullptr && spanOf[s] >= 0
+                            ? &record.isns[static_cast<std::size_t>(
+                                  spanOf[s])]
+                            : nullptr;
         if (completed[s]) {
             measurement.docsSearched += results[s].work.docsScored;
+            if (span != nullptr)
+                span->docsScored = results[s].work.docsScored;
             for (const ScoredDoc &hit : results[s].topK)
                 merged.push(hit);
         } else if (anytimePartials_) {
             measurement.docsSearched += partials[s].work.docsScored;
             if (!partials[s].topK.empty())
                 ++measurement.partialResponses;
+            if (span != nullptr) {
+                span->docsScored = partials[s].work.docsScored;
+                span->partial = !partials[s].topK.empty();
+            }
             for (const ScoredDoc &hit : partials[s].topK)
                 merged.push(hit);
         } else {
@@ -245,6 +303,8 @@ DistributedEngine::execute(const Query &query, const QueryPlan &plan,
             // the ISN still burned cycles until the cutoff even though
             // its response is discarded.
             measurement.docsSearched += partialCap[s];
+            if (span != nullptr)
+                span->docsScored = partialCap[s];
         }
     }
     measurement.completedFraction =
@@ -262,6 +322,22 @@ DistributedEngine::execute(const Query &query, const QueryPlan &plan,
                                  network.rttSeconds + waited +
                                  network.mergeSeconds;
     measurement.results = merged.extractSorted();
+
+    if (tracer_ != nullptr) {
+        record.waitedSeconds = waited;
+        record.latencySeconds = measurement.latencySeconds;
+        tracer_->record(std::move(record));
+    }
+    if (metrics_ != nullptr) {
+        metrics_->incr("queries");
+        metrics_->incr("isns_dispatched", measurement.isnsUsed);
+        metrics_->incr("isns_boosted", measurement.isnsBoosted);
+        metrics_->incr("responses_truncated",
+                       measurement.isnsUsed - measurement.isnsCompleted);
+        metrics_->incr("partial_responses", measurement.partialResponses);
+        metrics_->histogram("latency_s", 1e-4, 10.0, 40)
+            .add(measurement.latencySeconds);
+    }
 
     // P@K and binary NDCG@K against the exhaustive ground truth. Truth
     // membership is a hash-set probe: the result walk stays in rank

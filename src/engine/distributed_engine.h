@@ -18,6 +18,8 @@
 
 #include "engine/query_plan.h"
 #include "index/evaluator.h"
+#include "obs/metrics_registry.h"
+#include "obs/query_tracer.h"
 #include "shard/sharded_index.h"
 #include "sim/cluster.h"
 #include "sim/work_model.h"
@@ -68,6 +70,28 @@ class DistributedEngine
     /** Toggle the anytime-partial-results contract (default on). */
     void setAnytimePartials(bool enabled) { anytimePartials_ = enabled; }
     bool anytimePartials() const { return anytimePartials_; }
+
+    /**
+     * Attach a per-query tracer (nullptr detaches). While attached,
+     * every execute() appends one QueryTraceRecord with per-ISN spans
+     * in ascending shard order. Recording only reads values the
+     * simulation already computed, during the sequential cluster
+     * advance, so it is deterministic at any host thread count and
+     * never perturbs a measured byte (tests/test_obs.cc,
+     * tests/test_parallel.cc).
+     */
+    void setTracer(QueryTracer *tracer) { tracer_ = tracer; }
+    QueryTracer *tracer() const { return tracer_; }
+
+    /**
+     * Attach a metrics registry (nullptr detaches). While attached,
+     * execute() bumps the engine-side counters/histograms documented
+     * in EXPERIMENTS.md ("Observability"): per-query latency, per-ISN
+     * queue backlog at dispatch, service time, boost and truncation
+     * counts. Same determinism contract as the tracer.
+     */
+    void setMetrics(MetricsRegistry *metrics) { metrics_ = metrics; }
+    MetricsRegistry *metrics() const { return metrics_; }
 
     /**
      * The exhaustive global top-K for a set of terms: every shard's
@@ -135,6 +159,8 @@ class DistributedEngine
     const Evaluator *evaluator_;
     WorkModel work_;
     bool anytimePartials_;
+    QueryTracer *tracer_ = nullptr;
+    MetricsRegistry *metrics_ = nullptr;
 };
 
 } // namespace cottage

@@ -1,6 +1,7 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <fstream>
 #include <ostream>
 
 #include "core/cottage_isn_policy.h"
@@ -55,8 +56,12 @@ ExperimentConfig::fromFlags(const CliFlags &flags)
     config.traceQueries = static_cast<uint64_t>(
         flags.getInt("queries", config.traceQueries));
     config.arrivalQps = flags.getDouble("qps", config.arrivalQps);
+    config.traceSeed = static_cast<uint64_t>(
+        flags.getInt("trace-seed", config.traceSeed));
     config.trainQueries = static_cast<uint64_t>(
         flags.getInt("train-queries", config.trainQueries));
+    config.trainSeed = static_cast<uint64_t>(
+        flags.getInt("train-seed", config.trainSeed));
     config.train.iterations = static_cast<std::size_t>(
         flags.getInt("iterations", config.train.iterations));
     config.cottage.budgetSlack =
@@ -79,6 +84,12 @@ ExperimentConfig::fromFlags(const CliFlags &flags)
     config.threads =
         static_cast<uint32_t>(flags.getInt("threads", config.threads));
     config.anytime = flags.getBool("anytime", config.anytime);
+    config.traceOut = flags.getString("trace-out", config.traceOut);
+    config.metricsOut = flags.getString("metrics-out", config.metricsOut);
+    config.powerWindowSeconds =
+        flags.getDouble("power-window-ms",
+                        config.powerWindowSeconds * 1e3) *
+        1e-3;
     return config;
 }
 
@@ -239,6 +250,24 @@ Experiment::run(Policy &policy, TraceFlavor flavor)
     cluster_->reset();
     policy.reset();
 
+    // Observability: attach a fresh tracer/registry per run when the
+    // config asks for them. Both hooks only observe — with traceOut
+    // and metricsOut unset (the default) nothing is attached and the
+    // replay is byte-identical to an uninstrumented build
+    // (tests/test_parallel.cc proves it).
+    std::shared_ptr<QueryTracer> tracer;
+    if (!config_.traceOut.empty()) {
+        tracer = std::make_shared<QueryTracer>();
+        engine_->setTracer(tracer.get());
+    }
+    std::shared_ptr<MetricsRegistry> metrics;
+    if (!config_.metricsOut.empty()) {
+        metrics = std::make_shared<MetricsRegistry>();
+        metrics->configureWindows(config_.powerWindowSeconds,
+                                  config_.power.idleWatts);
+        engine_->setMetrics(metrics.get());
+    }
+
     // Replay determinism contract: queries advance the cluster-sim
     // strictly in arrival order (plans may read backlog state left by
     // earlier queries), while each execute() fans its per-shard
@@ -247,14 +276,25 @@ Experiment::run(Policy &policy, TraceFlavor flavor)
     // is bit-identical at any thread count (tests/test_parallel.cc).
     RunResult result;
     result.measurements.reserve(queryTrace.size());
+    double energyBefore = 0.0;
     for (std::size_t q = 0; q < queryTrace.size(); ++q) {
         const Query &query = queryTrace.query(q);
         const QueryPlan plan = policy.plan(query, *engine_);
         QueryMeasurement measurement =
             engine_->execute(query, plan, truth[q]);
+        if (metrics) {
+            // Energy per window: the busy energy this query's
+            // execution added, attributed to its arrival window.
+            const double energyAfter = cluster_->totalEnergyJoules();
+            metrics->addWindowSample(query.arrivalSeconds,
+                                     energyAfter - energyBefore);
+            energyBefore = energyAfter;
+        }
         policy.observe(measurement);
         result.measurements.push_back(std::move(measurement));
     }
+    engine_->setTracer(nullptr);
+    engine_->setMetrics(nullptr);
 
     result.summary = summarizeRun(policy.name(), queryTrace.name(),
                                   result.measurements);
@@ -265,6 +305,38 @@ Experiment::run(Policy &policy, TraceFlavor flavor)
     result.summary.durationSeconds = window;
     result.summary.energyJoules = cluster_->totalEnergyJoules();
     result.summary.avgPowerWatts = cluster_->averagePowerWatts(window);
+
+    if (tracer) {
+        if (!traceFile_) {
+            traceFile_ =
+                std::make_unique<std::ofstream>(config_.traceOut);
+            if (!*traceFile_)
+                fatal("cannot open " + config_.traceOut);
+        }
+        tracer->writeJsonl(*traceFile_, result.summary.policy,
+                           result.summary.trace);
+        traceFile_->flush();
+        result.trace = std::move(tracer);
+    }
+    if (metrics) {
+        // End-of-run cluster state: per-ISN utilisation over the
+        // replay window and the per-ISN energy split.
+        Histogram &utilisation =
+            metrics->histogram("isn_utilization", 0.0, 1.0, 20, false);
+        for (ShardId s = 0; s < cluster_->numIsns(); ++s)
+            utilisation.add(cluster_->isn(s).busySeconds() / window);
+        if (!metricsFile_) {
+            metricsFile_ =
+                std::make_unique<std::ofstream>(config_.metricsOut);
+            if (!*metricsFile_)
+                fatal("cannot open " + config_.metricsOut);
+        }
+        *metricsFile_ << metrics->toJson(result.summary.policy,
+                                         result.summary.trace)
+                      << '\n';
+        metricsFile_->flush();
+        result.metrics = std::move(metrics);
+    }
     return result;
 }
 

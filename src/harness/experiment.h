@@ -19,6 +19,8 @@
 #include "engine/distributed_engine.h"
 #include "index/evaluator.h"
 #include "metrics/run_stats.h"
+#include "obs/metrics_registry.h"
+#include "obs/query_tracer.h"
 #include "policy/aggregation_policy.h"
 #include "policy/rank_s_policy.h"
 #include "policy/redde_policy.h"
@@ -100,6 +102,30 @@ struct ExperimentConfig
      */
     bool anytime = true;
 
+    /**
+     * Per-query trace output (--trace-out): when non-empty, every
+     * run appends one JSONL record per executed query (aggregator
+     * timeline + per-ISN spans, schema in EXPERIMENTS.md) to this
+     * file, and RunResult::trace carries the in-memory records.
+     * Empty (default) leaves the tracer detached: the replay is
+     * byte-identical to an uninstrumented build.
+     */
+    std::string traceOut;
+
+    /**
+     * Per-run metrics output (--metrics-out): when non-empty, every
+     * run appends one JSON object (counters, histograms, windowed
+     * power/QPS series) to this file, and RunResult::metrics carries
+     * the registry. Empty (default) disables all metric recording.
+     */
+    std::string metricsOut;
+
+    /**
+     * Window width of the metrics power/QPS time series
+     * (--power-window-ms; seconds here, default 100 ms).
+     */
+    double powerWindowSeconds = 0.1;
+
     /** Baseline policy knobs. */
     TailyConfig taily;
     RankSConfig rankS;
@@ -119,7 +145,11 @@ struct ExperimentConfig
 
     /**
      * Apply command-line overrides (--docs=, --shards=, --queries=,
-     * --qps=, --train-queries=, --iterations=, --seed=, ...).
+     * --qps=, --trace-seed=, --train-queries=, --train-seed=,
+     * --iterations=, --seed=, --trace-out=, --metrics-out=,
+     * --power-window-ms=, ...). --seed reseeds the corpus only;
+     * --trace-seed/--train-seed vary the replay and training traces
+     * independently.
      */
     static ExperimentConfig fromFlags(const CliFlags &flags);
 
@@ -132,6 +162,19 @@ struct RunResult
 {
     std::vector<QueryMeasurement> measurements;
     RunSummary summary;
+
+    /**
+     * Per-query trace records of the run (null unless the experiment
+     * was configured with traceOut). Shared so results stay copyable.
+     */
+    std::shared_ptr<const QueryTracer> trace;
+
+    /**
+     * The run's metrics registry (null unless metricsOut was set):
+     * engine counters/histograms plus the harness's per-ISN
+     * utilisation histogram and windowed power/QPS series.
+     */
+    std::shared_ptr<const MetricsRegistry> metrics;
 };
 
 /**
@@ -200,6 +243,10 @@ class Experiment
     std::unique_ptr<QueryTrace> trainTrace_;
     std::map<TraceFlavor, QueryTrace> traces_;
     std::map<TraceFlavor, std::vector<std::vector<ScoredDoc>>> truths_;
+
+    /** Observability sinks, opened (truncating) on the first run. */
+    std::unique_ptr<std::ofstream> traceFile_;
+    std::unique_ptr<std::ofstream> metricsFile_;
 };
 
 } // namespace cottage

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "stats/summary.h"
+#include "util/string_util.h"
 
 namespace cottage {
 
@@ -69,7 +70,7 @@ toJson(const RunSummary &s)
         out += key;
         out += "\":";
         if (quote)
-            out += "\"" + value + "\"";
+            out += jsonQuote(value);
         else
             out += value;
     };

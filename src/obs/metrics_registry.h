@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Named counters, log-scale histograms and a windowed power/QPS time
+ * series for one replay run.
+ *
+ * The registry is the aggregate face of the observability layer: the
+ * engine bumps counters and histogram samples while it advances the
+ * cluster sim (sequentially, so recording is deterministic at any host
+ * thread count), the harness folds in end-of-run cluster state
+ * (per-ISN utilisation, energy windows), and the result is exported as
+ * one JSON object per run (`--metrics-out`) or an ASCII report next to
+ * the harness tables.
+ *
+ * Names are ordered (std::map) so every export is deterministic.
+ * Histograms reuse stats/histogram.h — the same saturating fixed-bin
+ * type the paper figures and the latency-predictor label space use.
+ */
+
+#ifndef COTTAGE_OBS_METRICS_REGISTRY_H
+#define COTTAGE_OBS_METRICS_REGISTRY_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stats/histogram.h"
+
+namespace cottage {
+
+/** One window of the power/QPS time series. */
+struct MetricsWindow
+{
+    /** Busy energy drawn by queries dispatched in the window, joules. */
+    double energyJoules = 0.0;
+
+    /** Queries that arrived in the window. */
+    uint64_t queries = 0;
+};
+
+/** Counters + histograms + windowed power/QPS for one run. */
+class MetricsRegistry
+{
+  public:
+    /** Add to a counter, creating it at zero on first use. */
+    void incr(const std::string &name, uint64_t delta = 1);
+
+    /** A counter's value; 0 if it was never touched. */
+    uint64_t counter(const std::string &name) const;
+
+    /**
+     * The histogram registered under a name, created on first use with
+     * the given shape (log-scale over [lo, hi) by default). Later
+     * calls ignore the shape arguments and return the existing
+     * histogram.
+     */
+    Histogram &histogram(const std::string &name, double lo, double hi,
+                         std::size_t bins, bool logScale = true);
+
+    /** Registered histogram, or nullptr. */
+    const Histogram *findHistogram(const std::string &name) const;
+
+    /**
+     * Configure the power/QPS series. @p windowSeconds is the bucket
+     * width (`--power-window-ms`); @p idleWatts is the package idle
+     * floor added when a window's energy is converted to average
+     * power.
+     */
+    void configureWindows(double windowSeconds, double idleWatts);
+
+    double windowSeconds() const { return windowSeconds_; }
+
+    /**
+     * Attribute a query (and the busy energy its execution drew) to
+     * the window containing @p timeSeconds. The series grows on
+     * demand.
+     */
+    void addWindowSample(double timeSeconds, double energyJoules,
+                         uint64_t queries = 1);
+
+    const std::vector<MetricsWindow> &windows() const { return windows_; }
+
+    /** Average package power over one window (idle + busy), watts. */
+    double windowPowerWatts(std::size_t window) const;
+
+    /** Drop all counters, histograms and windows. */
+    void clear();
+
+    /**
+     * Single-line JSON object: run labels, counters, histogram shapes
+     * and counts, and the window series (energy, queries, power).
+     * Schema documented in EXPERIMENTS.md.
+     */
+    std::string toJson(const std::string &policy,
+                       const std::string &trace) const;
+
+    /**
+     * Human-readable report: a counter table, each histogram as an
+     * ASCII bar chart, and a summary of the power/QPS series. Rendered
+     * by the harness next to its run tables.
+     */
+    std::string toAsciiReport() const;
+
+  private:
+    std::map<std::string, uint64_t> counters_;
+    std::map<std::string, Histogram> histograms_;
+    double windowSeconds_ = 0.0;
+    double idleWatts_ = 0.0;
+    std::vector<MetricsWindow> windows_;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_OBS_METRICS_REGISTRY_H

@@ -1,0 +1,85 @@
+#include "obs/query_tracer.h"
+
+#include <cstdio>
+#include <ostream>
+
+#include "util/string_util.h"
+
+namespace cottage {
+
+namespace {
+
+/**
+ * Shortest round-trippable double representation, matching the
+ * run-summary JSON emitter so the two outputs diff cleanly.
+ */
+std::string
+num(double value)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+    return std::string(buffer);
+}
+
+} // namespace
+
+void
+QueryTracer::record(QueryTraceRecord record)
+{
+    records_.push_back(std::move(record));
+}
+
+std::string
+QueryTracer::toJsonLine(const QueryTraceRecord &record,
+                        const std::string &policy,
+                        const std::string &trace)
+{
+    std::string out = "{";
+    out += "\"query\":" + num(static_cast<double>(record.id));
+    out += ",\"policy\":" + jsonQuote(policy);
+    out += ",\"trace\":" + jsonQuote(trace);
+    out += ",\"arrival_s\":" + num(record.arrivalSeconds);
+    out += ",\"dispatch_s\":" + num(record.dispatchSeconds);
+    out += ",\"budget_s\":";
+    out += record.budgetSeconds < 0.0 ? "null" : num(record.budgetSeconds);
+    out += ",\"decision_s\":" + num(record.decisionOverheadSeconds);
+    out += ",\"rtt_s\":" + num(record.rttSeconds);
+    out += ",\"waited_s\":" + num(record.waitedSeconds);
+    out += ",\"merge_s\":" + num(record.mergeSeconds);
+    out += ",\"latency_s\":" + num(record.latencySeconds);
+    out += ",\"isns\":[";
+    for (std::size_t i = 0; i < record.isns.size(); ++i) {
+        const IsnSpan &span = record.isns[i];
+        if (i > 0)
+            out += ",";
+        out += "{\"isn\":" + num(static_cast<double>(span.isn));
+        out += ",\"queue_wait_s\":" + num(span.queueWaitSeconds);
+        out += ",\"start_s\":" + num(span.serviceStartSeconds);
+        out += ",\"finish_s\":" + num(span.serviceFinishSeconds);
+        out += ",\"busy_s\":" + num(span.busySeconds);
+        out += ",\"cycles\":" + num(span.cycles);
+        out += ",\"freq_ghz\":" + num(span.freqGhz);
+        out += ",\"boosted\":";
+        out += span.boosted ? "true" : "false";
+        out += ",\"energy_j\":" + num(span.energyJoules);
+        out += ",\"completed\":";
+        out += span.completed ? "true" : "false";
+        out += ",\"fraction\":" + num(span.completedFraction);
+        out += ",\"docs\":" + num(static_cast<double>(span.docsScored));
+        out += ",\"partial\":";
+        out += span.partial ? "true" : "false";
+        out += "}";
+    }
+    out += "]}";
+    return out;
+}
+
+void
+QueryTracer::writeJsonl(std::ostream &out, const std::string &policy,
+                        const std::string &trace) const
+{
+    for (const QueryTraceRecord &record : records_)
+        out << toJsonLine(record, policy, trace) << '\n';
+}
+
+} // namespace cottage

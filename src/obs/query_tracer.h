@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Per-query trace recording for the cluster replay.
+ *
+ * One QueryTraceRecord per executed query, carrying the aggregator's
+ * timeline (decision overhead, dispatch, wait, merge) and one IsnSpan
+ * per participating ISN (queue wait, service interval, frequency,
+ * cycles, energy, truncation/partial flags). The engine fills the
+ * record while it advances the cluster sim — sequentially, in shard
+ * order — so the recorded stream is deterministic at any host thread
+ * count and recording never perturbs a measured value: the tracer only
+ * reads what the simulation already computed.
+ *
+ * Zero cost when off: the engine holds a nullable pointer and the
+ * whole subsystem is a single branch per query when no tracer is
+ * attached.
+ */
+
+#ifndef COTTAGE_OBS_QUERY_TRACER_H
+#define COTTAGE_OBS_QUERY_TRACER_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "text/types.h"
+
+namespace cottage {
+
+/** One ISN's slice of a query's execution timeline. */
+struct IsnSpan
+{
+    /** Which ISN (ascending within a record). */
+    ShardId isn = 0;
+
+    /** Seconds the request waited for a worker core. */
+    double queueWaitSeconds = 0.0;
+
+    /** Absolute service start (>= the query's dispatch time). */
+    double serviceStartSeconds = 0.0;
+
+    /** Absolute service finish (or the deadline cutoff). */
+    double serviceFinishSeconds = 0.0;
+
+    /** Seconds the core actually computed. */
+    double busySeconds = 0.0;
+
+    /** Cycles the full evaluation would have cost. */
+    double cycles = 0.0;
+
+    /** Frequency the request ran at (GHz). */
+    double freqGhz = 0.0;
+
+    /** True if the request ran above the ladder's default frequency. */
+    bool boosted = false;
+
+    /** Busy energy this request drew, joules. */
+    double energyJoules = 0.0;
+
+    /** True if the full service finished before the deadline. */
+    bool completed = true;
+
+    /** Completed service fraction (1.0 when completed). */
+    double completedFraction = 1.0;
+
+    /**
+     * Documents this ISN's response actually contributed to the merge
+     * (the anytime prefix for truncated responses).
+     */
+    uint64_t docsScored = 0;
+
+    /**
+     * True if a truncated response still contributed a non-empty
+     * anytime partial top-K.
+     */
+    bool partial = false;
+};
+
+/** The full execution timeline of one query. */
+struct QueryTraceRecord
+{
+    QueryId id = 0;
+
+    /** Client arrival time. */
+    double arrivalSeconds = 0.0;
+
+    /** When the request reached the ISNs (arrival + decision + rtt/2). */
+    double dispatchSeconds = 0.0;
+
+    /** Relative budget; negative means "no deadline". */
+    double budgetSeconds = -1.0;
+
+    /** Aggregator-side prediction/optimizer overhead span. */
+    double decisionOverheadSeconds = 0.0;
+
+    /** Full aggregator<->ISN round trip charged to the query. */
+    double rttSeconds = 0.0;
+
+    /** Seconds the aggregator waited after dispatch for responses. */
+    double waitedSeconds = 0.0;
+
+    /** Aggregator-side merge span. */
+    double mergeSeconds = 0.0;
+
+    /**
+     * Client-observed latency. Reconciles exactly:
+     * decisionOverheadSeconds + rttSeconds + waitedSeconds +
+     * mergeSeconds.
+     */
+    double latencySeconds = 0.0;
+
+    /** Participating ISN spans, in ascending shard order. */
+    std::vector<IsnSpan> isns;
+};
+
+/**
+ * Collects trace records for one replay. Records accumulate in
+ * execution order (the harness replays queries sequentially in arrival
+ * order, so this is also arrival order).
+ */
+class QueryTracer
+{
+  public:
+    /** Append one record. */
+    void record(QueryTraceRecord record);
+
+    const std::vector<QueryTraceRecord> &records() const
+    {
+        return records_;
+    }
+
+    /** Drop all records (fresh run). */
+    void clear() { records_.clear(); }
+
+    /**
+     * One JSONL line (no trailing newline) for a record. The policy
+     * and trace labels identify the run the record came from; string
+     * fields are JSON-escaped. Schema documented in EXPERIMENTS.md.
+     */
+    static std::string toJsonLine(const QueryTraceRecord &record,
+                                  const std::string &policy,
+                                  const std::string &trace);
+
+    /** Write every record as one JSONL line, in order. */
+    void writeJsonl(std::ostream &out, const std::string &policy,
+                    const std::string &trace) const;
+
+  private:
+    std::vector<QueryTraceRecord> records_;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_OBS_QUERY_TRACER_H

@@ -98,11 +98,12 @@ double
 LatencyPredictor::predictCyclesConservative(
     const std::vector<double> &features) const
 {
-    const uint32_t bucket = predictBucket(features);
-    const uint32_t above =
-        std::min<uint32_t>(bucket + 1,
-                           static_cast<uint32_t>(buckets_.count() - 1));
-    return buckets_.upperCycles(above);
+    // Upper edge of the predicted bucket: exactly one log-bucket of
+    // headroom over the bucket's lower edge. The classifier saturates
+    // at the top bucket, so the edge is always defined; any further
+    // safety margin belongs to the caller (CottageConfig::budgetSlack),
+    // not the predictor.
+    return buckets_.upperCycles(predictBucket(features));
 }
 
 double

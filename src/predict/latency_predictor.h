@@ -80,9 +80,11 @@ class LatencyPredictor
     double predictCycles(const std::vector<double> &features) const;
 
     /**
-     * Conservative prediction: the upper edge of the bucket *above*
-     * the most probable one, absorbing a one-bucket under-prediction
-     * (the dominant error mode at ~90% within-one-bucket accuracy).
+     * Conservative prediction: the upper edge of the most probable
+     * bucket — exactly one log-bucket width above its lower edge.
+     * Additional safety margin against under-prediction is the
+     * caller's job (CottageConfig::budgetSlack); stacking it here
+     * would double-count the slack and inflate every budget.
      */
     double predictCyclesConservative(
         const std::vector<double> &features) const;

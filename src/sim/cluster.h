@@ -37,6 +37,14 @@ class ClusterSim
     ClusterSim(ShardId numIsns, FrequencyLadder ladder, PowerModel power,
                NetworkModel network = {}, uint32_t coresPerIsn = 1);
 
+    // Each IsnServerSim holds pointers into this object's ladder_ and
+    // power_ members; a copied or moved cluster would leave every
+    // server dangling into the source. Immovable by construction.
+    ClusterSim(const ClusterSim &) = delete;
+    ClusterSim &operator=(const ClusterSim &) = delete;
+    ClusterSim(ClusterSim &&) = delete;
+    ClusterSim &operator=(ClusterSim &&) = delete;
+
     ShardId numIsns() const { return static_cast<ShardId>(servers_.size()); }
     IsnServerSim &isn(ShardId id);
     const IsnServerSim &isn(ShardId id) const;

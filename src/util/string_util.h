@@ -40,6 +40,18 @@ bool startsWith(std::string_view text, std::string_view prefix);
 std::string strformat(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/**
+ * Escape a string for inclusion inside a JSON string literal (RFC 8259):
+ * backslash, double quote and control characters below 0x20 are escaped;
+ * everything else passes through byte-for-byte. Shared by the run-summary
+ * JSON emitter and the JSONL trace writer so hostile policy/trace names
+ * can never produce invalid JSON.
+ */
+std::string jsonEscape(std::string_view text);
+
+/** jsonEscape wrapped in double quotes: a complete JSON string token. */
+std::string jsonQuote(std::string_view text);
+
 } // namespace cottage
 
 #endif // COTTAGE_UTIL_STRING_UTIL_H

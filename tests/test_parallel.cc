@@ -15,7 +15,9 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/experiment.h"
@@ -159,6 +161,70 @@ TEST(ParallelDeterminismGroundTruth, GlobalTopKMatchesSequential)
             ASSERT_EQ(std::memcmp(&a, &b, sizeof a), 0)
                 << "query " << q << " rank " << i;
         }
+    }
+}
+
+TEST(ParallelDeterminismObservability, TracingNeverPerturbsMeasurements)
+{
+    // The observability contract, half one: with tracing and metrics
+    // attached, every measured byte is identical to the
+    // uninstrumented replay — the hooks only read what the simulation
+    // already computed.
+    ExperimentConfig plain = smallConfig("maxscore");
+    ExperimentConfig instrumented = smallConfig("maxscore");
+    instrumented.traceOut =
+        ::testing::TempDir() + "parallel_obs_trace.jsonl";
+    instrumented.metricsOut =
+        ::testing::TempDir() + "parallel_obs_metrics.json";
+
+    Experiment plainExperiment(std::move(plain));
+    Experiment instrumentedExperiment(std::move(instrumented));
+    for (const char *policy : {"exhaustive", "taily"}) {
+        const RunResult off =
+            plainExperiment.run(policy, TraceFlavor::Wikipedia);
+        const RunResult on =
+            instrumentedExperiment.run(policy, TraceFlavor::Wikipedia);
+        EXPECT_EQ(serializeMeasurements(off.measurements),
+                  serializeMeasurements(on.measurements))
+            << policy << ": tracing perturbed the measurement stream";
+        EXPECT_EQ(toJson(off.summary), toJson(on.summary))
+            << policy << ": tracing perturbed the run summary";
+    }
+}
+
+TEST(ParallelDeterminismObservability, TraceStreamIsBitExactAcrossThreads)
+{
+    // Half two: the recorded span stream itself is deterministic at
+    // any host thread count (spans are collected during the
+    // sequential cluster advance, in fixed shard order).
+    ExperimentConfig config = smallConfig("maxscore");
+    config.traceOut = ::testing::TempDir() + "parallel_obs_threads.jsonl";
+    config.metricsOut =
+        ::testing::TempDir() + "parallel_obs_threads_metrics.json";
+    Experiment experiment(std::move(config));
+
+    const auto replayJsonl = [&experiment](const std::string &policy) {
+        const RunResult result =
+            experiment.run(policy, TraceFlavor::Wikipedia);
+        std::ostringstream trace;
+        result.trace->writeJsonl(trace, result.summary.policy,
+                                 result.summary.trace);
+        return std::make_pair(trace.str(),
+                              result.metrics->toJson(
+                                  result.summary.policy,
+                                  result.summary.trace));
+    };
+
+    for (const char *policy : {"exhaustive", "taily"}) {
+        ThreadPool::setGlobalThreads(1);
+        const auto sequential = replayJsonl(policy);
+        ThreadPool::setGlobalThreads(8);
+        const auto parallel = replayJsonl(policy);
+        ThreadPool::setGlobalThreads(1);
+        EXPECT_EQ(sequential.first, parallel.first)
+            << policy << ": JSONL trace streams diverge across threads";
+        EXPECT_EQ(sequential.second, parallel.second)
+            << policy << ": metrics JSON diverges across threads";
     }
 }
 
