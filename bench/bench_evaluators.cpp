@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Evaluator micro-benchmark and perf-regression harness: sweeps
+ * evaluator x query length x block size over a wikipedia-flavor trace
+ * on a single whole-corpus index and emits machine-readable JSON
+ * (BENCH_evaluators.json) with the work counters and per-query time.
+ * scripts/check_bench.py guards the numbers in CI: block-max pruning
+ * must score strictly fewer documents than its flat counterpart.
+ *
+ * Usage: bench_evaluators [--smoke] [--out=FILE] [--docs=] [--queries=]
+ *                         [--k=] [--seed=]
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/bmm_evaluator.h"
+#include "index/bmw_evaluator.h"
+#include "index/collection_stats.h"
+#include "index/exhaustive_evaluator.h"
+#include "index/maxscore_evaluator.h"
+#include "index/wand_evaluator.h"
+#include "text/corpus.h"
+#include "text/trace.h"
+#include "util/cli.h"
+#include "util/logging.h"
+
+using namespace cottage;
+
+namespace {
+
+/** Work + time accumulated over one (evaluator, block size, bucket). */
+struct Row
+{
+    std::string evaluator;
+    uint32_t blockSize = 0; // 0 = flat (no block layer used)
+    std::string queryLen;   // "1", "2", "3", "4+" or "all"
+    uint64_t queries = 0;
+    SearchWork work;
+    double nanos = 0.0;
+};
+
+std::string
+lengthBucket(std::size_t terms)
+{
+    if (terms >= 4)
+        return "4+";
+    return std::to_string(terms);
+}
+
+std::unique_ptr<InvertedIndex>
+buildIndex(const Corpus &corpus, uint32_t blockSize)
+{
+    std::vector<DocId> allDocs(corpus.numDocs());
+    for (DocId d = 0; d < corpus.numDocs(); ++d)
+        allDocs[d] = d;
+    return std::make_unique<InvertedIndex>(
+        corpus, allDocs, std::make_shared<CollectionStats>(corpus),
+        Bm25Params{}, blockSize);
+}
+
+/** Replay the whole trace, bucketing rows by query length. */
+std::vector<Row>
+sweep(const Evaluator &evaluator, uint32_t blockSize,
+      const InvertedIndex &index, const QueryTrace &trace, std::size_t k)
+{
+    std::map<std::string, Row> buckets;
+    Row all;
+    all.evaluator = evaluator.name();
+    all.blockSize = blockSize;
+    all.queryLen = "all";
+    for (const Query &query : trace.queries()) {
+        const auto start = std::chrono::steady_clock::now();
+        const SearchResult result = evaluator.search(index, query.terms, k);
+        const auto stop = std::chrono::steady_clock::now();
+        const double nanos =
+            std::chrono::duration<double, std::nano>(stop - start).count();
+
+        Row &row = buckets[lengthBucket(query.terms.size())];
+        if (row.queries == 0) {
+            row.evaluator = evaluator.name();
+            row.blockSize = blockSize;
+            row.queryLen = lengthBucket(query.terms.size());
+        }
+        row.work += result.work;
+        row.nanos += nanos;
+        ++row.queries;
+        all.work += result.work;
+        all.nanos += nanos;
+        ++all.queries;
+    }
+    std::vector<Row> rows;
+    for (auto &entry : buckets)
+        rows.push_back(std::move(entry.second));
+    rows.push_back(std::move(all));
+    return rows;
+}
+
+void
+writeRow(std::ostream &out, const Row &row)
+{
+    const double perQuery =
+        row.queries == 0 ? 0.0
+                         : row.nanos / static_cast<double>(row.queries);
+    out << "{\"evaluator\":\"" << row.evaluator << "\""
+        << ",\"block_size\":" << row.blockSize << ",\"query_len\":\""
+        << row.queryLen << "\",\"queries\":" << row.queries
+        << ",\"docs_scored\":" << row.work.docsScored
+        << ",\"postings_scored\":" << row.work.postingsScored
+        << ",\"docs_skipped\":" << row.work.docsSkipped
+        << ",\"blocks_decoded\":" << row.work.blocksDecoded
+        << ",\"blocks_skipped\":" << row.work.blocksSkipped
+        << ",\"heap_insertions\":" << row.work.heapInsertions
+        << ",\"ns_per_query\":" << static_cast<uint64_t>(perQuery) << "}";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliFlags flags(argc, argv);
+    const bool smoke = flags.getBool("smoke", false);
+
+    CorpusConfig corpusConfig;
+    corpusConfig.numDocs = static_cast<uint32_t>(
+        flags.getInt("docs", smoke ? 4000 : 20000));
+    corpusConfig.vocabSize = corpusConfig.numDocs * 3;
+    corpusConfig.meanDocLength = 120.0;
+    corpusConfig.seed =
+        static_cast<uint64_t>(flags.getInt("seed", 42));
+
+    TraceConfig traceConfig;
+    traceConfig.flavor = TraceFlavor::Wikipedia;
+    traceConfig.numQueries = static_cast<uint64_t>(
+        flags.getInt("queries", smoke ? 400 : 2000));
+    traceConfig.vocabSize = corpusConfig.vocabSize;
+    traceConfig.seed = corpusConfig.seed + 1;
+
+    const std::size_t k =
+        static_cast<std::size_t>(flags.getInt("k", 10));
+    const std::string outPath =
+        flags.getString("out", "BENCH_evaluators.json");
+
+    std::cout << "bench_evaluators: docs=" << corpusConfig.numDocs
+              << " queries=" << traceConfig.numQueries << " k=" << k
+              << (smoke ? " (smoke)" : "") << "\n";
+
+    const Corpus corpus = Corpus::generate(corpusConfig);
+    const QueryTrace trace = QueryTrace::generate(traceConfig);
+
+    const ExhaustiveEvaluator exhaustive;
+    const MaxScoreEvaluator maxscore;
+    const WandEvaluator wand;
+    const BmwEvaluator bmw;
+    const BmmEvaluator bmm;
+
+    std::vector<Row> rows;
+    // Totals at the defaults check_bench.py compares: flat evaluators,
+    // and the block-max evaluators at the default block size 128.
+    std::map<std::string, Row> totals;
+    const auto keepTotals = [&totals](const std::vector<Row> &swept) {
+        for (const Row &row : swept)
+            if (row.queryLen == "all")
+                totals[row.evaluator] = row;
+    };
+
+    {
+        // Flat evaluators: the block layer is built but unused, so one
+        // index serves all three (block_size reported as 0).
+        const auto index = buildIndex(corpus, 128);
+        for (const Evaluator *evaluator :
+             {static_cast<const Evaluator *>(&exhaustive),
+              static_cast<const Evaluator *>(&maxscore),
+              static_cast<const Evaluator *>(&wand)}) {
+            std::cout << "  sweep " << evaluator->name() << "...\n";
+            const auto swept = sweep(*evaluator, 0, *index, trace, k);
+            keepTotals(swept);
+            rows.insert(rows.end(), swept.begin(), swept.end());
+        }
+    }
+
+    for (const uint32_t blockSize : {64u, 128u, 256u}) {
+        const auto index = buildIndex(corpus, blockSize);
+        for (const Evaluator *evaluator :
+             {static_cast<const Evaluator *>(&bmw),
+              static_cast<const Evaluator *>(&bmm)}) {
+            std::cout << "  sweep " << evaluator->name()
+                      << " block_size=" << blockSize << "...\n";
+            const auto swept =
+                sweep(*evaluator, blockSize, *index, trace, k);
+            if (blockSize == 128)
+                keepTotals(swept);
+            rows.insert(rows.end(), swept.begin(), swept.end());
+        }
+    }
+
+    std::ofstream out(outPath);
+    if (!out)
+        fatal("cannot write " + outPath);
+    out << "{\n  \"bench\": \"evaluators\",\n  \"config\": {"
+        << "\"docs\":" << corpusConfig.numDocs
+        << ",\"queries\":" << traceConfig.numQueries << ",\"k\":" << k
+        << ",\"trace\":\"wikipedia\",\"smoke\":"
+        << (smoke ? "true" : "false") << "},\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        out << "    ";
+        writeRow(out, rows[i]);
+        out << (i + 1 < rows.size() ? ",\n" : "\n");
+    }
+    out << "  ],\n  \"totals\": {\n";
+    std::size_t emitted = 0;
+    for (const auto &entry : totals) {
+        out << "    \"" << entry.first << "\": ";
+        writeRow(out, entry.second);
+        out << (++emitted < totals.size() ? ",\n" : "\n");
+    }
+    out << "  }\n}\n";
+    out.close();
+
+    std::cout << "wrote " << outPath << "\n";
+    for (const auto &entry : totals)
+        std::cout << "  " << entry.first << ": docs_scored="
+                  << entry.second.work.docsScored << " docs_skipped="
+                  << entry.second.work.docsSkipped << " blocks_skipped="
+                  << entry.second.work.blocksSkipped << "\n";
+    return 0;
+}

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Perf-regression guard over BENCH_evaluators.json.
+
+Run after `bench_evaluators [--smoke]`:
+
+    python3 scripts/check_bench.py BENCH_evaluators.json
+
+Fails (exit 1) when block-max pruning stops paying for itself:
+  - bmw must score STRICTLY fewer documents than wand at the bench's
+    k on the wikipedia-flavor trace (the whole point of the shallow
+    per-block bound check);
+  - bmm must score no more documents than maxscore;
+  - the block-skip machinery must actually engage (blocks_skipped > 0);
+  - every evaluator must agree on queries run (same trace replayed).
+"""
+
+import json
+import sys
+
+
+def fail(message: str) -> None:
+    print(f"check_bench: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_evaluators.json"
+    with open(path) as handle:
+        bench = json.load(handle)
+
+    totals = bench.get("totals", {})
+    for name in ("exhaustive", "maxscore", "wand", "bmw", "bmm"):
+        if name not in totals:
+            fail(f"totals missing evaluator '{name}' in {path}")
+
+    queries = {name: row["queries"] for name, row in totals.items()}
+    if len(set(queries.values())) != 1:
+        fail(f"evaluators replayed different query counts: {queries}")
+
+    wand = totals["wand"]
+    bmw = totals["bmw"]
+    maxscore = totals["maxscore"]
+    bmm = totals["bmm"]
+
+    if bmw["docs_scored"] >= wand["docs_scored"]:
+        fail(
+            "bmw scored "
+            f"{bmw['docs_scored']} docs, wand {wand['docs_scored']}: "
+            "block-max pruning must beat flat WAND strictly"
+        )
+    if bmm["docs_scored"] > maxscore["docs_scored"]:
+        fail(
+            "bmm scored "
+            f"{bmm['docs_scored']} docs, maxscore "
+            f"{maxscore['docs_scored']}: block-max must not regress"
+        )
+    for name, row in (("bmw", bmw), ("bmm", bmm)):
+        if row["blocks_skipped"] == 0:
+            fail(f"{name} skipped zero blocks: skip layer never engaged")
+
+    saved = 1.0 - bmw["docs_scored"] / wand["docs_scored"]
+    print(
+        f"check_bench: OK ({path}): bmw scores {bmw['docs_scored']} docs "
+        f"vs wand {wand['docs_scored']} ({saved:.1%} fewer), "
+        f"bmm {bmm['docs_scored']} vs maxscore {maxscore['docs_scored']}"
+    )
+
+
+if __name__ == "__main__":
+    main()

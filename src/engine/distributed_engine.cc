@@ -284,16 +284,29 @@ DistributedEngine::execute(const Query &query, const QueryPlan &plan,
                             : nullptr;
         if (completed[s]) {
             measurement.docsSearched += results[s].work.docsScored;
-            if (span != nullptr)
+            measurement.docsSkipped += results[s].work.docsSkipped;
+            measurement.blocksDecoded += results[s].work.blocksDecoded;
+            measurement.blocksSkipped += results[s].work.blocksSkipped;
+            if (span != nullptr) {
                 span->docsScored = results[s].work.docsScored;
+                span->docsSkipped = results[s].work.docsSkipped;
+                span->blocksDecoded = results[s].work.blocksDecoded;
+                span->blocksSkipped = results[s].work.blocksSkipped;
+            }
             for (const ScoredDoc &hit : results[s].topK)
                 merged.push(hit);
         } else if (anytimePartials_) {
             measurement.docsSearched += partials[s].work.docsScored;
+            measurement.docsSkipped += partials[s].work.docsSkipped;
+            measurement.blocksDecoded += partials[s].work.blocksDecoded;
+            measurement.blocksSkipped += partials[s].work.blocksSkipped;
             if (!partials[s].topK.empty())
                 ++measurement.partialResponses;
             if (span != nullptr) {
                 span->docsScored = partials[s].work.docsScored;
+                span->docsSkipped = partials[s].work.docsSkipped;
+                span->blocksDecoded = partials[s].work.blocksDecoded;
+                span->blocksSkipped = partials[s].work.blocksSkipped;
                 span->partial = !partials[s].topK.empty();
             }
             for (const ScoredDoc &hit : partials[s].topK)
@@ -335,6 +348,10 @@ DistributedEngine::execute(const Query &query, const QueryPlan &plan,
         metrics_->incr("responses_truncated",
                        measurement.isnsUsed - measurement.isnsCompleted);
         metrics_->incr("partial_responses", measurement.partialResponses);
+        metrics_->incr("docs_scored", measurement.docsSearched);
+        metrics_->incr("docs_skipped", measurement.docsSkipped);
+        metrics_->incr("blocks_decoded", measurement.blocksDecoded);
+        metrics_->incr("blocks_skipped", measurement.blocksSkipped);
         metrics_->histogram("latency_s", 1e-4, 10.0, 40)
             .add(measurement.latencySeconds);
     }

@@ -115,6 +115,20 @@ struct QueryMeasurement
      */
     uint64_t docsSearched = 0;
 
+    /**
+     * Candidate documents passed over by pruning seeks across used
+     * ISNs without being scored (the visible half of what dynamic
+     * pruning saved). Like docsSearched, truncated ISNs contribute
+     * only their anytime prefix's skips.
+     */
+    uint64_t docsSkipped = 0;
+
+    /** Posting blocks decoded across used ISNs (block-max evaluators). */
+    uint64_t blocksDecoded = 0;
+
+    /** Posting blocks skipped undecoded across used ISNs. */
+    uint64_t blocksSkipped = 0;
+
     /** Overlap with the exhaustive global top-K, in [0, 1] (P@K). */
     double precisionAtK = 0.0;
 

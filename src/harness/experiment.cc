@@ -8,6 +8,8 @@
 #include "core/cottage_without_ml_policy.h"
 #include "core/oracle_policy.h"
 #include "core/slo_policy.h"
+#include "index/bmm_evaluator.h"
+#include "index/bmw_evaluator.h"
 #include "index/exhaustive_evaluator.h"
 #include "index/maxscore_evaluator.h"
 #include "index/taat_evaluator.h"
@@ -81,6 +83,8 @@ ExperimentConfig::fromFlags(const CliFlags &flags)
     config.coresPerIsn = static_cast<uint32_t>(
         flags.getInt("cores-per-isn", config.coresPerIsn));
     config.evaluator = flags.getString("evaluator", config.evaluator);
+    config.shards.blockSize = static_cast<uint32_t>(
+        flags.getInt("block-size", config.shards.blockSize));
     config.threads =
         static_cast<uint32_t>(flags.getInt("threads", config.threads));
     config.anytime = flags.getBool("anytime", config.anytime);
@@ -99,12 +103,14 @@ ExperimentConfig::print(std::ostream &out) const
     out << strformat(
         "config: docs=%u vocab=%u shards=%u k=%zu queries=%llu qps=%.1f "
         "train-queries=%llu iterations=%zu corpus-seed=%llu "
-        "trace-seed=%llu evaluator=%s threads=%u anytime=%d\n",
+        "trace-seed=%llu evaluator=%s block-size=%u threads=%u "
+        "anytime=%d\n",
         corpus.numDocs, corpus.vocabSize, shards.numShards, shards.topK,
         static_cast<unsigned long long>(traceQueries), arrivalQps,
         static_cast<unsigned long long>(trainQueries), train.iterations,
         static_cast<unsigned long long>(corpus.seed),
         static_cast<unsigned long long>(traceSeed), evaluator.c_str(),
+        shards.blockSize,
         threads == 0 ? ThreadPool::defaultThreads() : threads,
         anytime ? 1 : 0);
 }
@@ -120,6 +126,10 @@ Experiment::makeEvaluator(const std::string &name)
         return std::make_unique<MaxScoreEvaluator>();
     if (name == "wand")
         return std::make_unique<WandEvaluator>();
+    if (name == "bmw")
+        return std::make_unique<BmwEvaluator>();
+    if (name == "bmm")
+        return std::make_unique<BmmEvaluator>();
     fatal("unknown evaluator: " + name);
 }
 

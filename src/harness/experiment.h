@@ -78,9 +78,10 @@ struct ExperimentConfig
 
     /**
      * Retrieval strategy every ISN runs: "exhaustive", "taat",
-     * "maxscore" (default) or "wand". All are rank-safe, so the
-     * measured quality is identical; only the work (and therefore the
-     * simulated latency/energy) differs.
+     * "maxscore" (default), "wand", or the block-max variants "bmw"
+     * (Block-Max WAND) and "bmm" (Block-Max MaxScore). All are
+     * rank-safe, so the measured quality is identical; only the work
+     * (and therefore the simulated latency/energy) differs.
      */
     std::string evaluator = "maxscore";
 

@@ -1,0 +1,129 @@
+#include "index/block_max.h"
+
+#include <algorithm>
+
+#include "index/varbyte.h"
+#include "util/logging.h"
+
+namespace cottage {
+
+BlockMaxPostingList::BlockMaxPostingList(
+    const PostingList &list, uint32_t blockSize,
+    const std::function<double(const Posting &)> &score)
+    : term_(list.term), count_(list.size()), blockSize_(blockSize)
+{
+    COTTAGE_CHECK_MSG(blockSize >= 1, "block size must be positive");
+    blocks_.reserve((count_ + blockSize - 1) / blockSize);
+    bytes_.reserve(count_ * 2);
+
+    LocalDocId last = 0;
+    for (std::size_t begin = 0; begin < count_; begin += blockSize) {
+        const std::size_t end = std::min<std::size_t>(begin + blockSize,
+                                                      count_);
+        Block block;
+        block.offset = static_cast<uint32_t>(bytes_.size());
+        block.count = static_cast<uint32_t>(end - begin);
+        for (std::size_t i = begin; i < end; ++i) {
+            const Posting &posting = list.postings[i];
+            // The gap chain restarts at each block: the block's first
+            // gap is relative to the *previous block's* lastDoc (or
+            // absolute for block 0), so a block decodes standalone.
+            const uint32_t gap =
+                (begin == 0 && i == begin) ? posting.doc
+                                           : posting.doc - last - 1;
+            COTTAGE_CHECK_MSG((begin == 0 && i == begin) ||
+                                  posting.doc > last,
+                              "postings must ascend by doc");
+            vbyteEncode(gap, bytes_);
+            vbyteEncode(posting.freq, bytes_);
+            last = posting.doc;
+            block.maxScore = std::max(block.maxScore, score(posting));
+        }
+        block.lastDoc = last;
+        listMaxScore_ = std::max(listMaxScore_, block.maxScore);
+        blocks_.push_back(block);
+    }
+    bytes_.shrink_to_fit();
+}
+
+void
+BlockMaxPostingList::decodeBlock(std::size_t b,
+                                 std::vector<Posting> &out) const
+{
+    COTTAGE_CHECK_MSG(b < blocks_.size(), "block index out of range");
+    const Block &block = blocks_[b];
+    out.clear();
+    out.reserve(block.count);
+    std::size_t offset = block.offset;
+    LocalDocId last = b == 0 ? 0 : blocks_[b - 1].lastDoc;
+    for (uint32_t i = 0; i < block.count; ++i) {
+        const uint32_t gap = vbyteDecode(bytes_, offset);
+        const uint32_t freq = vbyteDecode(bytes_, offset);
+        const LocalDocId doc =
+            (b == 0 && i == 0) ? gap : last + gap + 1;
+        out.push_back({doc, freq});
+        last = doc;
+    }
+}
+
+void
+BlockMaxCursor::ensureDecoded()
+{
+    COTTAGE_CHECK_MSG(!exhausted(), "cursor exhausted");
+    if (decodedBlock_ == static_cast<std::ptrdiff_t>(blockIdx_))
+        return;
+    list_->decodeBlock(blockIdx_, buffer_);
+    decodedBlock_ = static_cast<std::ptrdiff_t>(blockIdx_);
+    if (io_ != nullptr)
+        ++io_->blocksDecoded;
+}
+
+void
+BlockMaxCursor::skipCurrentBlock()
+{
+    if (io_ != nullptr) {
+        io_->docsSkipped += list_->block(blockIdx_).count - posInBlock_;
+        if (decodedBlock_ != static_cast<std::ptrdiff_t>(blockIdx_))
+            ++io_->blocksSkipped;
+    }
+    ++blockIdx_;
+    posInBlock_ = 0;
+}
+
+void
+BlockMaxCursor::advance()
+{
+    COTTAGE_CHECK_MSG(decodedBlock_ ==
+                          static_cast<std::ptrdiff_t>(blockIdx_),
+                      "advance on an undecoded block");
+    ++posInBlock_;
+    if (posInBlock_ >= buffer_.size()) {
+        ++blockIdx_;
+        posInBlock_ = 0;
+    }
+}
+
+void
+BlockMaxCursor::seek(LocalDocId target)
+{
+    while (!exhausted() && blockLastDoc() < target)
+        skipCurrentBlock();
+    if (exhausted())
+        return;
+    ensureDecoded();
+    // target <= lastDoc, so the scan always stops inside the block.
+    while (buffer_[posInBlock_].doc < target) {
+        ++posInBlock_;
+        if (io_ != nullptr)
+            ++io_->docsSkipped;
+    }
+}
+
+void
+BlockMaxCursor::shallowSeek(LocalDocId target)
+{
+    while (!exhausted() && blockLastDoc() < target)
+        skipCurrentBlock();
+}
+
+} // namespace cottage

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Block-max posting lists: the skip structure behind Block-Max WAND
+ * and Block-Max MaxScore.
+ *
+ * A list is cut into fixed-size blocks of postings. Per block we keep
+ * the last document id, the maximum (unweighted) BM25 contribution of
+ * any posting in the block, and the byte offset of the block inside a
+ * VByte-compressed stream. The delta-gap chain restarts at every block
+ * boundary, so a seek can hop over whole blocks by metadata alone and
+ * decode only the single block that contains its target. This is the
+ * structure production engines use to turn whole-list score bounds
+ * into much tighter per-block bounds (see DESIGN.md §5e).
+ */
+
+#ifndef COTTAGE_INDEX_BLOCK_MAX_H
+#define COTTAGE_INDEX_BLOCK_MAX_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "index/postings.h"
+
+namespace cottage {
+
+/**
+ * Block-level I/O accounting shared by all cursors of one evaluation;
+ * the evaluator folds it into its SearchWork when the query finishes.
+ */
+struct BlockIo
+{
+    /** Blocks decoded (each decode is one VByte scan of <= blockSize). */
+    uint64_t blocksDecoded = 0;
+
+    /** Blocks skipped without decoding, via lastDoc metadata alone. */
+    uint64_t blocksSkipped = 0;
+
+    /** Postings passed over by seeks without being scored. */
+    uint64_t docsSkipped = 0;
+};
+
+/**
+ * One term's postings, VByte-compressed in fixed-size blocks with
+ * per-block skip metadata. Immutable once built.
+ */
+class BlockMaxPostingList
+{
+  public:
+    /** Per-block skip metadata. */
+    struct Block
+    {
+        /** Last (largest) document id in the block. */
+        LocalDocId lastDoc = 0;
+
+        /** Max unweighted BM25 contribution over the block's postings. */
+        double maxScore = 0.0;
+
+        /** Byte offset of the block's stream inside the list stream. */
+        uint32_t offset = 0;
+
+        /** Number of postings in the block (== blockSize except last). */
+        uint32_t count = 0;
+    };
+
+    BlockMaxPostingList() = default;
+
+    /**
+     * Build from a flat list (ascending doc ids).
+     *
+     * @param list The uncompressed postings.
+     * @param blockSize Postings per block (>= 1).
+     * @param score Scores one posting; evaluated once per posting at
+     *        build time to fill the per-block maxima. Bounds are stored
+     *        unweighted and scaled by the query weight at search time.
+     */
+    BlockMaxPostingList(const PostingList &list, uint32_t blockSize,
+                        const std::function<double(const Posting &)> &score);
+
+    TermId term() const { return term_; }
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    uint32_t blockSize() const { return blockSize_; }
+    std::size_t numBlocks() const { return blocks_.size(); }
+    const Block &block(std::size_t b) const { return blocks_[b]; }
+
+    /** Whole-list score upper bound (max over the block maxima). */
+    double maxScore() const { return listMaxScore_; }
+
+    /** Skip-metadata plus compressed-stream footprint in bytes. */
+    std::size_t
+    bytes() const
+    {
+        return blocks_.size() * sizeof(Block) + bytes_.size();
+    }
+
+    /** Decode block @p b into @p out (overwritten, sized to the block). */
+    void decodeBlock(std::size_t b, std::vector<Posting> &out) const;
+
+  private:
+    TermId term_ = invalidTerm;
+    std::size_t count_ = 0;
+    uint32_t blockSize_ = 0;
+    double listMaxScore_ = 0.0;
+    std::vector<Block> blocks_;
+    std::vector<uint8_t> bytes_;
+};
+
+/**
+ * Read cursor over a block-max list with both *deep* positioning
+ * (decode a block, walk its postings) and *shallow* positioning
+ * (move the block pointer by metadata alone, never decoding). The
+ * block-max evaluators interleave the two: shallow moves answer
+ * "could anything here still matter?", deep moves score what does.
+ *
+ * The cursor position is (block, posting-in-block); blocks are decoded
+ * lazily on the first deep access after a shallow move.
+ */
+class BlockMaxCursor
+{
+  public:
+    /** @param io Shared per-query I/O counters (may be nullptr). */
+    explicit BlockMaxCursor(const BlockMaxPostingList &list,
+                            BlockIo *io = nullptr)
+        : list_(&list), io_(io)
+    {
+    }
+
+    /** True when the cursor has moved past the last posting. */
+    bool
+    exhausted() const
+    {
+        return blockIdx_ >= list_->numBlocks();
+    }
+
+    /** Current document id; decodes the current block if needed. */
+    LocalDocId
+    doc()
+    {
+        ensureDecoded();
+        return buffer_[posInBlock_].doc;
+    }
+
+    /** Current posting; decodes the current block if needed. */
+    const Posting &
+    posting()
+    {
+        ensureDecoded();
+        return buffer_[posInBlock_];
+    }
+
+    /** Move to the next posting (current block must be decoded). */
+    void advance();
+
+    /** Deep seek: first posting with doc >= target, counting skips. */
+    void seek(LocalDocId target);
+
+    /**
+     * Shallow seek: move the block pointer to the first block whose
+     * lastDoc >= target, without decoding anything. Skipped blocks are
+     * charged to BlockIo exactly as in a deep seek.
+     */
+    void shallowSeek(LocalDocId target);
+
+    /** Last document of the current block (metadata only). */
+    LocalDocId
+    blockLastDoc() const
+    {
+        return list_->block(blockIdx_).lastDoc;
+    }
+
+    /** Unweighted score bound of the current block (metadata only). */
+    double
+    blockMaxScore() const
+    {
+        return list_->block(blockIdx_).maxScore;
+    }
+
+  private:
+    void ensureDecoded();
+
+    /** Drop the rest of the current block, charging the skips. */
+    void skipCurrentBlock();
+
+    const BlockMaxPostingList *list_;
+    BlockIo *io_;
+    std::size_t blockIdx_ = 0;
+    std::size_t posInBlock_ = 0;
+    std::ptrdiff_t decodedBlock_ = -1;
+    std::vector<Posting> buffer_;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_INDEX_BLOCK_MAX_H

@@ -1,0 +1,178 @@
+#include "index/bmm_evaluator.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "index/block_max.h"
+
+namespace cottage {
+
+namespace {
+
+struct TermCursor
+{
+    BlockMaxCursor cursor;
+    double idf;        // weight-scaled
+    double maxScore;   // whole-list rank-safe bound (0 for demoting)
+    double boundScale; // weight clamped at 0 for block-bound scaling
+};
+
+} // namespace
+
+SearchResult
+BmmEvaluator::search(const InvertedIndex &index,
+                     const std::vector<WeightedTerm> &terms,
+                     std::size_t k,
+                     uint64_t maxScoredDocs) const
+{
+    SearchResult result;
+    TopKHeap heap(k);
+    BlockIo io;
+
+    // Cursors stay in original term order; the essential/non-essential
+    // machinery works through a sorted index view instead. Candidates
+    // that survive the bound checks have their contributions re-summed
+    // in this original order, making the scores bit-identical to the
+    // exhaustive evaluator's, not merely equal within a tolerance.
+    std::vector<TermCursor> cursors;
+    cursors.reserve(terms.size());
+    for (const WeightedTerm &wt : terms) {
+        const BlockMaxPostingList *list = index.blockMax(wt.term);
+        if (list != nullptr && !list->empty()) {
+            const double bound =
+                wt.weight >= 0.0 ? index.maxScore(wt.term) * wt.weight
+                                 : 0.0;
+            cursors.push_back({BlockMaxCursor(*list, &io),
+                               index.idf(wt.term) * wt.weight, bound,
+                               std::max(wt.weight, 0.0)});
+        }
+    }
+    if (cursors.empty() || k == 0) {
+        result.topK = heap.extractSorted();
+        return result;
+    }
+
+    // Ascending by score bound (original index breaks ties so the walk
+    // order never depends on sort implementation details).
+    std::vector<std::size_t> order(cursors.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (cursors[a].maxScore != cursors[b].maxScore)
+                      return cursors[a].maxScore < cursors[b].maxScore;
+                  return a < b;
+              });
+    std::vector<double> prefix(cursors.size() + 1, 0.0);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        prefix[i + 1] = prefix[i] + cursors[order[i]].maxScore;
+
+    // Non-essential prefix [0, essential): documents appearing only
+    // there cannot beat the current threshold. Strict < keeps pruning
+    // rank-safe under score ties.
+    std::size_t essential = 0;
+    const auto updateEssential = [&]() {
+        if (!heap.full())
+            return;
+        while (essential < order.size() &&
+               prefix[essential + 1] < heap.threshold()) {
+            ++essential;
+        }
+    };
+
+    std::vector<double> contrib(cursors.size(), 0.0);
+    std::vector<std::size_t> touched;
+    touched.reserve(cursors.size());
+
+    constexpr LocalDocId endDoc = std::numeric_limits<LocalDocId>::max();
+    while (essential < order.size()) {
+        // Candidate: smallest current doc among essential cursors.
+        LocalDocId candidate = endDoc;
+        for (std::size_t i = essential; i < order.size(); ++i) {
+            TermCursor &tc = cursors[order[i]];
+            if (!tc.cursor.exhausted())
+                candidate = std::min(candidate, tc.cursor.doc());
+        }
+        if (candidate == endDoc)
+            break;
+        // Anytime cap: stop before evaluating a fresh candidate.
+        if (result.work.docsScored >= maxScoredDocs) {
+            result.work.truncated = true;
+            break;
+        }
+
+        touched.clear();
+        double walkScore = 0.0;
+        for (std::size_t i = essential; i < order.size(); ++i) {
+            TermCursor &tc = cursors[order[i]];
+            if (!tc.cursor.exhausted() && tc.cursor.doc() == candidate) {
+                const double value =
+                    index.scorePosting(tc.idf, tc.cursor.posting());
+                tc.cursor.advance();
+                contrib[order[i]] = value;
+                touched.push_back(order[i]);
+                walkScore += value;
+                ++result.work.postingsScored;
+            }
+        }
+        ++result.work.docsScored;
+
+        // Walk the non-essential lists strongest-first. Two bail-outs,
+        // both rank-safe: the MaxScore one on whole-list bounds, and
+        // the block-max one — after a shallow (metadata-only) seek,
+        // the current block's maximum bounds this list's contribution,
+        // so a failing check proves the candidate out without decoding.
+        bool complete = true;
+        for (std::size_t i = essential; i-- > 0;) {
+            if (heap.full() &&
+                walkScore + prefix[i + 1] < heap.threshold()) {
+                complete = false;
+                break;
+            }
+            TermCursor &tc = cursors[order[i]];
+            tc.cursor.shallowSeek(candidate);
+            if (tc.cursor.exhausted())
+                continue;
+            if (heap.full() &&
+                walkScore + tc.cursor.blockMaxScore() * tc.boundScale +
+                        prefix[i] <
+                    heap.threshold()) {
+                complete = false;
+                break;
+            }
+            tc.cursor.seek(candidate);
+            if (!tc.cursor.exhausted() && tc.cursor.doc() == candidate) {
+                const double value =
+                    index.scorePosting(tc.idf, tc.cursor.posting());
+                tc.cursor.advance();
+                contrib[order[i]] = value;
+                touched.push_back(order[i]);
+                walkScore += value;
+                ++result.work.postingsScored;
+            }
+        }
+
+        // A broken walk proved the candidate cannot enter the heap
+        // (the flat MaxScore pushes its partial sum, which push()
+        // rejects for the same reason); only complete candidates are
+        // offered, scored in original term order.
+        if (complete) {
+            std::sort(touched.begin(), touched.end());
+            double score = 0.0;
+            for (std::size_t idx : touched)
+                score += contrib[idx];
+            if (heap.push({index.globalDoc(candidate), score})) {
+                ++result.work.heapInsertions;
+                updateEssential();
+            }
+        }
+    }
+
+    result.work.docsSkipped = io.docsSkipped;
+    result.work.blocksDecoded = io.blocksDecoded;
+    result.work.blocksSkipped = io.blocksSkipped;
+    result.topK = heap.extractSorted();
+    return result;
+}
+
+} // namespace cottage

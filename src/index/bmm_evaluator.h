@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Block-Max MaxScore (Chakrabarti et al. / Mallia et al. flavour).
+ *
+ * MaxScore's essential/non-essential split on whole-list bounds, with
+ * the non-essential walk tightened by per-block maxima: before a
+ * non-essential list is deep-seeked, its current block's bound decides
+ * whether the candidate could still reach the heap at all. Rank-safe:
+ * returns exactly the exhaustive top-K (ids and scores).
+ */
+
+#ifndef COTTAGE_INDEX_BMM_EVALUATOR_H
+#define COTTAGE_INDEX_BMM_EVALUATOR_H
+
+#include "index/evaluator.h"
+
+namespace cottage {
+
+/** Document-at-a-time Block-Max MaxScore over the block-max layer. */
+class BmmEvaluator : public Evaluator
+{
+  public:
+    const char *name() const override { return "bmm"; }
+
+    using Evaluator::search;
+
+    SearchResult search(const InvertedIndex &index,
+                        const std::vector<WeightedTerm> &terms,
+                        std::size_t k,
+                        uint64_t maxScoredDocs) const override;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_INDEX_BMM_EVALUATOR_H

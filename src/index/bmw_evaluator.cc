@@ -1,0 +1,176 @@
+#include "index/bmw_evaluator.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "index/block_max.h"
+
+namespace cottage {
+
+namespace {
+
+struct TermCursor
+{
+    BlockMaxCursor cursor;
+    double idf;      // weight-scaled
+    double maxScore; // whole-list rank-safe bound (0 for demoting)
+    double boundScale; // weight clamped at 0 for block-bound scaling
+};
+
+} // namespace
+
+SearchResult
+BmwEvaluator::search(const InvertedIndex &index,
+                     const std::vector<WeightedTerm> &terms,
+                     std::size_t k,
+                     uint64_t maxScoredDocs) const
+{
+    SearchResult result;
+    TopKHeap heap(k);
+    BlockIo io;
+
+    // Original term order is load-bearing: deep scoring iterates this
+    // vector so every candidate's contributions sum in exactly the
+    // exhaustive evaluator's order — bit-identical scores, not merely
+    // equal ranks.
+    std::vector<TermCursor> cursors;
+    cursors.reserve(terms.size());
+    for (const WeightedTerm &wt : terms) {
+        const BlockMaxPostingList *list = index.blockMax(wt.term);
+        if (list != nullptr && !list->empty()) {
+            // As in WAND: a demoting (negative-weight) list's rank-safe
+            // upper bound is 0; its block bounds clamp the same way.
+            const double bound =
+                wt.weight >= 0.0 ? index.maxScore(wt.term) * wt.weight
+                                 : 0.0;
+            cursors.push_back({BlockMaxCursor(*list, &io),
+                               index.idf(wt.term) * wt.weight, bound,
+                               std::max(wt.weight, 0.0)});
+        }
+    }
+    if (cursors.empty() || k == 0) {
+        result.topK = heap.extractSorted();
+        return result;
+    }
+
+    std::vector<TermCursor *> order;
+    order.reserve(cursors.size());
+    for (TermCursor &cursor : cursors)
+        order.push_back(&cursor);
+
+    constexpr LocalDocId endDoc = std::numeric_limits<LocalDocId>::max();
+    while (true) {
+        order.erase(std::remove_if(order.begin(), order.end(),
+                                   [](TermCursor *c) {
+                                       return c->cursor.exhausted();
+                                   }),
+                    order.end());
+        if (order.empty())
+            break;
+        std::sort(order.begin(), order.end(),
+                  [](TermCursor *a, TermCursor *b) {
+                      return a->cursor.doc() < b->cursor.doc();
+                  });
+
+        // Pivot on whole-list bounds, exactly like WAND (>= keeps score
+        // ties evaluable; threshold() is -inf while the heap fills).
+        const double threshold = heap.threshold();
+        double accumulated = 0.0;
+        std::size_t pivot = order.size();
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            accumulated += order[i]->maxScore;
+            if (accumulated >= threshold) {
+                pivot = i;
+                break;
+            }
+        }
+        if (pivot == order.size())
+            break; // nothing remaining can enter the top-K
+
+        // Cursors past the pivot sitting on the same doc contribute to
+        // it too; fold them in so the shallow bound and the block-skip
+        // target below account for every list containing pivotDoc.
+        const LocalDocId pivotDoc = order[pivot]->cursor.doc();
+        while (pivot + 1 < order.size() &&
+               order[pivot + 1]->cursor.doc() == pivotDoc) {
+            ++pivot;
+        }
+
+        if (order[0]->cursor.doc() == pivotDoc) {
+            // All cursors up to the pivot sit on pivotDoc, so each
+            // one's *current block* contains it: the sum of the block
+            // maxima is a bound on pivotDoc's score that needs no
+            // shallow seeks.
+            double blockBound = 0.0;
+            for (std::size_t i = 0; i <= pivot; ++i) {
+                blockBound += order[i]->cursor.blockMaxScore() *
+                              order[i]->boundScale;
+            }
+            if (blockBound >= threshold) {
+                // Anytime cap: the next step scores a fresh candidate.
+                // Checked only after the shallow test passes, so a
+                // capped run stops at exactly the same docsScored
+                // count an uncapped run would have accumulated.
+                if (result.work.docsScored >= maxScoredDocs) {
+                    result.work.truncated = true;
+                    break;
+                }
+                double score = 0.0;
+                for (TermCursor &tc : cursors) {
+                    if (!tc.cursor.exhausted() &&
+                        tc.cursor.doc() == pivotDoc) {
+                        score += index.scorePosting(tc.idf,
+                                                    tc.cursor.posting());
+                        tc.cursor.advance();
+                        ++result.work.postingsScored;
+                    }
+                }
+                ++result.work.docsScored;
+                if (heap.push({index.globalDoc(pivotDoc), score}))
+                    ++result.work.heapInsertions;
+            } else {
+                // Shallow rejection: no doc covered only by the
+                // current blocks of [0..pivot] can reach the heap.
+                // Jump past the nearest block boundary (or to the next
+                // cursor's doc, whichever is closer) — threshold is
+                // finite here, so the heap is full and the skipped
+                // range is provably out.
+                uint64_t next = endDoc;
+                for (std::size_t i = 0; i <= pivot; ++i) {
+                    next = std::min<uint64_t>(
+                        next,
+                        static_cast<uint64_t>(
+                            order[i]->cursor.blockLastDoc()) +
+                            1);
+                }
+                if (pivot + 1 < order.size()) {
+                    next = std::min<uint64_t>(
+                        next, order[pivot + 1]->cursor.doc());
+                }
+                const auto target = static_cast<LocalDocId>(
+                    std::min<uint64_t>(next, endDoc));
+                for (std::size_t i = 0; i <= pivot; ++i)
+                    order[i]->cursor.seek(target);
+            }
+        } else {
+            // Not aligned yet: advance the strongest cursor before the
+            // pivot (same heuristic as WAND).
+            TermCursor *advance = order[0];
+            for (std::size_t i = 1; i < pivot; ++i) {
+                if (order[i]->cursor.doc() < pivotDoc &&
+                    order[i]->maxScore > advance->maxScore) {
+                    advance = order[i];
+                }
+            }
+            advance->cursor.seek(pivotDoc);
+        }
+    }
+
+    result.work.docsSkipped = io.docsSkipped;
+    result.work.blocksDecoded = io.blocksDecoded;
+    result.work.blocksSkipped = io.blocksSkipped;
+    result.topK = heap.extractSorted();
+    return result;
+}
+
+} // namespace cottage

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Block-Max WAND (Ding & Suel).
+ *
+ * WAND's pivot selection on whole-list bounds, refined by a shallow
+ * per-block bound check before any deep scoring: a pivot whose
+ * current-block maxima cannot reach the heap threshold is skipped past
+ * the nearest block boundary without decoding a single posting.
+ * Rank-safe: returns exactly the exhaustive top-K (ids and scores).
+ */
+
+#ifndef COTTAGE_INDEX_BMW_EVALUATOR_H
+#define COTTAGE_INDEX_BMW_EVALUATOR_H
+
+#include "index/evaluator.h"
+
+namespace cottage {
+
+/** Document-at-a-time Block-Max WAND over the block-max skip layer. */
+class BmwEvaluator : public Evaluator
+{
+  public:
+    const char *name() const override { return "bmw"; }
+
+    using Evaluator::search;
+
+    SearchResult search(const InvertedIndex &index,
+                        const std::vector<WeightedTerm> &terms,
+                        std::size_t k,
+                        uint64_t maxScoredDocs) const override;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_INDEX_BMW_EVALUATOR_H

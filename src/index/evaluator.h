@@ -41,6 +41,20 @@ struct SearchWork
     uint64_t postingsSkipped = 0;
 
     /**
+     * Candidate documents passed over by seeks without being scored.
+     * For the flat evaluators this mirrors seek-skipped postings; for
+     * the block-max evaluators it additionally counts the postings of
+     * whole skipped blocks, so traces show the pruning savings.
+     */
+    uint64_t docsSkipped = 0;
+
+    /** Posting blocks decoded by the block-max evaluators. */
+    uint64_t blocksDecoded = 0;
+
+    /** Posting blocks skipped undecoded via their block maxima. */
+    uint64_t blocksSkipped = 0;
+
+    /**
      * True if the evaluation stopped at its maxScoredDocs cap while
      * scoreable candidates remained: the top-K is the anytime
      * best-so-far, not the full shard ranking.
@@ -54,6 +68,9 @@ struct SearchWork
         docsScored += other.docsScored;
         heapInsertions += other.heapInsertions;
         postingsSkipped += other.postingsSkipped;
+        docsSkipped += other.docsSkipped;
+        blocksDecoded += other.blocksDecoded;
+        blocksSkipped += other.blocksSkipped;
         truncated = truncated || other.truncated;
         return *this;
     }

@@ -10,11 +10,13 @@ namespace cottage {
 InvertedIndex::InvertedIndex(const Corpus &corpus,
                              const std::vector<DocId> &docIds,
                              std::shared_ptr<const CollectionStats> stats,
-                             Bm25Params params)
+                             Bm25Params params, uint32_t blockSize)
     : stats_(std::move(stats)),
-      scorer_(stats_->numDocs(), stats_->avgDocLength(), params)
+      scorer_(stats_->numDocs(), stats_->avgDocLength(), params),
+      blockSize_(blockSize)
 {
     COTTAGE_CHECK_MSG(!docIds.empty(), "a shard needs documents");
+    COTTAGE_CHECK_MSG(blockSize >= 1, "block size must be positive");
     lengths_.reserve(docIds.size());
     globalIds_.reserve(docIds.size());
 
@@ -48,13 +50,17 @@ InvertedIndex::InvertedIndex(const Corpus &corpus,
         }
     }
 
-    // Exact per-term score upper bounds for the pruning evaluators.
+    // One scoring pass per list builds the block-max skip layer; the
+    // whole-list bound the flat pruning evaluators use is the max over
+    // the block maxima, so both layers agree exactly.
+    blockLists_.reserve(lists_.size());
     for (uint32_t slot = 0; slot < lists_.size(); ++slot) {
         const double termIdf = idf(lists_[slot].term);
-        double bound = 0.0;
-        for (const Posting &posting : lists_[slot].postings)
-            bound = std::max(bound, scorePosting(termIdf, posting));
-        maxScores_[slot] = bound;
+        blockLists_.emplace_back(
+            lists_[slot], blockSize_, [&](const Posting &posting) {
+                return scorePosting(termIdf, posting);
+            });
+        maxScores_[slot] = blockLists_[slot].maxScore();
     }
 }
 
@@ -63,6 +69,13 @@ InvertedIndex::postings(TermId term) const
 {
     const auto it = termSlot_.find(term);
     return it == termSlot_.end() ? nullptr : &lists_[it->second];
+}
+
+const BlockMaxPostingList *
+InvertedIndex::blockMax(TermId term) const
+{
+    const auto it = termSlot_.find(term);
+    return it == termSlot_.end() ? nullptr : &blockLists_[it->second];
 }
 
 double
@@ -79,6 +92,8 @@ InvertedIndex::footprint() const
         fp.rawPostingBytes += list.size() * sizeof(Posting);
         fp.compressedPostingBytes += CompressedPostingList(list).bytes();
     }
+    for (const BlockMaxPostingList &list : blockLists_)
+        fp.blockMaxBytes += list.bytes();
     fp.docTableBytes = lengths_.size() * sizeof(uint32_t) +
                        globalIds_.size() * sizeof(DocId);
     return fp;

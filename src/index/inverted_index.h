@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "index/block_max.h"
 #include "index/bm25.h"
 #include "index/collection_stats.h"
 #include "index/postings.h"
@@ -33,13 +34,24 @@ class InvertedIndex
      * @param docIds Global ids of the documents assigned to this shard.
      * @param stats Shared global collection statistics.
      * @param params BM25 parameters.
+     * @param blockSize Postings per block in the block-max skip layer.
      */
     InvertedIndex(const Corpus &corpus, const std::vector<DocId> &docIds,
                   std::shared_ptr<const CollectionStats> stats,
-                  Bm25Params params = {});
+                  Bm25Params params = {}, uint32_t blockSize = 128);
 
     /** Posting list for a term, or nullptr when the shard lacks it. */
     const PostingList *postings(TermId term) const;
+
+    /**
+     * Block-max list for a term, or nullptr when the shard lacks it.
+     * Built at indexing time alongside the flat list; block maxima are
+     * unweighted (queries scale them by the term weight).
+     */
+    const BlockMaxPostingList *blockMax(TermId term) const;
+
+    /** Postings per block in the block-max layer. */
+    uint32_t blockSize() const { return blockSize_; }
 
     /** Number of documents on this shard. */
     uint32_t numDocs() const { return static_cast<uint32_t>(lengths_.size()); }
@@ -83,6 +95,9 @@ class InvertedIndex
 
         /** Document-metadata bytes (lengths + global id map). */
         std::size_t docTableBytes = 0;
+
+        /** Block-max skip layer: metadata plus blocked VByte streams. */
+        std::size_t blockMaxBytes = 0;
     };
 
     /**
@@ -105,7 +120,9 @@ class InvertedIndex
     std::vector<DocId> globalIds_;
     std::unordered_map<TermId, uint32_t> termSlot_;
     std::vector<PostingList> lists_;
+    std::vector<BlockMaxPostingList> blockLists_;
     std::vector<double> maxScores_;
+    uint32_t blockSize_ = 128;
     uint64_t totalPostings_ = 0;
 };
 

@@ -132,7 +132,11 @@ MaxScoreEvaluator::search(const InvertedIndex &index,
             if (heap.full() && score + prefix[i + 1] < heap.threshold())
                 break;
             Cursor &cursor = cursors[i];
-            result.work.postingsSkipped += seek(cursor, candidate);
+            const uint64_t skipped = seek(cursor, candidate);
+            result.work.postingsSkipped += skipped;
+            // Uniform schema with the block-max evaluators: skipped
+            // candidates are reported per-doc too.
+            result.work.docsSkipped += skipped;
             if (!cursor.exhausted() && cursor.doc() == candidate) {
                 score += index.scorePosting(cursor.idf,
                                             cursor.list->postings[cursor.pos]);

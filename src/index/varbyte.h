@@ -24,8 +24,10 @@ void vbyteEncode(uint32_t value, std::vector<uint8_t> &out);
 
 /**
  * Decode one value starting at @p offset; advances @p offset past the
- * consumed bytes. Behaviour is undefined on truncated input (the
- * container below never produces any).
+ * consumed bytes. Truncated input (a stream ending mid-value or an
+ * offset past the end) fails a COTTAGE_CHECK rather than reading out
+ * of bounds — active in every build type, and the same contract holds
+ * for reading past the end through CompressedPostingList::Cursor.
  */
 uint32_t vbyteDecode(const std::vector<uint8_t> &bytes, std::size_t &offset);
 

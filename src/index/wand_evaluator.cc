@@ -135,7 +135,12 @@ WandEvaluator::search(const InvertedIndex &index,
                     advance = order[i];
                 }
             }
-            result.work.postingsSkipped += seek(*advance, pivotDoc);
+            const uint64_t skipped = seek(*advance, pivotDoc);
+            result.work.postingsSkipped += skipped;
+            // Uniform schema with the block-max evaluators: skipped
+            // candidates are reported per-doc too (one posting per doc
+            // in a flat list).
+            result.work.docsSkipped += skipped;
         }
     }
 

@@ -26,6 +26,9 @@ summarizeRun(const std::string &policy, const std::string &trace,
     RunningStat isnsUsed;
     RunningStat isnsBoosted;
     RunningStat docsSearched;
+    RunningStat docsSkipped;
+    RunningStat blocksDecoded;
+    RunningStat blocksSkipped;
     RunningStat budgets;
     RunningStat completedFraction;
     for (const QueryMeasurement &m : measurements) {
@@ -35,6 +38,9 @@ summarizeRun(const std::string &policy, const std::string &trace,
         isnsUsed.add(static_cast<double>(m.isnsUsed));
         isnsBoosted.add(static_cast<double>(m.isnsBoosted));
         docsSearched.add(static_cast<double>(m.docsSearched));
+        docsSkipped.add(static_cast<double>(m.docsSkipped));
+        blocksDecoded.add(static_cast<double>(m.blocksDecoded));
+        blocksSkipped.add(static_cast<double>(m.blocksSkipped));
         completedFraction.add(m.completedFraction);
         if (m.budgetSeconds != noBudget)
             budgets.add(m.budgetSeconds);
@@ -53,6 +59,9 @@ summarizeRun(const std::string &policy, const std::string &trace,
     summary.avgIsnsUsed = isnsUsed.mean();
     summary.avgIsnsBoosted = isnsBoosted.mean();
     summary.avgDocsSearched = docsSearched.mean();
+    summary.avgDocsSkipped = docsSkipped.mean();
+    summary.avgBlocksDecoded = blocksDecoded.mean();
+    summary.avgBlocksSkipped = blocksSkipped.mean();
     summary.avgBudgetSeconds = budgets.mean();
     summary.avgCompletedFraction = completedFraction.mean();
     return summary;
@@ -92,6 +101,9 @@ toJson(const RunSummary &s)
     field("avg_isns_used", num(s.avgIsnsUsed), false);
     field("avg_isns_boosted", num(s.avgIsnsBoosted), false);
     field("avg_docs_searched", num(s.avgDocsSearched), false);
+    field("avg_docs_skipped", num(s.avgDocsSkipped), false);
+    field("avg_blocks_decoded", num(s.avgBlocksDecoded), false);
+    field("avg_blocks_skipped", num(s.avgBlocksSkipped), false);
     field("truncated_responses",
           num(static_cast<double>(s.truncatedResponses)), false);
     field("partial_responses",

@@ -44,6 +44,15 @@ struct RunSummary
     /** Mean documents scored per query across used ISNs (C_RES). */
     double avgDocsSearched = 0.0;
 
+    /** Mean candidates seeked past per query (pruning savings). */
+    double avgDocsSkipped = 0.0;
+
+    /** Mean posting blocks decoded per query (block-max evaluators). */
+    double avgBlocksDecoded = 0.0;
+
+    /** Mean posting blocks skipped undecoded per query. */
+    double avgBlocksSkipped = 0.0;
+
     /** Responses truncated at the budget across the whole run. */
     uint64_t truncatedResponses = 0;
 

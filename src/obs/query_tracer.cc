@@ -66,6 +66,12 @@ QueryTracer::toJsonLine(const QueryTraceRecord &record,
         out += span.completed ? "true" : "false";
         out += ",\"fraction\":" + num(span.completedFraction);
         out += ",\"docs\":" + num(static_cast<double>(span.docsScored));
+        out += ",\"docs_skipped\":" +
+               num(static_cast<double>(span.docsSkipped));
+        out += ",\"blocks_decoded\":" +
+               num(static_cast<double>(span.blocksDecoded));
+        out += ",\"blocks_skipped\":" +
+               num(static_cast<double>(span.blocksSkipped));
         out += ",\"partial\":";
         out += span.partial ? "true" : "false";
         out += "}";

@@ -70,6 +70,15 @@ struct IsnSpan
      */
     uint64_t docsScored = 0;
 
+    /** Candidates this ISN's evaluation seeked past without scoring. */
+    uint64_t docsSkipped = 0;
+
+    /** Posting blocks decoded (block-max evaluators; 0 for flat). */
+    uint64_t blocksDecoded = 0;
+
+    /** Posting blocks skipped undecoded via block maxima. */
+    uint64_t blocksSkipped = 0;
+
     /**
      * True if a truncated response still contributed a non-empty
      * anytime partial top-K.

@@ -16,7 +16,8 @@ ShardedIndex::ShardedIndex(const Corpus &corpus,
     ownerOf_.assign(corpus.numDocs(), 0);
     for (ShardId s = 0; s < config.numShards; ++s) {
         shards_.push_back(std::make_unique<InvertedIndex>(
-            corpus, docAssignment_[s], stats_, config.bm25));
+            corpus, docAssignment_[s], stats_, config.bm25,
+            config.blockSize));
         termStats_.push_back(
             std::make_unique<TermStatsStore>(*shards_.back(), config.topK));
         for (DocId doc : docAssignment_[s])

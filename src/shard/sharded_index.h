@@ -36,6 +36,9 @@ struct ShardedIndexConfig
 
     /** Ranking parameters shared by every shard. */
     Bm25Params bm25;
+
+    /** Postings per block in every shard's block-max skip layer. */
+    uint32_t blockSize = 128;
 };
 
 /** Immutable sharded index over a corpus. */

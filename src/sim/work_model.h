@@ -39,6 +39,16 @@ struct WorkModel
     /** Cost of skipping one posting (pointer advance, no decode). */
     double cyclesPerSkip = 300.0;
 
+    /**
+     * Cost of VByte-decoding one posting block (block-max evaluators
+     * only; zero blocks reported keeps the flat evaluators' service
+     * times byte-identical to before the block-max layer existed).
+     */
+    double cyclesPerBlockDecoded = 2000.0;
+
+    /** Cost of skipping one whole block via its metadata. */
+    double cyclesPerBlockSkipped = 150.0;
+
     /** Total cycles for one shard-local query evaluation. */
     double
     cycles(const SearchWork &work) const
@@ -46,7 +56,11 @@ struct WorkModel
         return baseCycles +
                cyclesPerPosting * static_cast<double>(work.postingsScored) +
                cyclesPerDoc * static_cast<double>(work.docsScored) +
-               cyclesPerSkip * static_cast<double>(work.postingsSkipped);
+               cyclesPerSkip * static_cast<double>(work.postingsSkipped) +
+               cyclesPerBlockDecoded *
+                   static_cast<double>(work.blocksDecoded) +
+               cyclesPerBlockSkipped *
+                   static_cast<double>(work.blocksSkipped);
     }
 
     /** Service seconds at a frequency in GHz. */

@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Block-max layer tests: structural invariants of BlockMaxPostingList,
+ * cursor deep/shallow seek semantics and I/O accounting, the *bitwise*
+ * rank-safety property of the BMW/BMM evaluators against exhaustive
+ * over randomized corpora (ties, negative weights, single-term and
+ * all-stopword queries), work-saving assertions, and the truncated
+ * VByte-stream death tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "index/block_max.h"
+#include "index/bmm_evaluator.h"
+#include "index/bmw_evaluator.h"
+#include "index/collection_stats.h"
+#include "index/exhaustive_evaluator.h"
+#include "index/inverted_index.h"
+#include "index/maxscore_evaluator.h"
+#include "index/varbyte.h"
+#include "index/wand_evaluator.h"
+#include "text/corpus.h"
+#include "text/trace.h"
+#include "util/rng.h"
+
+namespace cottage {
+namespace {
+
+/** Build an index over a whole corpus with a given block size. */
+std::unique_ptr<InvertedIndex>
+wholeCorpusIndex(const Corpus &corpus, uint32_t blockSize)
+{
+    std::vector<DocId> allDocs(corpus.numDocs());
+    for (DocId d = 0; d < corpus.numDocs(); ++d)
+        allDocs[d] = d;
+    return std::make_unique<InvertedIndex>(
+        corpus, allDocs, std::make_shared<CollectionStats>(corpus),
+        Bm25Params{}, blockSize);
+}
+
+/** Bitwise score equality: rank-safety here means identical doubles. */
+void
+expectBitIdentical(const SearchResult &result, const SearchResult &base,
+                   const char *name, QueryId query)
+{
+    ASSERT_EQ(result.topK.size(), base.topK.size())
+        << name << " query " << query;
+    for (std::size_t i = 0; i < base.topK.size(); ++i) {
+        ASSERT_EQ(result.topK[i].doc, base.topK[i].doc)
+            << name << " rank " << i << " query " << query;
+        const double a = result.topK[i].score;
+        const double b = base.topK[i].score;
+        ASSERT_EQ(std::memcmp(&a, &b, sizeof a), 0)
+            << name << " rank " << i << " query " << query
+            << ": scores differ in bits (" << a << " vs " << b << ")";
+    }
+}
+
+class BlockMaxFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        CorpusConfig config;
+        config.numDocs = 800;
+        config.vocabSize = 3000;
+        config.meanDocLength = 80.0;
+        config.numTopics = 12;
+        config.seed = 77;
+        corpus_ = std::make_unique<Corpus>(Corpus::generate(config));
+        index_ = wholeCorpusIndex(*corpus_, 64);
+    }
+
+    std::unique_ptr<Corpus> corpus_;
+    std::unique_ptr<InvertedIndex> index_;
+};
+
+TEST_F(BlockMaxFixture, BlocksPartitionEveryList)
+{
+    for (const PostingList &list : index_->allPostings()) {
+        const BlockMaxPostingList *bm = index_->blockMax(list.term);
+        ASSERT_NE(bm, nullptr);
+        EXPECT_EQ(bm->term(), list.term);
+        EXPECT_EQ(bm->size(), list.size());
+        ASSERT_GT(bm->numBlocks(), 0u);
+
+        const double idf = index_->idf(list.term);
+        uint64_t covered = 0;
+        for (std::size_t b = 0; b < bm->numBlocks(); ++b) {
+            const auto &block = bm->block(b);
+            // Exact per-block bound: the max over exactly the block's
+            // postings, and lastDoc is the block's final document.
+            double expectedMax = 0.0;
+            for (uint32_t i = 0; i < block.count; ++i) {
+                const Posting &posting = list.postings[covered + i];
+                expectedMax = std::max(
+                    expectedMax, index_->scorePosting(idf, posting));
+            }
+            EXPECT_DOUBLE_EQ(block.maxScore, expectedMax)
+                << "term " << list.term << " block " << b;
+            EXPECT_EQ(block.lastDoc,
+                      list.postings[covered + block.count - 1].doc);
+            if (b + 1 < bm->numBlocks())
+                EXPECT_EQ(block.count, bm->blockSize());
+            covered += block.count;
+        }
+        EXPECT_EQ(covered, list.size());
+        EXPECT_DOUBLE_EQ(bm->maxScore(), index_->maxScore(list.term));
+    }
+}
+
+TEST_F(BlockMaxFixture, DecodeBlockRoundTripsAtAnyBlockSize)
+{
+    // The gap chain restarts per block, so every block must decode
+    // standalone to exactly the flat postings it covers.
+    for (uint32_t blockSize : {1u, 3u, 7u, 128u, 100000u}) {
+        const auto index = wholeCorpusIndex(*corpus_, blockSize);
+        for (const PostingList &list : index->allPostings()) {
+            const BlockMaxPostingList *bm = index->blockMax(list.term);
+            std::vector<Posting> decoded;
+            std::size_t at = 0;
+            for (std::size_t b = 0; b < bm->numBlocks(); ++b) {
+                bm->decodeBlock(b, decoded);
+                ASSERT_EQ(decoded.size(), bm->block(b).count);
+                for (const Posting &posting : decoded) {
+                    ASSERT_EQ(posting.doc, list.postings[at].doc)
+                        << "term " << list.term << " posting " << at;
+                    ASSERT_EQ(posting.freq, list.postings[at].freq);
+                    ++at;
+                }
+            }
+            ASSERT_EQ(at, list.size());
+        }
+    }
+}
+
+TEST_F(BlockMaxFixture, CursorWalkMatchesFlatList)
+{
+    for (const PostingList &list : index_->allPostings()) {
+        BlockIo io;
+        BlockMaxCursor cursor(*index_->blockMax(list.term), &io);
+        for (const Posting &expected : list.postings) {
+            ASSERT_FALSE(cursor.exhausted());
+            EXPECT_EQ(cursor.doc(), expected.doc);
+            EXPECT_EQ(cursor.posting().freq, expected.freq);
+            cursor.advance();
+        }
+        EXPECT_TRUE(cursor.exhausted());
+        // A full walk decodes every block and skips nothing.
+        EXPECT_EQ(io.blocksDecoded,
+                  index_->blockMax(list.term)->numBlocks());
+        EXPECT_EQ(io.blocksSkipped, 0u);
+        EXPECT_EQ(io.docsSkipped, 0u);
+    }
+}
+
+TEST_F(BlockMaxFixture, SeekLandsOnLowerBoundAndCountsSkips)
+{
+    // Pick a reasonably long list so seeks cross block boundaries.
+    const PostingList *longest = nullptr;
+    for (const PostingList &list : index_->allPostings()) {
+        if (longest == nullptr || list.size() > longest->size())
+            longest = &list;
+    }
+    ASSERT_NE(longest, nullptr);
+    ASSERT_GT(longest->size(), 128u);
+    const BlockMaxPostingList *bm = index_->blockMax(longest->term);
+
+    Rng rng(31337);
+    for (int round = 0; round < 200; ++round) {
+        const LocalDocId target = static_cast<LocalDocId>(
+            rng.uniformInt(0, static_cast<int64_t>(index_->numDocs())));
+        BlockIo io;
+        BlockMaxCursor cursor(*bm, &io);
+        cursor.seek(target);
+
+        const auto it = std::lower_bound(
+            longest->postings.begin(), longest->postings.end(), target,
+            [](const Posting &p, LocalDocId d) { return p.doc < d; });
+        if (it == longest->postings.end()) {
+            EXPECT_TRUE(cursor.exhausted()) << "target " << target;
+        } else {
+            ASSERT_FALSE(cursor.exhausted()) << "target " << target;
+            EXPECT_EQ(cursor.doc(), it->doc) << "target " << target;
+        }
+        // Everything before the landing point was skipped, and the
+        // cursor decoded at most one block to get there.
+        EXPECT_EQ(io.docsSkipped,
+                  static_cast<uint64_t>(it - longest->postings.begin()));
+        EXPECT_LE(io.blocksDecoded, 1u);
+    }
+}
+
+TEST_F(BlockMaxFixture, ShallowSeekNeverDecodes)
+{
+    const PostingList *longest = nullptr;
+    for (const PostingList &list : index_->allPostings()) {
+        if (longest == nullptr || list.size() > longest->size())
+            longest = &list;
+    }
+    const BlockMaxPostingList *bm = index_->blockMax(longest->term);
+    ASSERT_GT(bm->numBlocks(), 2u);
+
+    BlockIo io;
+    BlockMaxCursor cursor(*bm, &io);
+    const LocalDocId target = bm->block(1).lastDoc;
+    cursor.shallowSeek(target);
+    EXPECT_EQ(io.blocksDecoded, 0u);
+    EXPECT_EQ(io.blocksSkipped, 1u);
+    EXPECT_EQ(io.docsSkipped,
+              static_cast<uint64_t>(bm->block(0).count));
+    EXPECT_EQ(cursor.blockLastDoc(), bm->block(1).lastDoc);
+    EXPECT_DOUBLE_EQ(cursor.blockMaxScore(), bm->block(1).maxScore);
+    // The follow-up deep seek decodes exactly the one block it needs.
+    cursor.seek(target);
+    EXPECT_EQ(io.blocksDecoded, 1u);
+    EXPECT_EQ(cursor.doc(), target);
+}
+
+/**
+ * The tentpole property, strengthened to the bit level: BMW and BMM
+ * must return the *bit-identical* top-K (ids and score doubles) the
+ * exhaustive evaluator returns — over regenerated random corpora,
+ * random block sizes and result depths, with plain, weighted and
+ * mixed-sign (demoting) queries, plus the degenerate shapes that break
+ * naive pruning: single-term queries and all-stopword (highest
+ * document frequency) queries full of score ties.
+ */
+TEST(BlockMaxProperty, BmwAndBmmAreBitIdenticalToExhaustive)
+{
+    const ExhaustiveEvaluator exhaustive;
+    const BmwEvaluator bmw;
+    const BmmEvaluator bmm;
+    Rng rng(0xB10CBA5Eu);
+
+    for (int round = 0; round < 5; ++round) {
+        CorpusConfig config;
+        config.numDocs =
+            300 + static_cast<uint32_t>(rng.uniformInt(0, 699));
+        config.vocabSize =
+            800 + static_cast<uint32_t>(rng.uniformInt(0, 2199));
+        config.meanDocLength = 40.0 + 80.0 * rng.uniform();
+        config.numTopics = 4 + static_cast<uint32_t>(rng.uniformInt(0, 15));
+        config.seed = rng.next();
+        const Corpus corpus = Corpus::generate(config);
+        const uint32_t blockSize =
+            static_cast<uint32_t>(rng.uniformInt(1, 256));
+        const auto index = wholeCorpusIndex(corpus, blockSize);
+        const std::size_t k =
+            static_cast<std::size_t>(rng.uniformInt(1, 20));
+
+        // All-stopword query: the highest-df terms produce long lists
+        // with tiny idf and massive tie plateaus.
+        std::vector<std::pair<std::size_t, TermId>> byDf;
+        for (const PostingList &list : index->allPostings())
+            byDf.push_back({list.size(), list.term});
+        std::sort(byDf.begin(), byDf.end(),
+                  [](const auto &a, const auto &b) {
+                      if (a.first != b.first)
+                          return a.first > b.first;
+                      return a.second < b.second;
+                  });
+        std::vector<TermId> stopwords;
+        for (std::size_t i = 0; i < std::min<std::size_t>(4, byDf.size());
+             ++i)
+            stopwords.push_back(byDf[i].second);
+
+        TraceConfig traceConfig;
+        traceConfig.numQueries = 30;
+        traceConfig.vocabSize = config.vocabSize;
+        traceConfig.seed = rng.next();
+        const QueryTrace trace = QueryTrace::generate(traceConfig);
+
+        std::vector<std::vector<WeightedTerm>> queries;
+        for (const Query &query : trace.queries()) {
+            // Plain, then mixed-sign weighted variant of each query.
+            queries.push_back(toWeighted(query.terms));
+            std::vector<WeightedTerm> weighted;
+            for (std::size_t i = 0; i < query.terms.size(); ++i) {
+                const double magnitude = rng.uniform(0.25, 3.0);
+                const bool demote = i > 0 && rng.uniform() < 0.5;
+                weighted.push_back({query.terms[i],
+                                    demote ? -magnitude : magnitude});
+            }
+            queries.push_back(weighted);
+            // Single-term query from the same draw.
+            queries.push_back(toWeighted({query.terms[0]}));
+        }
+        queries.push_back(toWeighted(stopwords));
+
+        for (std::size_t q = 0; q < queries.size(); ++q) {
+            const SearchResult base =
+                exhaustive.search(*index, queries[q], k);
+            expectBitIdentical(bmw.search(*index, queries[q], k), base,
+                               "bmw", static_cast<QueryId>(q));
+            expectBitIdentical(bmm.search(*index, queries[q], k), base,
+                               "bmm", static_cast<QueryId>(q));
+        }
+    }
+}
+
+TEST_F(BlockMaxFixture, BlockPruningBeatsFlatPruning)
+{
+    const MaxScoreEvaluator maxscore;
+    const WandEvaluator wand;
+    const BmwEvaluator bmw;
+    const BmmEvaluator bmm;
+
+    TraceConfig traceConfig;
+    traceConfig.numQueries = 100;
+    traceConfig.vocabSize = 3000;
+    traceConfig.seed = 6;
+    const QueryTrace trace = QueryTrace::generate(traceConfig);
+
+    SearchWork wandWork, maxscoreWork, bmwWork, bmmWork;
+    for (const Query &query : trace.queries()) {
+        wandWork += wand.search(*index_, query.terms, 10).work;
+        maxscoreWork += maxscore.search(*index_, query.terms, 10).work;
+        bmwWork += bmw.search(*index_, query.terms, 10).work;
+        bmmWork += bmm.search(*index_, query.terms, 10).work;
+    }
+    // The acceptance property: the shallow block-max check rejects
+    // candidates WAND would have scored.
+    EXPECT_LT(bmwWork.docsScored, wandWork.docsScored);
+    EXPECT_LE(bmmWork.docsScored, maxscoreWork.docsScored);
+    // And the skip machinery actually engages.
+    EXPECT_GT(bmwWork.blocksSkipped, 0u);
+    EXPECT_GT(bmwWork.blocksDecoded, 0u);
+    EXPECT_GT(bmwWork.docsSkipped, 0u);
+    EXPECT_GT(bmmWork.blocksSkipped, 0u);
+    // Flat evaluators now surface their seek savings uniformly.
+    EXPECT_GT(wandWork.docsSkipped, 0u);
+    EXPECT_GT(maxscoreWork.docsSkipped, 0u);
+    EXPECT_EQ(wandWork.blocksDecoded, 0u);
+    EXPECT_EQ(maxscoreWork.blocksDecoded, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Satellite: the VByte decoder's truncated-input contract is a hard
+// CHECK (every build type), not undefined behaviour.
+
+TEST(VByteDeathTest, TruncatedStreamFailsTheBoundsCheck)
+{
+    std::vector<uint8_t> bytes;
+    vbyteEncode(300, bytes); // two bytes: continuation + terminator
+    bytes.pop_back();        // chop the terminator mid-value
+    std::size_t offset = 0;
+    EXPECT_DEATH((void)vbyteDecode(bytes, offset),
+                 "truncated vbyte stream");
+}
+
+TEST(VByteDeathTest, OffsetPastTheEndFailsTheBoundsCheck)
+{
+    std::vector<uint8_t> bytes;
+    vbyteEncode(7, bytes);
+    std::size_t offset = bytes.size();
+    EXPECT_DEATH((void)vbyteDecode(bytes, offset),
+                 "truncated vbyte stream");
+}
+
+TEST(VByteDeathTest, CursorPastTheEndFailsTheCheck)
+{
+    PostingList list;
+    list.term = 1;
+    list.postings = {{3, 2}, {9, 1}};
+    const CompressedPostingList compressed(list);
+    CompressedPostingList::Cursor cursor = compressed.cursor();
+    (void)cursor.next();
+    (void)cursor.next();
+    EXPECT_FALSE(cursor.hasNext());
+    EXPECT_DEATH((void)cursor.next(), "cursor exhausted");
+}
+
+} // namespace
+} // namespace cottage

@@ -13,6 +13,8 @@
 #include <memory>
 
 #include "index/bm25.h"
+#include "index/bmm_evaluator.h"
+#include "index/bmw_evaluator.h"
 #include "index/collection_stats.h"
 #include "index/exhaustive_evaluator.h"
 #include "index/inverted_index.h"
@@ -201,6 +203,8 @@ TEST_F(IndexFixture, EvaluatorsAgreeWithExhaustive)
     const MaxScoreEvaluator maxscore;
     const WandEvaluator wand;
     const TaatEvaluator taat;
+    const BmwEvaluator bmw;
+    const BmmEvaluator bmm;
 
     TraceConfig traceConfig;
     traceConfig.numQueries = 150;
@@ -213,7 +217,9 @@ TEST_F(IndexFixture, EvaluatorsAgreeWithExhaustive)
         for (const Evaluator *other :
              {static_cast<const Evaluator *>(&maxscore),
               static_cast<const Evaluator *>(&wand),
-              static_cast<const Evaluator *>(&taat)}) {
+              static_cast<const Evaluator *>(&taat),
+              static_cast<const Evaluator *>(&bmw),
+              static_cast<const Evaluator *>(&bmm)}) {
             const SearchResult result =
                 other->search(*index_, query.terms, 10);
             ASSERT_EQ(result.topK.size(), base.topK.size())
@@ -466,7 +472,9 @@ class EvaluatorAnytimeCap : public IndexFixture
         static const TaatEvaluator taat;
         static const MaxScoreEvaluator maxscore;
         static const WandEvaluator wand;
-        return {&exhaustive, &taat, &maxscore, &wand};
+        static const BmwEvaluator bmw;
+        static const BmmEvaluator bmm;
+        return {&exhaustive, &taat, &maxscore, &wand, &bmw, &bmm};
     }
 };
 
@@ -584,6 +592,8 @@ TEST_F(IndexFixture, NegativeWeightsStayRankSafe)
     const MaxScoreEvaluator maxscore;
     const WandEvaluator wand;
     const TaatEvaluator taat;
+    const BmwEvaluator bmw;
+    const BmmEvaluator bmm;
 
     Rng rng(0x9E6);
     TraceConfig traceConfig;
@@ -606,7 +616,9 @@ TEST_F(IndexFixture, NegativeWeightsStayRankSafe)
         for (const Evaluator *other :
              {static_cast<const Evaluator *>(&maxscore),
               static_cast<const Evaluator *>(&wand),
-              static_cast<const Evaluator *>(&taat)}) {
+              static_cast<const Evaluator *>(&taat),
+              static_cast<const Evaluator *>(&bmw),
+              static_cast<const Evaluator *>(&bmm)}) {
             const SearchResult result =
                 other->search(*index_, weighted, 10);
             ASSERT_EQ(result.topK.size(), base.topK.size())
@@ -668,6 +680,13 @@ TEST_F(IndexFixture, CompressionShrinksTheIndex)
     // Delta-gap VByte should at least halve 8-byte flat postings.
     EXPECT_LT(fp.compressedPostingBytes, fp.rawPostingBytes / 2);
     EXPECT_GT(fp.docTableBytes, 0u);
+    // The block-max skip layer is accounted too: at least the stream
+    // (its per-block gap restarts can only widen it), plus metadata.
+    EXPECT_GE(fp.blockMaxBytes, fp.compressedPostingBytes);
+    std::size_t expectedBlockMax = 0;
+    for (const PostingList &list : index_->allPostings())
+        expectedBlockMax += index_->blockMax(list.term)->bytes();
+    EXPECT_EQ(fp.blockMaxBytes, expectedBlockMax);
 }
 
 TEST_F(IndexFixture, PruningReducesWork)

@@ -250,6 +250,9 @@ TEST(QueryTracer, JsonlGoldenLine)
     span.completed = false;
     span.completedFraction = 0.5;
     span.docsScored = 42;
+    span.docsSkipped = 1900;
+    span.blocksDecoded = 11;
+    span.blocksSkipped = 15;
     span.partial = true;
     record.isns.push_back(span);
 
@@ -264,7 +267,9 @@ TEST(QueryTracer, JsonlGoldenLine)
         "\"queue_wait_s\":0.25,\"start_s\":1.875,\"finish_s\":1.9375,"
         "\"busy_s\":0.0625,\"cycles\":1048576,\"freq_ghz\":2.1,"
         "\"boosted\":false,\"energy_j\":0.1675,\"completed\":false,"
-        "\"fraction\":0.5,\"docs\":42,\"partial\":true}]}");
+        "\"fraction\":0.5,\"docs\":42,\"docs_skipped\":1900,"
+        "\"blocks_decoded\":11,\"blocks_skipped\":15,"
+        "\"partial\":true}]}");
 }
 
 TEST(QueryTracer, NoBudgetSerializesAsNull)

@@ -52,6 +52,9 @@ serializeMeasurements(const std::vector<QueryMeasurement> &measurements)
         appendBytes(buffer, m.isnsCompleted);
         appendBytes(buffer, m.isnsBoosted);
         appendBytes(buffer, m.docsSearched);
+        appendBytes(buffer, m.docsSkipped);
+        appendBytes(buffer, m.blocksDecoded);
+        appendBytes(buffer, m.blocksSkipped);
         appendBytes(buffer, m.partialResponses);
         appendBytes(buffer, m.completedFraction);
         appendBytes(buffer, m.precisionAtK);
@@ -120,7 +123,7 @@ TEST_P(ParallelDeterminism, ReplayIsBitExactAcrossThreadCounts)
 
 INSTANTIATE_TEST_SUITE_P(Evaluators, ParallelDeterminism,
                          ::testing::Values("exhaustive", "maxscore",
-                                           "wand"));
+                                           "wand", "bmw", "bmm"));
 
 TEST(ParallelDeterminismOracle, BatchShardWorkPathIsBitExact)
 {
