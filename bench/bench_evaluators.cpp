@@ -11,7 +11,6 @@
  *                         [--k=] [--seed=]
  */
 
-#include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -30,6 +29,7 @@
 #include "text/trace.h"
 #include "util/cli.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 using namespace cottage;
 
@@ -76,11 +76,9 @@ sweep(const Evaluator &evaluator, uint32_t blockSize,
     all.blockSize = blockSize;
     all.queryLen = "all";
     for (const Query &query : trace.queries()) {
-        const auto start = std::chrono::steady_clock::now();
+        Stopwatch watch;
         const SearchResult result = evaluator.search(index, query.terms, k);
-        const auto stop = std::chrono::steady_clock::now();
-        const double nanos =
-            std::chrono::duration<double, std::nano>(stop - start).count();
+        const double nanos = watch.elapsedNanos();
 
         Row &row = buckets[lengthBucket(query.terms.size())];
         if (row.queries == 0) {

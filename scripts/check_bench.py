@@ -5,65 +5,153 @@ Run after `bench_evaluators [--smoke]`:
 
     python3 scripts/check_bench.py BENCH_evaluators.json
 
-Fails (exit 1) when block-max pruning stops paying for itself:
+Fails when block-max pruning stops paying for itself:
   - bmw must score STRICTLY fewer documents than wand at the bench's
     k on the wikipedia-flavor trace (the whole point of the shallow
     per-block bound check);
   - bmm must score no more documents than maxscore;
   - the block-skip machinery must actually engage (blocks_skipped > 0);
   - every evaluator must agree on queries run (same trace replayed).
+
+Exit codes are distinct on purpose so CI logs are unambiguous:
+  0  all guards pass
+  1  a perf guard tripped (a real regression)
+  2  the input is unusable — file missing/corrupt, an evaluator named
+     by --require absent (e.g. a smoke run that skipped it), or a
+     sweep entry missing an expected field
+
+--require names the evaluators that must be present, comma-separated
+or repeated (default: exhaustive,maxscore,wand,bmw,bmm — the full CI
+sweep). Comparisons are only run between evaluators that are present,
+so a trimmed smoke file can still be checked with a narrower
+--require list instead of dying on a KeyError.
 """
 
+import argparse
 import json
 import sys
 
+DEFAULT_REQUIRED = ["exhaustive", "maxscore", "wand", "bmw", "bmm"]
+
+# Fields every totals row must carry for the guards to run.
+ROW_FIELDS = ["queries", "docs_scored", "blocks_skipped"]
+
 
 def fail(message: str) -> None:
+    """A perf guard tripped: exit 1."""
     print(f"check_bench: FAIL: {message}", file=sys.stderr)
     sys.exit(1)
 
 
-def main() -> None:
-    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_evaluators.json"
-    with open(path) as handle:
-        bench = json.load(handle)
+def unusable(message: str) -> None:
+    """The input cannot be checked at all: exit 2."""
+    print(f"check_bench: BAD INPUT: {message}", file=sys.stderr)
+    sys.exit(2)
 
-    totals = bench.get("totals", {})
-    for name in ("exhaustive", "maxscore", "wand", "bmw", "bmm"):
-        if name not in totals:
-            fail(f"totals missing evaluator '{name}' in {path}")
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(
+        description="Guard BENCH_evaluators.json against perf regressions"
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default="BENCH_evaluators.json",
+        help="bench output to check (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--require",
+        action="append",
+        metavar="EVALUATORS",
+        help=(
+            "evaluator(s) that must be present, comma-separated; may be "
+            "repeated (default: %s)" % ",".join(DEFAULT_REQUIRED)
+        ),
+    )
+    return parser.parse_args(argv)
+
+
+def load_totals(path: str, required):
+    try:
+        with open(path) as handle:
+            bench = json.load(handle)
+    except FileNotFoundError:
+        unusable(f"{path} not found: run bench_evaluators first")
+    except json.JSONDecodeError as err:
+        unusable(f"{path} is not valid JSON ({err})")
+
+    totals = bench.get("totals")
+    if not isinstance(totals, dict) or not totals:
+        unusable(f"{path} has no 'totals' section: not a bench output?")
+
+    missing = [name for name in required if name not in totals]
+    if missing:
+        unusable(
+            f"{path} is missing required evaluator(s) {missing} "
+            f"(present: {sorted(totals)}); was this a smoke run with a "
+            "reduced sweep? Re-run bench_evaluators or narrow --require"
+        )
+
+    for name, row in totals.items():
+        absent = [f for f in ROW_FIELDS if f not in row]
+        if absent:
+            unusable(
+                f"{path}: totals entry '{name}' lacks field(s) {absent}; "
+                "bench output from an incompatible bench_evaluators "
+                "version"
+            )
+    return totals
+
+
+def main(argv=None) -> None:
+    args = parse_args(argv)
+    required = []
+    for chunk in args.require or [",".join(DEFAULT_REQUIRED)]:
+        required.extend(n for n in chunk.split(",") if n)
+
+    totals = load_totals(args.path, required)
 
     queries = {name: row["queries"] for name, row in totals.items()}
     if len(set(queries.values())) != 1:
         fail(f"evaluators replayed different query counts: {queries}")
 
-    wand = totals["wand"]
-    bmw = totals["bmw"]
-    maxscore = totals["maxscore"]
-    bmm = totals["bmm"]
+    def row(name):
+        return totals.get(name)
 
-    if bmw["docs_scored"] >= wand["docs_scored"]:
+    wand, bmw = row("wand"), row("bmw")
+    maxscore, bmm = row("maxscore"), row("bmm")
+
+    if bmw and wand and bmw["docs_scored"] >= wand["docs_scored"]:
         fail(
             "bmw scored "
             f"{bmw['docs_scored']} docs, wand {wand['docs_scored']}: "
             "block-max pruning must beat flat WAND strictly"
         )
-    if bmm["docs_scored"] > maxscore["docs_scored"]:
+    if bmm and maxscore and bmm["docs_scored"] > maxscore["docs_scored"]:
         fail(
             "bmm scored "
             f"{bmm['docs_scored']} docs, maxscore "
             f"{maxscore['docs_scored']}: block-max must not regress"
         )
-    for name, row in (("bmw", bmw), ("bmm", bmm)):
-        if row["blocks_skipped"] == 0:
+    for name in ("bmw", "bmm"):
+        entry = row(name)
+        if entry and entry["blocks_skipped"] == 0:
             fail(f"{name} skipped zero blocks: skip layer never engaged")
 
-    saved = 1.0 - bmw["docs_scored"] / wand["docs_scored"]
-    print(
-        f"check_bench: OK ({path}): bmw scores {bmw['docs_scored']} docs "
-        f"vs wand {wand['docs_scored']} ({saved:.1%} fewer), "
-        f"bmm {bmm['docs_scored']} vs maxscore {maxscore['docs_scored']}"
-    )
+    summary = []
+    if bmw and wand:
+        saved = 1.0 - bmw["docs_scored"] / wand["docs_scored"]
+        summary.append(
+            f"bmw scores {bmw['docs_scored']} docs vs wand "
+            f"{wand['docs_scored']} ({saved:.1%} fewer)"
+        )
+    if bmm and maxscore:
+        summary.append(
+            f"bmm {bmm['docs_scored']} vs maxscore "
+            f"{maxscore['docs_scored']}"
+        )
+    detail = "; ".join(summary) if summary else "no pruning pairs present"
+    print(f"check_bench: OK ({args.path}): {detail}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""clang-tidy gate: fail CI on any NEW finding.
+
+Runs run-clang-tidy over the exported compilation database (or parses
+a pre-captured log) and compares the findings against the committed
+baseline. A finding is keyed by (repo-relative file, check name); the
+job fails when a key appears that the baseline lacks, or when a key's
+count grows. Line numbers are deliberately NOT part of the key so an
+unrelated edit shifting lines cannot flip the gate.
+
+    python3 scripts/check_clang_tidy.py --build-dir build
+    python3 scripts/check_clang_tidy.py --log tidy.log
+    python3 scripts/check_clang_tidy.py --build-dir build --update-baseline
+
+The baseline (scripts/clang_tidy_baseline.json) is empty today: the
+tree is clean under the curated .clang-tidy profile. Keep it that way;
+--update-baseline exists for bootstrapping a new check family, and a
+grown baseline must be justified in the PR that grows it.
+
+Exit codes: 0 clean/no new findings, 1 new findings, 2 tooling error.
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "clang_tidy_baseline.json"
+)
+
+# "path/to/file.cc:12:5: warning: message text [check-name]"
+FINDING_RE = re.compile(
+    r"^(?P<file>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+):\s+"
+    r"(?:warning|error):\s+.*\[(?P<check>[\w.,-]+)\]\s*$"
+)
+
+
+def tooling_error(message: str) -> None:
+    print(f"check_clang_tidy: ERROR: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(
+        description="Gate clang-tidy findings against the baseline"
+    )
+    parser.add_argument(
+        "--build-dir",
+        help="build tree holding compile_commands.json; run-clang-tidy "
+        "is invoked over src/ when given",
+    )
+    parser.add_argument(
+        "--log", help="parse this pre-captured run-clang-tidy output "
+        "instead of invoking the tool"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help="baseline JSON (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings",
+    )
+    parser.add_argument(
+        "--run-clang-tidy",
+        default="run-clang-tidy",
+        help="run-clang-tidy executable (default: %(default)s)",
+    )
+    return parser.parse_args(argv)
+
+
+def capture_output(args) -> str:
+    if args.log:
+        try:
+            with open(args.log) as handle:
+                return handle.read()
+        except OSError as err:
+            tooling_error(f"cannot read --log file: {err}")
+    if not args.build_dir:
+        tooling_error("need --build-dir or --log")
+    db = os.path.join(args.build_dir, "compile_commands.json")
+    if not os.path.exists(db):
+        tooling_error(
+            f"{db} not found: configure with "
+            "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON first"
+        )
+    cmd = [
+        args.run_clang_tidy,
+        "-p",
+        args.build_dir,
+        "-quiet",
+        r".*/src/.*",
+    ]
+    try:
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, cwd=REPO_ROOT
+        )
+    except FileNotFoundError:
+        tooling_error(f"{args.run_clang_tidy} not installed")
+    # run-clang-tidy exits nonzero on clang-tidy *errors* (e.g. a file
+    # that fails to parse); findings themselves are judged below.
+    if proc.returncode not in (0, 1):
+        sys.stderr.write(proc.stderr)
+        tooling_error(f"run-clang-tidy exited {proc.returncode}")
+    return proc.stdout + "\n" + proc.stderr
+
+
+def collect_findings(text: str):
+    """Map 'relpath::check' -> count, deduplicating repeated emissions
+    (headers are re-reported once per including TU)."""
+    seen_lines = set()
+    counts = {}
+    for line in text.splitlines():
+        match = FINDING_RE.match(line.strip())
+        if not match:
+            continue
+        path = os.path.normpath(match.group("file"))
+        if os.path.isabs(path):
+            path = os.path.relpath(path, REPO_ROOT)
+        # A header finding surfaces once per including TU at the same
+        # line; count each source position once.
+        position = (path, match.group("line"), match.group("check"))
+        if position in seen_lines:
+            continue
+        seen_lines.add(position)
+        for check in match.group("check").split(","):
+            key = f"{path}::{check}"
+            counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def main(argv=None) -> None:
+    args = parse_args(argv)
+    findings = collect_findings(capture_output(args))
+
+    if args.update_baseline:
+        with open(args.baseline, "w") as handle:
+            json.dump(findings, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(
+            f"check_clang_tidy: baseline rewritten with "
+            f"{sum(findings.values())} finding(s) in {len(findings)} "
+            "bucket(s)"
+        )
+        return
+
+    try:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+    except FileNotFoundError:
+        baseline = {}
+    except json.JSONDecodeError as err:
+        tooling_error(f"baseline is not valid JSON ({err})")
+
+    regressions = []
+    for key, count in sorted(findings.items()):
+        allowed = baseline.get(key, 0)
+        if count > allowed:
+            regressions.append(f"{key}: {count} (baseline {allowed})")
+
+    if regressions:
+        print("check_clang_tidy: NEW findings over baseline:",
+              file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        sys.exit(1)
+
+    fixed = sum(
+        1 for key, allowed in baseline.items()
+        if findings.get(key, 0) < allowed
+    )
+    note = f"; {fixed} baseline bucket(s) improved — shrink the baseline" \
+        if fixed else ""
+    print(
+        f"check_clang_tidy: OK ({sum(findings.values())} finding(s) in "
+        f"{len(findings)} bucket(s), all within baseline{note})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -359,7 +359,10 @@ DistributedEngine::execute(const Query &query, const QueryPlan &plan,
     // P@K and binary NDCG@K against the exhaustive ground truth. Truth
     // membership is a hash-set probe: the result walk stays in rank
     // order, so the DCG summation order (and hence every bit of the
-    // quality metrics) is identical to the former O(K^2) scan.
+    // quality metrics) is identical to the former O(K^2) scan. The set
+    // is only ever probed with count(), never iterated, which keeps it
+    // clean under cottage_lint rule D1 (hash iteration order must not
+    // reach measured output).
     if (!groundTruth.empty()) {
         std::unordered_set<DocId> truthDocs;
         truthDocs.reserve(groundTruth.size());

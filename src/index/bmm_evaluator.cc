@@ -1,6 +1,7 @@
 #include "index/bmm_evaluator.h"
 
 #include <algorithm>
+#include <functional>
 #include <limits>
 #include <numeric>
 
@@ -157,7 +158,8 @@ BmmEvaluator::search(const InvertedIndex &index,
         // rejects for the same reason); only complete candidates are
         // offered, scored in original term order.
         if (complete) {
-            std::sort(touched.begin(), touched.end());
+            std::sort(touched.begin(), touched.end(),
+                      std::less<std::size_t>());
             double score = 0.0;
             for (std::size_t idx : touched)
                 score += contrib[idx];

@@ -1,6 +1,7 @@
 #include "index/inverted_index.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "index/varbyte.h"
 #include "util/logging.h"
@@ -29,11 +30,22 @@ InvertedIndex::InvertedIndex(const Corpus &corpus,
     lists_.resize(termCounts.size());
     maxScores_.assign(termCounts.size(), 0.0);
     termSlot_.reserve(termCounts.size() * 2);
+
+    // Assign slots in ascending TermId order so the list layout never
+    // depends on the standard library's hash ordering. The collection
+    // loop itself may read the hash map in whatever order it likes:
+    std::vector<TermId> terms;
+    terms.reserve(termCounts.size());
+    // cottage-lint: allow(D1): order-independent key harvest, sorted below
+    for (const auto &entry : termCounts)
+        terms.push_back(entry.first);
+    std::sort(terms.begin(), terms.end(), std::less<TermId>());
+
     uint32_t nextSlot = 0;
-    for (const auto &[term, count] : termCounts) {
+    for (TermId term : terms) {
         termSlot_.emplace(term, nextSlot);
         lists_[nextSlot].term = term;
-        lists_[nextSlot].postings.reserve(count);
+        lists_[nextSlot].postings.reserve(termCounts.at(term));
         ++nextSlot;
     }
 

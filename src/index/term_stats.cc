@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <vector>
 
 #include "index/top_k.h"
@@ -56,7 +57,7 @@ TermStatsStore::TermStatsStore(const InvertedIndex &index, std::size_t k)
         ts.docsEverInTopK = static_cast<double>(insertions);
 
         sorted = scores;
-        std::sort(sorted.begin(), sorted.end());
+        std::sort(sorted.begin(), sorted.end(), std::less<double>());
         ts.firstQuartile = percentileSorted(sorted, 0.25);
         ts.median = percentileSorted(sorted, 0.5);
         ts.thirdQuartile = percentileSorted(sorted, 0.75);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <functional>
 
 #include "stats/summary.h"
 #include "util/string_util.h"
@@ -48,7 +49,7 @@ summarizeRun(const std::string &policy, const std::string &trace,
             m.isnsUsed - m.isnsCompleted;
         summary.partialResponses += m.partialResponses;
     }
-    std::sort(latencies.begin(), latencies.end());
+    std::sort(latencies.begin(), latencies.end(), std::less<double>());
     summary.avgLatencySeconds = mean(latencies);
     summary.p50LatencySeconds = percentileSorted(latencies, 0.50);
     summary.p95LatencySeconds = percentileSorted(latencies, 0.95);

@@ -1,6 +1,7 @@
 #include "policy/csi.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "index/exhaustive_evaluator.h"
 #include "util/logging.h"
@@ -34,7 +35,7 @@ CentralSampleIndex::CentralSampleIndex(const Corpus &corpus,
             ++sampledPerShard_[s];
         }
     }
-    std::sort(sampled.begin(), sampled.end());
+    std::sort(sampled.begin(), sampled.end(), std::less<DocId>());
     total_ = sampled.size();
 
     auto stats = std::make_shared<CollectionStats>(corpus);

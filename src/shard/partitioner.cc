@@ -1,6 +1,7 @@
 #include "shard/partitioner.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "util/logging.h"
 #include "util/rng.h"
@@ -55,7 +56,7 @@ partitionCorpus(const Corpus &corpus, ShardId numShards,
         // Restore ascending DocId order within each shard so posting
         // construction stays in document order.
         for (auto &shard : shards)
-            std::sort(shard.begin(), shard.end());
+            std::sort(shard.begin(), shard.end(), std::less<DocId>());
         break;
       }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 
 namespace cottage {
 
@@ -11,7 +12,7 @@ ksDistance(std::vector<double> sample,
 {
     if (sample.empty())
         return 0.0;
-    std::sort(sample.begin(), sample.end());
+    std::sort(sample.begin(), sample.end(), std::less<double>());
     const double n = static_cast<double>(sample.size());
     double worst = 0.0;
     for (std::size_t i = 0; i < sample.size(); ++i) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 
 #include "util/logging.h"
 
@@ -80,7 +81,7 @@ RunningStat::max() const
 double
 percentile(std::vector<double> values, double q)
 {
-    std::sort(values.begin(), values.end());
+    std::sort(values.begin(), values.end(), std::less<double>());
     return percentileSorted(values, q);
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 
 #include "util/logging.h"
 #include "util/zipf.h"
@@ -79,7 +80,7 @@ Corpus::generate(const CorpusConfig &config)
             tokens.push_back(static_cast<TermId>(rank));
         }
 
-        std::sort(tokens.begin(), tokens.end());
+        std::sort(tokens.begin(), tokens.end(), std::less<TermId>());
         doc.terms.clear();
         for (std::size_t i = 0; i < tokens.size();) {
             std::size_t j = i;

@@ -34,6 +34,9 @@ class Stopwatch
     /** Milliseconds elapsed since construction or the last reset(). */
     double elapsedMillis() const { return elapsedSeconds() * 1e3; }
 
+    /** Nanoseconds elapsed since construction or the last reset(). */
+    double elapsedNanos() const { return elapsedSeconds() * 1e9; }
+
   private:
     using Clock = std::chrono::steady_clock;
     Clock::time_point start_;

@@ -1,0 +1,347 @@
+/**
+ * @file
+ * cottage_lint contract tests.
+ *
+ * Drives the checker library against the known-bad fixtures under
+ * tools/cottage_lint/fixtures/ — one per rule, each of which must
+ * produce exactly the documented diagnostic — plus a known-good file
+ * that must pass and the suppression-policy fixtures. Inline-content
+ * cases pin the tokenizer edge cases the rules depend on (strings and
+ * comments never match, `= delete` is not a raw delete, test files are
+ * exempt from the non-test rules, headers feed the project-wide D1
+ * name set).
+ */
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.h"
+
+using cottage::lint::Diagnostic;
+using cottage::lint::lintContent;
+using cottage::lint::Linter;
+
+namespace {
+
+std::string
+readFixture(const std::string &name)
+{
+    const std::string path =
+        std::string(COTTAGE_LINT_FIXTURE_DIR) + "/" + name;
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "missing fixture " << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+std::vector<std::string>
+rulesOf(const std::vector<Diagnostic> &diags)
+{
+    std::vector<std::string> rules;
+    rules.reserve(diags.size());
+    for (const Diagnostic &d : diags)
+        rules.push_back(d.rule);
+    return rules;
+}
+
+// --- Fixture contract: one documented diagnostic per bad fixture ----
+
+TEST(LintFixtures, D1HashIterationFlagged)
+{
+    const auto diags =
+        lintContent("src/fixture/d1_bad.cc", readFixture("d1_bad.cc"));
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "D1");
+    EXPECT_EQ(diags[0].line, 9);
+    EXPECT_NE(diags[0].message.find("hash container"), std::string::npos);
+}
+
+TEST(LintFixtures, D2WallClockFlagged)
+{
+    const auto diags =
+        lintContent("src/fixture/d2_bad.cc", readFixture("d2_bad.cc"));
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "D2");
+    EXPECT_EQ(diags[0].line, 8);
+}
+
+TEST(LintFixtures, D3FloatInScorePathFlagged)
+{
+    // Rule scoping comes from the virtual path: the same content under
+    // src/index/ is a finding, under src/text/ it is not.
+    const auto content = readFixture("d3_bad.cc");
+    const auto inIndex = lintContent("src/index/d3_bad.cc", content);
+    ASSERT_EQ(inIndex.size(), 1u);
+    EXPECT_EQ(inIndex[0].rule, "D3");
+    EXPECT_EQ(inIndex[0].line, 7);
+
+    EXPECT_TRUE(lintContent("src/text/d3_bad.cc", content).empty());
+}
+
+TEST(LintFixtures, D4AssertFlagged)
+{
+    const auto diags =
+        lintContent("src/fixture/d4_bad.cc", readFixture("d4_bad.cc"));
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "D4");
+    EXPECT_EQ(diags[0].line, 8);
+    EXPECT_NE(diags[0].message.find("COTTAGE_CHECK"), std::string::npos);
+}
+
+TEST(LintFixtures, D5DefaultComparatorFlagged)
+{
+    const auto diags =
+        lintContent("src/fixture/d5_bad.cc", readFixture("d5_bad.cc"));
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "D5");
+    EXPECT_EQ(diags[0].line, 9);
+}
+
+TEST(LintFixtures, GoodFilePasses)
+{
+    const auto diags =
+        lintContent("src/fixture/good.cc", readFixture("good.cc"));
+    EXPECT_TRUE(diags.empty()) << diags.front().format();
+}
+
+TEST(LintFixtures, UnjustifiedSuppressionIsItselfAnError)
+{
+    const auto diags = lintContent("src/fixture/suppress_nojust.cc",
+                                   readFixture("suppress_nojust.cc"));
+    // The bad allow() is reported AND the underlying finding stays.
+    ASSERT_EQ(diags.size(), 2u);
+    EXPECT_EQ(diags[0].rule, "SUP");
+    EXPECT_EQ(diags[0].line, 10);
+    EXPECT_EQ(diags[1].rule, "D1");
+    EXPECT_EQ(diags[1].line, 11);
+}
+
+TEST(LintFixtures, JustifiedSuppressionSilencesTheFinding)
+{
+    const auto diags = lintContent("src/fixture/suppress_ok.cc",
+                                   readFixture("suppress_ok.cc"));
+    EXPECT_TRUE(diags.empty()) << diags.front().format();
+}
+
+// --- Tokenizer edge cases the rules depend on -----------------------
+
+TEST(LintTokenizer, StringsAndCommentsNeverMatch)
+{
+    const char *src = R"(
+const char *msg = "assert(x) and rand() and steady_clock";
+// a comment mentioning assert(x >= 0) and new int[3]
+/* block comment: for (auto &e : someUnorderedMap) {} */
+int x = 0;
+)";
+    EXPECT_TRUE(lintContent("src/a/strings.cc", src).empty());
+}
+
+TEST(LintTokenizer, RawStringLiteralIsOpaque)
+{
+    const char *src = "const char *json = R\"({\"clock\": "
+                      "\"steady_clock\", \"call\": \"rand()\"})\";\n";
+    EXPECT_TRUE(lintContent("src/a/raw.cc", src).empty());
+}
+
+TEST(LintTokenizer, PreprocessorLinesAreSkipped)
+{
+    const char *src = "#include <unordered_map>\n"
+                      "#define TICK() time(nullptr)\n"
+                      "int y = 1;\n";
+    EXPECT_TRUE(lintContent("src/a/pp.cc", src).empty());
+}
+
+TEST(LintTokenizer, DigitSeparatorDoesNotOpenCharLiteral)
+{
+    const char *src = "const long big = 1'000'000; int z = 2;\n";
+    EXPECT_TRUE(lintContent("src/a/sep.cc", src).empty());
+}
+
+// --- Rule-specific semantics ----------------------------------------
+
+TEST(LintRules, ClassicForOverMapIsNotRangeIteration)
+{
+    // Classic for with iterators is still iteration, but the rule
+    // targets range-for (the idiom the codebase uses); a classic
+    // three-clause loop over indices must not trip on the map name.
+    const char *src = R"(
+#include <unordered_map>
+int count(const std::unordered_map<int, int> &m)
+{
+    int n = 0;
+    for (int i = 0; i < 3; ++i)
+        n += static_cast<int>(m.count(i));
+    return n;
+}
+)";
+    EXPECT_TRUE(lintContent("src/a/classic.cc", src).empty());
+}
+
+TEST(LintRules, HeaderDeclarationFlagsIterationInOtherFile)
+{
+    Linter linter;
+    linter.addFile("src/a/store.h",
+                   "#include <unordered_map>\n"
+                   "struct Store { std::unordered_map<int, int> "
+                   "byId_; };\n");
+    linter.addFile("src/a/store.cc",
+                   "#include \"store.h\"\n"
+                   "int sum(const Store &s)\n"
+                   "{\n"
+                   "    int t = 0;\n"
+                   "    for (const auto &e : s.byId_)\n"
+                   "        t += e.second;\n"
+                   "    return t;\n"
+                   "}\n");
+    const auto diags = linter.run();
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "D1");
+    EXPECT_EQ(diags[0].file, "src/a/store.cc");
+    EXPECT_EQ(diags[0].line, 5);
+}
+
+TEST(LintRules, TestFilesExemptFromNonTestRules)
+{
+    const char *src = R"(
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+void f(std::unordered_map<int, int> &m, std::vector<int *> &v)
+{
+    for (const auto &e : m)
+        (void)e;
+    std::sort(v.begin(), v.end());
+    int *p = new int(3);
+    delete p;
+}
+)";
+    EXPECT_TRUE(lintContent("tests/test_sample.cc", src).empty());
+    // The same content in src/ carries D1 + D5 + two D4s.
+    const auto rules = rulesOf(lintContent("src/a/sample.cc", src));
+    EXPECT_EQ(rules, (std::vector<std::string>{"D1", "D5", "D4", "D4"}));
+}
+
+TEST(LintRules, D2AllowlistedFilesAreExempt)
+{
+    const char *src = "#include <chrono>\n"
+                      "using Clock = std::chrono::steady_clock;\n";
+    EXPECT_TRUE(lintContent("src/util/stopwatch.h", src).empty());
+    EXPECT_FALSE(lintContent("src/sim/clock.h", src).empty());
+
+    const char *rng = "#include <random>\n"
+                      "std::random_device seedSource;\n";
+    EXPECT_TRUE(lintContent("src/util/rng.cc", rng).empty());
+    EXPECT_FALSE(lintContent("src/util/zipf.cc", rng).empty());
+}
+
+TEST(LintRules, DeletedSpecialMembersAreNotRawDelete)
+{
+    const char *src = R"(
+struct NoCopy
+{
+    NoCopy(const NoCopy &) = delete;
+    NoCopy &operator=(const NoCopy &) = delete;
+};
+)";
+    EXPECT_TRUE(lintContent("src/a/nocopy.cc", src).empty());
+}
+
+TEST(LintRules, StaticAssertAndCottageCheckAreFine)
+{
+    const char *src = "static_assert(sizeof(int) == 4);\n"
+                      "void g(int x) { COTTAGE_CHECK(x >= 0); }\n";
+    EXPECT_TRUE(lintContent("src/a/checks.cc", src).empty());
+}
+
+TEST(LintRules, SortWithComparatorPasses)
+{
+    const char *src = R"(
+#include <algorithm>
+#include <functional>
+#include <vector>
+void h(std::vector<double> &v)
+{
+    std::sort(v.begin(), v.end(), std::less<double>());
+    std::stable_sort(v.begin(), v.end(),
+                     [](double a, double b) { return a < b; });
+}
+)";
+    EXPECT_TRUE(lintContent("src/a/sorts.cc", src).empty());
+}
+
+TEST(LintRules, StableSortWithoutComparatorFlagged)
+{
+    const char *src = "#include <algorithm>\n"
+                      "#include <vector>\n"
+                      "void h(std::vector<int> &v)\n"
+                      "{ std::stable_sort(v.begin(), v.end()); }\n";
+    const auto diags = lintContent("src/a/ss.cc", src);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "D5");
+}
+
+TEST(LintRules, MemberSortIsNotStdSort)
+{
+    // list.sort() (e.g. std::list) only matches when qualified std::.
+    const char *src = "#include <list>\n"
+                      "void h(std::list<int> &l) { l.sort(); }\n";
+    EXPECT_TRUE(lintContent("src/a/memsort.cc", src).empty());
+}
+
+// --- Suppression policy ---------------------------------------------
+
+TEST(LintSuppressions, TrailingCommentGuardsItsOwnLine)
+{
+    const char *src =
+        "#include <unordered_map>\n"
+        "int f(const std::unordered_map<int, int> &m)\n"
+        "{\n"
+        "    int t = 0;\n"
+        "    for (const auto &e : m) // cottage-lint: allow(D1): "
+        "commutative sum over values\n"
+        "        t += e.second;\n"
+        "    return t;\n"
+        "}\n";
+    EXPECT_TRUE(lintContent("src/a/trail.cc", src).empty());
+}
+
+TEST(LintSuppressions, UnknownRuleIdIsAnError)
+{
+    const char *src = "// cottage-lint: allow(D9): not a real rule id\n"
+                      "int x = 0;\n";
+    const auto diags = lintContent("src/a/unknown.cc", src);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "SUP");
+    EXPECT_NE(diags[0].message.find("D9"), std::string::npos);
+}
+
+TEST(LintSuppressions, AllowOnlySilencesTheNamedRule)
+{
+    // A D1 allow must not hide the D5 on the same line.
+    const char *src =
+        "#include <algorithm>\n"
+        "#include <vector>\n"
+        "void f(std::vector<int *> &v)\n"
+        "{\n"
+        "    // cottage-lint: allow(D1): wrong rule for the line below\n"
+        "    std::sort(v.begin(), v.end());\n"
+        "}\n";
+    const auto diags = lintContent("src/a/wrongrule.cc", src);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "D5");
+}
+
+// --- The repo itself stays clean ------------------------------------
+
+TEST(LintRepo, DiagnosticFormatIsStable)
+{
+    Diagnostic d{"src/a/b.cc", 12, "D3", "message text"};
+    EXPECT_EQ(d.format(), "src/a/b.cc:12: [D3] message text");
+}
+
+} // namespace

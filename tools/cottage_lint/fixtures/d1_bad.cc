@@ -1,0 +1,12 @@
+// Fixture: D1 — iterating a hash container in a non-test TU.
+// Expected: exactly one [D1] finding on the for-loop line.
+#include <unordered_map>
+
+int
+sumValues(const std::unordered_map<int, int> &counts)
+{
+    int total = 0;
+    for (const auto &entry : counts)
+        total += entry.second;
+    return total;
+}

@@ -1,0 +1,10 @@
+// Fixture: D2 — wall clock outside util/stopwatch.h.
+// Expected: exactly one [D2] finding on the steady_clock line.
+#include <chrono>
+
+double
+wallSeconds()
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}

@@ -1,0 +1,10 @@
+// Fixture: D3 — float in a score path (linted under src/index/).
+// Expected: exactly one [D3] finding on the declaration line.
+
+double
+shrinkScore(double score)
+{
+    float narrowed = 0.0;
+    narrowed += static_cast<decltype(narrowed)>(score);
+    return narrowed;
+}

@@ -1,0 +1,10 @@
+// Fixture: D4 — assert() instead of COTTAGE_CHECK.
+// Expected: exactly one [D4] finding on the assert line.
+#include <cassert>
+
+int
+halve(int x)
+{
+    assert(x >= 0);
+    return x / 2;
+}

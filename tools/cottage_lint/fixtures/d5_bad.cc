@@ -1,0 +1,10 @@
+// Fixture: D5 — std::sort on pointers with the default comparator.
+// Expected: exactly one [D5] finding on the sort line.
+#include <algorithm>
+#include <vector>
+
+void
+orderDocs(std::vector<const int *> &docs)
+{
+    std::sort(docs.begin(), docs.end());
+}

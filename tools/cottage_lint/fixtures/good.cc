@@ -1,0 +1,33 @@
+// Fixture: clean file — every rule satisfied. Expected: no findings.
+// Hash containers are probed, never iterated; the sort names its
+// comparator; strings and comments mentioning assert( or rand() must
+// not be findings.
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+// A comment saying assert(x) or rand() is not a call.
+const char *kBanner = "do not call rand() or assert(here)";
+
+bool
+contains(const std::unordered_set<int> &seen, int doc)
+{
+    return seen.count(doc) != 0;
+}
+
+void
+orderValues(std::vector<double> &values)
+{
+    std::sort(values.begin(), values.end(), std::less<double>());
+}
+
+int
+scanOrdered(const std::vector<int> &docs)
+{
+    int last = 0;
+    for (int doc : docs)
+        last = doc;
+    return last;
+}

@@ -1,0 +1,14 @@
+// Fixture: suppression without a justification.
+// Expected: one [SUP] finding on the allow() line AND the underlying
+// [D1] still fires — an unjustified allow() suppresses nothing.
+#include <unordered_map>
+
+int
+sumKeys(const std::unordered_map<int, int> &counts)
+{
+    int total = 0;
+    // cottage-lint: allow(D1)
+    for (const auto &entry : counts)
+        total += entry.first;
+    return total;
+}

@@ -1,0 +1,13 @@
+// Fixture: justified suppression. Expected: no findings — the
+// commutative fold below cannot depend on iteration order.
+#include <unordered_map>
+
+int
+sumKeys(const std::unordered_map<int, int> &counts)
+{
+    int total = 0;
+    // cottage-lint: allow(D1): commutative integer sum, order-independent
+    for (const auto &entry : counts)
+        total += entry.first;
+    return total;
+}

@@ -1,0 +1,246 @@
+#include "lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace cottage::lint {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/**
+ * Multi-character punctuators the rules care about distinguishing. The
+ * only load-bearing one is "::" (so a lone ":" in a range-for is easy
+ * to find) but matching the usual two/three-char operators keeps the
+ * stream sane, e.g. "->" never shows up as ">" to the D1 scanner.
+ */
+const char *const kMultiPunct[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "++", "--", "+=", "-=", "*=", "/=",
+    "%=",  "&=",  "|=",  "^=",  ".*",
+};
+
+} // namespace
+
+LexedFile
+lex(const std::string &source)
+{
+    LexedFile out;
+    const std::size_t n = source.size();
+    std::size_t i = 0;
+    int line = 1;
+
+    auto addComment = [&out](int atLine, const std::string &text) {
+        std::string &slot = out.comments[atLine];
+        if (!slot.empty())
+            slot += ' ';
+        slot += text;
+    };
+    auto push = [&out](TokenKind kind, std::string text, int atLine) {
+        out.codeOnLine[atLine] = true;
+        out.tokens.push_back({kind, std::move(text), atLine});
+    };
+
+    // True when the only things seen on the current line so far are
+    // whitespace — used to recognize preprocessor directives.
+    bool lineStart = true;
+
+    while (i < n) {
+        const char c = source[i];
+
+        if (c == '\n') {
+            ++line;
+            ++i;
+            lineStart = true;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+
+        // Preprocessor directive: consume to end of line, honoring
+        // backslash continuations. Includes/defines never carry code
+        // the rules inspect (and `#include <unordered_map>` must not
+        // look like a declaration).
+        if (c == '#' && lineStart) {
+            while (i < n) {
+                if (source[i] == '\\' && i + 1 < n && source[i + 1] == '\n') {
+                    ++line;
+                    i += 2;
+                    continue;
+                }
+                if (source[i] == '\n')
+                    break;
+                ++i;
+            }
+            continue;
+        }
+        lineStart = false;
+
+        // Line comment.
+        if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+            std::size_t j = i + 2;
+            while (j < n && source[j] != '\n')
+                ++j;
+            addComment(line, source.substr(i + 2, j - i - 2));
+            i = j;
+            continue;
+        }
+
+        // Block comment: text attaches to every spanned line.
+        if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+            std::size_t j = i + 2;
+            int commentLine = line;
+            std::size_t segStart = j;
+            while (j < n && !(source[j] == '*' && j + 1 < n &&
+                              source[j + 1] == '/')) {
+                if (source[j] == '\n') {
+                    addComment(commentLine,
+                               source.substr(segStart, j - segStart));
+                    ++commentLine;
+                    segStart = j + 1;
+                }
+                ++j;
+            }
+            addComment(commentLine, source.substr(segStart, j - segStart));
+            line = commentLine;
+            i = (j + 1 < n) ? j + 2 : n;
+            continue;
+        }
+
+        // Identifier / keyword — with the raw-string prefix special
+        // case: R"( and friends start a raw string literal.
+        if (isIdentStart(c)) {
+            std::size_t j = i;
+            while (j < n && isIdentChar(source[j]))
+                ++j;
+            const std::string word = source.substr(i, j - i);
+            const bool rawPrefix = (word == "R" || word == "u8R" ||
+                                    word == "uR" || word == "UR" ||
+                                    word == "LR");
+            if (rawPrefix && j < n && source[j] == '"') {
+                // R"delim( ... )delim"
+                std::size_t k = j + 1;
+                std::string delim;
+                while (k < n && source[k] != '(')
+                    delim += source[k++];
+                const std::string closer = ")" + delim + "\"";
+                std::size_t end = source.find(closer, k);
+                if (end == std::string::npos)
+                    end = n;
+                else
+                    end += closer.size();
+                const int startLine = line;
+                for (std::size_t p = i; p < end && p < n; ++p)
+                    if (source[p] == '\n')
+                        ++line;
+                push(TokenKind::String, "", startLine);
+                i = end;
+                continue;
+            }
+            // String/char encoding prefixes (u8"", L'x', ...): let the
+            // literal scanner below handle the quote; emit no token.
+            const bool encPrefix = (word == "u8" || word == "u" ||
+                                    word == "U" || word == "L");
+            if (encPrefix && j < n && (source[j] == '"' || source[j] == '\''))
+            {
+                i = j;
+                continue;
+            }
+            push(TokenKind::Identifier, word, line);
+            i = j;
+            continue;
+        }
+
+        // Number: digits plus pp-number continuation (hex, suffixes,
+        // digit separators, exponent signs). A separator quote inside a
+        // number must not open a char literal.
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && i + 1 < n &&
+             std::isdigit(static_cast<unsigned char>(source[i + 1]))))
+        {
+            std::size_t j = i;
+            while (j < n) {
+                const char d = source[j];
+                if (isIdentChar(d) || d == '.') {
+                    ++j;
+                    continue;
+                }
+                if (d == '\'' && j + 1 < n && isIdentChar(source[j + 1])) {
+                    j += 2;
+                    continue;
+                }
+                if ((d == '+' || d == '-') && j > i &&
+                    (source[j - 1] == 'e' || source[j - 1] == 'E' ||
+                     source[j - 1] == 'p' || source[j - 1] == 'P'))
+                {
+                    ++j;
+                    continue;
+                }
+                break;
+            }
+            push(TokenKind::Number, source.substr(i, j - i), line);
+            i = j;
+            continue;
+        }
+
+        // String literal.
+        if (c == '"') {
+            std::size_t j = i + 1;
+            while (j < n && source[j] != '"') {
+                if (source[j] == '\\' && j + 1 < n)
+                    ++j;
+                else if (source[j] == '\n')
+                    ++line; // ill-formed, but keep line counts right
+                ++j;
+            }
+            push(TokenKind::String, "", line);
+            i = (j < n) ? j + 1 : n;
+            continue;
+        }
+
+        // Character literal.
+        if (c == '\'') {
+            std::size_t j = i + 1;
+            while (j < n && source[j] != '\'') {
+                if (source[j] == '\\' && j + 1 < n)
+                    ++j;
+                ++j;
+            }
+            push(TokenKind::Char, "", line);
+            i = (j < n) ? j + 1 : n;
+            continue;
+        }
+
+        // Punctuator: longest match first.
+        bool matched = false;
+        for (const char *mp : kMultiPunct) {
+            const std::size_t len = std::char_traits<char>::length(mp);
+            if (source.compare(i, len, mp) == 0) {
+                push(TokenKind::Punct, mp, line);
+                i += len;
+                matched = true;
+                break;
+            }
+        }
+        if (!matched) {
+            push(TokenKind::Punct, std::string(1, c), line);
+            ++i;
+        }
+    }
+    return out;
+}
+
+} // namespace cottage::lint

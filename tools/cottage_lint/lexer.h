@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Minimal C++ tokenizer for cottage_lint.
+ *
+ * This is not a compiler front end: it produces just enough structure
+ * for the project rules — identifier/punctuation tokens with line
+ * numbers, with comments, string/char literals and preprocessor lines
+ * stripped out of the token stream. Comment text is kept per line so
+ * the suppression syntax (`// cottage-lint: allow(<rule>): <why>`) can
+ * be recognized, and string/char literals can never produce a false
+ * finding (an `assert(` inside a log message is not a call).
+ */
+
+#ifndef COTTAGE_LINT_LEXER_H
+#define COTTAGE_LINT_LEXER_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cottage::lint {
+
+/** Coarse token classification; the rules mostly match on text. */
+enum class TokenKind {
+    Identifier, ///< Identifier or keyword.
+    Number,     ///< Numeric literal (incl. suffixes and separators).
+    Punct,      ///< One operator/punctuator, e.g. "::", "<", "(".
+    String,     ///< String literal (text omitted, placeholder token).
+    Char,       ///< Character literal (text omitted).
+};
+
+/** One lexed token. */
+struct Token
+{
+    TokenKind kind;
+    std::string text; ///< Spelling; empty for String/Char.
+    int line;         ///< 1-based source line of the first character.
+};
+
+/** Result of lexing one translation unit. */
+struct LexedFile
+{
+    /** All code tokens in source order. */
+    std::vector<Token> tokens;
+
+    /**
+     * Comment text per 1-based line. A block comment contributes its
+     * full text to every line it spans, so a suppression written inside
+     * one is found regardless of formatting.
+     */
+    std::map<int, std::string> comments;
+
+    /** Lines that carry at least one code token. */
+    std::map<int, bool> codeOnLine;
+};
+
+/**
+ * Lex one source file. Never fails: unterminated constructs are
+ * consumed to end of input (the real compiler rejects them anyway).
+ */
+LexedFile lex(const std::string &source);
+
+} // namespace cottage::lint
+
+#endif // COTTAGE_LINT_LEXER_H

@@ -1,0 +1,461 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "lexer.h"
+
+namespace cottage::lint {
+
+namespace {
+
+/** Rule-id set a suppression may name. */
+const std::set<std::string> kKnownRules = {"D1", "D2", "D3", "D4", "D5"};
+
+/** Minimum justification length a suppression must carry. */
+constexpr std::size_t kMinJustification = 10;
+
+/** Files where D2's wall-clock/randomness ban does not apply. */
+bool
+isD2Exempt(const std::string &path)
+{
+    return path.ends_with("src/util/stopwatch.h") ||
+           path.ends_with("src/util/rng.cc") ||
+           path == "src/util/stopwatch.h" || path == "src/util/rng.cc";
+}
+
+/** Directories whose score/energy paths carry the double contract. */
+bool
+isD3Scoped(const std::string &path)
+{
+    return path.find("src/index/") != std::string::npos ||
+           path.find("src/engine/") != std::string::npos ||
+           path.find("src/sim/") != std::string::npos;
+}
+
+/**
+ * Files allowed to use raw new/delete (arena / placement code). None
+ * today; kept as an explicit list so adding an arena is a one-line,
+ * reviewable change rather than a scattering of suppressions.
+ */
+bool
+isArenaFile(const std::string &path)
+{
+    (void)path;
+    return false;
+}
+
+/** Wall-clock / randomness identifiers D2 bans outright. */
+const std::set<std::string> kBannedD2Names = {
+    "random_device",
+    "system_clock",
+    "steady_clock",
+    "high_resolution_clock",
+};
+
+/** Function-call spellings D2 bans when followed by '('. */
+const std::set<std::string> kBannedD2Calls = {
+    "rand",      "srand",        "time",      "clock",
+    "localtime", "gmtime",       "gettimeofday",
+    "clock_gettime",
+};
+
+/** One parsed `cottage-lint: allow(...)` comment. */
+struct Suppression
+{
+    int commentLine = 0;
+    int targetLine = 0; ///< Line whose findings it suppresses.
+    std::set<std::string> rules;
+    std::string justification;
+    std::vector<std::string> unknownRules;
+
+    bool justified() const
+    {
+        return justification.size() >= kMinJustification;
+    }
+};
+
+std::string
+trimmed(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t:-.;,");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t");
+    return s.substr(b, e - b + 1);
+}
+
+/** Parse every suppression in the file's comments. */
+std::vector<Suppression>
+parseSuppressions(const LexedFile &lexed)
+{
+    std::vector<Suppression> out;
+    for (const auto &[line, text] : lexed.comments) {
+        std::size_t pos = 0;
+        while ((pos = text.find("cottage-lint", pos)) != std::string::npos) {
+            std::size_t allowPos = text.find("allow", pos);
+            if (allowPos == std::string::npos)
+                break;
+            std::size_t open = text.find('(', allowPos);
+            std::size_t close =
+                open == std::string::npos ? std::string::npos
+                                          : text.find(')', open);
+            if (close == std::string::npos)
+                break;
+
+            Suppression sup;
+            sup.commentLine = line;
+            // Comment alone on its line guards the next line; a
+            // trailing comment guards its own line.
+            const auto codeIt = lexed.codeOnLine.find(line);
+            const bool hasCode =
+                codeIt != lexed.codeOnLine.end() && codeIt->second;
+            sup.targetLine = hasCode ? line : line + 1;
+
+            std::string ruleList = text.substr(open + 1, close - open - 1);
+            std::string current;
+            auto flush = [&]() {
+                if (current.empty())
+                    return;
+                if (kKnownRules.count(current))
+                    sup.rules.insert(current);
+                else
+                    sup.unknownRules.push_back(current);
+                current.clear();
+            };
+            for (char c : ruleList) {
+                if (c == ',' || c == ' ' || c == '\t')
+                    flush();
+                else
+                    current += c;
+            }
+            flush();
+
+            sup.justification = trimmed(text.substr(close + 1));
+            out.push_back(std::move(sup));
+            pos = close;
+        }
+    }
+    return out;
+}
+
+/**
+ * Phase one: identifier names declared with a hash-container type.
+ * Recognizes `unordered_map<...> name` / `unordered_set<...> name`
+ * (members, locals, parameters), skipping qualifiers and references.
+ * `using`-alias indirection is out of reach of a token scanner and is
+ * covered by code review instead.
+ */
+void
+collectUnorderedNames(const LexedFile &lexed, std::set<std::string> &names)
+{
+    const auto &toks = lexed.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (toks[i].kind != TokenKind::Identifier ||
+            (toks[i].text != "unordered_map" &&
+             toks[i].text != "unordered_set"))
+            continue;
+        if (toks[i + 1].text != "<")
+            continue;
+
+        // Skip the template argument list (">>" closes two).
+        int depth = 0;
+        std::size_t j = i + 1;
+        for (; j < toks.size(); ++j) {
+            if (toks[j].text == "<")
+                ++depth;
+            else if (toks[j].text == ">")
+                --depth;
+            else if (toks[j].text == ">>")
+                depth -= 2;
+            if (depth <= 0 && j > i + 1)
+                break;
+        }
+        // Declarator: skip cv/ref tokens, then an identifier not
+        // followed by '(' (that would be a function returning a map)
+        // and not preceded by '::' access (that's a nested type).
+        for (++j; j < toks.size(); ++j) {
+            const std::string &t = toks[j].text;
+            if (t == "&" || t == "*" || t == "const" || t == "&&")
+                continue;
+            if (toks[j].kind == TokenKind::Identifier &&
+                j + 1 < toks.size() && toks[j + 1].text != "(" &&
+                t != "iterator" && t != "const_iterator")
+                names.insert(t);
+            break;
+        }
+    }
+}
+
+/** Bounds of one range-based for's range expression, if any. */
+struct RangeFor
+{
+    int line;                ///< Line of the `for` keyword.
+    std::size_t exprBegin;   ///< First token of the range expression.
+    std::size_t exprEnd;     ///< One past the last token.
+};
+
+/**
+ * Find range-based for statements. A for-parenthesis is range-based
+ * iff it has a depth-1 ':' and no depth-1 ';' (the lexer emits '::'
+ * as one token, so a lone ':' is unambiguous).
+ */
+std::vector<RangeFor>
+findRangeFors(const LexedFile &lexed)
+{
+    std::vector<RangeFor> out;
+    const auto &toks = lexed.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (toks[i].kind != TokenKind::Identifier || toks[i].text != "for" ||
+            toks[i + 1].text != "(")
+            continue;
+        int depth = 0;
+        std::size_t colon = 0;
+        bool classic = false;
+        std::size_t close = 0;
+        for (std::size_t j = i + 1; j < toks.size(); ++j) {
+            const std::string &t = toks[j].text;
+            if (t == "(" || t == "[" || t == "{")
+                ++depth;
+            else if (t == ")" || t == "]" || t == "}") {
+                --depth;
+                if (depth == 0) {
+                    close = j;
+                    break;
+                }
+            } else if (depth == 1 && t == ";")
+                classic = true;
+            else if (depth == 1 && t == ":" && colon == 0)
+                colon = j;
+        }
+        if (close == 0 || classic || colon == 0)
+            continue;
+        out.push_back({toks[i].line, colon + 1, close});
+    }
+    return out;
+}
+
+void
+runRules(const SourceFile &file, const LexedFile &lexed,
+         const std::set<std::string> &unorderedNames,
+         std::vector<Diagnostic> &diags)
+{
+    const bool testFile = isTestPath(file.path);
+    const auto &toks = lexed.tokens;
+
+    auto emit = [&](int line, const char *rule, std::string message) {
+        diags.push_back({file.path, line, rule, std::move(message)});
+    };
+
+    // --- D1: hash-container iteration (non-test TUs) ---------------
+    if (!testFile) {
+        for (const RangeFor &rf : findRangeFors(lexed)) {
+            for (std::size_t j = rf.exprBegin; j < rf.exprEnd; ++j) {
+                const Token &t = toks[j];
+                if (t.kind != TokenKind::Identifier)
+                    continue;
+                if (t.text == "unordered_map" || t.text == "unordered_set" ||
+                    unorderedNames.count(t.text))
+                {
+                    emit(rf.line, "D1",
+                         "iteration over hash container '" + t.text +
+                             "': order-dependent output from "
+                             "std::unordered_* breaks the bit-exact "
+                             "replay contract (DESIGN.md 5b); iterate a "
+                             "sorted or insertion-ordered copy instead");
+                    break;
+                }
+            }
+        }
+    }
+
+    // --- Token-at-a-time rules -------------------------------------
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != TokenKind::Identifier)
+            continue;
+        const bool callLike =
+            i + 1 < toks.size() && toks[i + 1].text == "(";
+        const std::string prev = i > 0 ? toks[i - 1].text : "";
+
+        // D2: wall clocks and libc randomness.
+        if (!isD2Exempt(file.path)) {
+            if (kBannedD2Names.count(t.text)) {
+                emit(t.line, "D2",
+                     "'" + t.text +
+                         "' is banned: all simulated time comes from "
+                         "the event clock, wall time from "
+                         "util/stopwatch.h, randomness from "
+                         "util/rng.cc (seeded, replayable)");
+            } else if (callLike && kBannedD2Calls.count(t.text) &&
+                       prev != "." && prev != "->")
+            {
+                emit(t.line, "D2",
+                     "call to '" + t.text +
+                         "()' is banned: use the event clock / "
+                         "util/stopwatch.h for time and util/rng.cc "
+                         "for randomness");
+            }
+        }
+
+        // D3: float in the double-contract directories.
+        if (isD3Scoped(file.path) && t.text == "float") {
+            emit(t.line, "D3",
+                 "'float' in a score/energy path: the bit-exactness "
+                 "contract (DESIGN.md 5b) is on IEEE doubles; "
+                 "truncation to float silently changes ranks");
+        }
+
+        // D4: assert() and raw new/delete.
+        if (t.text == "assert" && callLike) {
+            emit(t.line, "D4",
+                 "assert() compiles out under NDEBUG; use "
+                 "COTTAGE_CHECK / COTTAGE_CHECK_MSG so invariants "
+                 "hold in release replays too");
+        }
+        if (!testFile && !isArenaFile(file.path)) {
+            if (t.text == "new") {
+                emit(t.line, "D4",
+                     "raw 'new' outside arena code: own allocations "
+                     "with std::make_unique/std::vector");
+            } else if (t.text == "delete" && prev != "=" &&
+                       prev != "operator")
+            {
+                emit(t.line, "D4",
+                     "raw 'delete' outside arena code: use RAII "
+                     "ownership instead");
+            }
+        }
+
+        // D5: std::sort / std::stable_sort must name a comparator.
+        if (!testFile &&
+            (t.text == "sort" || t.text == "stable_sort") && callLike &&
+            prev == "::" && i >= 2 &&
+            (toks[i - 2].text == "std" || toks[i - 2].text == "ranges"))
+        {
+            const bool rangesSort = toks[i - 2].text == "ranges";
+            int depth = 0;
+            std::size_t commas = 0;
+            for (std::size_t j = i + 1; j < toks.size(); ++j) {
+                const std::string &p = toks[j].text;
+                if (p == "(" || p == "[" || p == "{")
+                    ++depth;
+                else if (p == ")" || p == "]" || p == "}") {
+                    --depth;
+                    if (depth == 0)
+                        break;
+                } else if (depth == 1 && p == ",")
+                    ++commas;
+            }
+            const std::size_t needed = rangesSort ? 1 : 2;
+            if (commas < needed) {
+                emit(t.line, "D5",
+                     "std::" + std::string(rangesSort ? "ranges::" : "") +
+                         t.text +
+                         " without a named comparator: default '<' on "
+                         "pointers (or pairs holding them) is a latent "
+                         "nondeterminism; pass std::less<T>{} or an "
+                         "explicit ordering");
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::string
+Diagnostic::format() const
+{
+    std::ostringstream os;
+    os << file << ":" << line << ": [" << rule << "] " << message;
+    return os.str();
+}
+
+bool
+isTestPath(const std::string &path)
+{
+    if (path.find("tests/") != std::string::npos)
+        return true;
+    const std::size_t slash = path.find_last_of('/');
+    const std::string base =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    return base.rfind("test_", 0) == 0;
+}
+
+void
+Linter::addFile(std::string path, std::string content)
+{
+    std::replace(path.begin(), path.end(), '\\', '/');
+    files_.push_back({std::move(path), std::move(content)});
+}
+
+std::vector<Diagnostic>
+Linter::run() const
+{
+    // Phase one: project-wide hash-container names, so a member map
+    // declared in a header is caught when iterated in a .cc. Names
+    // declared in test files are skipped — D1 does not apply there,
+    // and a test-local map must not shadow-flag production loops.
+    std::set<std::string> unorderedNames;
+    std::vector<LexedFile> lexed;
+    lexed.reserve(files_.size());
+    for (const SourceFile &file : files_) {
+        lexed.push_back(lex(file.content));
+        if (!isTestPath(file.path))
+            collectUnorderedNames(lexed.back(), unorderedNames);
+    }
+
+    std::vector<Diagnostic> out;
+    for (std::size_t f = 0; f < files_.size(); ++f) {
+        std::vector<Diagnostic> diags;
+        runRules(files_[f], lexed[f], unorderedNames, diags);
+
+        // Apply suppressions; a malformed one suppresses nothing and
+        // is itself a finding.
+        const auto sups = parseSuppressions(lexed[f]);
+        for (const Suppression &sup : sups) {
+            for (const std::string &bad : sup.unknownRules) {
+                diags.push_back(
+                    {files_[f].path, sup.commentLine, "SUP",
+                     "allow() names unknown rule '" + bad +
+                         "' (known: D1..D5)"});
+            }
+            if (!sup.justified()) {
+                diags.push_back(
+                    {files_[f].path, sup.commentLine, "SUP",
+                     "suppression without a justification: write "
+                     "'cottage-lint: allow(<rule>): <why this site "
+                     "cannot break the invariant>' (>= " +
+                         std::to_string(kMinJustification) +
+                         " chars); the unjustified allow() suppresses "
+                         "nothing"});
+                continue;
+            }
+            std::erase_if(diags, [&](const Diagnostic &d) {
+                return d.line == sup.targetLine && sup.rules.count(d.rule);
+            });
+        }
+
+        std::sort(diags.begin(), diags.end(),
+                  [](const Diagnostic &a, const Diagnostic &b) {
+                      if (a.line != b.line)
+                          return a.line < b.line;
+                      return a.rule < b.rule;
+                  });
+        out.insert(out.end(), diags.begin(), diags.end());
+    }
+    return out;
+}
+
+std::vector<Diagnostic>
+lintContent(const std::string &virtualPath, const std::string &content)
+{
+    Linter linter;
+    linter.addFile(virtualPath, content);
+    return linter.run();
+}
+
+} // namespace cottage::lint

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * cottage_lint — project-invariant static checks for the Cottage tree.
+ *
+ * The checker enforces the determinism and rank-safety contracts of
+ * DESIGN.md §5b/§5e at CI time, before a single query runs:
+ *
+ *   D1  no iteration over std::unordered_map / std::unordered_set in
+ *       non-test translation units (order-dependent output from hash
+ *       containers is the classic replay-divergence bug);
+ *   D2  no wall-clock or libc randomness outside the blessed files —
+ *       rand()/random_device belong to src/util/rng.cc, the chrono
+ *       clocks and time() to src/util/stopwatch.h; all sim time comes
+ *       from the event clock;
+ *   D3  no `float` in src/index, src/engine, src/sim — the
+ *       bit-exactness contract is on doubles;
+ *   D4  assert() is banned in favor of COTTAGE_CHECK, and raw
+ *       new/delete are banned outside allow-listed arena code;
+ *   D5  every std::sort / std::stable_sort in non-test code must name
+ *       a comparator (default `<` on pointers, or on pairs holding
+ *       pointers, is a latent nondeterminism).
+ *
+ * Findings are suppressed per line with
+ *
+ *     // cottage-lint: allow(D1): <justification, >= 10 chars>
+ *
+ * either on the offending line or alone on the line above it. An
+ * allow() without a justification is itself a finding (rule SUP) and
+ * suppresses nothing.
+ */
+
+#ifndef COTTAGE_LINT_LINT_H
+#define COTTAGE_LINT_LINT_H
+
+#include <string>
+#include <vector>
+
+namespace cottage::lint {
+
+/** One finding, formatted as file:line: [rule] message. */
+struct Diagnostic
+{
+    std::string file;
+    int line;
+    std::string rule; ///< "D1".."D5", or "SUP" for a bad suppression.
+    std::string message;
+
+    /** Render in the canonical file:line: [rule] form. */
+    std::string format() const;
+};
+
+/** One source file queued for checking. */
+struct SourceFile
+{
+    std::string path; ///< Repo-relative path; drives rule scoping.
+    std::string content;
+};
+
+/**
+ * Two-phase checker. addFile() every translation unit first (phase one
+ * collects the hash-container identifier names D1 matches against
+ * project-wide, so a map declared in a header is caught when iterated
+ * in a .cc), then run() applies the rules and suppressions.
+ */
+class Linter
+{
+  public:
+    /** Queue a file. @p path should be repo-relative with '/'. */
+    void addFile(std::string path, std::string content);
+
+    /** Check every queued file; diagnostics in path-then-line order. */
+    std::vector<Diagnostic> run() const;
+
+  private:
+    std::vector<SourceFile> files_;
+};
+
+/**
+ * Convenience wrapper: lint one file in isolation under a virtual
+ * path (rule scoping comes from the path, so a fixture can pretend to
+ * live in src/index/). Used by tests and the CLI's --as mode.
+ */
+std::vector<Diagnostic> lintContent(const std::string &virtualPath,
+                                    const std::string &content);
+
+/** True when @p path is test code (tests/ dir or test_ file prefix). */
+bool isTestPath(const std::string &path);
+
+} // namespace cottage::lint
+
+#endif // COTTAGE_LINT_LINT_H
