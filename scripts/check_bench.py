@@ -5,7 +5,7 @@ Run after `bench_evaluators [--smoke]`:
 
     python3 scripts/check_bench.py BENCH_evaluators.json
 
-Fails when block-max pruning stops paying for itself:
+Work gates (always run between evaluators that are present):
   - bmw must score STRICTLY fewer documents than wand at the bench's
     k on the wikipedia-flavor trace (the whole point of the shallow
     per-block bound check);
@@ -13,28 +13,46 @@ Fails when block-max pruning stops paying for itself:
   - the block-skip machinery must actually engage (blocks_skipped > 0);
   - every evaluator must agree on queries run (same trace replayed).
 
+Time gates (ns_per_query; opt-in via an explicit --require): wall time
+is machine- and load-dependent, so the time comparisons only run for a
+pair when BOTH members are named in an explicit --require list:
+  - wand,bmw     -> bmw must beat wand on ns_per_query (strictly);
+  - maxscore,bmm -> bmm must not lose to maxscore on ns_per_query.
+CI runs the work gates on every bench file and the wand/bmw time gate
+on the full (non-smoke) run, which bench_evaluators measures as an
+interleaved min-of-N (see --repeats there). A file produced with
+--no-time has every ns_per_query zeroed; requesting a time gate on one
+is BAD INPUT (exit 2), not a pass.
+
 Exit codes are distinct on purpose so CI logs are unambiguous:
   0  all guards pass
   1  a perf guard tripped (a real regression)
   2  the input is unusable — file missing/corrupt, an evaluator named
-     by --require absent (e.g. a smoke run that skipped it), or a
-     sweep entry missing an expected field
+     by --require absent (e.g. a smoke run that skipped it), a sweep
+     entry missing an expected field, or a time gate requested on a
+     --no-time file
 
 --require names the evaluators that must be present, comma-separated
 or repeated (default: exhaustive,maxscore,wand,bmw,bmm — the full CI
 sweep). Comparisons are only run between evaluators that are present,
 so a trimmed smoke file can still be checked with a narrower
 --require list instead of dying on a KeyError.
+
+--self-test exercises every gate and exit code on synthetic bench
+files and exits 0 only if all behave; ctest runs it so the guard's own
+logic is pinned alongside the code it guards.
 """
 
 import argparse
 import json
+import os
 import sys
+import tempfile
 
 DEFAULT_REQUIRED = ["exhaustive", "maxscore", "wand", "bmw", "bmm"]
 
 # Fields every totals row must carry for the guards to run.
-ROW_FIELDS = ["queries", "docs_scored", "blocks_skipped"]
+ROW_FIELDS = ["queries", "docs_scored", "blocks_skipped", "ns_per_query"]
 
 
 def fail(message: str) -> None:
@@ -65,8 +83,15 @@ def parse_args(argv):
         metavar="EVALUATORS",
         help=(
             "evaluator(s) that must be present, comma-separated; may be "
-            "repeated (default: %s)" % ",".join(DEFAULT_REQUIRED)
+            "repeated (default: %s). Passing the flag explicitly also "
+            "arms the ns_per_query gates for fully-covered pairs"
+            % ",".join(DEFAULT_REQUIRED)
         ),
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="check the checker itself on synthetic inputs and exit",
     )
     return parser.parse_args(argv)
 
@@ -103,13 +128,12 @@ def load_totals(path: str, required):
     return totals
 
 
-def main(argv=None) -> None:
-    args = parse_args(argv)
-    required = []
-    for chunk in args.require or [",".join(DEFAULT_REQUIRED)]:
-        required.extend(n for n in chunk.split(",") if n)
+def check(path: str, required, time_gated) -> str:
+    """Run every armed gate; exits via fail()/unusable() on violation.
 
-    totals = load_totals(args.path, required)
+    Returns the one-line OK summary.
+    """
+    totals = load_totals(path, required)
 
     queries = {name: row["queries"] for name, row in totals.items()}
     if len(set(queries.values())) != 1:
@@ -138,7 +162,45 @@ def main(argv=None) -> None:
         if entry and entry["blocks_skipped"] == 0:
             fail(f"{name} skipped zero blocks: skip layer never engaged")
 
+    def timed(name):
+        entry = row(name)
+        if entry is None:
+            unusable(f"time gate needs evaluator '{name}'")
+        if entry["ns_per_query"] == 0:
+            unusable(
+                f"time gate on '{name}' but its ns_per_query is 0: "
+                "bench ran with --no-time (or never measured); time "
+                "gates need a timed run"
+            )
+        return entry
+
     summary = []
+    if {"wand", "bmw"} <= time_gated:
+        w, b = timed("wand"), timed("bmw")
+        if b["ns_per_query"] >= w["ns_per_query"]:
+            fail(
+                f"bmw took {b['ns_per_query']} ns/query, wand "
+                f"{w['ns_per_query']}: block-max decode+prune must beat "
+                "flat WAND on wall time, not only on docs scored"
+            )
+        speedup = 1.0 - b["ns_per_query"] / w["ns_per_query"]
+        summary.append(
+            f"bmw {b['ns_per_query']} ns/query vs wand "
+            f"{w['ns_per_query']} ({speedup:.1%} faster)"
+        )
+    if {"maxscore", "bmm"} <= time_gated:
+        m, b = timed("maxscore"), timed("bmm")
+        if b["ns_per_query"] > m["ns_per_query"]:
+            fail(
+                f"bmm took {b['ns_per_query']} ns/query, maxscore "
+                f"{m['ns_per_query']}: bmm must not lose wall time to "
+                "flat MaxScore"
+            )
+        summary.append(
+            f"bmm {b['ns_per_query']} ns/query vs maxscore "
+            f"{m['ns_per_query']}"
+        )
+
     if bmw and wand:
         saved = 1.0 - bmw["docs_scored"] / wand["docs_scored"]
         summary.append(
@@ -150,7 +212,167 @@ def main(argv=None) -> None:
             f"bmm {bmm['docs_scored']} vs maxscore "
             f"{maxscore['docs_scored']}"
         )
-    detail = "; ".join(summary) if summary else "no pruning pairs present"
+    return "; ".join(summary) if summary else "no pruning pairs present"
+
+
+# ---------------------------------------------------------------------
+# Self-test: pin the checker's own behaviour (gates, arming rules, exit
+# codes) on synthetic bench files.
+
+
+def _synthetic_totals(**overrides):
+    """A healthy full-sweep totals section; overrides patch fields as
+    {evaluator: {field: value}}."""
+    base = {
+        "exhaustive": {"queries": 100, "docs_scored": 5000,
+                       "blocks_skipped": 0, "ns_per_query": 9000},
+        "maxscore": {"queries": 100, "docs_scored": 3000,
+                     "blocks_skipped": 0, "ns_per_query": 6000},
+        "wand": {"queries": 100, "docs_scored": 2500,
+                 "blocks_skipped": 0, "ns_per_query": 8000},
+        "bmw": {"queries": 100, "docs_scored": 2000,
+                "blocks_skipped": 40, "ns_per_query": 7000},
+        "bmm": {"queries": 100, "docs_scored": 3000,
+                "blocks_skipped": 30, "ns_per_query": 5500},
+    }
+    for name, fields in overrides.items():
+        base[name].update(fields)
+    return base
+
+
+def _run_case(tag, argv, expect_exit):
+    """Run main() on argv; assert the exit code (0 encoded as None)."""
+    code = 0
+    try:
+        main(argv)
+    except SystemExit as err:
+        code = err.code or 0
+    if code != expect_exit:
+        print(
+            f"check_bench self-test: case '{tag}' exited {code}, "
+            f"expected {expect_exit}",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+    print(f"check_bench self-test: case '{tag}' ok (exit {expect_exit})")
+
+
+def self_test() -> None:
+    with tempfile.TemporaryDirectory(prefix="check_bench_") as tmp:
+
+        def bench_file(name, totals):
+            path = os.path.join(tmp, name)
+            with open(path, "w") as handle:
+                json.dump({"bench": "evaluators", "totals": totals},
+                          handle)
+            return path
+
+        healthy = bench_file("healthy.json", _synthetic_totals())
+        _run_case("healthy default gates", [healthy], 0)
+        _run_case(
+            "healthy armed time gates",
+            [healthy, "--require=wand,bmw,maxscore,bmm"],
+            0,
+        )
+
+        # Work gates trip regardless of --require.
+        docs_regressed = bench_file(
+            "docs.json", _synthetic_totals(bmw={"docs_scored": 2500})
+        )
+        _run_case("bmw docs regression", [docs_regressed], 1)
+        no_skips = bench_file(
+            "skips.json", _synthetic_totals(bmw={"blocks_skipped": 0})
+        )
+        _run_case("bmw never skipped", [no_skips], 1)
+        drifted = bench_file(
+            "drift.json", _synthetic_totals(wand={"queries": 99})
+        )
+        _run_case("query count drift", [drifted], 1)
+
+        # Time gates only arm when the pair is named explicitly...
+        slow_bmw = bench_file(
+            "slow_bmw.json", _synthetic_totals(bmw={"ns_per_query": 9500})
+        )
+        _run_case("slow bmw, time gate unarmed", [slow_bmw], 0)
+        _run_case(
+            "slow bmw, time gate armed", [slow_bmw, "--require=wand,bmw"], 1
+        )
+        _run_case(
+            "slow bmw, only bmm pair armed",
+            [slow_bmw, "--require=maxscore,bmm"],
+            0,
+        )
+        slow_bmm = bench_file(
+            "slow_bmm.json", _synthetic_totals(bmm={"ns_per_query": 6001})
+        )
+        _run_case(
+            "slow bmm, time gate armed",
+            [slow_bmm, "--require=maxscore,bmm"],
+            1,
+        )
+        tie = bench_file(
+            "tie.json", _synthetic_totals(bmw={"ns_per_query": 8000})
+        )
+        _run_case("bmw ties wand, strict gate",
+                  [tie, "--require=wand,bmw"], 1)
+        bmm_tie = bench_file(
+            "bmm_tie.json", _synthetic_totals(bmm={"ns_per_query": 6000})
+        )
+        _run_case(
+            "bmm ties maxscore, lenient gate",
+            [bmm_tie, "--require=maxscore,bmm"],
+            0,
+        )
+
+        # BAD INPUT paths keep exit 2.
+        _run_case("missing file", [os.path.join(tmp, "nope.json")], 2)
+        corrupt = os.path.join(tmp, "corrupt.json")
+        with open(corrupt, "w") as handle:
+            handle.write("{not json")
+        _run_case("corrupt json", [corrupt], 2)
+        totals = _synthetic_totals()
+        del totals["bmm"]
+        trimmed = bench_file("trimmed.json", totals)
+        _run_case("required evaluator absent", [trimmed], 2)
+        _run_case(
+            "trimmed file, narrowed require",
+            [trimmed, "--require=wand,bmw"],
+            0,
+        )
+        broken_row = _synthetic_totals()
+        del broken_row["bmw"]["blocks_skipped"]
+        fieldless = bench_file("fieldless.json", broken_row)
+        _run_case("totals row missing field", [fieldless], 2)
+        no_time = bench_file(
+            "no_time.json",
+            _synthetic_totals(
+                **{n: {"ns_per_query": 0} for n in DEFAULT_REQUIRED}
+            ),
+        )
+        _run_case("no-time file, work gates only", [no_time], 0)
+        _run_case(
+            "no-time file, time gate requested",
+            [no_time, "--require=wand,bmw"],
+            2,
+        )
+
+    print("check_bench self-test: all cases passed")
+
+
+def main(argv=None) -> None:
+    args = parse_args(argv)
+    if args.self_test:
+        self_test()
+        return
+
+    required = []
+    for chunk in args.require or [",".join(DEFAULT_REQUIRED)]:
+        required.extend(n for n in chunk.split(",") if n)
+    # An explicit --require arms the ns_per_query gates for the pairs it
+    # fully covers; the default list only enforces the work gates.
+    time_gated = set(required) if args.require else set()
+
+    detail = check(args.path, required, time_gated)
     print(f"check_bench: OK ({args.path}): {detail}")
 
 

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * StreamVByte codec implementation. This is the ONLY translation unit
+ * in the tree allowed to use vendor SIMD intrinsics (cottage_lint rule
+ * D6): the SSSE3 `pshufb` group kernel lives behind
+ * COTTAGE_SIMD_STREAMVBYTE, and the portable scalar kernel decodes the
+ * exact same bytes to the exact same values, so nothing downstream can
+ * observe which one ran except through wall time.
+ */
+
+#include "index/block_codec.h"
+
+#include <array>
+#include <cstring>
+
+#include "util/logging.h"
+
+#if defined(COTTAGE_SIMD_STREAMVBYTE) && defined(__SSSE3__)
+#include <tmmintrin.h>
+#define COTTAGE_STREAMVBYTE_SSSE3 1
+#endif
+
+namespace cottage {
+
+namespace {
+
+/**
+ * Per-control-byte decode tables. For control byte c, lanes i hold
+ * length code (c >> 2i) & 3 (value byte count minus one):
+ *  - len[c]: total data bytes the four lanes consume;
+ *  - shuffle[c]: a 16-byte pshufb mask gathering each lane's bytes
+ *    from the data window into its 4-byte output slot, 0x80 (= "write
+ *    zero") elsewhere. The scalar kernel uses only len[].
+ */
+struct DecodeTables
+{
+    std::array<std::array<uint8_t, 16>, 256> shuffle{};
+    std::array<uint8_t, 256> len{};
+};
+
+constexpr DecodeTables
+makeDecodeTables()
+{
+    DecodeTables tables{};
+    for (unsigned c = 0; c < 256; ++c) {
+        uint8_t pos = 0;
+        for (unsigned lane = 0; lane < 4; ++lane) {
+            const unsigned bytes = ((c >> (2 * lane)) & 3u) + 1;
+            for (unsigned b = 0; b < 4; ++b) {
+                tables.shuffle[c][4 * lane + b] =
+                    b < bytes ? pos++ : uint8_t{0x80};
+            }
+        }
+        tables.len[c] = pos;
+    }
+    return tables;
+}
+
+constexpr DecodeTables kTables = makeDecodeTables();
+
+/** Value masks per 2-bit length code (1..4 significant bytes). */
+constexpr std::array<uint32_t, 4> kValueMask = {0xffu, 0xffffu,
+                                                0xffffffu, 0xffffffffu};
+
+/**
+ * Scalar group kernel: decode four values at @p data according to
+ * @p control. Byte-order independent (explicit LSB-first assembly);
+ * always reads four 4-byte windows, so the caller guarantees
+ * kStreamVBytePadding readable bytes past the logical stream end.
+ * Returns the data bytes consumed (== kTables.len[control]).
+ */
+inline std::size_t
+decodeGroupScalar(uint8_t control, const uint8_t *data, uint32_t *out)
+{
+    std::size_t consumed = 0;
+    for (unsigned lane = 0; lane < 4; ++lane) {
+        const unsigned code = (control >> (2 * lane)) & 3u;
+        const uint8_t *p = data + consumed;
+        const uint32_t window =
+            static_cast<uint32_t>(p[0]) |
+            (static_cast<uint32_t>(p[1]) << 8) |
+            (static_cast<uint32_t>(p[2]) << 16) |
+            (static_cast<uint32_t>(p[3]) << 24);
+        out[lane] = window & kValueMask[code];
+        consumed += code + 1;
+    }
+    return consumed;
+}
+
+#ifdef COTTAGE_STREAMVBYTE_SSSE3
+/**
+ * SSSE3 group kernel: one unaligned 16-byte load, one pshufb, one
+ * store — four values per step, no data-dependent branches. Output is
+ * bit-identical to decodeGroupScalar by construction of the shuffle
+ * table (same LSB-first layout, zeros shuffled into the high bytes).
+ */
+inline std::size_t
+decodeGroupSimd(uint8_t control, const uint8_t *data, uint32_t *out)
+{
+    const __m128i window =
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(data));
+    const __m128i mask = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(kTables.shuffle[control].data()));
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(out),
+                     _mm_shuffle_epi8(window, mask));
+    return kTables.len[control];
+}
+#endif
+
+} // namespace
+
+void
+streamVByteEncode(const uint32_t *values, std::size_t n,
+                  std::vector<uint8_t> &out)
+{
+    const std::size_t controlBase = out.size();
+    out.resize(out.size() + streamVByteControlBytes(n), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const uint32_t value = values[i];
+        // Length code = significant bytes - 1, branch-free.
+        const unsigned code = (value >= (1u << 8)) +
+                              (value >= (1u << 16)) +
+                              (value >= (1u << 24));
+        out[controlBase + i / 4] |=
+            static_cast<uint8_t>(code << (2 * (i % 4)));
+        out.push_back(static_cast<uint8_t>(value));
+        if (code >= 1)
+            out.push_back(static_cast<uint8_t>(value >> 8));
+        if (code >= 2)
+            out.push_back(static_cast<uint8_t>(value >> 16));
+        if (code >= 3)
+            out.push_back(static_cast<uint8_t>(value >> 24));
+    }
+}
+
+namespace {
+
+/**
+ * Bounds pre-pass shared by the decode entry points: the control
+ * region alone fixes the data length, so one check up front covers the
+ * whole branch-free decode loop. The tail control byte's unused (zero)
+ * codes are excluded — the encoder wrote no data bytes for them.
+ */
+std::size_t
+checkedDataLength(const uint8_t *in, std::size_t avail, std::size_t n,
+                  std::size_t controlBytes)
+{
+    COTTAGE_CHECK_MSG(controlBytes <= avail,
+                      "truncated streamvbyte control stream");
+    std::size_t dataLength = 0;
+    const std::size_t fullGroups = n / 4;
+    for (std::size_t g = 0; g < fullGroups; ++g)
+        dataLength += kTables.len[in[g]];
+    for (std::size_t i = 4 * fullGroups; i < n; ++i)
+        dataLength += ((in[i / 4] >> (2 * (i % 4))) & 3u) + 1;
+    COTTAGE_CHECK_MSG(dataLength <= avail - controlBytes,
+                      "truncated streamvbyte data stream");
+    return dataLength;
+}
+
+} // namespace
+
+std::size_t
+streamVByteDecode(const uint8_t *in, std::size_t avail, std::size_t n,
+                  uint32_t *out)
+{
+    if (n == 0)
+        return 0;
+    const std::size_t controlBytes = streamVByteControlBytes(n);
+    const std::size_t dataLength =
+        checkedDataLength(in, avail, n, controlBytes);
+
+    const uint8_t *data = in + controlBytes;
+    uint32_t *dst = out;
+    // The group kernel always writes four lanes; the tail group spills
+    // into the scratch capacity streamVByteDecodeCapacity() reserves,
+    // and its over-advanced data pointer is discarded (the return
+    // value uses the exact pre-pass length).
+    for (std::size_t g = 0; g < controlBytes; ++g) {
+#ifdef COTTAGE_STREAMVBYTE_SSSE3
+        data += decodeGroupSimd(in[g], data, dst);
+#else
+        data += decodeGroupScalar(in[g], data, dst);
+#endif
+        dst += 4;
+    }
+    return controlBytes + dataLength;
+}
+
+std::size_t
+streamVByteDecodeDeltas(const uint8_t *in, std::size_t avail,
+                        std::size_t n, uint32_t prev, uint32_t *out)
+{
+    if (n == 0)
+        return 0;
+    const std::size_t controlBytes = streamVByteControlBytes(n);
+    const std::size_t dataLength =
+        checkedDataLength(in, avail, n, controlBytes);
+
+    const uint8_t *data = in + controlBytes;
+    uint32_t *dst = out;
+    // Same tail-group spill rules as streamVByteDecode; the garbage
+    // lanes past n also pollute the running prefix, but the loop ends
+    // there and the caller never reads them.
+#ifdef COTTAGE_STREAMVBYTE_SSSE3
+    const __m128i ones = _mm_set1_epi32(1);
+    __m128i running = _mm_set1_epi32(static_cast<int>(prev));
+    for (std::size_t g = 0; g < controlBytes; ++g) {
+        const __m128i window =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(data));
+        const __m128i mask = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(kTables.shuffle[in[g]].data()));
+        // In-register inclusive prefix sum of (gap + 1) over the four
+        // lanes, then shift the group's total into every lane for the
+        // next group — two shifted adds instead of four dependent
+        // scalar adds (wrap-around semantics are identical).
+        __m128i v = _mm_add_epi32(_mm_shuffle_epi8(window, mask), ones);
+        v = _mm_add_epi32(v, _mm_slli_si128(v, 4));
+        v = _mm_add_epi32(v, _mm_slli_si128(v, 8));
+        v = _mm_add_epi32(v, running);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(dst), v);
+        running = _mm_shuffle_epi32(v, 0xFF);
+        data += kTables.len[in[g]];
+        dst += 4;
+    }
+#else
+    for (std::size_t g = 0; g < controlBytes; ++g) {
+        data += decodeGroupScalar(in[g], data, dst);
+        for (unsigned lane = 0; lane < 4; ++lane) {
+            prev += dst[lane] + 1; // uint32 wrap matches the SIMD lanes
+            dst[lane] = prev;
+        }
+        dst += 4;
+    }
+#endif
+    return controlBytes + dataLength;
+}
+
+bool
+streamVByteUsesSimd()
+{
+#ifdef COTTAGE_STREAMVBYTE_SSSE3
+    return true;
+#else
+    return false;
+#endif
+}
+
+} // namespace cottage

@@ -1,8 +1,9 @@
 #include "index/block_max.h"
 
 #include <algorithm>
+#include <limits>
 
-#include "index/varbyte.h"
+#include "index/block_codec.h"
 #include "util/logging.h"
 
 namespace cottage {
@@ -14,15 +15,27 @@ BlockMaxPostingList::BlockMaxPostingList(
 {
     COTTAGE_CHECK_MSG(blockSize >= 1, "block size must be positive");
     blocks_.reserve((count_ + blockSize - 1) / blockSize);
-    bytes_.reserve(count_ * 2);
+    bytes_.reserve(count_ * 2 + kStreamVBytePadding);
+
+    // Per-block scratch: deltas and freqs are staged flat, then each
+    // becomes one StreamVByte sequence in the shared payload stream.
+    std::vector<uint32_t> deltas;
+    std::vector<uint32_t> freqs;
+    deltas.reserve(std::min<std::size_t>(blockSize, count_));
+    freqs.reserve(std::min<std::size_t>(blockSize, count_));
 
     LocalDocId last = 0;
     for (std::size_t begin = 0; begin < count_; begin += blockSize) {
         const std::size_t end = std::min<std::size_t>(begin + blockSize,
                                                       count_);
         Block block;
+        COTTAGE_CHECK_MSG(bytes_.size() <=
+                              std::numeric_limits<uint32_t>::max(),
+                          "block payload stream exceeds 4 GiB");
         block.offset = static_cast<uint32_t>(bytes_.size());
         block.count = static_cast<uint32_t>(end - begin);
+        deltas.clear();
+        freqs.clear();
         for (std::size_t i = begin; i < end; ++i) {
             const Posting &posting = list.postings[i];
             // The gap chain restarts at each block: the block's first
@@ -34,16 +47,57 @@ BlockMaxPostingList::BlockMaxPostingList(
             COTTAGE_CHECK_MSG((begin == 0 && i == begin) ||
                                   posting.doc > last,
                               "postings must ascend by doc");
-            vbyteEncode(gap, bytes_);
-            vbyteEncode(posting.freq, bytes_);
+            deltas.push_back(gap);
+            freqs.push_back(posting.freq);
             last = posting.doc;
             block.maxScore = std::max(block.maxScore, score(posting));
         }
+        streamVByteEncode(deltas.data(), deltas.size(), bytes_);
+        streamVByteEncode(freqs.data(), freqs.size(), bytes_);
         block.lastDoc = last;
         listMaxScore_ = std::max(listMaxScore_, block.maxScore);
         blocks_.push_back(block);
     }
+    // One tail pad serves every block: the decoder may read up to
+    // kStreamVBytePadding bytes past a sequence's logical end.
+    bytes_.insert(bytes_.end(), kStreamVBytePadding, uint8_t{0});
     bytes_.shrink_to_fit();
+}
+
+std::size_t
+BlockMaxPostingList::decodeBlockDocs(std::size_t b, uint32_t *docs) const
+{
+    COTTAGE_CHECK_MSG(b < blocks_.size(), "block index out of range");
+    const Block &block = blocks_[b];
+    COTTAGE_CHECK_MSG(bytes_.size() >=
+                          block.offset + kStreamVBytePadding,
+                      "truncated streamvbyte control stream");
+    const std::size_t avail =
+        bytes_.size() - kStreamVBytePadding - block.offset;
+    // Block 0's first gap is the absolute doc id; the 0xffffffff seed
+    // makes the codec's uniform "+ gap + 1" chain yield exactly that
+    // (see streamVByteDecodeDeltas). Every other block chains from the
+    // previous block's lastDoc.
+    const uint32_t prev =
+        b == 0 ? 0xffffffffu : blocks_[b - 1].lastDoc;
+    const std::size_t consumed =
+        streamVByteDecodeDeltas(bytes_.data() + block.offset, avail,
+                                block.count, prev, docs);
+    return block.offset + consumed;
+}
+
+void
+BlockMaxPostingList::decodeBlockFreqs(std::size_t b,
+                                      std::size_t freqOffset,
+                                      uint32_t *freqs) const
+{
+    const Block &block = blocks_[b];
+    COTTAGE_CHECK_MSG(bytes_.size() >= freqOffset + kStreamVBytePadding,
+                      "truncated streamvbyte control stream");
+    const std::size_t avail =
+        bytes_.size() - kStreamVBytePadding - freqOffset;
+    (void)streamVByteDecode(bytes_.data() + freqOffset, avail,
+                            block.count, freqs);
 }
 
 void
@@ -52,78 +106,60 @@ BlockMaxPostingList::decodeBlock(std::size_t b,
 {
     COTTAGE_CHECK_MSG(b < blocks_.size(), "block index out of range");
     const Block &block = blocks_[b];
+    std::vector<uint32_t> docs(streamVByteDecodeCapacity(block.count));
+    std::vector<uint32_t> freqs(streamVByteDecodeCapacity(block.count));
+    const std::size_t freqOffset = decodeBlockDocs(b, docs.data());
+    decodeBlockFreqs(b, freqOffset, freqs.data());
     out.clear();
     out.reserve(block.count);
-    std::size_t offset = block.offset;
-    LocalDocId last = b == 0 ? 0 : blocks_[b - 1].lastDoc;
-    for (uint32_t i = 0; i < block.count; ++i) {
-        const uint32_t gap = vbyteDecode(bytes_, offset);
-        const uint32_t freq = vbyteDecode(bytes_, offset);
-        const LocalDocId doc =
-            (b == 0 && i == 0) ? gap : last + gap + 1;
-        out.push_back({doc, freq});
-        last = doc;
-    }
+    for (uint32_t i = 0; i < block.count; ++i)
+        out.push_back({docs[i], freqs[i]});
+}
+
+BlockMaxCursor::BlockMaxCursor(const BlockMaxPostingList &list,
+                               BlockIo *io)
+    : list_(&list), io_(io), numBlocks_(list.numBlocks())
+{
+    const std::size_t cap = streamVByteDecodeCapacity(list.blockSize());
+    buffer_ = std::make_unique_for_overwrite<uint32_t[]>(2 * cap);
+    docs_ = buffer_.get();
+    freqs_ = buffer_.get() + cap;
+    refreshBlockMeta();
+}
+
+BlockMaxCursor::BlockMaxCursor(const BlockMaxPostingList &list,
+                               BlockIo *io, uint32_t *scratch)
+    : list_(&list), io_(io), numBlocks_(list.numBlocks())
+{
+    const std::size_t cap = streamVByteDecodeCapacity(list.blockSize());
+    docs_ = scratch;
+    freqs_ = scratch + cap;
+    refreshBlockMeta();
+}
+
+std::size_t
+BlockMaxCursor::scratchSlots(const BlockMaxPostingList &list)
+{
+    return 2 * streamVByteDecodeCapacity(list.blockSize());
 }
 
 void
-BlockMaxCursor::ensureDecoded()
+BlockMaxCursor::decodeCurrentBlock()
 {
     COTTAGE_CHECK_MSG(!exhausted(), "cursor exhausted");
-    if (decodedBlock_ == static_cast<std::ptrdiff_t>(blockIdx_))
-        return;
-    list_->decodeBlock(blockIdx_, buffer_);
+    count_ = list_->block(blockIdx_).count;
+    freqOffset_ = list_->decodeBlockDocs(blockIdx_, docs_);
+    freqsDecoded_ = false;
     decodedBlock_ = static_cast<std::ptrdiff_t>(blockIdx_);
     if (io_ != nullptr)
         ++io_->blocksDecoded;
 }
 
 void
-BlockMaxCursor::skipCurrentBlock()
+BlockMaxCursor::decodeFreqs()
 {
-    if (io_ != nullptr) {
-        io_->docsSkipped += list_->block(blockIdx_).count - posInBlock_;
-        if (decodedBlock_ != static_cast<std::ptrdiff_t>(blockIdx_))
-            ++io_->blocksSkipped;
-    }
-    ++blockIdx_;
-    posInBlock_ = 0;
-}
-
-void
-BlockMaxCursor::advance()
-{
-    COTTAGE_CHECK_MSG(decodedBlock_ ==
-                          static_cast<std::ptrdiff_t>(blockIdx_),
-                      "advance on an undecoded block");
-    ++posInBlock_;
-    if (posInBlock_ >= buffer_.size()) {
-        ++blockIdx_;
-        posInBlock_ = 0;
-    }
-}
-
-void
-BlockMaxCursor::seek(LocalDocId target)
-{
-    while (!exhausted() && blockLastDoc() < target)
-        skipCurrentBlock();
-    if (exhausted())
-        return;
-    ensureDecoded();
-    // target <= lastDoc, so the scan always stops inside the block.
-    while (buffer_[posInBlock_].doc < target) {
-        ++posInBlock_;
-        if (io_ != nullptr)
-            ++io_->docsSkipped;
-    }
-}
-
-void
-BlockMaxCursor::shallowSeek(LocalDocId target)
-{
-    while (!exhausted() && blockLastDoc() < target)
-        skipCurrentBlock();
+    list_->decodeBlockFreqs(blockIdx_, freqOffset_, freqs_);
+    freqsDecoded_ = true;
 }
 
 } // namespace cottage

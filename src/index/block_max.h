@@ -5,22 +5,28 @@
  *
  * A list is cut into fixed-size blocks of postings. Per block we keep
  * the last document id, the maximum (unweighted) BM25 contribution of
- * any posting in the block, and the byte offset of the block inside a
- * VByte-compressed stream. The delta-gap chain restarts at every block
- * boundary, so a seek can hop over whole blocks by metadata alone and
- * decode only the single block that contains its target. This is the
- * structure production engines use to turn whole-list score bounds
- * into much tighter per-block bounds (see DESIGN.md §5e).
+ * any posting in the block, and the byte offset of the block's payload
+ * inside one StreamVByte stream (block_codec.h): the block's doc-id
+ * deltas as one StreamVByte sequence, its frequencies as a second.
+ * The delta-gap chain restarts at every block boundary, so a seek can
+ * hop over whole blocks by metadata alone and decode only the single
+ * block that contains its target — and that decode is a handful of
+ * branch-free shuffle steps into the cursor's fixed buffer, not a
+ * byte-at-a-time VByte walk (see DESIGN.md §5e/§5g and the cost audit
+ * in docs/cycles.md).
  */
 
 #ifndef COTTAGE_INDEX_BLOCK_MAX_H
 #define COTTAGE_INDEX_BLOCK_MAX_H
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "index/postings.h"
+#include "util/logging.h"
 
 namespace cottage {
 
@@ -30,7 +36,7 @@ namespace cottage {
  */
 struct BlockIo
 {
-    /** Blocks decoded (each decode is one VByte scan of <= blockSize). */
+    /** Blocks decoded (each decode is one whole-block unpack). */
     uint64_t blocksDecoded = 0;
 
     /** Blocks skipped without decoding, via lastDoc metadata alone. */
@@ -41,8 +47,8 @@ struct BlockIo
 };
 
 /**
- * One term's postings, VByte-compressed in fixed-size blocks with
- * per-block skip metadata. Immutable once built.
+ * One term's postings, StreamVByte-compressed in fixed-size blocks
+ * with per-block skip metadata. Immutable once built.
  */
 class BlockMaxPostingList
 {
@@ -56,7 +62,7 @@ class BlockMaxPostingList
         /** Max unweighted BM25 contribution over the block's postings. */
         double maxScore = 0.0;
 
-        /** Byte offset of the block's stream inside the list stream. */
+        /** Byte offset of the block's payload inside the list stream. */
         uint32_t offset = 0;
 
         /** Number of postings in the block (== blockSize except last). */
@@ -87,12 +93,47 @@ class BlockMaxPostingList
     /** Whole-list score upper bound (max over the block maxima). */
     double maxScore() const { return listMaxScore_; }
 
-    /** Skip-metadata plus compressed-stream footprint in bytes. */
+    /** Skip-metadata plus compressed-payload footprint in bytes. */
     std::size_t
     bytes() const
     {
-        return blocks_.size() * sizeof(Block) + bytes_.size();
+        return metadataBytes() + payloadBytes();
     }
+
+    /** Per-block skip metadata (Block structs) in bytes. */
+    std::size_t
+    metadataBytes() const
+    {
+        return blocks_.size() * sizeof(Block);
+    }
+
+    /** StreamVByte payload bytes (control + data + stream padding). */
+    std::size_t
+    payloadBytes() const
+    {
+        return bytes_.size();
+    }
+
+    /**
+     * Decode block @p b's document ids (delta-decoded to absolute
+     * LocalDocIds) into @p docs, which must have capacity
+     * streamVByteDecodeCapacity(block(b).count).
+     *
+     * @return The absolute byte offset of the block's frequency
+     *         sequence, to pass to decodeBlockFreqs(). Returning it
+     *         (rather than recomputing) lets cursors decode
+     *         frequencies lazily — most decoded blocks are scanned for
+     *         doc ids but never scored.
+     */
+    std::size_t decodeBlockDocs(std::size_t b, uint32_t *docs) const;
+
+    /**
+     * Decode block @p b's frequencies into @p freqs (same capacity
+     * contract as decodeBlockDocs). @p freqOffset must be the value
+     * decodeBlockDocs(b, ...) returned.
+     */
+    void decodeBlockFreqs(std::size_t b, std::size_t freqOffset,
+                          uint32_t *freqs) const;
 
     /** Decode block @p b into @p out (overwritten, sized to the block). */
     void decodeBlock(std::size_t b, std::vector<Posting> &out) const;
@@ -113,81 +154,257 @@ class BlockMaxPostingList
  * block-max evaluators interleave the two: shallow moves answer
  * "could anything here still matter?", deep moves score what does.
  *
- * The cursor position is (block, posting-in-block); blocks are decoded
- * lazily on the first deep access after a shallow move.
+ * The cursor position is (block, posting-in-block). Deep positioning
+ * is decode-whole-block-then-scan: the first deep access after a
+ * shallow move unpacks the block's doc ids into a fixed decode buffer
+ * in a few branch-free group steps, and every subsequent doc
+ * comparison is a plain array read. Frequencies decode lazily, only
+ * when a posting is actually scored.
+ *
+ * The decode buffer (doc ids and freqs back to back) is ONE heap
+ * allocation sized at construction and never resized. Keeping it out
+ * of the object proper matters: the evaluators walk arrays of cursors
+ * every round, and a cursor whose metadata fits in ~1.5 cache lines
+ * sorts/bounds/seeks materially faster than one bloated by an inline
+ * buffer (measured ~10% on the full bench).
  */
 class BlockMaxCursor
 {
   public:
     /** @param io Shared per-query I/O counters (may be nullptr). */
     explicit BlockMaxCursor(const BlockMaxPostingList &list,
-                            BlockIo *io = nullptr)
-        : list_(&list), io_(io)
-    {
-    }
+                            BlockIo *io = nullptr);
 
-    /** True when the cursor has moved past the last posting. */
+    /**
+     * Construct with caller-owned decode scratch instead of a private
+     * allocation. @p scratch must hold scratchSlots(list) uint32_ts and
+     * outlive the cursor (moves included). The evaluators use this to
+     * carve every cursor's buffer out of ONE per-query slab — per-list
+     * heap allocations were a measurable share of short-query latency.
+     */
+    BlockMaxCursor(const BlockMaxPostingList &list, BlockIo *io,
+                   uint32_t *scratch);
+
+    /** Scratch slots (doc ids + freqs halves) a cursor on @p list needs. */
+    static std::size_t scratchSlots(const BlockMaxPostingList &list);
+
+    // docs_/freqs_ point into heap storage (the private buffer_ or a
+    // caller slab), which is stable across moves, so the defaulted
+    // moves stay valid; copies would need re-anchoring and nothing
+    // needs them, so they are disallowed.
+    BlockMaxCursor(BlockMaxCursor &&other) noexcept = default;
+    BlockMaxCursor &operator=(BlockMaxCursor &&other) noexcept = default;
+    BlockMaxCursor(const BlockMaxCursor &) = delete;
+    BlockMaxCursor &operator=(const BlockMaxCursor &) = delete;
+    ~BlockMaxCursor() = default;
+
+    /**
+     * True when the cursor has moved past the last posting. The block
+     * count is cached at construction: this predicate runs inside the
+     * evaluators' per-round sort keys, where an indirection through
+     * the list's block vector would cost a dependent load per call.
+     */
     bool
     exhausted() const
     {
-        return blockIdx_ >= list_->numBlocks();
+        return blockIdx_ >= numBlocks_;
     }
 
-    /** Current document id; decodes the current block if needed. */
+    /**
+     * Current document id; decodes the current block if needed. The
+     * id is cached so the hot path (evaluators compare doc() inside
+     * sort comparators, many times per pivot round) is one branch and
+     * one member read — decode happens only right after a block move.
+     */
     LocalDocId
     doc()
     {
+        if (docValid_)
+            return curDoc_;
         ensureDecoded();
-        return buffer_[posInBlock_].doc;
+        curDoc_ = docs_[pos_];
+        docValid_ = true;
+        return curDoc_;
     }
 
-    /** Current posting; decodes the current block if needed. */
+    /** Current posting; decodes doc ids and (lazily) freqs if needed. */
     const Posting &
     posting()
     {
-        ensureDecoded();
-        return buffer_[posInBlock_];
+        posting_ = {doc(), freq()};
+        return posting_;
     }
 
-    /** Move to the next posting (current block must be decoded). */
-    void advance();
+    /**
+     * Current term frequency; decodes the freq sequence lazily. The
+     * evaluators' scoring loops use this (with the doc id they already
+     * hold) instead of posting() — the posting_ member round-trip is
+     * measurable at hundreds of scored postings per query.
+     */
+    uint32_t
+    freq()
+    {
+        ensureDecoded();
+        if (!freqsDecoded_)
+            decodeFreqs();
+        return freqs_[pos_];
+    }
+
+    /**
+     * Move to the next posting (current block must be decoded). Inline
+     * on purpose: the evaluators call this once per scored posting, and
+     * the in-block case is a bump plus one cached array read.
+     */
+    void
+    advance()
+    {
+        COTTAGE_CHECK_MSG(decodedBlock_ ==
+                              static_cast<std::ptrdiff_t>(blockIdx_),
+                          "advance on an undecoded block");
+        ++pos_;
+        if (pos_ < count_) {
+            curDoc_ = docs_[pos_];
+            docValid_ = true;
+        } else {
+            ++blockIdx_;
+            pos_ = 0;
+            docValid_ = false;
+            refreshBlockMeta();
+        }
+    }
 
     /** Deep seek: first posting with doc >= target, counting skips. */
-    void seek(LocalDocId target);
+    void
+    seek(LocalDocId target)
+    {
+        while (!exhausted() && blockLastDoc() < target)
+            skipCurrentBlock();
+        if (exhausted())
+            return;
+        ensureDecoded();
+        // target <= lastDoc, so the scan always lands inside the block.
+        // Hybrid probe: the typical in-block hop is a handful of
+        // postings, where a predictable forward scan beats lower_bound's
+        // mispredicted halving branches — but a hop that survives 16
+        // linear steps is usually aimed deep into the block, where
+        // binary search wins. The skip charge is it-begin either way.
+        const uint32_t *begin = docs_ + pos_;
+        const uint32_t *it = begin;
+        while (*it < target) {
+            if (++it - begin == 16) {
+                const uint32_t *end = docs_ + count_;
+                it = std::lower_bound(it, end, target);
+                break;
+            }
+        }
+        if (io_ != nullptr)
+            io_->docsSkipped += static_cast<uint64_t>(it - begin);
+        pos_ = static_cast<std::size_t>(it - docs_);
+        curDoc_ = *it;
+        docValid_ = true;
+    }
 
     /**
      * Shallow seek: move the block pointer to the first block whose
      * lastDoc >= target, without decoding anything. Skipped blocks are
      * charged to BlockIo exactly as in a deep seek.
      */
-    void shallowSeek(LocalDocId target);
+    void
+    shallowSeek(LocalDocId target)
+    {
+        while (!exhausted() && blockLastDoc() < target)
+            skipCurrentBlock();
+    }
 
-    /** Last document of the current block (metadata only). */
+    /**
+     * Last document of the current block (metadata only). Cached on
+     * block moves: the shallow-bound and block-skip loops read this
+     * every round, and the cache turns a double indirection through
+     * the list's block vector into a member load.
+     */
     LocalDocId
     blockLastDoc() const
     {
-        return list_->block(blockIdx_).lastDoc;
+        return curLastDoc_;
     }
 
-    /** Unweighted score bound of the current block (metadata only). */
+    /** Unweighted score bound of the current block (cached likewise). */
     double
     blockMaxScore() const
     {
-        return list_->block(blockIdx_).maxScore;
+        return curBlockMax_;
     }
 
   private:
-    void ensureDecoded();
+    /**
+     * Make the current block's doc ids available in docs_. Inline
+     * fast path: when the block is already decoded this is a single
+     * compare. The decode itself (and the exhaustion check guarding
+     * it) lives out of line in decodeCurrentBlock().
+     */
+    void
+    ensureDecoded()
+    {
+        if (decodedBlock_ != static_cast<std::ptrdiff_t>(blockIdx_))
+            decodeCurrentBlock();
+    }
+
+    void decodeCurrentBlock();
+    void decodeFreqs();
 
     /** Drop the rest of the current block, charging the skips. */
-    void skipCurrentBlock();
+    void
+    skipCurrentBlock()
+    {
+        if (io_ != nullptr) {
+            io_->docsSkipped += curBlockCount_ - pos_;
+            if (decodedBlock_ != static_cast<std::ptrdiff_t>(blockIdx_))
+                ++io_->blocksSkipped;
+        }
+        ++blockIdx_;
+        pos_ = 0;
+        docValid_ = false;
+        refreshBlockMeta();
+    }
+
+    /** Refresh the cached block metadata after a block move. */
+    void
+    refreshBlockMeta()
+    {
+        if (blockIdx_ < numBlocks_) {
+            const BlockMaxPostingList::Block &b = list_->block(blockIdx_);
+            curLastDoc_ = b.lastDoc;
+            curBlockMax_ = b.maxScore;
+            curBlockCount_ = b.count;
+        }
+    }
 
     const BlockMaxPostingList *list_;
     BlockIo *io_;
+    std::size_t numBlocks_ = 0;
     std::size_t blockIdx_ = 0;
-    std::size_t posInBlock_ = 0;
+    std::size_t pos_ = 0;
+    std::size_t count_ = 0;
     std::ptrdiff_t decodedBlock_ = -1;
-    std::vector<Posting> buffer_;
+    std::size_t freqOffset_ = 0;
+    bool freqsDecoded_ = false;
+    LocalDocId curDoc_ = 0;
+    bool docValid_ = false;
+    LocalDocId curLastDoc_ = 0;
+    uint32_t curBlockCount_ = 0;
+    double curBlockMax_ = 0.0;
+    Posting posting_{};
+
+    // Decode storage, doc ids first then freqs; each half has
+    // streamVByteDecodeCapacity(blockSize) slots because group decodes
+    // store four lanes at a time. buffer_ owns it for standalone
+    // cursors and stays null when the caller provided scratch. Never
+    // value-initialized (for_overwrite): a block decode always writes
+    // a slot before any read, and cursors are built per query, so the
+    // memset would be pure hot-path waste.
+    std::unique_ptr<uint32_t[]> buffer_;
+    uint32_t *docs_ = nullptr;
+    uint32_t *freqs_ = nullptr;
 };
 
 } // namespace cottage

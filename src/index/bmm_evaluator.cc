@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <numeric>
 
 #include "index/block_max.h"
@@ -31,27 +32,52 @@ BmmEvaluator::search(const InvertedIndex &index,
     TopKHeap heap(k);
     BlockIo io;
 
+    // Size pass: all cursors carve their decode buffers out of ONE
+    // per-query slab, so it must be fully allocated before the first
+    // cursor is built (the per-list allocations it replaces were a
+    // measurable share of short-query latency).
+    std::size_t slabSlots = 0;
+    std::size_t live = 0;
+    for (const WeightedTerm &wt : terms) {
+        const BlockMaxPostingList *list = index.blockMax(wt.term);
+        if (list != nullptr && !list->empty()) {
+            slabSlots += BlockMaxCursor::scratchSlots(*list);
+            ++live;
+        }
+    }
+    if (live == 0 || k == 0) {
+        result.topK = heap.extractSorted();
+        return result;
+    }
+    // Typical queries fit the stack slab (see bmw_evaluator.cc).
+    constexpr std::size_t kStackSlabSlots = 2048;
+    uint32_t stackSlab[kStackSlabSlots];
+    std::unique_ptr<uint32_t[]> heapSlab;
+    uint32_t *slab = stackSlab;
+    if (slabSlots > kStackSlabSlots) {
+        heapSlab = std::make_unique_for_overwrite<uint32_t[]>(slabSlots);
+        slab = heapSlab.get();
+    }
+
     // Cursors stay in original term order; the essential/non-essential
     // machinery works through a sorted index view instead. Candidates
     // that survive the bound checks have their contributions re-summed
     // in this original order, making the scores bit-identical to the
     // exhaustive evaluator's, not merely equal within a tolerance.
     std::vector<TermCursor> cursors;
-    cursors.reserve(terms.size());
+    cursors.reserve(live);
+    std::size_t slabOffset = 0;
     for (const WeightedTerm &wt : terms) {
         const BlockMaxPostingList *list = index.blockMax(wt.term);
-        if (list != nullptr && !list->empty()) {
-            const double bound =
-                wt.weight >= 0.0 ? index.maxScore(wt.term) * wt.weight
-                                 : 0.0;
-            cursors.push_back({BlockMaxCursor(*list, &io),
-                               index.idf(wt.term) * wt.weight, bound,
-                               std::max(wt.weight, 0.0)});
-        }
-    }
-    if (cursors.empty() || k == 0) {
-        result.topK = heap.extractSorted();
-        return result;
+        if (list == nullptr || list->empty())
+            continue;
+        const double bound =
+            wt.weight >= 0.0 ? index.maxScore(wt.term) * wt.weight : 0.0;
+        cursors.push_back(
+            {BlockMaxCursor(*list, &io, slab + slabOffset),
+             index.idf(wt.term) * wt.weight, bound,
+             std::max(wt.weight, 0.0)});
+        slabOffset += BlockMaxCursor::scratchSlots(*list);
     }
 
     // Ascending by score bound (original index breaks ties so the walk
@@ -107,8 +133,8 @@ BmmEvaluator::search(const InvertedIndex &index,
         for (std::size_t i = essential; i < order.size(); ++i) {
             TermCursor &tc = cursors[order[i]];
             if (!tc.cursor.exhausted() && tc.cursor.doc() == candidate) {
-                const double value =
-                    index.scorePosting(tc.idf, tc.cursor.posting());
+                const double value = index.scorePosting(
+                    tc.idf, Posting{candidate, tc.cursor.freq()});
                 tc.cursor.advance();
                 contrib[order[i]] = value;
                 touched.push_back(order[i]);
@@ -143,8 +169,8 @@ BmmEvaluator::search(const InvertedIndex &index,
             }
             tc.cursor.seek(candidate);
             if (!tc.cursor.exhausted() && tc.cursor.doc() == candidate) {
-                const double value =
-                    index.scorePosting(tc.idf, tc.cursor.posting());
+                const double value = index.scorePosting(
+                    tc.idf, Posting{candidate, tc.cursor.freq()});
                 tc.cursor.advance();
                 contrib[order[i]] = value;
                 touched.push_back(order[i]);

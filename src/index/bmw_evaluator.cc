@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 
 #include "index/block_max.h"
 
@@ -17,6 +18,21 @@ struct TermCursor
     double boundScale; // weight clamped at 0 for block-bound scaling
 };
 
+/**
+ * Sort key for the per-round cursor ordering: current doc, with
+ * exhausted cursors at +infinity so one insertion pass both orders the
+ * live cursors and floats the dead ones to the tail (where the round
+ * loop retires them). Doc ids are 32-bit, so the 64-bit sentinel can
+ * never collide with a real document.
+ */
+inline uint64_t
+cursorKey(TermCursor *tc)
+{
+    return tc->cursor.exhausted()
+               ? std::numeric_limits<uint64_t>::max()
+               : static_cast<uint64_t>(tc->cursor.doc());
+}
+
 } // namespace
 
 SearchResult
@@ -29,26 +45,100 @@ BmwEvaluator::search(const InvertedIndex &index,
     TopKHeap heap(k);
     BlockIo io;
 
+    // Size pass: all cursors carve their decode buffers out of ONE
+    // per-query slab, so it must be fully allocated before the first
+    // cursor is built. The second blockMax() hash probe per term is
+    // far cheaper than the vector-of-picked-terms allocation it
+    // replaces on short queries.
+    std::size_t slabSlots = 0;
+    std::size_t live = 0;
+    for (const WeightedTerm &wt : terms) {
+        const BlockMaxPostingList *list = index.blockMax(wt.term);
+        if (list != nullptr && !list->empty()) {
+            slabSlots += BlockMaxCursor::scratchSlots(*list);
+            ++live;
+        }
+    }
+    if (live == 0 || k == 0) {
+        result.topK = heap.extractSorted();
+        return result;
+    }
+    // Typical queries (a handful of terms at block size <= 256) fit in
+    // a stack slab; the heap allocation was a measurable share of
+    // single-term latency, where wand pays no such setup cost.
+    constexpr std::size_t kStackSlabSlots = 2048;
+    uint32_t stackSlab[kStackSlabSlots];
+    std::unique_ptr<uint32_t[]> heapSlab;
+    uint32_t *slab = stackSlab;
+    if (slabSlots > kStackSlabSlots) {
+        heapSlab = std::make_unique_for_overwrite<uint32_t[]>(slabSlots);
+        slab = heapSlab.get();
+    }
+
     // Original term order is load-bearing: deep scoring iterates this
     // vector so every candidate's contributions sum in exactly the
     // exhaustive evaluator's order — bit-identical scores, not merely
     // equal ranks.
     std::vector<TermCursor> cursors;
-    cursors.reserve(terms.size());
+    cursors.reserve(live);
+    std::size_t slabOffset = 0;
     for (const WeightedTerm &wt : terms) {
         const BlockMaxPostingList *list = index.blockMax(wt.term);
-        if (list != nullptr && !list->empty()) {
-            // As in WAND: a demoting (negative-weight) list's rank-safe
-            // upper bound is 0; its block bounds clamp the same way.
-            const double bound =
-                wt.weight >= 0.0 ? index.maxScore(wt.term) * wt.weight
-                                 : 0.0;
-            cursors.push_back({BlockMaxCursor(*list, &io),
-                               index.idf(wt.term) * wt.weight, bound,
-                               std::max(wt.weight, 0.0)});
-        }
+        if (list == nullptr || list->empty())
+            continue;
+        // As in WAND: a demoting (negative-weight) list's rank-safe
+        // upper bound is 0; its block bounds clamp the same way.
+        const double bound =
+            wt.weight >= 0.0 ? index.maxScore(wt.term) * wt.weight : 0.0;
+        cursors.push_back(
+            {BlockMaxCursor(*list, &io, slab + slabOffset),
+             index.idf(wt.term) * wt.weight, bound,
+             std::max(wt.weight, 0.0)});
+        slabOffset += BlockMaxCursor::scratchSlots(*list);
     }
-    if (cursors.empty() || k == 0) {
+
+    constexpr LocalDocId endDoc = std::numeric_limits<LocalDocId>::max();
+
+    if (cursors.size() == 1) {
+        // Single-term fast path: the pivot is always the one cursor, so
+        // the per-round ordering and bound-accumulation machinery is
+        // pure overhead. Same decisions as the generic loop (identical
+        // threshold and block-bound tests, so identical docsScored and
+        // an identical heap), but a rejected block is passed over by
+        // metadata alone — no decode just to learn a doc id the next
+        // round's (nonexistent) sort would have wanted.
+        TermCursor &tc = cursors.front();
+        // The threshold moves only when a push succeeds, so it is
+        // cached across postings instead of re-read from the heap.
+        double threshold = heap.threshold();
+        while (!tc.cursor.exhausted()) {
+            if (tc.maxScore < threshold)
+                break; // nothing remaining can enter the top-K
+            if (tc.cursor.blockMaxScore() * tc.boundScale >= threshold) {
+                if (result.work.docsScored >= maxScoredDocs) {
+                    result.work.truncated = true;
+                    break;
+                }
+                const LocalDocId doc = tc.cursor.doc();
+                const double score = index.scorePosting(
+                    tc.idf, Posting{doc, tc.cursor.freq()});
+                tc.cursor.advance();
+                ++result.work.postingsScored;
+                ++result.work.docsScored;
+                if (heap.push({index.globalDoc(doc), score})) {
+                    ++result.work.heapInsertions;
+                    threshold = heap.threshold();
+                }
+            } else {
+                const uint64_t next =
+                    static_cast<uint64_t>(tc.cursor.blockLastDoc()) + 1;
+                tc.cursor.shallowSeek(static_cast<LocalDocId>(
+                    std::min<uint64_t>(next, endDoc)));
+            }
+        }
+        result.work.docsSkipped = io.docsSkipped;
+        result.work.blocksDecoded = io.blocksDecoded;
+        result.work.blocksSkipped = io.blocksSkipped;
         result.topK = heap.extractSorted();
         return result;
     }
@@ -57,20 +147,26 @@ BmwEvaluator::search(const InvertedIndex &index,
     order.reserve(cursors.size());
     for (TermCursor &cursor : cursors)
         order.push_back(&cursor);
-
-    constexpr LocalDocId endDoc = std::numeric_limits<LocalDocId>::max();
     while (true) {
-        order.erase(std::remove_if(order.begin(), order.end(),
-                                   [](TermCursor *c) {
-                                       return c->cursor.exhausted();
-                                   }),
-                    order.end());
+        // Re-order by current doc with a stable insertion pass: the
+        // array holds one pointer per query term, and most rounds move
+        // only the cursors the previous round touched, so this beats a
+        // remove_if sweep plus a std::sort call per round. Exhausted
+        // cursors key to +inf and retire from the tail.
+        for (std::size_t i = 1; i < order.size(); ++i) {
+            TermCursor *moved = order[i];
+            const uint64_t key = cursorKey(moved);
+            std::size_t j = i;
+            while (j > 0 && cursorKey(order[j - 1]) > key) {
+                order[j] = order[j - 1];
+                --j;
+            }
+            order[j] = moved;
+        }
+        while (!order.empty() && order.back()->cursor.exhausted())
+            order.pop_back();
         if (order.empty())
             break;
-        std::sort(order.begin(), order.end(),
-                  [](TermCursor *a, TermCursor *b) {
-                      return a->cursor.doc() < b->cursor.doc();
-                  });
 
         // Pivot on whole-list bounds, exactly like WAND (>= keeps score
         // ties evaluable; threshold() is -inf while the heap fills).
@@ -119,8 +215,8 @@ BmwEvaluator::search(const InvertedIndex &index,
                 for (TermCursor &tc : cursors) {
                     if (!tc.cursor.exhausted() &&
                         tc.cursor.doc() == pivotDoc) {
-                        score += index.scorePosting(tc.idf,
-                                                    tc.cursor.posting());
+                        score += index.scorePosting(
+                            tc.idf, Posting{pivotDoc, tc.cursor.freq()});
                         tc.cursor.advance();
                         ++result.work.postingsScored;
                     }

@@ -61,6 +61,10 @@ struct SearchWork
      */
     bool truncated = false;
 
+    /** Counter-for-counter equality (the bench's repeat-determinism
+     *  CHECK and tests compare whole work records). */
+    bool operator==(const SearchWork &other) const = default;
+
     SearchWork &
     operator+=(const SearchWork &other)
     {

@@ -104,8 +104,11 @@ InvertedIndex::footprint() const
         fp.rawPostingBytes += list.size() * sizeof(Posting);
         fp.compressedPostingBytes += CompressedPostingList(list).bytes();
     }
-    for (const BlockMaxPostingList &list : blockLists_)
-        fp.blockMaxBytes += list.bytes();
+    for (const BlockMaxPostingList &list : blockLists_) {
+        fp.blockMetadataBytes += list.metadataBytes();
+        fp.blockPayloadBytes += list.payloadBytes();
+    }
+    fp.blockMaxBytes = fp.blockMetadataBytes + fp.blockPayloadBytes;
     fp.docTableBytes = lengths_.size() * sizeof(uint32_t) +
                        globalIds_.size() * sizeof(DocId);
     return fp;

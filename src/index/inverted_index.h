@@ -96,8 +96,18 @@ class InvertedIndex
         /** Document-metadata bytes (lengths + global id map). */
         std::size_t docTableBytes = 0;
 
-        /** Block-max skip layer: metadata plus blocked VByte streams. */
+        /**
+         * Block-max skip layer, total: per-block metadata plus the
+         * StreamVByte payload streams (== blockMetadataBytes +
+         * blockPayloadBytes).
+         */
         std::size_t blockMaxBytes = 0;
+
+        /** Per-block skip metadata (lastDoc/maxScore/offset/count). */
+        std::size_t blockMetadataBytes = 0;
+
+        /** StreamVByte block payloads (control + data + padding). */
+        std::size_t blockPayloadBytes = 0;
     };
 
     /**

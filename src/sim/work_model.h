@@ -40,9 +40,12 @@ struct WorkModel
     double cyclesPerSkip = 300.0;
 
     /**
-     * Cost of VByte-decoding one posting block (block-max evaluators
-     * only; zero blocks reported keeps the flat evaluators' service
-     * times byte-identical to before the block-max layer existed).
+     * Cost of StreamVByte group-decoding one posting block (block-max
+     * evaluators only; zero blocks reported keeps the flat evaluators'
+     * service times byte-identical to before the block-max layer
+     * existed). Kept at the original VByte-era value on purpose: the
+     * simulated cost model is a calibration constant, not a claim
+     * about the host CPU — docs/cycles.md carries the measured costs.
      */
     double cyclesPerBlockDecoded = 2000.0;
 

@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "index/block_max.h"
@@ -301,6 +302,67 @@ TEST(BlockMaxProperty, BmwAndBmmAreBitIdenticalToExhaustive)
                                "bmw", static_cast<QueryId>(q));
             expectBitIdentical(bmm.search(*index, queries[q], k), base,
                                "bmm", static_cast<QueryId>(q));
+        }
+    }
+}
+
+/**
+ * Determinism matrix over the production block sizes: at {64, 128,
+ * 256}, bmw and bmm must (a) return the bit-identical top-K the
+ * exhaustive evaluator returns, and (b) produce a byte-identical
+ * per-query work-counter stream (docsSkipped / blocksDecoded /
+ * blocksSkipped included) when the same trace is replayed — the
+ * codec's group decode and skip charging differ per block size, so
+ * each size is its own replay contract. test_parallel.cc runs the
+ * same matrix across thread counts; this one pins the single-threaded
+ * baseline the parallel runs are compared against.
+ */
+TEST_F(BlockMaxFixture, WorkCountersReplayByteIdenticalPerBlockSize)
+{
+    const ExhaustiveEvaluator exhaustive;
+    const BmwEvaluator bmw;
+    const BmmEvaluator bmm;
+
+    TraceConfig traceConfig;
+    traceConfig.numQueries = 120;
+    traceConfig.vocabSize = 3000;
+    traceConfig.seed = 99;
+    const QueryTrace trace = QueryTrace::generate(traceConfig);
+
+    const auto serializeWork = [](const SearchWork &work) {
+        std::string bytes;
+        for (uint64_t field :
+             {work.postingsScored, work.docsScored, work.heapInsertions,
+              work.postingsSkipped, work.docsSkipped, work.blocksDecoded,
+              work.blocksSkipped}) {
+            bytes.append(reinterpret_cast<const char *>(&field),
+                         sizeof field);
+        }
+        return bytes;
+    };
+
+    for (const uint32_t blockSize : {64u, 128u, 256u}) {
+        const auto index = wholeCorpusIndex(*corpus_, blockSize);
+        for (const Evaluator *evaluator :
+             {static_cast<const Evaluator *>(&bmw),
+              static_cast<const Evaluator *>(&bmm)}) {
+            const char *name = evaluator == &bmw ? "bmw" : "bmm";
+            std::string first, second;
+            for (const Query &query : trace.queries()) {
+                const SearchResult a =
+                    evaluator->search(*index, query.terms, 10);
+                first += serializeWork(a.work);
+                expectBitIdentical(
+                    a, exhaustive.search(*index, query.terms, 10), name,
+                    query.id);
+            }
+            for (const Query &query : trace.queries()) {
+                second += serializeWork(
+                    evaluator->search(*index, query.terms, 10).work);
+            }
+            EXPECT_EQ(first, second)
+                << name << " at block size " << blockSize
+                << ": work-counter stream not replay-stable";
         }
     }
 }

@@ -102,6 +102,26 @@ TEST(LintFixtures, D5DefaultComparatorFlagged)
     EXPECT_EQ(diags[0].line, 9);
 }
 
+TEST(LintFixtures, D6IntrinsicOutsideCodecDirFlagged)
+{
+    const auto diags =
+        lintContent("src/fixture/d6_bad.cc", readFixture("d6_bad.cc"));
+    ASSERT_EQ(diags.size(), 2u);
+    EXPECT_EQ(diags[0].rule, "D6");
+    EXPECT_EQ(diags[0].line, 9);
+    EXPECT_EQ(diags[1].rule, "D6");
+    EXPECT_EQ(diags[1].line, 9);
+}
+
+TEST(LintFixtures, D6IntrinsicInsideCodecDirAllowed)
+{
+    // The identical content under src/index/ is the sanctioned home
+    // for vector kernels — no finding.
+    const auto diags =
+        lintContent("src/index/block_codec.cc", readFixture("d6_bad.cc"));
+    EXPECT_TRUE(diags.empty()) << diags.front().format();
+}
+
 TEST(LintFixtures, GoodFilePasses)
 {
     const auto diags =

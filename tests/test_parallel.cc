@@ -68,13 +68,14 @@ serializeMeasurements(const std::vector<QueryMeasurement> &measurements)
 }
 
 ExperimentConfig
-smallConfig(const std::string &evaluator)
+smallConfig(const std::string &evaluator, uint32_t blockSize = 128)
 {
     ExperimentConfig config;
     config.corpus.numDocs = 2000;
     config.corpus.vocabSize = 6000;
     config.corpus.meanDocLength = 90.0;
     config.shards.numShards = 8;
+    config.shards.blockSize = blockSize;
     config.traceQueries = 200;
     config.evaluator = evaluator;
     return config;
@@ -106,14 +107,35 @@ expectDeterministicReplay(Experiment &experiment,
         << policy << ": run summaries diverge across thread counts";
 }
 
-class ParallelDeterminism
-    : public ::testing::TestWithParam<const char *>
+/**
+ * One determinism-matrix cell: an evaluator at a block size. The flat
+ * evaluators ignore the block layer, so they appear once (at the
+ * default size); the block-max evaluators run at every production
+ * block size because the codec's decode path — group boundaries,
+ * padding reads, skip charging — differs per size and each variant
+ * must replay byte-identically on its own.
+ */
+struct MatrixCell
+{
+    const char *evaluator;
+    uint32_t blockSize;
+};
+
+std::string
+cellName(const ::testing::TestParamInfo<MatrixCell> &info)
+{
+    return std::string(info.param.evaluator) + "_" +
+           std::to_string(info.param.blockSize);
+}
+
+class ParallelDeterminism : public ::testing::TestWithParam<MatrixCell>
 {
 };
 
 TEST_P(ParallelDeterminism, ReplayIsBitExactAcrossThreadCounts)
 {
-    Experiment experiment(smallConfig(GetParam()));
+    Experiment experiment(
+        smallConfig(GetParam().evaluator, GetParam().blockSize));
     // Full fan-out and selective participation both cross the
     // parallel execute() path; taily additionally plans from index
     // statistics so some ISNs sit out each query.
@@ -121,9 +143,15 @@ TEST_P(ParallelDeterminism, ReplayIsBitExactAcrossThreadCounts)
     expectDeterministicReplay(experiment, "taily");
 }
 
-INSTANTIATE_TEST_SUITE_P(Evaluators, ParallelDeterminism,
-                         ::testing::Values("exhaustive", "maxscore",
-                                           "wand", "bmw", "bmm"));
+INSTANTIATE_TEST_SUITE_P(
+    Evaluators, ParallelDeterminism,
+    ::testing::Values(MatrixCell{"exhaustive", 128},
+                      MatrixCell{"maxscore", 128},
+                      MatrixCell{"wand", 128}, MatrixCell{"bmw", 64},
+                      MatrixCell{"bmw", 128}, MatrixCell{"bmw", 256},
+                      MatrixCell{"bmm", 64}, MatrixCell{"bmm", 128},
+                      MatrixCell{"bmm", 256}),
+    cellName);
 
 TEST(ParallelDeterminismOracle, BatchShardWorkPathIsBitExact)
 {

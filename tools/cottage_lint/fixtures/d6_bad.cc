@@ -1,0 +1,12 @@
+// Fixture: D6 — a raw SSE intrinsic outside src/index/.
+// Expected: exactly two [D6] findings on line 9 (the __m128i vector
+// type and the _mm_setzero_si128 call are each a use).
+#include <tmmintrin.h>
+
+int
+peek()
+{
+    __m128i v = _mm_setzero_si128();
+    (void)v;
+    return 0;
+}

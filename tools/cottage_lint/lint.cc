@@ -13,7 +13,8 @@ namespace cottage::lint {
 namespace {
 
 /** Rule-id set a suppression may name. */
-const std::set<std::string> kKnownRules = {"D1", "D2", "D3", "D4", "D5"};
+const std::set<std::string> kKnownRules = {"D1", "D2", "D3",
+                                           "D4", "D5", "D6"};
 
 /** Minimum justification length a suppression must carry. */
 constexpr std::size_t kMinJustification = 10;
@@ -46,6 +47,37 @@ isArenaFile(const std::string &path)
 {
     (void)path;
     return false;
+}
+
+/**
+ * Directory D6 confines raw SIMD intrinsics to. The codec TU
+ * (src/index/block_codec.cc) is the only place vector kernels live —
+ * everything else consumes them through the codec interface, whose
+ * scalar fallback keeps every other TU portable (DESIGN.md 5g).
+ * The include itself (<tmmintrin.h> etc.) is preprocessor text the
+ * lexer drops, but an include without a use is inert; any actual use
+ * spells an intrinsic identifier this rule catches.
+ */
+bool
+isD6Scoped(const std::string &path)
+{
+    return path.find("src/index/") == std::string::npos;
+}
+
+/** True for identifiers only vendor intrinsic headers define. */
+bool
+isIntrinsicName(const std::string &t)
+{
+    // x86: _mm_/_mm256_/_mm512_ calls and __m128/__m256/__m512 types
+    // (including the i/d-suffixed variants, which share the prefix).
+    if (t.rfind("_mm_", 0) == 0 || t.rfind("_mm256_", 0) == 0 ||
+        t.rfind("_mm512_", 0) == 0 || t.rfind("__m128", 0) == 0 ||
+        t.rfind("__m256", 0) == 0 || t.rfind("__m512", 0) == 0)
+        return true;
+    // ARM NEON: load/store/dup families plus the vector types.
+    return t.rfind("vld1", 0) == 0 || t.rfind("vst1", 0) == 0 ||
+           t.rfind("vdupq", 0) == 0 || t.rfind("uint8x16", 0) == 0 ||
+           t.rfind("uint32x4", 0) == 0;
 }
 
 /** Wall-clock / randomness identifiers D2 bans outright. */
@@ -330,6 +362,17 @@ runRules(const SourceFile &file, const LexedFile &lexed,
             }
         }
 
+        // D6: raw SIMD intrinsics outside the codec directory.
+        if (isD6Scoped(file.path) && isIntrinsicName(t.text)) {
+            emit(t.line, "D6",
+                 "SIMD intrinsic '" + t.text +
+                     "' outside src/index/: vector kernels are "
+                     "confined to the block codec TU, which pairs "
+                     "them with a byte-identical scalar fallback "
+                     "(DESIGN.md 5g); consume the codec interface "
+                     "instead");
+        }
+
         // D5: std::sort / std::stable_sort must name a comparator.
         if (!testFile &&
             (t.text == "sort" || t.text == "stable_sort") && callLike &&
@@ -421,7 +464,7 @@ Linter::run() const
                 diags.push_back(
                     {files_[f].path, sup.commentLine, "SUP",
                      "allow() names unknown rule '" + bad +
-                         "' (known: D1..D5)"});
+                         "' (known: D1..D6)"});
             }
             if (!sup.justified()) {
                 diags.push_back(
