@@ -10,6 +10,13 @@
  *                [--csv=out.csv] [--trace-out=trace.jsonl]
  *                [--metrics-out=metrics.json] [--power-window-ms=100]
  *                [--docs=] [--queries=] [--qps=] ...
+ *
+ * Serving mode (--serve=1) routes the trace through the online
+ * front-end instead — admission control, result/term-stats caches and
+ * load shedding around the engine — re-timed to the offered --qps:
+ *   trace_replay --serve=1 --qps=600 [--shed-backlog-ms=250]
+ *                [--degrade-backlog-ms=50] [--overload-budget-ms=50]
+ *                [--result-cache=1024] [--postings-cache=4096]
  */
 
 #include <fstream>
@@ -39,6 +46,47 @@ main(int argc, char **argv)
                                    : TraceFlavor::Wikipedia;
 
     Experiment experiment(std::move(config));
+
+    if (experiment.config().serving.enabled) {
+        const ServingRunResult serving = experiment.runServing(
+            policyName, flavor, experiment.config().arrivalQps);
+        const ServingSummary &sv = serving.summary;
+        TextTable table({"metric", "value"});
+        table.addRow({"policy", sv.run.policy});
+        table.addRow({"trace", sv.run.trace});
+        table.addRow({"offered", TextTable::cell(sv.offered)});
+        table.addRow({"completed", TextTable::cell(sv.completed)});
+        table.addRow({"shed queries", TextTable::cell(sv.shedQueries)});
+        table.addRow({"shed rate", TextTable::cell(sv.shedRate)});
+        table.addRow({"degraded", TextTable::cell(sv.degraded)});
+        table.addRow({"cache hits", TextTable::cell(sv.cacheHits)});
+        table.addRow({"result-cache hit rate",
+                      TextTable::cell(sv.resultCacheHitRate)});
+        table.addRow({"stats-cache hit rate",
+                      TextTable::cell(sv.statsCacheHitRate)});
+        table.addRow({"offered QPS", TextTable::cell(sv.offeredQps, 1)});
+        table.addRow({"achieved QPS",
+                      TextTable::cell(sv.achievedQps, 1)});
+        table.addRow({"avg latency ms",
+                      TextTable::cell(sv.run.avgLatencySeconds * 1e3)});
+        table.addRow({"p95 latency ms",
+                      TextTable::cell(sv.run.p95LatencySeconds * 1e3)});
+        table.addRow({"p99 latency ms",
+                      TextTable::cell(sv.run.p99LatencySeconds * 1e3)});
+        table.addRow({"avg P@10", TextTable::cell(sv.run.avgPrecision)});
+        table.addRow({"avg power W",
+                      TextTable::cell(sv.run.avgPowerWatts, 2)});
+        std::cout << "\n" << table.render();
+        if (serving.metrics) {
+            std::cout << "\n" << serving.metrics->toAsciiReport();
+            std::cout << "wrote metrics to "
+                      << experiment.config().metricsOut << "\n";
+        }
+        if (flags.getBool("json", false))
+            std::cout << "\n" << toJson(sv) << "\n";
+        return 0;
+    }
+
     const RunResult result = experiment.run(policyName, flavor);
 
     const std::string csvPath = flags.getString("csv", "");

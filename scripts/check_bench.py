@@ -1,9 +1,23 @@
 #!/usr/bin/env python3
-"""Perf-regression guard over BENCH_evaluators.json.
+"""Perf-regression guard over BENCH_evaluators.json / BENCH_serving.json.
 
 Run after `bench_evaluators [--smoke]`:
 
     python3 scripts/check_bench.py BENCH_evaluators.json
+
+or after `bench_serving [--smoke]`:
+
+    python3 scripts/check_bench.py --serving BENCH_serving.json
+
+Serving gates (--serving; guard the serving front-end's QPS sweep):
+  - the file must carry a 'serving' section with a non-empty 'points'
+    ladder and a 'saturation_qps' field (anything else is BAD INPUT);
+  - saturation_qps must be > 0 (a sweep that cannot sustain any load
+    means admission control is shedding everything — a regression);
+  - the LOWEST QPS rung must shed nothing (shed_rate == 0): an
+    unloaded cluster that sheds has a broken admission ladder;
+  - offered_qps must rise strictly along the ladder (the sweep must
+    actually sweep).
 
 Work gates (always run between evaluators that are present):
   - bmw must score STRICTLY fewer documents than wand at the bench's
@@ -54,6 +68,16 @@ DEFAULT_REQUIRED = ["exhaustive", "maxscore", "wand", "bmw", "bmm"]
 # Fields every totals row must carry for the guards to run.
 ROW_FIELDS = ["queries", "docs_scored", "blocks_skipped", "ns_per_query"]
 
+# Fields every serving sweep point must carry.
+POINT_FIELDS = [
+    "offered_qps",
+    "achieved_qps",
+    "shed_rate",
+    "p95_latency_s",
+    "result_cache_hit_rate",
+    "stats_cache_hit_rate",
+]
+
 
 def fail(message: str) -> None:
     """A perf guard tripped: exit 1."""
@@ -86,6 +110,14 @@ def parse_args(argv):
             "repeated (default: %s). Passing the flag explicitly also "
             "arms the ns_per_query gates for fully-covered pairs"
             % ",".join(DEFAULT_REQUIRED)
+        ),
+    )
+    parser.add_argument(
+        "--serving",
+        action="store_true",
+        help=(
+            "treat the input as bench_serving output and run the "
+            "serving gates instead of the evaluator gates"
         ),
     )
     parser.add_argument(
@@ -213,6 +245,63 @@ def check(path: str, required, time_gated) -> str:
             f"{maxscore['docs_scored']}"
         )
     return "; ".join(summary) if summary else "no pruning pairs present"
+
+
+def check_serving(path: str) -> str:
+    """Run the serving-sweep gates; exits via fail()/unusable().
+
+    Returns the one-line OK summary.
+    """
+    try:
+        with open(path) as handle:
+            bench = json.load(handle)
+    except FileNotFoundError:
+        unusable(f"{path} not found: run bench_serving first")
+    except json.JSONDecodeError as err:
+        unusable(f"{path} is not valid JSON ({err})")
+
+    serving = bench.get("serving")
+    if not isinstance(serving, dict):
+        unusable(
+            f"{path} has no 'serving' section: not bench_serving "
+            "output? (--serving checks BENCH_serving.json only)"
+        )
+    points = serving.get("points")
+    if not isinstance(points, list) or not points:
+        unusable(f"{path}: 'serving.points' missing or empty")
+    if "saturation_qps" not in serving:
+        unusable(f"{path}: 'serving' section lacks 'saturation_qps'")
+
+    for i, point in enumerate(points):
+        absent = [f for f in POINT_FIELDS if f not in point]
+        if absent:
+            unusable(
+                f"{path}: serving point {i} lacks field(s) {absent}; "
+                "output from an incompatible bench_serving version"
+            )
+
+    saturation = serving["saturation_qps"]
+    if not saturation or saturation <= 0:
+        fail(
+            f"saturation_qps is {saturation}: the sweep sustained no "
+            "load at all — admission control is shedding everything"
+        )
+    lowest = points[0]
+    if lowest["shed_rate"] != 0:
+        fail(
+            f"lowest rung (offered_qps={lowest['offered_qps']}) shed "
+            f"{lowest['shed_rate']:.3f} of its queries: an unloaded "
+            "cluster must shed nothing"
+        )
+    offered = [p["offered_qps"] for p in points]
+    if any(b <= a for a, b in zip(offered, offered[1:])):
+        fail(f"offered_qps ladder is not strictly rising: {offered}")
+
+    return (
+        f"{len(points)} rungs, saturation_qps={saturation}, lowest "
+        f"rung shed_rate=0, p95 {lowest['p95_latency_s'] * 1e3:.2f} -> "
+        f"{points[-1]['p95_latency_s'] * 1e3:.2f} ms"
+    )
 
 
 # ---------------------------------------------------------------------
@@ -356,6 +445,96 @@ def self_test() -> None:
             2,
         )
 
+        # ---- serving gates ----
+
+        def serving_point(qps, shed_rate=0.0):
+            return {
+                "offered_qps": qps,
+                "achieved_qps": qps * (1.0 - shed_rate),
+                "shed_rate": shed_rate,
+                "p95_latency_s": 0.004 + qps * 1e-6,
+                "result_cache_hit_rate": 0.1,
+                "stats_cache_hit_rate": 0.8,
+            }
+
+        def serving_file(name, points, saturation_qps=None, section=True):
+            path = os.path.join(tmp, name)
+            body = {"bench": "serving"}
+            if section:
+                serving = {"points": points}
+                if saturation_qps is not None:
+                    serving["saturation_qps"] = saturation_qps
+                body["serving"] = serving
+            with open(path, "w") as handle:
+                json.dump(body, handle)
+            return path
+
+        healthy_sweep = serving_file(
+            "serving.json",
+            [serving_point(100), serving_point(200),
+             serving_point(400, shed_rate=0.2)],
+            saturation_qps=200,
+        )
+        _run_case("healthy serving sweep", [healthy_sweep, "--serving"], 0)
+        _run_case(
+            "serving file without --serving (no totals)",
+            [healthy_sweep],
+            2,
+        )
+        _run_case(
+            "evaluator file with --serving (no serving section)",
+            [healthy, "--serving"],
+            2,
+        )
+        shed_cold = serving_file(
+            "serving_shed_cold.json",
+            [serving_point(100, shed_rate=0.05), serving_point(200)],
+            saturation_qps=200,
+        )
+        _run_case(
+            "serving sheds at lowest rung", [shed_cold, "--serving"], 1
+        )
+        no_sustain = serving_file(
+            "serving_no_sustain.json",
+            [serving_point(100)],
+            saturation_qps=0,
+        )
+        _run_case(
+            "serving saturation_qps zero", [no_sustain, "--serving"], 1
+        )
+        flat_ladder = serving_file(
+            "serving_flat.json",
+            [serving_point(100), serving_point(100)],
+            saturation_qps=100,
+        )
+        _run_case(
+            "serving ladder not rising", [flat_ladder, "--serving"], 1
+        )
+        no_saturation_field = serving_file(
+            "serving_no_saturation.json", [serving_point(100)]
+        )
+        _run_case(
+            "serving lacks saturation_qps",
+            [no_saturation_field, "--serving"],
+            2,
+        )
+        empty_points = serving_file(
+            "serving_empty.json", [], saturation_qps=100
+        )
+        _run_case(
+            "serving empty ladder", [empty_points, "--serving"], 2
+        )
+        bare_point = serving_point(100)
+        del bare_point["shed_rate"]
+        fieldless_point = serving_file(
+            "serving_fieldless.json", [bare_point], saturation_qps=100
+        )
+        _run_case(
+            "serving point missing field",
+            [fieldless_point, "--serving"],
+            2,
+        )
+
     print("check_bench self-test: all cases passed")
 
 
@@ -363,6 +542,11 @@ def main(argv=None) -> None:
     args = parse_args(argv)
     if args.self_test:
         self_test()
+        return
+
+    if args.serving:
+        detail = check_serving(args.path)
+        print(f"check_bench: OK ({args.path}): {detail}")
         return
 
     required = []

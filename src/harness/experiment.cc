@@ -15,6 +15,7 @@
 #include "index/taat_evaluator.h"
 #include "index/wand_evaluator.h"
 #include "policy/exhaustive_policy.h"
+#include "serve/arrivals.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
@@ -94,6 +95,29 @@ ExperimentConfig::fromFlags(const CliFlags &flags)
         flags.getDouble("power-window-ms",
                         config.powerWindowSeconds * 1e3) *
         1e-3;
+    config.serving.enabled =
+        flags.getBool("serve", config.serving.enabled);
+    config.serving.admission.shedBacklogSeconds =
+        flags.getDouble("shed-backlog-ms",
+                        config.serving.admission.shedBacklogSeconds *
+                            1e3) *
+        1e-3;
+    config.serving.admission.degradeBacklogSeconds =
+        flags.getDouble(
+            "degrade-backlog-ms",
+            config.serving.admission.degradeBacklogSeconds * 1e3) *
+        1e-3;
+    config.serving.admission.overloadBudgetSeconds =
+        flags.getDouble(
+            "overload-budget-ms",
+            config.serving.admission.overloadBudgetSeconds * 1e3) *
+        1e-3;
+    config.serving.resultCacheCapacity = static_cast<std::size_t>(
+        flags.getInt("result-cache",
+                     config.serving.resultCacheCapacity));
+    config.serving.statsCacheCapacity = static_cast<std::size_t>(
+        flags.getInt("postings-cache",
+                     config.serving.statsCacheCapacity));
     return config;
 }
 
@@ -268,6 +292,18 @@ Experiment::run(Policy &policy, TraceFlavor flavor)
     std::shared_ptr<QueryTracer> tracer;
     if (!config_.traceOut.empty()) {
         tracer = std::make_shared<QueryTracer>();
+        // Stream records to disk as they are produced (flushing per
+        // batch) so a mid-run abort keeps every completed batch; the
+        // file contents are byte-identical to the former end-of-run
+        // dump, the lines just land incrementally.
+        if (!traceFile_) {
+            traceFile_ =
+                std::make_unique<std::ofstream>(config_.traceOut);
+            if (!*traceFile_)
+                fatal("cannot open " + config_.traceOut);
+        }
+        tracer->streamTo(traceFile_.get(), policy.name(),
+                         queryTrace.name());
         engine_->setTracer(tracer.get());
     }
     std::shared_ptr<MetricsRegistry> metrics;
@@ -317,15 +353,8 @@ Experiment::run(Policy &policy, TraceFlavor flavor)
     result.summary.avgPowerWatts = cluster_->averagePowerWatts(window);
 
     if (tracer) {
-        if (!traceFile_) {
-            traceFile_ =
-                std::make_unique<std::ofstream>(config_.traceOut);
-            if (!*traceFile_)
-                fatal("cannot open " + config_.traceOut);
-        }
-        tracer->writeJsonl(*traceFile_, result.summary.policy,
-                           result.summary.trace);
-        traceFile_->flush();
+        tracer->flushSink();
+        tracer->streamTo(nullptr, "", "");
         result.trace = std::move(tracer);
     }
     if (metrics) {
@@ -355,6 +384,52 @@ Experiment::run(const std::string &policyName, TraceFlavor flavor)
 {
     const std::unique_ptr<Policy> policy = makePolicy(policyName);
     return run(*policy, flavor);
+}
+
+ServingRunResult
+Experiment::runServing(Policy &policy, TraceFlavor flavor,
+                       double offeredQps)
+{
+    // Ground truth is computed on the base trace; the re-timed trace
+    // keeps query content and positions, so truth stays aligned.
+    const auto &truth = groundTruth(flavor);
+    const QueryTrace served =
+        retimeTrace(trace(flavor), offeredQps, config_.serving.retimeSeed);
+
+    ServingFrontEnd frontEnd(*engine_, config_.serving);
+    std::shared_ptr<MetricsRegistry> metrics;
+    if (!config_.metricsOut.empty()) {
+        metrics = std::make_shared<MetricsRegistry>();
+        metrics->configureWindows(config_.powerWindowSeconds,
+                                  config_.power.idleWatts);
+    }
+
+    ServingRunResult result;
+    result.summary = frontEnd.serve(policy, served, truth, metrics.get());
+    result.measurements = frontEnd.measurements();
+
+    if (metrics) {
+        if (!metricsFile_) {
+            metricsFile_ =
+                std::make_unique<std::ofstream>(config_.metricsOut);
+            if (!*metricsFile_)
+                fatal("cannot open " + config_.metricsOut);
+        }
+        *metricsFile_ << metrics->toJson(result.summary.run.policy,
+                                         result.summary.run.trace)
+                      << '\n';
+        metricsFile_->flush();
+        result.metrics = std::move(metrics);
+    }
+    return result;
+}
+
+ServingRunResult
+Experiment::runServing(const std::string &policyName, TraceFlavor flavor,
+                       double offeredQps)
+{
+    const std::unique_ptr<Policy> policy = makePolicy(policyName);
+    return runServing(*policy, flavor, offeredQps);
 }
 
 } // namespace cottage

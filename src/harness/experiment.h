@@ -26,6 +26,7 @@
 #include "policy/redde_policy.h"
 #include "policy/taily_policy.h"
 #include "predict/training.h"
+#include "serve/serving.h"
 #include "shard/sharded_index.h"
 #include "sim/cluster.h"
 #include "text/corpus.h"
@@ -137,6 +138,15 @@ struct ExperimentConfig
     CottageConfig cottage;
 
     /**
+     * Serving-mode front-end knobs (--serve, --shed-backlog-ms,
+     * --degrade-backlog-ms, --overload-budget-ms, --result-cache,
+     * --postings-cache). Disabled by default: runServing() is the only
+     * consumer, run() never constructs the front-end, so plain replay
+     * stays byte-identical whatever these are set to.
+     */
+    ServingConfig serving;
+
+    /**
      * Fixed deadline of the slo-dvfs baseline (the "budget given a
      * priori" regime of prior power-management work).
      */
@@ -175,6 +185,16 @@ struct RunResult
      * engine counters/histograms plus the harness's per-ISN
      * utilisation histogram and windowed power/QPS series.
      */
+    std::shared_ptr<const MetricsRegistry> metrics;
+};
+
+/** One policy's serving-mode output. */
+struct ServingRunResult
+{
+    ServingSummary summary;
+    std::vector<ServingMeasurement> measurements;
+
+    /** The run's metrics registry (null unless metricsOut was set). */
     std::shared_ptr<const MetricsRegistry> metrics;
 };
 
@@ -232,6 +252,20 @@ class Experiment
 
     /** run() with a policy freshly made by name. */
     RunResult run(const std::string &policyName, TraceFlavor flavor);
+
+    /**
+     * Serve a flavor's evaluation trace through the serving front-end
+     * (admission control, caches, shedding; config_.serving) at an
+     * offered Poisson rate of @p offeredQps. The trace is re-timed
+     * (serve/arrivals.h) so query content — and therefore the cached
+     * ground truth — matches replay mode exactly; only arrivals move.
+     */
+    ServingRunResult runServing(Policy &policy, TraceFlavor flavor,
+                                double offeredQps);
+
+    /** runServing() with a policy freshly made by name. */
+    ServingRunResult runServing(const std::string &policyName,
+                                TraceFlavor flavor, double offeredQps);
 
   private:
     ExperimentConfig config_;

@@ -50,11 +50,10 @@ BmmEvaluator::search(const InvertedIndex &index,
         return result;
     }
     // Typical queries fit the stack slab (see bmw_evaluator.cc).
-    constexpr std::size_t kStackSlabSlots = 2048;
-    uint32_t stackSlab[kStackSlabSlots];
+    uint32_t stackSlab[kEvaluatorStackSlabSlots];
     std::unique_ptr<uint32_t[]> heapSlab;
     uint32_t *slab = stackSlab;
-    if (slabSlots > kStackSlabSlots) {
+    if (slabSlots > kEvaluatorStackSlabSlots) {
         heapSlab = std::make_unique_for_overwrite<uint32_t[]>(slabSlots);
         slab = heapSlab.get();
     }

@@ -66,11 +66,10 @@ BmwEvaluator::search(const InvertedIndex &index,
     // Typical queries (a handful of terms at block size <= 256) fit in
     // a stack slab; the heap allocation was a measurable share of
     // single-term latency, where wand pays no such setup cost.
-    constexpr std::size_t kStackSlabSlots = 2048;
-    uint32_t stackSlab[kStackSlabSlots];
+    uint32_t stackSlab[kEvaluatorStackSlabSlots];
     std::unique_ptr<uint32_t[]> heapSlab;
     uint32_t *slab = stackSlab;
-    if (slabSlots > kStackSlabSlots) {
+    if (slabSlots > kEvaluatorStackSlabSlots) {
         heapSlab = std::make_unique_for_overwrite<uint32_t[]>(slabSlots);
         slab = heapSlab.get();
     }

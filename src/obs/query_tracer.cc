@@ -26,7 +26,36 @@ num(double value)
 void
 QueryTracer::record(QueryTraceRecord record)
 {
+    if (sink_ != nullptr) {
+        *sink_ << toJsonLine(record, sinkPolicy_, sinkTrace_) << '\n';
+        if (++sinkUnflushed_ >= sinkFlushEvery_) {
+            sink_->flush();
+            sinkUnflushed_ = 0;
+        }
+    }
     records_.push_back(std::move(record));
+}
+
+void
+QueryTracer::streamTo(std::ostream *out, std::string policy,
+                      std::string trace, std::size_t flushEvery)
+{
+    if (sink_ != nullptr)
+        sink_->flush();
+    sink_ = out;
+    sinkPolicy_ = std::move(policy);
+    sinkTrace_ = std::move(trace);
+    sinkFlushEvery_ = flushEvery > 0 ? flushEvery : 1;
+    sinkUnflushed_ = 0;
+}
+
+void
+QueryTracer::flushSink()
+{
+    if (sink_ != nullptr) {
+        sink_->flush();
+        sinkUnflushed_ = 0;
+    }
 }
 
 std::string
@@ -84,8 +113,19 @@ void
 QueryTracer::writeJsonl(std::ostream &out, const std::string &policy,
                         const std::string &trace) const
 {
-    for (const QueryTraceRecord &record : records_)
+    // Flush per batch, not per line: the tail of the export must not
+    // depend on a destructor the caller may never reach (mid-run
+    // abort), while per-line flushing would syscall-bind large dumps.
+    constexpr std::size_t kFlushBatch = 256;
+    std::size_t unflushed = 0;
+    for (const QueryTraceRecord &record : records_) {
         out << toJsonLine(record, policy, trace) << '\n';
+        if (++unflushed >= kFlushBatch) {
+            out.flush();
+            unflushed = 0;
+        }
+    }
+    out.flush();
 }
 
 } // namespace cottage

@@ -131,8 +131,27 @@ struct QueryTraceRecord
 class QueryTracer
 {
   public:
-    /** Append one record. */
+    /**
+     * Append one record. With a sink attached (streamTo), the record's
+     * JSONL line is also written out immediately and the sink is
+     * flushed every flushEvery records, so a mid-run abort loses at
+     * most one batch instead of the whole buffered tail.
+     */
     void record(QueryTraceRecord record);
+
+    /**
+     * Attach a streaming sink (nullptr detaches): every subsequent
+     * record() writes its JSONL line to @p out as it arrives, with an
+     * explicit flush() after each batch of @p flushEvery records (and
+     * on detach). The in-memory record list still accumulates, so
+     * records()/writeJsonl() behave exactly as without a sink. The
+     * stream must outlive the tracer (or be detached first).
+     */
+    void streamTo(std::ostream *out, std::string policy,
+                  std::string trace, std::size_t flushEvery = 64);
+
+    /** Flush any pending streamed lines to the sink. No-op when detached. */
+    void flushSink();
 
     const std::vector<QueryTraceRecord> &records() const
     {
@@ -151,12 +170,23 @@ class QueryTracer
                                   const std::string &policy,
                                   const std::string &trace);
 
-    /** Write every record as one JSONL line, in order. */
+    /**
+     * Write every record as one JSONL line, in order, flushing after
+     * each batch of lines and at the end — the buffered tail of a
+     * JSONL export must never depend on a stream destructor running.
+     */
     void writeJsonl(std::ostream &out, const std::string &policy,
                     const std::string &trace) const;
 
   private:
     std::vector<QueryTraceRecord> records_;
+
+    /** Streaming sink state (streamTo). */
+    std::ostream *sink_ = nullptr;
+    std::string sinkPolicy_;
+    std::string sinkTrace_;
+    std::size_t sinkFlushEvery_ = 64;
+    std::size_t sinkUnflushed_ = 0;
 };
 
 } // namespace cottage

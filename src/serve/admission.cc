@@ -1,0 +1,76 @@
+#include "serve/admission.h"
+
+#include "util/logging.h"
+
+namespace cottage {
+
+AdmissionDecision
+applyAdmission(QueryPlan &plan, const ClusterSim &cluster,
+               double dispatchSeconds, const AdmissionConfig &config)
+{
+    COTTAGE_CHECK_MSG(config.shedBacklogSeconds >
+                          config.degradeBacklogSeconds,
+                      "shed threshold must exceed degrade threshold");
+    COTTAGE_CHECK_MSG(config.degradeFloor > 0.0 &&
+                          config.degradeFloor <= 1.0,
+                      "degrade floor must lie in (0, 1]");
+    COTTAGE_CHECK_MSG(config.overloadBudgetSeconds > 0.0,
+                      "overload budget must be positive");
+
+    AdmissionDecision decision;
+    std::vector<double> backlogs(plan.isns.size(), 0.0);
+    for (ShardId id = 0; id < cluster.numIsns(); ++id) {
+        if (id >= plan.isns.size() || !plan.isns[id].participate)
+            continue;
+        const double backlog =
+            cluster.isn(id).backlogSeconds(dispatchSeconds);
+        backlogs[id] = backlog;
+        if (backlog > config.shedBacklogSeconds) {
+            plan.isns[id].participate = false;
+            ++decision.isnsShed;
+            continue;
+        }
+        if (backlog > decision.worstBacklogSeconds)
+            decision.worstBacklogSeconds = backlog;
+    }
+
+    if (plan.participants() == 0) {
+        decision.shedQuery = true;
+        return decision;
+    }
+
+    if (decision.worstBacklogSeconds > config.degradeBacklogSeconds) {
+        // Linear tightening: factor 1 at the degrade threshold, the
+        // floor at the shed threshold.
+        const double span =
+            config.shedBacklogSeconds - config.degradeBacklogSeconds;
+        const double depth =
+            (decision.worstBacklogSeconds - config.degradeBacklogSeconds) /
+            span;
+        const double factor =
+            1.0 - (1.0 - config.degradeFloor) * depth;
+        const double base = plan.budgetSeconds == noBudget
+                                ? config.overloadBudgetSeconds
+                                : plan.budgetSeconds;
+        plan.budgetSeconds = base * factor;
+        decision.degraded = true;
+    }
+
+    // Zero-progress cut: an ISN whose queue cannot drain before the
+    // deadline would be abandoned without doing any work — shed it
+    // rather than dispatch to it (see the header's rationale).
+    if (plan.budgetSeconds != noBudget) {
+        for (std::size_t id = 0; id < plan.isns.size(); ++id) {
+            if (plan.isns[id].participate &&
+                backlogs[id] >= plan.budgetSeconds) {
+                plan.isns[id].participate = false;
+                ++decision.isnsShed;
+            }
+        }
+        if (plan.participants() == 0)
+            decision.shedQuery = true;
+    }
+    return decision;
+}
+
+} // namespace cottage

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Admission control for the serving front-end: per-ISN load shedding
+ * and overload degradation applied to a policy's plan just before
+ * dispatch.
+ *
+ * The ladder has three rungs, from gentle to drastic:
+ *
+ *  1. Healthy (worst backlog <= degrade threshold): the plan runs
+ *     untouched.
+ *  2. Degraded (degrade < worst backlog <= shed threshold): the budget
+ *     is tightened linearly toward `degradeFloor` as backlog climbs,
+ *     leaning on the anytime partial path — answers get worse before
+ *     anyone gets turned away. Plans with no deadline first have
+ *     `overloadBudgetSeconds` imposed so there is a budget to tighten.
+ *  3. Shed (backlog > shed threshold): an ISN that deep in backlog is
+ *     dropped from the plan outright; if every participant is dropped
+ *     the query is shed — the aggregator answers immediately with an
+ *     empty result instead of joining the queue it cannot clear.
+ *
+ * After the budget is settled, one more cut: an ISN whose backlog
+ * already reaches the (possibly tightened) budget could not START the
+ * request before its deadline — it would sit in the queue and be
+ * abandoned as a zero-progress truncation, pure wasted dispatch. Such
+ * ISNs are shed too. This is what makes shedding actually engage under
+ * sustained overload: deadline-bounded execution caps per-worker
+ * backlog at roughly the budget itself, so the absolute threshold
+ * alone would never trip once degradation is active.
+ *
+ * Every input is simulated state (queue drain times at the dispatch
+ * instant), so the decision is a pure function of the query sequence —
+ * bit-identical at any host thread count.
+ */
+
+#ifndef COTTAGE_SERVE_ADMISSION_H
+#define COTTAGE_SERVE_ADMISSION_H
+
+#include <cstdint>
+
+#include "engine/query_plan.h"
+#include "sim/cluster.h"
+
+namespace cottage {
+
+/** Thresholds of the shed/degrade ladder. */
+struct AdmissionConfig
+{
+    /** Per-ISN backlog beyond which the ISN is dropped from the plan. */
+    double shedBacklogSeconds = 0.25;
+
+    /** Backlog beyond which budgets start tightening. */
+    double degradeBacklogSeconds = 0.05;
+
+    /** Smallest fraction the budget is tightened to (at the shed edge). */
+    double degradeFloor = 0.25;
+
+    /** Budget imposed on no-deadline plans once degradation engages. */
+    double overloadBudgetSeconds = 0.05;
+};
+
+/** What admission control did to one query's plan. */
+struct AdmissionDecision
+{
+    /** Every participant was shed: reject the query outright. */
+    bool shedQuery = false;
+
+    /** Participants dropped for excessive backlog. */
+    uint32_t isnsShed = 0;
+
+    /** True when the budget was tightened. */
+    bool degraded = false;
+
+    /** Worst backlog among the ISNs that remain in the plan. */
+    double worstBacklogSeconds = 0.0;
+};
+
+/**
+ * Apply the shed/degrade ladder to @p plan in place, reading each
+ * participating ISN's queue backlog at @p dispatchSeconds.
+ */
+AdmissionDecision applyAdmission(QueryPlan &plan, const ClusterSim &cluster,
+                                 double dispatchSeconds,
+                                 const AdmissionConfig &config);
+
+} // namespace cottage
+
+#endif // COTTAGE_SERVE_ADMISSION_H

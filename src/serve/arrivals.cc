@@ -1,0 +1,28 @@
+#include "serve/arrivals.h"
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace cottage {
+
+QueryTrace
+retimeTrace(const QueryTrace &base, double arrivalQps, uint64_t seed)
+{
+    COTTAGE_CHECK_MSG(arrivalQps > 0.0,
+                      "arrival rate must be positive qps");
+    Rng rng(seed);
+    QueryTrace retimed;
+    retimed.setName(base.name());
+    double clock = 0.0;
+    for (const Query &query : base.queries()) {
+        Query copy = query;
+        clock += rng.exponential(arrivalQps);
+        copy.arrivalSeconds = clock;
+        // append() re-stamps ids sequentially; the base trace is
+        // already sequential, so ids survive the copy unchanged.
+        retimed.append(std::move(copy));
+    }
+    return retimed;
+}
+
+} // namespace cottage

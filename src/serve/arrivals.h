@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Open-loop Poisson arrival re-timing for serving-mode QPS sweeps.
+ *
+ * The serving bench measures the same query population at rising
+ * offered load. Regenerating a trace per QPS point would change the
+ * queries alongside the arrival process and confound the sweep, so
+ * instead one base trace is RE-TIMED: the query sequence (ids, terms,
+ * weights — and therefore the cached ground truth, keyed by query
+ * index) is kept verbatim and only the arrival clock is redrawn as a
+ * homogeneous Poisson process at the target rate. Arrivals come from
+ * util/rng seeded explicitly — never the host clock — so every sweep
+ * point is exactly reproducible from its printed (seed, qps) pair.
+ */
+
+#ifndef COTTAGE_SERVE_ARRIVALS_H
+#define COTTAGE_SERVE_ARRIVALS_H
+
+#include <cstdint>
+
+#include "text/trace.h"
+
+namespace cottage {
+
+/**
+ * Re-time @p base as an open-loop Poisson arrival process at
+ * @p arrivalQps mean queries per second: each inter-arrival gap is an
+ * independent exponential draw from Rng(@p seed). Query content and
+ * order are untouched. @p arrivalQps must be positive.
+ */
+QueryTrace retimeTrace(const QueryTrace &base, double arrivalQps,
+                       uint64_t seed);
+
+} // namespace cottage
+
+#endif // COTTAGE_SERVE_ARRIVALS_H

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Fixed-capacity LRU cache with deterministic iteration-free innards.
+ *
+ * The serving front-end's caches (merged-result cache, term-stats /
+ * hot-postings cache) both sit on this template. Determinism is a hard
+ * contract here, same as everywhere else in the tree: the recency list
+ * is an explicit std::list and the key index is an ordered std::map
+ * that is only ever probed, never iterated, so cache behaviour — hits,
+ * evictions, the order entries age out — is a pure function of the
+ * lookup/insert sequence and never of a hash function or allocator.
+ *
+ * Not thread-safe: the serving loop advances the simulated cluster
+ * sequentially (the same contract as the cluster sim itself), so its
+ * caches are touched from exactly one thread.
+ */
+
+#ifndef COTTAGE_SERVE_LRU_CACHE_H
+#define COTTAGE_SERVE_LRU_CACHE_H
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <utility>
+
+namespace cottage {
+
+/** Least-recently-used cache of Value keyed by Key (capacity 0 = off). */
+template <typename Key, typename Value>
+class LruCache
+{
+  public:
+    explicit LruCache(std::size_t capacity = 0) : capacity_(capacity) {}
+
+    /** A capacity of zero disables the cache entirely. */
+    bool enabled() const { return capacity_ > 0; }
+    std::size_t capacity() const { return capacity_; }
+    std::size_t size() const { return entries_.size(); }
+
+    /** Lookups that found an entry (find() only; peeks don't count). */
+    uint64_t hits() const { return hits_; }
+
+    /** Lookups that found nothing. */
+    uint64_t misses() const { return misses_; }
+
+    /** Entries pushed out by capacity pressure. */
+    uint64_t evictions() const { return evictions_; }
+
+    /** hits / (hits + misses); 0.0 before the first lookup. */
+    double
+    hitRate() const
+    {
+        const uint64_t lookups = hits_ + misses_;
+        return lookups == 0
+                   ? 0.0
+                   : static_cast<double>(hits_) /
+                         static_cast<double>(lookups);
+    }
+
+    /**
+     * Look a key up, counting the hit/miss and promoting a hit to
+     * most-recently-used. The returned pointer is valid until the next
+     * mutating call (insert/erase/clear). nullptr on miss or when the
+     * cache is disabled (a disabled cache counts nothing — its hit
+     * rate must read 0, not accumulate phantom misses).
+     */
+    const Value *
+    find(const Key &key)
+    {
+        if (!enabled())
+            return nullptr;
+        const auto it = index_.find(key);
+        if (it == index_.end()) {
+            ++misses_;
+            return nullptr;
+        }
+        ++hits_;
+        entries_.splice(entries_.begin(), entries_, it->second);
+        return &it->second->second;
+    }
+
+    /**
+     * Look a key up without counting a hit/miss or touching recency —
+     * for tests and diagnostics, never the serving path.
+     */
+    const Value *
+    peek(const Key &key) const
+    {
+        const auto it = index_.find(key);
+        return it == index_.end() ? nullptr : &it->second->second;
+    }
+
+    /**
+     * Insert (or overwrite) an entry as most-recently-used, evicting
+     * the least-recently-used entry if over capacity. No-op when the
+     * cache is disabled.
+     */
+    void
+    insert(const Key &key, Value value)
+    {
+        if (!enabled())
+            return;
+        const auto it = index_.find(key);
+        if (it != index_.end()) {
+            it->second->second = std::move(value);
+            entries_.splice(entries_.begin(), entries_, it->second);
+            return;
+        }
+        entries_.emplace_front(key, std::move(value));
+        index_.emplace(key, entries_.begin());
+        if (entries_.size() > capacity_) {
+            index_.erase(entries_.back().first);
+            entries_.pop_back();
+            ++evictions_;
+        }
+    }
+
+    /** Drop every entry; lookup/eviction counters keep accumulating. */
+    void
+    clear()
+    {
+        entries_.clear();
+        index_.clear();
+    }
+
+    /** clear() plus counter reset (fresh serving run). */
+    void
+    reset()
+    {
+        clear();
+        hits_ = 0;
+        misses_ = 0;
+        evictions_ = 0;
+    }
+
+  private:
+    std::size_t capacity_;
+    /** Front = most recently used. */
+    std::list<std::pair<Key, Value>> entries_;
+    std::map<Key, typename std::list<std::pair<Key, Value>>::iterator>
+        index_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t evictions_ = 0;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_SERVE_LRU_CACHE_H

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Merged-result cache for the serving front-end.
+ *
+ * The cache maps a query's full retrieval identity — its term sequence
+ * plus, for personalized queries, the exact per-term weights — to the
+ * merged top-K the engine previously returned for it. Keys are a
+ * binary encoding rather than a joined string so that no term/weight
+ * combination can collide with another ("12 3" vs "1 23") and weight
+ * identity is bit-exact, matching the repo-wide rule that measured
+ * quality never depends on formatting.
+ *
+ * Only fully-completed, non-degraded responses are ever inserted (the
+ * front-end enforces this), so a hit is by construction byte-identical
+ * to what re-executing the query without load would return — the
+ * contract the cache-identity acceptance test pins.
+ */
+
+#ifndef COTTAGE_SERVE_RESULT_CACHE_H
+#define COTTAGE_SERVE_RESULT_CACHE_H
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "index/top_k.h"
+#include "serve/lru_cache.h"
+#include "text/query.h"
+
+namespace cottage {
+
+/** A cached merged response plus its measured quality. */
+struct CachedResult
+{
+    std::vector<ScoredDoc> results;
+
+    /**
+     * Quality of the cached ranking against the exhaustive ground
+     * truth. Ground truth depends only on query content, which the key
+     * encodes exactly, so these numbers transfer to every hit.
+     */
+    double precisionAtK = 0.0;
+    double ndcgAtK = 0.0;
+};
+
+/**
+ * Binary retrieval-identity key of a query: term ids little-endian,
+ * then (personalized queries only) the raw bytes of each weight.
+ */
+inline std::string
+resultCacheKey(const Query &query)
+{
+    std::string key;
+    const bool personalized = query.personalized();
+    key.reserve(1 + query.terms.size() * (personalized ? 12 : 4));
+    key.push_back(personalized ? '\1' : '\0');
+    for (TermId term : query.terms) {
+        for (int shift = 0; shift < 32; shift += 8)
+            key.push_back(static_cast<char>((term >> shift) & 0xff));
+    }
+    if (personalized) {
+        for (std::size_t i = 0; i < query.terms.size(); ++i) {
+            const double weight = query.weight(i);
+            char bytes[sizeof(double)];
+            std::memcpy(bytes, &weight, sizeof(double));
+            key.append(bytes, sizeof(double));
+        }
+    }
+    return key;
+}
+
+/** LRU over retrieval-identity keys. */
+using ResultCache = LruCache<std::string, CachedResult>;
+
+} // namespace cottage
+
+#endif // COTTAGE_SERVE_RESULT_CACHE_H

@@ -1,0 +1,296 @@
+#include "serve/serving.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cottage {
+
+const char *
+servingOutcomeName(ServingOutcome outcome)
+{
+    switch (outcome) {
+    case ServingOutcome::CacheHit:
+        return "cache_hit";
+    case ServingOutcome::Served:
+        return "served";
+    case ServingOutcome::Degraded:
+        return "degraded";
+    case ServingOutcome::Shed:
+        return "shed";
+    }
+    return "unknown";
+}
+
+ServingFrontEnd::ServingFrontEnd(DistributedEngine &engine,
+                                 ServingConfig config)
+    : engine_(&engine), config_(config),
+      resultCache_(config.resultCacheCapacity),
+      statsCache_(engine.index(), config.statsCacheCapacity,
+                  config.statsFetchSeconds)
+{
+    COTTAGE_CHECK_MSG(config_.cacheHitLatencySeconds >= 0.0,
+                      "cache hit latency must be non-negative");
+}
+
+namespace {
+
+/**
+ * A response is cacheable only when nothing about it was shaped by the
+ * instantaneous load: no admission interference, every participant
+ * completed in full, nothing truncated. That makes a later hit
+ * byte-identical to re-executing the query on an unloaded cluster.
+ */
+bool
+cacheable(const QueryMeasurement &m, const AdmissionDecision &decision)
+{
+    return !decision.degraded && decision.isnsShed == 0 &&
+           m.isnsUsed > 0 && m.isnsCompleted == m.isnsUsed &&
+           m.partialResponses == 0;
+}
+
+} // namespace
+
+ServingSummary
+ServingFrontEnd::serve(Policy &policy, const QueryTrace &trace,
+                       const std::vector<std::vector<ScoredDoc>> &groundTruth,
+                       MetricsRegistry *metrics)
+{
+    COTTAGE_CHECK_MSG(groundTruth.size() >= trace.size(),
+                      "ground truth must cover the trace");
+
+    engine_->cluster().reset();
+    policy.reset();
+    resultCache_.reset();
+    statsCache_.reset();
+    measurements_.clear();
+    measurements_.reserve(trace.size());
+
+    MetricsRegistry *const previousMetrics = engine_->metrics();
+    if (metrics != nullptr)
+        engine_->setMetrics(metrics);
+
+    const NetworkModel &network = engine_->cluster().network();
+    ServingSummary summary;
+    summary.offered = trace.size();
+
+    std::vector<QueryMeasurement> responses;
+    responses.reserve(trace.size());
+
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const Query &query = trace.query(i);
+        ServingMeasurement record;
+        const std::string key = resultCacheKey(query);
+
+        if (const CachedResult *hit = resultCache_.find(key)) {
+            QueryMeasurement &m = record.measurement;
+            m.id = query.id;
+            m.arrivalSeconds = query.arrivalSeconds;
+            m.latencySeconds = config_.cacheHitLatencySeconds;
+            m.precisionAtK = hit->precisionAtK;
+            m.ndcgAtK = hit->ndcgAtK;
+            m.results = hit->results;
+            record.outcome = ServingOutcome::CacheHit;
+            ++summary.cacheHits;
+            if (metrics != nullptr) {
+                metrics->incr("serve_cache_hits");
+                if (metrics->windowSeconds() > 0.0)
+                    metrics->addWindowSample(query.arrivalSeconds, 0.0);
+            }
+        } else {
+            QueryPlan plan = policy.plan(query, *engine_);
+            plan.decisionOverheadSeconds +=
+                statsCache_.probe(query.terms);
+            // Mirror the engine's dispatch instant: decision overhead
+            // plus the outbound half of the round trip.
+            const double dispatchSeconds = query.arrivalSeconds +
+                                           plan.decisionOverheadSeconds +
+                                           0.5 * network.rttSeconds;
+            const AdmissionDecision decision = applyAdmission(
+                plan, engine_->cluster(), dispatchSeconds,
+                config_.admission);
+            record.worstBacklogSeconds = decision.worstBacklogSeconds;
+            record.isnsShed = decision.isnsShed;
+            summary.isnsShed += decision.isnsShed;
+            if (metrics != nullptr && decision.isnsShed > 0)
+                metrics->incr("serve_isns_shed", decision.isnsShed);
+
+            if (decision.shedQuery) {
+                QueryMeasurement &m = record.measurement;
+                m.id = query.id;
+                m.arrivalSeconds = query.arrivalSeconds;
+                // The aggregator rejects after planning; the client
+                // still pays the decision and the round trip.
+                m.latencySeconds = plan.decisionOverheadSeconds +
+                                   network.rttSeconds;
+                record.outcome = ServingOutcome::Shed;
+                ++summary.shedQueries;
+                if (metrics != nullptr) {
+                    metrics->incr("serve_shed_queries");
+                    if (metrics->windowSeconds() > 0.0)
+                        metrics->addWindowSample(query.arrivalSeconds,
+                                                 0.0);
+                }
+            } else {
+                const double energyBefore =
+                    engine_->cluster().totalEnergyJoules();
+                record.measurement =
+                    engine_->execute(query, plan, groundTruth[i]);
+                policy.observe(record.measurement);
+                if (decision.degraded) {
+                    record.outcome = ServingOutcome::Degraded;
+                    ++summary.degraded;
+                    if (metrics != nullptr)
+                        metrics->incr("serve_degraded");
+                } else {
+                    record.outcome = ServingOutcome::Served;
+                }
+                if (cacheable(record.measurement, decision))
+                    resultCache_.insert(
+                        key, CachedResult{record.measurement.results,
+                                          record.measurement.precisionAtK,
+                                          record.measurement.ndcgAtK});
+                if (metrics != nullptr &&
+                    metrics->windowSeconds() > 0.0)
+                    metrics->addWindowSample(
+                        query.arrivalSeconds,
+                        engine_->cluster().totalEnergyJoules() -
+                            energyBefore);
+            }
+        }
+        responses.push_back(record.measurement);
+        measurements_.push_back(std::move(record));
+    }
+
+    summary.completed = summary.offered - summary.shedQueries;
+    summary.shedRate =
+        summary.offered == 0
+            ? 0.0
+            : static_cast<double>(summary.shedQueries) /
+                  static_cast<double>(summary.offered);
+    summary.resultCacheHits = resultCache_.hits();
+    summary.resultCacheMisses = resultCache_.misses();
+    summary.resultCacheEvictions = resultCache_.evictions();
+    summary.resultCacheHitRate = resultCache_.hitRate();
+    summary.statsCacheHits = statsCache_.hits();
+    summary.statsCacheMisses = statsCache_.misses();
+    summary.statsCacheEvictions = statsCache_.evictions();
+    summary.statsCacheHitRate = statsCache_.hitRate();
+
+    const ClusterSim &cluster = engine_->cluster();
+    for (ShardId id = 0; id < cluster.numIsns(); ++id)
+        summary.zeroProgressResponses +=
+            cluster.isn(id).requestsZeroProgress();
+
+    summary.run = summarizeRun(policy.name(), trace.name(), responses);
+    summary.run.energyJoules = cluster.totalEnergyJoules();
+    // Same window rule as the replay harness: the run lasts until the
+    // last ISN drains, not just until the last arrival.
+    double window = trace.durationSeconds();
+    for (ShardId id = 0; id < cluster.numIsns(); ++id) {
+        const double drain = cluster.isn(id).busyUntilSeconds();
+        if (drain > window)
+            window = drain;
+    }
+    summary.run.durationSeconds = window;
+    if (summary.run.durationSeconds > 0.0) {
+        summary.run.avgPowerWatts =
+            cluster.averagePowerWatts(summary.run.durationSeconds);
+        summary.offeredQps = static_cast<double>(summary.offered) /
+                             summary.run.durationSeconds;
+        summary.achievedQps = static_cast<double>(summary.completed) /
+                              summary.run.durationSeconds;
+    }
+
+    if (metrics != nullptr) {
+        metrics->incr("serve_offered", summary.offered);
+        metrics->incr("serve_completed", summary.completed);
+        metrics->incr("serve_result_cache_hits",
+                      summary.resultCacheHits);
+        metrics->incr("serve_result_cache_misses",
+                      summary.resultCacheMisses);
+        metrics->incr("serve_result_cache_evictions",
+                      summary.resultCacheEvictions);
+        metrics->incr("serve_stats_cache_hits", summary.statsCacheHits);
+        metrics->incr("serve_stats_cache_misses",
+                      summary.statsCacheMisses);
+        metrics->incr("serve_stats_cache_evictions",
+                      summary.statsCacheEvictions);
+        metrics->incr("serve_zero_progress_responses",
+                      summary.zeroProgressResponses);
+        engine_->setMetrics(previousMetrics);
+    }
+    return summary;
+}
+
+std::string
+toJson(const ServingSummary &s)
+{
+    std::string out = "{";
+    const auto field = [&out](const char *key, const std::string &value,
+                              bool quote) {
+        if (out.size() > 1)
+            out += ",";
+        out += "\"";
+        out += key;
+        out += "\":";
+        if (quote)
+            out += jsonQuote(value);
+        else
+            out += value;
+    };
+    const auto num = [](double v) {
+        char buffer[64];
+        std::snprintf(buffer, sizeof(buffer), "%.9g", v);
+        return std::string(buffer);
+    };
+    field("policy", s.run.policy, true);
+    field("trace", s.run.trace, true);
+    field("offered", num(static_cast<double>(s.offered)), false);
+    field("completed", num(static_cast<double>(s.completed)), false);
+    field("cache_hits", num(static_cast<double>(s.cacheHits)), false);
+    field("degraded", num(static_cast<double>(s.degraded)), false);
+    field("shed_queries", num(static_cast<double>(s.shedQueries)),
+          false);
+    field("isns_shed", num(static_cast<double>(s.isnsShed)), false);
+    field("shed_rate", num(s.shedRate), false);
+    field("zero_progress_responses",
+          num(static_cast<double>(s.zeroProgressResponses)), false);
+    field("result_cache_hits",
+          num(static_cast<double>(s.resultCacheHits)), false);
+    field("result_cache_misses",
+          num(static_cast<double>(s.resultCacheMisses)), false);
+    field("result_cache_evictions",
+          num(static_cast<double>(s.resultCacheEvictions)), false);
+    field("result_cache_hit_rate", num(s.resultCacheHitRate), false);
+    field("stats_cache_hits",
+          num(static_cast<double>(s.statsCacheHits)), false);
+    field("stats_cache_misses",
+          num(static_cast<double>(s.statsCacheMisses)), false);
+    field("stats_cache_evictions",
+          num(static_cast<double>(s.statsCacheEvictions)), false);
+    field("stats_cache_hit_rate", num(s.statsCacheHitRate), false);
+    field("offered_qps", num(s.offeredQps), false);
+    field("achieved_qps", num(s.achievedQps), false);
+    field("avg_latency_s", num(s.run.avgLatencySeconds), false);
+    field("p50_latency_s", num(s.run.p50LatencySeconds), false);
+    field("p95_latency_s", num(s.run.p95LatencySeconds), false);
+    field("p99_latency_s", num(s.run.p99LatencySeconds), false);
+    field("max_latency_s", num(s.run.maxLatencySeconds), false);
+    field("avg_precision", num(s.run.avgPrecision), false);
+    field("avg_ndcg", num(s.run.avgNdcg), false);
+    field("avg_completed_fraction", num(s.run.avgCompletedFraction),
+          false);
+    field("truncated_responses",
+          num(static_cast<double>(s.run.truncatedResponses)), false);
+    field("partial_responses",
+          num(static_cast<double>(s.run.partialResponses)), false);
+    field("energy_j", num(s.run.energyJoules), false);
+    field("duration_s", num(s.run.durationSeconds), false);
+    field("avg_power_w", num(s.run.avgPowerWatts), false);
+    out += "}";
+    return out;
+}
+
+} // namespace cottage

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * The online serving front-end: admission control, result/term-stats
+ * caching and load shedding wrapped around DistributedEngine.
+ *
+ * Replay mode (the harness's default) measures policies on a fixed
+ * open-loop trace and admits every query no matter how deep the queues
+ * get. Serving mode models what a production aggregator does instead:
+ * probe a merged-result cache, consult (and charge for) term-stats
+ * fetches, let the policy plan, then run the admission ladder — degrade
+ * budgets first, shed ISNs next, reject the query outright last — and
+ * only then advance the cluster. The sustained-throughput bench sweeps
+ * this loop over rising QPS to find the latency/QPS/power knee.
+ *
+ * Hard contract: serving is a separate code path layered ON TOP of the
+ * engine. With serving off, the harness never constructs this class,
+ * so every measured byte of the existing replay path stays identical
+ * (tests/test_serve.cc pins this alongside test_parallel's suites).
+ * Within serving mode, all decisions derive from simulated time,
+ * cluster state and explicit seeds — bit-identical at any host thread
+ * count.
+ */
+
+#ifndef COTTAGE_SERVE_SERVING_H
+#define COTTAGE_SERVE_SERVING_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/distributed_engine.h"
+#include "metrics/run_stats.h"
+#include "policy/policy.h"
+#include "serve/admission.h"
+#include "serve/result_cache.h"
+#include "serve/stats_cache.h"
+#include "text/trace.h"
+
+namespace cottage {
+
+/** Serving-mode knobs (harness flags --serve, --qps, --shed-*, ...). */
+struct ServingConfig
+{
+    /** Off by default: the replay path never sees this subsystem. */
+    bool enabled = false;
+
+    /** Shed/degrade ladder thresholds. */
+    AdmissionConfig admission;
+
+    /** Merged-result cache entries (--result-cache; 0 disables). */
+    std::size_t resultCacheCapacity = 0;
+
+    /** Term-stats / hot-postings cache entries (--postings-cache). */
+    std::size_t statsCacheCapacity = 0;
+
+    /** Client-observed latency of a result-cache hit. */
+    double cacheHitLatencySeconds = 100e-6;
+
+    /** Decision-overhead penalty per term-stats cache miss. */
+    double statsFetchSeconds = 200e-6;
+
+    /**
+     * Seed of the Poisson arrival re-timing (serve/arrivals.h) the
+     * harness applies when sweeping offered QPS. Distinct from the
+     * trace seed so re-timed arrivals never correlate with the base
+     * trace's own arrival process.
+     */
+    uint64_t retimeSeed = 1013904223;
+};
+
+/** How the front-end disposed of one query. */
+enum class ServingOutcome {
+    /** Answered from the merged-result cache; the cluster never moved. */
+    CacheHit,
+
+    /** Executed under the policy's plan, untouched by admission. */
+    Served,
+
+    /** Executed, but with the budget tightened by overload. */
+    Degraded,
+
+    /** Rejected outright: every participant was over the shed line. */
+    Shed,
+};
+
+/** Stable name of an outcome ("cache_hit", "served", ...). */
+const char *servingOutcomeName(ServingOutcome outcome);
+
+/** One query's serving-mode record. */
+struct ServingMeasurement
+{
+    ServingOutcome outcome = ServingOutcome::Served;
+
+    /**
+     * The response as the client saw it. Cache hits carry the cached
+     * ranking at cache-hit latency with zero ISNs used; shed queries
+     * carry an empty ranking at reject latency.
+     */
+    QueryMeasurement measurement;
+
+    /** Worst backlog among the ISNs that stayed in the plan. */
+    double worstBacklogSeconds = 0.0;
+
+    /** Participants dropped from this query's plan by admission. */
+    uint32_t isnsShed = 0;
+};
+
+/** One serving run's aggregate results. */
+struct ServingSummary
+{
+    /** Latency/quality/energy over ALL responses (shed ones score 0). */
+    RunSummary run;
+
+    uint64_t offered = 0;
+
+    /** Responses that carried results (executions + cache hits). */
+    uint64_t completed = 0;
+
+    uint64_t cacheHits = 0;
+    uint64_t degraded = 0;
+    uint64_t shedQueries = 0;
+
+    /** Individual participants dropped across all plans. */
+    uint64_t isnsShed = 0;
+
+    /** shedQueries / offered. */
+    double shedRate = 0.0;
+
+    /** Truncated ISN responses that performed zero work (satellite 1). */
+    uint64_t zeroProgressResponses = 0;
+
+    uint64_t resultCacheHits = 0;
+    uint64_t resultCacheMisses = 0;
+    uint64_t resultCacheEvictions = 0;
+    double resultCacheHitRate = 0.0;
+
+    uint64_t statsCacheHits = 0;
+    uint64_t statsCacheMisses = 0;
+    uint64_t statsCacheEvictions = 0;
+    double statsCacheHitRate = 0.0;
+
+    /** offered / duration. */
+    double offeredQps = 0.0;
+
+    /** completed / duration. */
+    double achievedQps = 0.0;
+};
+
+/** One-line JSON object (keys documented in EXPERIMENTS.md). */
+std::string toJson(const ServingSummary &summary);
+
+/** Admission + caches + shedding around a DistributedEngine. */
+class ServingFrontEnd
+{
+  public:
+    /** @param engine Borrowed; must outlive the front-end. */
+    ServingFrontEnd(DistributedEngine &engine, ServingConfig config);
+
+    /**
+     * Serve a trace end to end, resetting cluster, policy and cache
+     * state first. @p groundTruth is indexed by trace position (use
+     * the same base trace the truth was computed from — retimeTrace
+     * keeps positions aligned). When @p metrics is non-null it is
+     * attached to the engine for the run's duration and additionally
+     * receives the serve_* counters and the windowed power/QPS series.
+     */
+    ServingSummary serve(Policy &policy, const QueryTrace &trace,
+                         const std::vector<std::vector<ScoredDoc>> &groundTruth,
+                         MetricsRegistry *metrics = nullptr);
+
+    /** Per-query records of the last serve() call, in arrival order. */
+    const std::vector<ServingMeasurement> &measurements() const
+    {
+        return measurements_;
+    }
+
+    const ServingConfig &config() const { return config_; }
+    const ResultCache &resultCache() const { return resultCache_; }
+    const TermStatsCache &statsCache() const { return statsCache_; }
+
+  private:
+    DistributedEngine *engine_;
+    ServingConfig config_;
+    ResultCache resultCache_;
+    TermStatsCache statsCache_;
+    std::vector<ServingMeasurement> measurements_;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_SERVE_SERVING_H

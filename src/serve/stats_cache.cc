@@ -1,0 +1,56 @@
+#include "serve/stats_cache.h"
+
+#include "index/term_stats.h"
+#include "util/logging.h"
+
+namespace cottage {
+
+TermStatsCache::TermStatsCache(const ShardedIndex &index,
+                               std::size_t capacity, double fetchSeconds)
+    : index_(&index), fetchSeconds_(fetchSeconds), cache_(capacity)
+{
+    COTTAGE_CHECK_MSG(fetchSeconds >= 0.0,
+                      "stats fetch penalty must be non-negative");
+}
+
+double
+TermStatsCache::probe(const std::vector<TermId> &terms)
+{
+    double penaltySeconds = 0.0;
+    for (TermId term : terms) {
+        if (!cache_.enabled()) {
+            // Disabled cache: every term comes from the slow tier.
+            penaltySeconds += fetchSeconds_;
+            continue;
+        }
+        if (cache_.find(term) != nullptr)
+            continue;
+        penaltySeconds += fetchSeconds_;
+        cache_.insert(term, summarize(term));
+    }
+    return penaltySeconds;
+}
+
+const TermSummary *
+TermStatsCache::peek(TermId term) const
+{
+    return cache_.peek(term);
+}
+
+TermSummary
+TermStatsCache::summarize(TermId term) const
+{
+    TermSummary summary;
+    for (ShardId shard = 0; shard < index_->numShards(); ++shard) {
+        const TermStats *stats = index_->termStats(shard).get(term);
+        if (stats == nullptr)
+            continue;
+        summary.postingLength += stats->postingLength;
+        if (stats->maxScore > summary.maxScore)
+            summary.maxScore = stats->maxScore;
+        summary.idf = stats->idf;
+    }
+    return summary;
+}
+
+} // namespace cottage

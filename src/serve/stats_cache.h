@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Term-statistics / hot-postings cache for the serving front-end.
+ *
+ * In the paper's deployment, the aggregator-side planner consults
+ * per-term statistics (and ISNs pull hot posting metadata) before a
+ * query is dispatched. In this reproduction every statistic already
+ * lives in memory, so the cache does not change WHAT is computed — it
+ * models the latency of WHERE the data comes from: a miss charges a
+ * configurable fetch penalty to the query's decision overhead (as if
+ * the term's stats block were pulled from slow storage into the hot
+ * tier), a hit is free. Hit/miss counts flow into MetricsRegistry and
+ * the serving bench JSON.
+ *
+ * Determinism: the cache is probed sequentially per query in arrival
+ * order, the LRU innards never iterate a hash container, and the
+ * penalty is pure arithmetic — so serving latencies stay bit-identical
+ * at any host thread count.
+ */
+
+#ifndef COTTAGE_SERVE_STATS_CACHE_H
+#define COTTAGE_SERVE_STATS_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/lru_cache.h"
+#include "shard/sharded_index.h"
+#include "text/types.h"
+
+namespace cottage {
+
+/** Cross-shard summary of one term, the cached "stats block". */
+struct TermSummary
+{
+    /** Total postings across shards. */
+    double postingLength = 0.0;
+
+    /** Largest per-shard score bound. */
+    double maxScore = 0.0;
+
+    /** Global IDF (identical on every shard that has the term). */
+    double idf = 0.0;
+};
+
+/** LRU of per-term cross-shard summaries with a miss fetch penalty. */
+class TermStatsCache
+{
+  public:
+    /**
+     * @param index Sharded collection the summaries are built from
+     *        (borrowed; must outlive the cache).
+     * @param capacity Terms held; 0 disables the cache (every probe
+     *        then charges the full fetch penalty and counts nothing).
+     * @param fetchSeconds Decision-overhead penalty per missed term.
+     */
+    TermStatsCache(const ShardedIndex &index, std::size_t capacity,
+                   double fetchSeconds);
+
+    /**
+     * Probe every term of a query, inserting summaries for the missed
+     * ones, and return the total fetch penalty to add to the query's
+     * decision overhead (missed terms * fetchSeconds; with the cache
+     * disabled, every term is charged).
+     */
+    double probe(const std::vector<TermId> &terms);
+
+    /** Cached summary of a term, or nullptr (no counters touched). */
+    const TermSummary *peek(TermId term) const;
+
+    bool enabled() const { return cache_.enabled(); }
+    uint64_t hits() const { return cache_.hits(); }
+    uint64_t misses() const { return cache_.misses(); }
+    uint64_t evictions() const { return cache_.evictions(); }
+    double hitRate() const { return cache_.hitRate(); }
+    std::size_t size() const { return cache_.size(); }
+
+    /** Drop entries and counters (fresh serving run). */
+    void reset() { cache_.reset(); }
+
+  private:
+    /** Build a term's cross-shard summary from the index. */
+    TermSummary summarize(TermId term) const;
+
+    const ShardedIndex *index_;
+    double fetchSeconds_;
+    LruCache<TermId, TermSummary> cache_;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_SERVE_STATS_CACHE_H

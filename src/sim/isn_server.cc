@@ -63,6 +63,11 @@ IsnServerSim::execute(double arrivalSeconds, double cycles, double freqGhz,
         exec.completedFraction =
             service > 0.0 ? exec.busySeconds / service : 0.0;
         ++requestsTruncated_;
+        // Deadline expired before the queue drained: the core never
+        // touched the request, so there is no anytime prefix to
+        // respond with — distinct from a mid-service abandon.
+        if (exec.busySeconds <= 0.0)
+            ++requestsZeroProgress_;
     }
 
     *worker = exec.finishSeconds;
@@ -88,6 +93,7 @@ IsnServerSim::reset()
     busySeconds_ = 0.0;
     requestsServed_ = 0;
     requestsTruncated_ = 0;
+    requestsZeroProgress_ = 0;
     currentFreq_ = ladder_->defaultGhz();
 }
 

@@ -101,6 +101,18 @@ class IsnServerSim
     /** Requests that missed their deadline (truncated). */
     uint64_t requestsTruncated() const { return requestsTruncated_; }
 
+    /**
+     * Truncated requests whose deadline expired before service even
+     * started (busySeconds == 0, completedFraction == 0): the queue
+     * never drained, so the ISN performed no work and responded with
+     * nothing. A subset of requestsTruncated() — kept separate so a
+     * serving front-end can tell genuine mid-service anytime partials
+     * apart from zero-progress abandons when reporting shed/overload
+     * statistics. Not part of any replay-mode JSON output, so adding
+     * it leaves every measured byte unchanged.
+     */
+    uint64_t requestsZeroProgress() const { return requestsZeroProgress_; }
+
     /** Sticky operating frequency used when a policy does not pick. */
     double currentFreqGhz() const { return currentFreq_; }
     void setCurrentFreqGhz(double freqGhz);
@@ -119,6 +131,7 @@ class IsnServerSim
     double busySeconds_ = 0.0;
     uint64_t requestsServed_ = 0;
     uint64_t requestsTruncated_ = 0;
+    uint64_t requestsZeroProgress_ = 0;
 };
 
 } // namespace cottage

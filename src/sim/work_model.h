@@ -85,8 +85,15 @@ struct WorkModel
      * full service: cycles are proportional to documents scored (the
      * per-posting/skip terms scale with the same prefix), so the
      * number of candidates evaluated by the cutoff is the same
-     * fraction of the full run's, rounded down. Deterministic — the
-     * fraction comes from simulated time, never the host clock.
+     * fraction of the full run's, rounded to nearest with explicit
+     * half-to-even tie-breaking. Truncating toward zero let a
+     * fraction of 1-epsilon (the busySeconds/service float division
+     * when the deadline lands a hair before the finish) cap a fully
+     * scored list one document short; round-half-even recovers the
+     * full prefix at the fraction~1 boundary and is unbiased at exact
+     * halves. Deterministic — pure arithmetic on the simulated-time
+     * fraction, independent of the host FP environment (no fesetround
+     * dependence), never the host clock.
      */
     uint64_t
     docsCapForFraction(const SearchWork &fullWork, double fraction) const
@@ -95,8 +102,13 @@ struct WorkModel
             return 0;
         if (fraction >= 1.0)
             return fullWork.docsScored;
-        return static_cast<uint64_t>(
-            fraction * static_cast<double>(fullWork.docsScored));
+        const double scaled =
+            fraction * static_cast<double>(fullWork.docsScored);
+        auto cap = static_cast<uint64_t>(scaled);
+        const double remainder = scaled - static_cast<double>(cap);
+        if (remainder > 0.5 || (remainder == 0.5 && (cap % 2) == 1))
+            ++cap;
+        return cap < fullWork.docsScored ? cap : fullWork.docsScored;
     }
 };
 

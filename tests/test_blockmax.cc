@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "index/block_codec.h"
 #include "index/block_max.h"
 #include "index/bmm_evaluator.h"
 #include "index/bmw_evaluator.h"
@@ -363,6 +364,77 @@ TEST_F(BlockMaxFixture, WorkCountersReplayByteIdenticalPerBlockSize)
             EXPECT_EQ(first, second)
                 << name << " at block size " << blockSize
                 << ": work-counter stream not replay-stable";
+        }
+    }
+}
+
+/**
+ * The evaluators' scratch-slab stack/heap boundary, pinned on both
+ * sides: a query whose cursors' combined scratch demand lands EXACTLY
+ * on kEvaluatorStackSlabSlots must take the stack path (the boundary
+ * is inclusive — `slabSlots > kEvaluatorStackSlabSlots` spills), and
+ * one term more must take the heap path, with bit-identical rankings
+ * either way. At block size 128 each cursor wants
+ * 2 * streamVByteDecodeCapacity(128) = 256 slots, so 8 terms fill the
+ * 2048-slot slab exactly and 9 overflow it. An off-by-one in the spill
+ * comparison (>=) would send the exact-fit query through an
+ * uninitialized or undersized path; this test is the tripwire.
+ */
+TEST(BlockMaxSlab, StackHeapBoundaryIsExactAndRankSafe)
+{
+    CorpusConfig config;
+    config.numDocs = 800;
+    config.vocabSize = 3000;
+    config.meanDocLength = 80.0;
+    config.numTopics = 12;
+    config.seed = 77;
+    const Corpus corpus = Corpus::generate(config);
+    const uint32_t blockSize = 128;
+    const auto index = wholeCorpusIndex(corpus, blockSize);
+
+    const std::size_t slotsPerTerm =
+        2 * streamVByteDecodeCapacity(blockSize);
+    const std::size_t exactTerms = kEvaluatorStackSlabSlots / slotsPerTerm;
+    ASSERT_EQ(exactTerms * slotsPerTerm, kEvaluatorStackSlabSlots)
+        << "block size no longer divides the slab evenly; pick another";
+
+    // The highest-df terms: long multi-block lists, so every cursor
+    // really decodes through its scratch half.
+    std::vector<std::pair<std::size_t, TermId>> byDf;
+    for (const PostingList &list : index->allPostings())
+        byDf.push_back({list.size(), list.term});
+    std::sort(byDf.begin(), byDf.end(), [](const auto &a, const auto &b) {
+        if (a.first != b.first)
+            return a.first > b.first;
+        return a.second < b.second;
+    });
+    ASSERT_GT(byDf.size(), exactTerms);
+
+    std::vector<TermId> terms;
+    for (std::size_t i = 0; i <= exactTerms; ++i)
+        terms.push_back(byDf[i].second);
+    const std::vector<TermId> exactFit(terms.begin(),
+                                       terms.begin() + exactTerms);
+    const std::vector<TermId> oneOver = terms;
+
+    std::size_t demand = 0;
+    for (const TermId term : exactFit)
+        demand += BlockMaxCursor::scratchSlots(*index->blockMax(term));
+    ASSERT_EQ(demand, kEvaluatorStackSlabSlots);
+
+    const ExhaustiveEvaluator exhaustive;
+    const BmwEvaluator bmw;
+    const BmmEvaluator bmm;
+    for (const std::vector<TermId> &query : {exactFit, oneOver}) {
+        const auto weighted = toWeighted(query);
+        for (const std::size_t k : {1u, 10u, 50u}) {
+            const SearchResult base =
+                exhaustive.search(*index, weighted, k);
+            ASSERT_FALSE(base.topK.empty());
+            expectBitIdentical(bmw.search(*index, weighted, k), base,
+                               "bmw", static_cast<QueryId>(query.size()));
+            expectBitIdentical(bmm.search(*index, weighted, k), base,
+                               "bmm", static_cast<QueryId>(query.size()));
         }
     }
 }

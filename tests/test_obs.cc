@@ -13,6 +13,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -505,6 +506,83 @@ TEST(ObsIntegration, MetricsFileHoldsOneJsonObjectPerRun)
         ++count;
     }
     EXPECT_EQ(count, 2u);
+}
+
+// ---------------------------------------------------------------------
+// Streaming sink: with streamTo attached the tracer writes each JSONL
+// line as it is recorded and flushes every batch, so a mid-run abort
+// keeps everything up to the last flushed batch on disk instead of
+// losing the whole buffered tail.
+
+QueryTraceRecord
+streamRecord(QueryId id)
+{
+    QueryTraceRecord record;
+    record.id = id;
+    record.arrivalSeconds = 0.001 * static_cast<double>(id);
+    record.latencySeconds = 0.002;
+    IsnSpan span;
+    span.isn = static_cast<ShardId>(id % 4);
+    span.busySeconds = 0.0005;
+    record.isns.push_back(span);
+    return record;
+}
+
+TEST(QueryTracerStreaming, SinkBytesMatchWriteJsonl)
+{
+    QueryTracer streamed;
+    std::ostringstream sink;
+    streamed.streamTo(&sink, "pol", "tr", 2);
+    QueryTracer buffered;
+    for (QueryId id = 0; id < 5; ++id) {
+        streamed.record(streamRecord(id));
+        buffered.record(streamRecord(id));
+    }
+    streamed.flushSink();
+
+    std::ostringstream expected;
+    buffered.writeJsonl(expected, "pol", "tr");
+    EXPECT_EQ(sink.str(), expected.str());
+    // The in-memory list still accumulates exactly as without a sink.
+    EXPECT_EQ(streamed.records().size(), 5u);
+
+    // Detach: later records stay in memory only, the sink is final.
+    streamed.streamTo(nullptr, "", "");
+    streamed.record(streamRecord(99));
+    EXPECT_EQ(streamed.records().size(), 6u);
+    EXPECT_EQ(sink.str(), expected.str());
+}
+
+TEST(QueryTracerStreamingDeathTest, StreamedLinesSurviveAMidRunAbort)
+{
+    // The child records three lines through a per-record flush, then
+    // dies without unwinding (no destructors, no stream teardown). The
+    // parent must find all three lines intact on disk — the regression
+    // was a tracer that buffered everything until writeJsonl at end of
+    // run, so any abort threw away the entire trace.
+    const std::string path = tempPath("obs_stream_abort.jsonl");
+    std::remove(path.c_str());
+    EXPECT_DEATH(
+        {
+            std::ofstream out(path);
+            QueryTracer tracer;
+            tracer.streamTo(&out, "pol", "tr", 1);
+            for (QueryId id = 0; id < 3; ++id)
+                tracer.record(streamRecord(id));
+            std::abort();
+        },
+        "");
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    ASSERT_EQ(lines.size(), 3u);
+    for (QueryId id = 0; id < 3; ++id)
+        EXPECT_EQ(lines[id],
+                  QueryTracer::toJsonLine(streamRecord(id), "pol", "tr"));
 }
 
 } // namespace

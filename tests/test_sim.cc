@@ -208,6 +208,69 @@ TEST(IsnServer, TruncatedCounterAccumulatesAndFractionIsProportional)
     EXPECT_EQ(server.requestsServed(), 3u);
 }
 
+TEST(IsnServer, ZeroProgressIsCountedApartFromMidServiceTruncation)
+{
+    const FrequencyLadder ladder;
+    const PowerModel power;
+    IsnServerSim server(ladder, power);
+
+    // Mid-service truncation: the worker started but was cut off.
+    // Truncated, yes — but it made progress, so not zero-progress.
+    server.execute(0.0, 2.1e9, 2.1, 0.4);
+    EXPECT_EQ(server.requestsTruncated(), 1u);
+    EXPECT_EQ(server.requestsZeroProgress(), 0u);
+
+    // Starved in the queue: the deadline expired before the worker
+    // freed up (the long request ahead holds the core until t=2.4).
+    server.execute(0.0, 4.2e9, 2.1, kInf); // busy until 2.4
+    const IsnExecution starved = server.execute(0.5, 2.1e9, 2.1, 1.0);
+    EXPECT_DOUBLE_EQ(starved.busySeconds, 0.0);
+    EXPECT_EQ(server.requestsTruncated(), 2u);
+    EXPECT_EQ(server.requestsZeroProgress(), 1u);
+
+    // A completed request moves neither counter; reset clears both.
+    server.execute(10.0, 2.1e9, 2.1, kInf);
+    EXPECT_EQ(server.requestsTruncated(), 2u);
+    EXPECT_EQ(server.requestsZeroProgress(), 1u);
+    server.reset();
+    EXPECT_EQ(server.requestsZeroProgress(), 0u);
+    EXPECT_EQ(server.requestsTruncated(), 0u);
+}
+
+TEST(WorkModel, DocsCapRoundsHalfToEven)
+{
+    const WorkModel model;
+    SearchWork work;
+
+    // Exact halves break toward the even neighbor, not always up.
+    work.docsScored = 5;
+    EXPECT_EQ(model.docsCapForFraction(work, 0.5), 2u); // 2.5 -> 2
+    work.docsScored = 7;
+    EXPECT_EQ(model.docsCapForFraction(work, 0.5), 4u); // 3.5 -> 4
+    work.docsScored = 8;
+    EXPECT_EQ(model.docsCapForFraction(work, 0.5), 4u); // exact
+
+    // Off-half remainders round to nearest as usual.
+    work.docsScored = 1000;
+    EXPECT_EQ(model.docsCapForFraction(work, 0.2501), 250u);
+    EXPECT_EQ(model.docsCapForFraction(work, 0.2499), 250u);
+}
+
+TEST(WorkModel, DocsCapRecoversFullPrefixNearFractionOne)
+{
+    // The regression this rounding fixes: a completedFraction of
+    // 1 - epsilon (float division when the deadline lands a hair
+    // before the finish) must not cap a fully scored list one short.
+    const WorkModel model;
+    SearchWork work;
+    work.docsScored = 1000;
+    EXPECT_EQ(model.docsCapForFraction(work, 1.0 - 1e-12), 1000u);
+    EXPECT_EQ(model.docsCapForFraction(work, 1.0), 1000u);
+    EXPECT_EQ(model.docsCapForFraction(work, 2.0), 1000u);
+    EXPECT_EQ(model.docsCapForFraction(work, 0.0), 0u);
+    EXPECT_EQ(model.docsCapForFraction(work, -0.5), 0u);
+}
+
 TEST(IsnServer, EnergyMatchesBusyIntervalsTimesPower)
 {
     const FrequencyLadder ladder;
