@@ -17,6 +17,14 @@
  *   trace_replay --serve=1 --qps=600 [--shed-backlog-ms=250]
  *                [--degrade-backlog-ms=50] [--overload-budget-ms=50]
  *                [--result-cache=1024] [--postings-cache=4096]
+ *
+ * Scenario mode (--scenario=<name>) serves a multi-tenant SLO
+ * scenario — merged per-tenant arrival streams over an optionally
+ * hostile cluster (see serve/scenario.h) — and prints the per-tenant
+ * rollups. --qps-scale multiplies every tenant's baseline rate:
+ *   trace_replay --scenario=flash_crowd [--qps-scale=1] [--json=1]
+ * Built-in scenarios: mixed_poisson, diurnal, flash_crowd,
+ * straggler_isn, failover.
  */
 
 #include <fstream>
@@ -46,6 +54,58 @@ main(int argc, char **argv)
                                    : TraceFlavor::Wikipedia;
 
     Experiment experiment(std::move(config));
+
+    const std::string scenarioName = flags.getString("scenario", "");
+    if (!scenarioName.empty()) {
+        const double qpsScale = flags.getDouble("qps-scale", 1.0);
+        const ScenarioConfig scenario =
+            scenarioByName(scenarioName, qpsScale);
+        const ScenarioRunResult run =
+            experiment.runScenario(policyName, scenario);
+        const ServingSummary &sv = run.summary;
+
+        TextTable cluster({"metric", "value"});
+        cluster.addRow({"scenario", scenario.name});
+        cluster.addRow({"hostile", scenario.hostile ? "yes" : "no"});
+        cluster.addRow({"policy", sv.run.policy});
+        cluster.addRow({"offered", TextTable::cell(sv.offered)});
+        cluster.addRow({"completed", TextTable::cell(sv.completed)});
+        cluster.addRow({"shed rate", TextTable::cell(sv.shedRate)});
+        cluster.addRow({"degraded", TextTable::cell(sv.degraded)});
+        cluster.addRow({"ISNs shed", TextTable::cell(sv.isnsShed)});
+        cluster.addRow({"ISNs unavailable",
+                        TextTable::cell(sv.isnsUnavailable)});
+        cluster.addRow({"avg power W",
+                        TextTable::cell(sv.run.avgPowerWatts, 2)});
+        std::cout << "\n" << cluster.render();
+
+        TextTable tenants({"tenant", "offered", "shed rate", "p99 ms",
+                           "p99.9 ms", "SLO ms", "attainment", "met",
+                           "NDCG", "energy J"});
+        for (const TenantSummary &t : sv.tenants) {
+            tenants.addRow(
+                {t.tenant, TextTable::cell(t.offered),
+                 TextTable::cell(t.shedRate),
+                 TextTable::cell(t.p99LatencySeconds * 1e3),
+                 TextTable::cell(t.p999LatencySeconds * 1e3),
+                 t.deadlineSeconds == noBudget
+                     ? "-"
+                     : TextTable::cell(t.deadlineSeconds * 1e3),
+                 TextTable::cell(t.sloAttainment),
+                 t.sloMet ? "yes" : "no", TextTable::cell(t.avgNdcg),
+                 TextTable::cell(t.energyJoules, 1)});
+        }
+        std::cout << "\n" << tenants.render();
+
+        if (run.metrics) {
+            std::cout << "\n" << run.metrics->toAsciiReport();
+            std::cout << "wrote metrics to "
+                      << experiment.config().metricsOut << "\n";
+        }
+        if (flags.getBool("json", false))
+            std::cout << "\n" << toJson(sv) << "\n";
+        return 0;
+    }
 
     if (experiment.config().serving.enabled) {
         const ServingRunResult serving = experiment.runServing(

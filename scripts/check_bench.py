@@ -1,13 +1,29 @@
 #!/usr/bin/env python3
-"""Perf-regression guard over BENCH_evaluators.json / BENCH_serving.json.
+"""Perf guard over BENCH_evaluators / BENCH_serving / BENCH_scenarios.
 
 Run after `bench_evaluators [--smoke]`:
 
     python3 scripts/check_bench.py BENCH_evaluators.json
 
-or after `bench_serving [--smoke]`:
+after `bench_serving [--smoke]`:
 
     python3 scripts/check_bench.py --serving BENCH_serving.json
+
+or after `bench_scenarios [--smoke]`:
+
+    python3 scripts/check_bench.py --scenarios BENCH_scenarios.json
+
+Scenario gates (--scenarios; guard the multi-tenant SLO scenarios):
+  - the file must carry a non-empty 'scenarios' list whose cells each
+    hold a per-tenant rollup ('tenants') — anything else is BAD INPUT;
+  - every tenant's latency percentile ladder must be monotone
+    (p50 <= p95 <= p99 <= p99.9 <= max) with shed_rate in [0, 1];
+  - at least one hostile scenario must carry both 'cottage' and
+    'slo-dvfs' (BAD INPUT otherwise — the comparison cannot run);
+  - cottage must beat slo-dvfs on at least one hostile shape, on at
+    least one axis: lower run p99 latency, lower shed rate, or higher
+    mean per-tenant SLO attainment. Coordinated budgets that lose to a
+    fixed a-priori deadline on EVERY hostile shape are a regression.
 
 Serving gates (--serving; guard the serving front-end's QPS sweep):
   - the file must carry a 'serving' section with a non-empty 'points'
@@ -78,6 +94,21 @@ POINT_FIELDS = [
     "stats_cache_hit_rate",
 ]
 
+# Fields every per-tenant scenario rollup must carry.
+TENANT_FIELDS = [
+    "tenant",
+    "offered",
+    "shed_rate",
+    "p50_latency_s",
+    "p95_latency_s",
+    "p99_latency_s",
+    "p999_latency_s",
+    "max_latency_s",
+    "slo_attainment",
+    "avg_ndcg",
+    "energy_j",
+]
+
 
 def fail(message: str) -> None:
     """A perf guard tripped: exit 1."""
@@ -118,6 +149,14 @@ def parse_args(argv):
         help=(
             "treat the input as bench_serving output and run the "
             "serving gates instead of the evaluator gates"
+        ),
+    )
+    parser.add_argument(
+        "--scenarios",
+        action="store_true",
+        help=(
+            "treat the input as bench_scenarios output and run the "
+            "multi-tenant scenario gates"
         ),
     )
     parser.add_argument(
@@ -301,6 +340,122 @@ def check_serving(path: str) -> str:
         f"{len(points)} rungs, saturation_qps={saturation}, lowest "
         f"rung shed_rate=0, p95 {lowest['p95_latency_s'] * 1e3:.2f} -> "
         f"{points[-1]['p95_latency_s'] * 1e3:.2f} ms"
+    )
+
+
+def check_scenarios(path: str) -> str:
+    """Run the multi-tenant scenario gates; exits via fail()/unusable().
+
+    Returns the one-line OK summary.
+    """
+    try:
+        with open(path) as handle:
+            bench = json.load(handle)
+    except FileNotFoundError:
+        unusable(f"{path} not found: run bench_scenarios first")
+    except json.JSONDecodeError as err:
+        unusable(f"{path} is not valid JSON ({err})")
+
+    scenarios = bench.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        unusable(
+            f"{path} has no 'scenarios' list: not bench_scenarios "
+            "output? (--scenarios checks BENCH_scenarios.json only)"
+        )
+
+    hostile_cells = []  # (scenario_name, {policy: summary})
+    tenants_checked = 0
+    for i, scenario in enumerate(scenarios):
+        name = scenario.get("name")
+        cells = scenario.get("policies")
+        if not name or not isinstance(cells, list) or not cells:
+            unusable(f"{path}: scenario {i} lacks 'name'/'policies'")
+        by_policy = {}
+        for cell in cells:
+            summary = cell.get("summary")
+            if "policy" not in cell or not isinstance(summary, dict):
+                unusable(
+                    f"{path}: scenario '{name}' has a cell without "
+                    "'policy'/'summary'"
+                )
+            tenants = summary.get("tenants")
+            if not isinstance(tenants, list) or not tenants:
+                unusable(
+                    f"{path}: scenario '{name}' policy "
+                    f"'{cell['policy']}' carries no per-tenant rollups"
+                )
+            for tenant in tenants:
+                absent = [f for f in TENANT_FIELDS if f not in tenant]
+                if absent:
+                    unusable(
+                        f"{path}: scenario '{name}' tenant rollup "
+                        f"lacks field(s) {absent}; output from an "
+                        "incompatible bench_scenarios version"
+                    )
+                label = (
+                    f"scenario '{name}' / {cell['policy']} / tenant "
+                    f"'{tenant['tenant']}'"
+                )
+                ladder = [
+                    tenant["p50_latency_s"],
+                    tenant["p95_latency_s"],
+                    tenant["p99_latency_s"],
+                    tenant["p999_latency_s"],
+                    tenant["max_latency_s"],
+                ]
+                if any(b < a for a, b in zip(ladder, ladder[1:])):
+                    fail(
+                        f"{label}: latency percentile ladder is not "
+                        f"monotone: {ladder}"
+                    )
+                if not 0.0 <= tenant["shed_rate"] <= 1.0:
+                    fail(
+                        f"{label}: shed_rate {tenant['shed_rate']} "
+                        "outside [0, 1]"
+                    )
+                tenants_checked += 1
+            by_policy[cell["policy"]] = summary
+        if scenario.get("hostile"):
+            hostile_cells.append((name, by_policy))
+
+    comparable = [
+        (name, cells)
+        for name, cells in hostile_cells
+        if {"cottage", "slo-dvfs"} <= set(cells)
+    ]
+    if not comparable:
+        unusable(
+            f"{path}: no hostile scenario carries both 'cottage' and "
+            "'slo-dvfs'; the Cottage-vs-SLO gate cannot run"
+        )
+
+    def mean_attainment(summary):
+        tenants = summary["tenants"]
+        return sum(t["slo_attainment"] for t in tenants) / len(tenants)
+
+    wins = []
+    for name, cells in comparable:
+        cottage, slo = cells["cottage"], cells["slo-dvfs"]
+        axes = []
+        if cottage["p99_latency_s"] < slo["p99_latency_s"]:
+            axes.append("p99")
+        if cottage["shed_rate"] < slo["shed_rate"]:
+            axes.append("shed_rate")
+        if mean_attainment(cottage) > mean_attainment(slo):
+            axes.append("slo_attainment")
+        if axes:
+            wins.append(f"{name} ({'/'.join(axes)})")
+    if not wins:
+        fail(
+            "cottage beat slo-dvfs on NO hostile scenario (checked: "
+            f"{[name for name, _ in comparable]}): coordinated budget "
+            "assignment must outperform a fixed a-priori deadline "
+            "under at least one hostile shape"
+        )
+
+    return (
+        f"{len(scenarios)} scenarios, {tenants_checked} tenant rollups "
+        f"monotone; cottage beats slo-dvfs on {', '.join(wins)}"
     )
 
 
@@ -535,6 +690,190 @@ def self_test() -> None:
             2,
         )
 
+        # ---- scenario gates ----
+
+        def tenant_rollup(name, p99=0.005, shed=0.0, attainment=1.0):
+            return {
+                "tenant": name,
+                "offered": 500,
+                "shed_rate": shed,
+                "p50_latency_s": 0.002,
+                "p95_latency_s": 0.004,
+                "p99_latency_s": p99,
+                "p999_latency_s": p99 + 0.001,
+                "max_latency_s": p99 + 0.002,
+                "slo_attainment": attainment,
+                "avg_ndcg": 0.9,
+                "energy_j": 10.0,
+            }
+
+        def scenario_summary(p99=0.005, shed=0.0, attainment=1.0):
+            return {
+                "p99_latency_s": p99,
+                "shed_rate": shed,
+                "tenants": [
+                    tenant_rollup("interactive", p99, shed, attainment),
+                    tenant_rollup("batch", p99, shed, attainment),
+                ],
+            }
+
+        def scenario_file(name, scenarios):
+            path = os.path.join(tmp, name)
+            with open(path, "w") as handle:
+                json.dump(
+                    {"bench": "scenarios", "scenarios": scenarios},
+                    handle,
+                )
+            return path
+
+        def scenario(name, hostile, cottage, slo):
+            return {
+                "name": name,
+                "hostile": hostile,
+                "policies": [
+                    {"policy": "cottage", "summary": cottage},
+                    {"policy": "slo-dvfs", "summary": slo},
+                ],
+            }
+
+        healthy_scenarios = scenario_file(
+            "scenarios.json",
+            [
+                scenario("mixed_poisson", False, scenario_summary(),
+                         scenario_summary()),
+                scenario(
+                    "straggler_isn",
+                    True,
+                    scenario_summary(p99=0.006),
+                    scenario_summary(p99=0.020, shed=0.05),
+                ),
+            ],
+        )
+        _run_case(
+            "healthy scenarios", [healthy_scenarios, "--scenarios"], 0
+        )
+        _run_case(
+            "scenario file without --scenarios (no totals)",
+            [healthy_scenarios],
+            2,
+        )
+
+        # Cottage losing every hostile axis is a regression.
+        cottage_loses = scenario_file(
+            "scenarios_lose.json",
+            [
+                scenario(
+                    "straggler_isn",
+                    True,
+                    scenario_summary(p99=0.030, shed=0.10,
+                                     attainment=0.5),
+                    scenario_summary(p99=0.010, shed=0.01,
+                                     attainment=0.9),
+                )
+            ],
+        )
+        _run_case(
+            "cottage loses every hostile shape",
+            [cottage_loses, "--scenarios"],
+            1,
+        )
+        # ... but winning a single axis (here: shed rate) passes.
+        cottage_shed_win = scenario_file(
+            "scenarios_shed_win.json",
+            [
+                scenario(
+                    "flash_crowd",
+                    True,
+                    scenario_summary(p99=0.030, shed=0.02,
+                                     attainment=0.5),
+                    scenario_summary(p99=0.010, shed=0.05,
+                                     attainment=0.9),
+                )
+            ],
+        )
+        _run_case(
+            "cottage wins only the shed-rate axis",
+            [cottage_shed_win, "--scenarios"],
+            0,
+        )
+
+        broken_ladder_summary = scenario_summary(p99=0.006)
+        broken_ladder_summary["tenants"][0]["p95_latency_s"] = 0.009
+        broken_ladder = scenario_file(
+            "scenarios_ladder.json",
+            [
+                scenario("straggler_isn", True, broken_ladder_summary,
+                         scenario_summary(p99=0.020)),
+            ],
+        )
+        _run_case(
+            "tenant percentile ladder not monotone",
+            [broken_ladder, "--scenarios"],
+            1,
+        )
+
+        bad_shed_summary = scenario_summary()
+        bad_shed_summary["tenants"][1]["shed_rate"] = 1.5
+        bad_shed = scenario_file(
+            "scenarios_shed.json",
+            [
+                scenario("straggler_isn", True, scenario_summary(),
+                         bad_shed_summary),
+            ],
+        )
+        _run_case(
+            "tenant shed_rate outside [0,1]",
+            [bad_shed, "--scenarios"],
+            1,
+        )
+
+        # BAD INPUT paths keep exit 2.
+        no_hostile = scenario_file(
+            "scenarios_no_hostile.json",
+            [
+                scenario("mixed_poisson", False, scenario_summary(),
+                         scenario_summary()),
+            ],
+        )
+        _run_case(
+            "no hostile scenario to compare",
+            [no_hostile, "--scenarios"],
+            2,
+        )
+        tenantless_summary = scenario_summary()
+        tenantless_summary["tenants"] = []
+        tenantless = scenario_file(
+            "scenarios_tenantless.json",
+            [
+                scenario("straggler_isn", True, tenantless_summary,
+                         scenario_summary()),
+            ],
+        )
+        _run_case(
+            "cell without tenant rollups",
+            [tenantless, "--scenarios"],
+            2,
+        )
+        bare_tenant_summary = scenario_summary()
+        del bare_tenant_summary["tenants"][0]["p999_latency_s"]
+        bare_tenant = scenario_file(
+            "scenarios_fieldless.json",
+            [
+                scenario("straggler_isn", True, bare_tenant_summary,
+                         scenario_summary()),
+            ],
+        )
+        _run_case(
+            "tenant rollup missing field",
+            [bare_tenant, "--scenarios"],
+            2,
+        )
+        _run_case(
+            "evaluator file with --scenarios (no scenarios list)",
+            [healthy, "--scenarios"],
+            2,
+        )
+
     print("check_bench self-test: all cases passed")
 
 
@@ -546,6 +885,11 @@ def main(argv=None) -> None:
 
     if args.serving:
         detail = check_serving(args.path)
+        print(f"check_bench: OK ({args.path}): {detail}")
+        return
+
+    if args.scenarios:
+        detail = check_scenarios(args.path)
         print(f"check_bench: OK ({args.path}): {detail}")
         return
 

@@ -128,6 +128,7 @@ DistributedEngine::execute(const Query &query, const QueryPlan &plan,
     QueryMeasurement measurement;
     measurement.id = query.id;
     measurement.arrivalSeconds = query.arrivalSeconds;
+    measurement.tenant = query.tenant;
     measurement.budgetSeconds = plan.budgetSeconds;
 
     const NetworkModel &network = cluster_->network();
@@ -176,6 +177,7 @@ DistributedEngine::execute(const Query &query, const QueryPlan &plan,
     std::vector<int> spanOf;
     if (tracer_ != nullptr) {
         record.id = query.id;
+        record.tenant = query.tenant;
         record.arrivalSeconds = query.arrivalSeconds;
         record.dispatchSeconds = dispatch;
         record.budgetSeconds =

@@ -79,6 +79,9 @@ struct QueryMeasurement
     QueryId id = 0;
     double arrivalSeconds = 0.0;
 
+    /** Owning tenant (copied from the query; 0 outside scenarios). */
+    uint32_t tenant = 0;
+
     /** Client-observed latency (decision + network + wait + merge). */
     double latencySeconds = 0.0;
 

@@ -432,4 +432,81 @@ Experiment::runServing(const std::string &policyName, TraceFlavor flavor,
     return runServing(*policy, flavor, offeredQps);
 }
 
+ScenarioRunResult
+Experiment::runScenario(Policy &policy, const ScenarioConfig &scenario)
+{
+    COTTAGE_CHECK_MSG(!scenario.tenants.empty(),
+                      "a scenario needs at least one tenant");
+
+    // Shape each tenant's base trace under its private arrival spec,
+    // then merge in the fixed (arrival, tenant, id) order.
+    std::vector<QueryTrace> shaped;
+    shaped.reserve(scenario.tenants.size());
+    for (const TenantSpec &tenant : scenario.tenants)
+        shaped.push_back(
+            shapeArrivals(trace(tenant.flavor), tenant.arrivals));
+    MergedArrivals merged = mergeTenantArrivals(shaped);
+    merged.trace.setName("scenario:" + scenario.name);
+
+    // Merged ground truth indexed by merged position: shaping keeps
+    // base-trace positions, so each source (tenant, position) maps
+    // straight into that flavor's cached truth.
+    std::vector<std::vector<ScoredDoc>> truth;
+    truth.reserve(merged.sources.size());
+    for (const auto &source : merged.sources) {
+        const TraceFlavor flavor = scenario.tenants[source.first].flavor;
+        truth.push_back(groundTruth(flavor)[source.second]);
+    }
+
+    ServingConfig serving = config_.serving;
+    serving.enabled = true;
+    serving.tenants.clear();
+    for (const TenantSpec &tenant : scenario.tenants) {
+        TenantSlo slo = tenant.slo;
+        slo.name = tenant.name;
+        serving.tenants.push_back(std::move(slo));
+    }
+
+    ServingFrontEnd frontEnd(*engine_, serving);
+    std::shared_ptr<MetricsRegistry> metrics;
+    if (!config_.metricsOut.empty()) {
+        metrics = std::make_shared<MetricsRegistry>();
+        metrics->configureWindows(config_.powerWindowSeconds,
+                                  config_.power.idleWatts);
+    }
+
+    // Hostile shape on, serve, shape off: the shape models hardware,
+    // so it must survive the front-end's cluster reset but never leak
+    // into later runs.
+    cluster_->applyShape(scenario.shape);
+    ScenarioRunResult result;
+    result.summary =
+        frontEnd.serve(policy, merged.trace, truth, metrics.get());
+    result.measurements = frontEnd.measurements();
+    cluster_->clearShape();
+
+    if (metrics) {
+        if (!metricsFile_) {
+            metricsFile_ =
+                std::make_unique<std::ofstream>(config_.metricsOut);
+            if (!*metricsFile_)
+                fatal("cannot open " + config_.metricsOut);
+        }
+        *metricsFile_ << metrics->toJson(result.summary.run.policy,
+                                         result.summary.run.trace)
+                      << '\n';
+        metricsFile_->flush();
+        result.metrics = std::move(metrics);
+    }
+    return result;
+}
+
+ScenarioRunResult
+Experiment::runScenario(const std::string &policyName,
+                        const ScenarioConfig &scenario)
+{
+    const std::unique_ptr<Policy> policy = makePolicy(policyName);
+    return runScenario(*policy, scenario);
+}
+
 } // namespace cottage

@@ -26,6 +26,7 @@
 #include "policy/redde_policy.h"
 #include "policy/taily_policy.h"
 #include "predict/training.h"
+#include "serve/scenario.h"
 #include "serve/serving.h"
 #include "shard/sharded_index.h"
 #include "sim/cluster.h"
@@ -199,6 +200,20 @@ struct ServingRunResult
 };
 
 /**
+ * One policy's scenario output. The summary's tenants vector carries
+ * the per-tenant rollups (latency percentiles, SLO attainment, shed
+ * rate, quality, energy).
+ */
+struct ScenarioRunResult
+{
+    ServingSummary summary;
+    std::vector<ServingMeasurement> measurements;
+
+    /** The run's metrics registry (null unless metricsOut was set). */
+    std::shared_ptr<const MetricsRegistry> metrics;
+};
+
+/**
  * Owns and lazily builds the full stack. Heavy pieces (corpus, index,
  * ground truth, predictor bank) are constructed once and reused across
  * policies so comparative benches stay fast.
@@ -266,6 +281,23 @@ class Experiment
     /** runServing() with a policy freshly made by name. */
     ServingRunResult runServing(const std::string &policyName,
                                 TraceFlavor flavor, double offeredQps);
+
+    /**
+     * Serve a multi-tenant scenario (serve/scenario.h): shape each
+     * tenant's flavor trace under its private arrival seed, merge the
+     * streams in the fixed (arrival, tenant, id) order, apply the
+     * scenario's hostile cluster shape, and run the serving front-end
+     * with the tenants' SLO classes attached. The cluster shape is
+     * cleared before returning, so subsequent runs see a pristine
+     * cluster. Serving-mode knobs other than `enabled` and `tenants`
+     * come from config_.serving as usual.
+     */
+    ScenarioRunResult runScenario(Policy &policy,
+                                  const ScenarioConfig &scenario);
+
+    /** runScenario() with a policy freshly made by name. */
+    ScenarioRunResult runScenario(const std::string &policyName,
+                                  const ScenarioConfig &scenario);
 
   private:
     ExperimentConfig config_;

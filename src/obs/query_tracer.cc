@@ -65,6 +65,7 @@ QueryTracer::toJsonLine(const QueryTraceRecord &record,
 {
     std::string out = "{";
     out += "\"query\":" + num(static_cast<double>(record.id));
+    out += ",\"tenant\":" + num(static_cast<double>(record.tenant));
     out += ",\"policy\":" + jsonQuote(policy);
     out += ",\"trace\":" + jsonQuote(trace);
     out += ",\"arrival_s\":" + num(record.arrivalSeconds);

@@ -91,6 +91,9 @@ struct QueryTraceRecord
 {
     QueryId id = 0;
 
+    /** Owning tenant (0 outside multi-tenant scenarios). */
+    uint32_t tenant = 0;
+
     /** Client arrival time. */
     double arrivalSeconds = 0.0;
 

@@ -8,67 +8,95 @@ AdmissionDecision
 applyAdmission(QueryPlan &plan, const ClusterSim &cluster,
                double dispatchSeconds, const AdmissionConfig &config)
 {
-    COTTAGE_CHECK_MSG(config.shedBacklogSeconds >
+    COTTAGE_CHECK_MSG(config.shedBacklogSeconds >=
                           config.degradeBacklogSeconds,
-                      "shed threshold must exceed degrade threshold");
+                      "shed threshold must not undercut degrade threshold");
     COTTAGE_CHECK_MSG(config.degradeFloor > 0.0 &&
                           config.degradeFloor <= 1.0,
                       "degrade floor must lie in (0, 1]");
-    COTTAGE_CHECK_MSG(config.overloadBudgetSeconds > 0.0,
-                      "overload budget must be positive");
 
     AdmissionDecision decision;
     std::vector<double> backlogs(plan.isns.size(), 0.0);
     for (ShardId id = 0; id < cluster.numIsns(); ++id) {
         if (id >= plan.isns.size() || !plan.isns[id].participate)
             continue;
+        if (!cluster.isn(id).availableAt(dispatchSeconds)) {
+            plan.isns[id].participate = false;
+            ++decision.isnsUnavailable;
+            continue;
+        }
         const double backlog =
             cluster.isn(id).backlogSeconds(dispatchSeconds);
         backlogs[id] = backlog;
         if (backlog > config.shedBacklogSeconds) {
             plan.isns[id].participate = false;
             ++decision.isnsShed;
-            continue;
         }
-        if (backlog > decision.worstBacklogSeconds)
-            decision.worstBacklogSeconds = backlog;
+    }
+
+    // Degrade-and-cut fixed point: the degrade depth is always
+    // measured over the ISNs the query will actually dispatch to.
+    // Tightening the budget can push further ISNs past the
+    // zero-progress line; shedding those can in turn relax (or fully
+    // disengage) the degradation the survivors see, so iterate until
+    // the participant set stops shrinking. Terminates because every
+    // pass either cuts at least one participant or exits.
+    const double originalBudget = plan.budgetSeconds;
+    while (plan.participants() > 0) {
+        double worst = 0.0;
+        for (std::size_t id = 0; id < plan.isns.size(); ++id)
+            if (plan.isns[id].participate && backlogs[id] > worst)
+                worst = backlogs[id];
+        decision.worstBacklogSeconds = worst;
+
+        decision.degraded = worst > config.degradeBacklogSeconds;
+        if (decision.degraded) {
+            // Linear tightening: factor 1 at the degrade threshold,
+            // the floor at the shed threshold. Equal thresholds
+            // collapse the band — straight to the floor.
+            const double span =
+                config.shedBacklogSeconds - config.degradeBacklogSeconds;
+            const double depth =
+                span > 0.0
+                    ? (worst - config.degradeBacklogSeconds) / span
+                    : 1.0;
+            const double factor =
+                1.0 - (1.0 - config.degradeFloor) * depth;
+            double base = originalBudget;
+            if (base == noBudget) {
+                COTTAGE_CHECK_MSG(config.overloadBudgetSeconds > 0.0,
+                                  "overload budget must be positive");
+                base = config.overloadBudgetSeconds;
+            }
+            plan.budgetSeconds = base * factor;
+        } else {
+            plan.budgetSeconds = originalBudget;
+        }
+
+        // Zero-progress cut: an ISN whose queue cannot drain before
+        // the deadline would be abandoned without doing any work —
+        // shed it rather than dispatch to it (see the header's
+        // rationale).
+        uint32_t cuts = 0;
+        if (plan.budgetSeconds != noBudget) {
+            for (std::size_t id = 0; id < plan.isns.size(); ++id) {
+                if (plan.isns[id].participate &&
+                    backlogs[id] >= plan.budgetSeconds) {
+                    plan.isns[id].participate = false;
+                    ++cuts;
+                }
+            }
+        }
+        if (cuts == 0)
+            break;
+        decision.isnsShed += cuts;
     }
 
     if (plan.participants() == 0) {
         decision.shedQuery = true;
-        return decision;
-    }
-
-    if (decision.worstBacklogSeconds > config.degradeBacklogSeconds) {
-        // Linear tightening: factor 1 at the degrade threshold, the
-        // floor at the shed threshold.
-        const double span =
-            config.shedBacklogSeconds - config.degradeBacklogSeconds;
-        const double depth =
-            (decision.worstBacklogSeconds - config.degradeBacklogSeconds) /
-            span;
-        const double factor =
-            1.0 - (1.0 - config.degradeFloor) * depth;
-        const double base = plan.budgetSeconds == noBudget
-                                ? config.overloadBudgetSeconds
-                                : plan.budgetSeconds;
-        plan.budgetSeconds = base * factor;
-        decision.degraded = true;
-    }
-
-    // Zero-progress cut: an ISN whose queue cannot drain before the
-    // deadline would be abandoned without doing any work — shed it
-    // rather than dispatch to it (see the header's rationale).
-    if (plan.budgetSeconds != noBudget) {
-        for (std::size_t id = 0; id < plan.isns.size(); ++id) {
-            if (plan.isns[id].participate &&
-                backlogs[id] >= plan.budgetSeconds) {
-                plan.isns[id].participate = false;
-                ++decision.isnsShed;
-            }
-        }
-        if (plan.participants() == 0)
-            decision.shedQuery = true;
+        decision.degraded = false;
+        decision.worstBacklogSeconds = 0.0;
+        plan.budgetSeconds = originalBudget;
     }
     return decision;
 }

@@ -12,11 +12,19 @@
  *     is tightened linearly toward `degradeFloor` as backlog climbs,
  *     leaning on the anytime partial path — answers get worse before
  *     anyone gets turned away. Plans with no deadline first have
- *     `overloadBudgetSeconds` imposed so there is a budget to tighten.
+ *     `overloadBudgetSeconds` imposed so there is a budget to tighten;
+ *     the knob is validated only on this path, so configs that never
+ *     need it may leave it at zero. Equal shed and degrade thresholds
+ *     are legal: the band collapses and budgets jump straight to the
+ *     floor at the threshold.
  *  3. Shed (backlog > shed threshold): an ISN that deep in backlog is
  *     dropped from the plan outright; if every participant is dropped
  *     the query is shed — the aggregator answers immediately with an
  *     empty result instead of joining the queue it cannot clear.
+ *
+ * ISNs inside a scheduled down window (scenario failure events) are
+ * removed before the ladder runs at all: a dead node has no queue to
+ * measure, and dispatching to it would be pure loss.
  *
  * After the budget is settled, one more cut: an ISN whose backlog
  * already reaches the (possibly tightened) budget could not START the
@@ -27,9 +35,15 @@
  * backlog at roughly the budget itself, so the absolute threshold
  * alone would never trip once degradation is active.
  *
- * Every input is simulated state (queue drain times at the dispatch
- * instant), so the decision is a pure function of the query sequence —
- * bit-identical at any host thread count.
+ * Degradation and the cut run to a fixed point over the surviving
+ * participant set: cutting an ISN removes its backlog from the degrade
+ * depth, so the survivors' budget is re-derived (and may disengage
+ * entirely) rather than staying tightened by a node the query no
+ * longer dispatches to.
+ *
+ * Every input is simulated state (queue drain times and availability
+ * windows at the dispatch instant), so the decision is a pure function
+ * of the query sequence — bit-identical at any host thread count.
  */
 
 #ifndef COTTAGE_SERVE_ADMISSION_H
@@ -54,8 +68,15 @@ struct AdmissionConfig
     /** Smallest fraction the budget is tightened to (at the shed edge). */
     double degradeFloor = 0.25;
 
-    /** Budget imposed on no-deadline plans once degradation engages. */
-    double overloadBudgetSeconds = 0.05;
+    /**
+     * Budget imposed on no-deadline plans once degradation engages.
+     * Must exceed the degrade threshold for the degrade rung to be
+     * reachable by such plans: a backlog deep enough to engage
+     * degradation would otherwise always also reach the imposed
+     * budget and be zero-progress-cut, collapsing the ladder to
+     * healthy-or-shed.
+     */
+    double overloadBudgetSeconds = 0.1;
 };
 
 /** What admission control did to one query's plan. */
@@ -66,6 +87,9 @@ struct AdmissionDecision
 
     /** Participants dropped for excessive backlog. */
     uint32_t isnsShed = 0;
+
+    /** Participants dropped because their ISN was down at dispatch. */
+    uint32_t isnsUnavailable = 0;
 
     /** True when the budget was tightened. */
     bool degraded = false;

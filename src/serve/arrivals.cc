@@ -1,5 +1,7 @@
 #include "serve/arrivals.h"
 
+#include <cmath>
+
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -23,6 +25,109 @@ retimeTrace(const QueryTrace &base, double arrivalQps, uint64_t seed)
         retimed.append(std::move(copy));
     }
     return retimed;
+}
+
+const char *
+arrivalShapeName(ArrivalShape shape)
+{
+    switch (shape) {
+    case ArrivalShape::Poisson:
+        return "poisson";
+    case ArrivalShape::Diurnal:
+        return "diurnal";
+    case ArrivalShape::FlashCrowd:
+        return "flash_crowd";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/** Instantaneous rate of the spec's process at simulated time t. */
+double
+instantaneousRate(const ArrivalSpec &spec, double t)
+{
+    switch (spec.shape) {
+    case ArrivalShape::Poisson:
+        return spec.qps;
+    case ArrivalShape::Diurnal: {
+        constexpr double kTwoPi = 6.283185307179586476925286766559;
+        return spec.qps *
+               (1.0 + spec.diurnalAmplitude *
+                          std::sin(kTwoPi * t /
+                                   spec.diurnalPeriodSeconds));
+    }
+    case ArrivalShape::FlashCrowd:
+        return t >= spec.spikeStartSeconds &&
+                       t < spec.spikeStartSeconds +
+                               spec.spikeDurationSeconds
+                   ? spec.qps * spec.spikeMultiplier
+                   : spec.qps;
+    }
+    return spec.qps;
+}
+
+/** The rate the thinning proposal process runs at (>= any instant). */
+double
+peakRate(const ArrivalSpec &spec)
+{
+    switch (spec.shape) {
+    case ArrivalShape::Poisson:
+        return spec.qps;
+    case ArrivalShape::Diurnal:
+        return spec.qps * (1.0 + spec.diurnalAmplitude);
+    case ArrivalShape::FlashCrowd:
+        return spec.qps * spec.spikeMultiplier;
+    }
+    return spec.qps;
+}
+
+} // namespace
+
+QueryTrace
+shapeArrivals(const QueryTrace &base, const ArrivalSpec &spec)
+{
+    COTTAGE_CHECK_MSG(spec.qps > 0.0, "arrival rate must be positive");
+    if (spec.shape == ArrivalShape::Diurnal) {
+        COTTAGE_CHECK_MSG(spec.diurnalAmplitude >= 0.0 &&
+                              spec.diurnalAmplitude < 1.0,
+                          "diurnal amplitude must lie in [0, 1)");
+        COTTAGE_CHECK_MSG(spec.diurnalPeriodSeconds > 0.0,
+                          "diurnal period must be positive");
+    }
+    if (spec.shape == ArrivalShape::FlashCrowd) {
+        COTTAGE_CHECK_MSG(spec.spikeMultiplier >= 1.0,
+                          "spike multiplier must be >= 1");
+        COTTAGE_CHECK_MSG(spec.spikeDurationSeconds > 0.0 &&
+                              spec.spikeStartSeconds >= 0.0,
+                          "spike window must be well-formed");
+    }
+
+    // The stationary case IS retimeTrace: same seed, same bytes. The
+    // thinning loop below would add one uniform draw per candidate and
+    // change the stream.
+    if (spec.shape == ArrivalShape::Poisson)
+        return retimeTrace(base, spec.qps, spec.seed);
+
+    // Lewis-Shedler thinning: propose arrivals from a homogeneous
+    // process at the peak rate and accept each with probability
+    // rate(t)/peak — an exact draw from the inhomogeneous process.
+    const double peak = peakRate(spec);
+    Rng rng(spec.seed);
+    QueryTrace shaped;
+    shaped.setName(base.name());
+    double clock = 0.0;
+    for (const Query &query : base.queries()) {
+        for (;;) {
+            clock += rng.exponential(peak);
+            if (rng.uniform() * peak <= instantaneousRate(spec, clock))
+                break;
+        }
+        Query copy = query;
+        copy.arrivalSeconds = clock;
+        shaped.append(std::move(copy));
+    }
+    return shaped;
 }
 
 } // namespace cottage

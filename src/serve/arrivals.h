@@ -31,6 +31,62 @@ namespace cottage {
 QueryTrace retimeTrace(const QueryTrace &base, double arrivalQps,
                        uint64_t seed);
 
+/** Arrival-process families the scenario layer composes tenants from. */
+enum class ArrivalShape {
+    /** Stationary Poisson at `qps` (identical to retimeTrace). */
+    Poisson,
+
+    /** Sinusoidal rate: qps * (1 + amplitude * sin(2*pi*t/period)). */
+    Diurnal,
+
+    /** Step spike: rate jumps to qps * multiplier inside the window. */
+    FlashCrowd,
+};
+
+/** Stable shape name ("poisson", "diurnal", "flash_crowd"). */
+const char *arrivalShapeName(ArrivalShape shape);
+
+/**
+ * One tenant's arrival process. Every draw comes from Rng(seed), so
+ * each tenant owns an independent, reproducible stream — scenarios
+ * give every tenant a distinct seed and the merged arrival order is a
+ * pure function of the spec list.
+ */
+struct ArrivalSpec
+{
+    ArrivalShape shape = ArrivalShape::Poisson;
+
+    /** Baseline mean rate, queries per second (must be positive). */
+    double qps = 100.0;
+
+    /** Seed of this tenant's private arrival stream. */
+    uint64_t seed = 1;
+
+    /** Diurnal modulation depth, in [0, 1). */
+    double diurnalAmplitude = 0.5;
+
+    /** Diurnal oscillation period, seconds (positive). */
+    double diurnalPeriodSeconds = 10.0;
+
+    /** Flash-crowd window start, seconds. */
+    double spikeStartSeconds = 0.5;
+
+    /** Flash-crowd window length, seconds (positive). */
+    double spikeDurationSeconds = 1.0;
+
+    /** Rate multiplier inside the window (>= 1). */
+    double spikeMultiplier = 8.0;
+};
+
+/**
+ * Re-time @p base under @p spec. Poisson delegates to retimeTrace
+ * byte-for-byte; the inhomogeneous shapes draw candidate arrivals at
+ * the shape's peak rate and thin them by the instantaneous-to-peak
+ * rate ratio (Lewis-Shedler), so the output is still a pure function
+ * of (base, spec) — no wall clock anywhere.
+ */
+QueryTrace shapeArrivals(const QueryTrace &base, const ArrivalSpec &spec);
+
 } // namespace cottage
 
 #endif // COTTAGE_SERVE_ARRIVALS_H

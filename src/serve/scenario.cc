@@ -1,0 +1,213 @@
+#include "serve/scenario.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace cottage {
+
+namespace {
+
+/**
+ * The fixed merge order: ascending arrival time, ties broken by
+ * tenant then by the query's id within its tenant stream. Total on
+ * (tenant, id), so the sorted order is unique — no dependence on the
+ * pre-sort layout.
+ */
+struct MergeOrder
+{
+    bool
+    operator()(const Query &a, const Query &b) const
+    {
+        if (a.arrivalSeconds != b.arrivalSeconds)
+            return a.arrivalSeconds < b.arrivalSeconds;
+        if (a.tenant != b.tenant)
+            return a.tenant < b.tenant;
+        return a.id < b.id;
+    }
+};
+
+/** Tenant seeds: fixed, distinct, and far apart in seed space. */
+constexpr uint64_t kTenantSeedBase = 0x9e3779b97f4a7c15ull;
+
+uint64_t
+tenantSeed(uint32_t tenant)
+{
+    return kTenantSeedBase + 0x100000001b3ull * (tenant + 1);
+}
+
+TenantSpec
+interactiveTenant(double qpsScale)
+{
+    TenantSpec spec;
+    spec.name = "interactive";
+    spec.flavor = TraceFlavor::Wikipedia;
+    spec.slo.name = spec.name;
+    spec.slo.deadlineSeconds = 20e-3;
+    spec.slo.budgetShare = 1.0;
+    spec.slo.latencyPercentile = 0.99;
+    spec.arrivals.shape = ArrivalShape::Poisson;
+    spec.arrivals.qps = 120.0 * qpsScale;
+    spec.arrivals.seed = tenantSeed(0);
+    return spec;
+}
+
+TenantSpec
+batchTenant(double qpsScale)
+{
+    TenantSpec spec;
+    spec.name = "batch";
+    spec.flavor = TraceFlavor::Lucene;
+    spec.slo.name = spec.name;
+    spec.slo.deadlineSeconds = noBudget;
+    spec.slo.budgetShare = 0.5;
+    spec.slo.latencyPercentile = 0.95;
+    spec.arrivals.shape = ArrivalShape::Poisson;
+    spec.arrivals.qps = 80.0 * qpsScale;
+    spec.arrivals.seed = tenantSeed(1);
+    return spec;
+}
+
+ScenarioConfig
+mixedPoissonScenario(double qpsScale)
+{
+    ScenarioConfig scenario;
+    scenario.name = "mixed_poisson";
+    scenario.hostile = false;
+    scenario.tenants = {interactiveTenant(qpsScale),
+                        batchTenant(qpsScale)};
+    return scenario;
+}
+
+ScenarioConfig
+diurnalScenario(double qpsScale)
+{
+    ScenarioConfig scenario = mixedPoissonScenario(qpsScale);
+    scenario.name = "diurnal";
+    // The interactive tenant oscillates through the day; batch load
+    // stays flat underneath it.
+    scenario.tenants[0].arrivals.shape = ArrivalShape::Diurnal;
+    scenario.tenants[0].arrivals.diurnalAmplitude = 0.8;
+    scenario.tenants[0].arrivals.diurnalPeriodSeconds = 2.0;
+    return scenario;
+}
+
+ScenarioConfig
+flashCrowdScenario(double qpsScale)
+{
+    ScenarioConfig scenario = mixedPoissonScenario(qpsScale);
+    scenario.name = "flash_crowd";
+    scenario.hostile = true;
+    // A breaking-news spike on the interactive tenant: 8x the base
+    // rate for one second, early enough that the whole trace sees the
+    // backlog drain afterwards.
+    scenario.tenants[0].arrivals.shape = ArrivalShape::FlashCrowd;
+    scenario.tenants[0].arrivals.spikeStartSeconds = 0.2;
+    scenario.tenants[0].arrivals.spikeDurationSeconds = 1.0;
+    scenario.tenants[0].arrivals.spikeMultiplier = 8.0;
+    return scenario;
+}
+
+ScenarioConfig
+stragglerIsnScenario(double qpsScale)
+{
+    ScenarioConfig scenario = mixedPoissonScenario(qpsScale);
+    scenario.name = "straggler_isn";
+    scenario.hostile = true;
+    // ISN 0 serves at half rate (a sick node); ISN 1 is capped at
+    // 1.8 GHz (a heterogeneous ladder). Presets use the first two
+    // ISNs only, so any >= 2-shard stack can run them.
+    IsnShape straggler;
+    straggler.isn = 0;
+    straggler.serviceRateMultiplier = 0.5;
+    IsnShape capped;
+    capped.isn = 1;
+    capped.maxFreqGhz = 1.8;
+    scenario.shape.isns = {straggler, capped};
+    return scenario;
+}
+
+ScenarioConfig
+failoverScenario(double qpsScale)
+{
+    ScenarioConfig scenario = mixedPoissonScenario(qpsScale);
+    scenario.name = "failover";
+    scenario.hostile = true;
+    // ISN 0 fails mid-run and recovers: queries dispatched inside the
+    // window lose the shard (admission drops unavailable ISNs), and
+    // its queued work drains while it is down.
+    IsnShape failing;
+    failing.isn = 0;
+    DownWindow outage;
+    outage.fromSeconds = 0.3;
+    outage.toSeconds = 0.8;
+    failing.downWindows = {outage};
+    scenario.shape.isns = {failing};
+    return scenario;
+}
+
+} // namespace
+
+MergedArrivals
+mergeTenantArrivals(const std::vector<QueryTrace> &perTenant)
+{
+    COTTAGE_CHECK_MSG(!perTenant.empty(),
+                      "a scenario needs at least one tenant");
+    MergedArrivals merged;
+    std::vector<Query> all;
+    std::size_t total = 0;
+    for (const QueryTrace &trace : perTenant)
+        total += trace.size();
+    all.reserve(total);
+    for (std::size_t tenant = 0; tenant < perTenant.size(); ++tenant) {
+        for (const Query &query : perTenant[tenant].queries()) {
+            Query copy = query;
+            copy.tenant = static_cast<uint32_t>(tenant);
+            all.push_back(std::move(copy));
+        }
+    }
+    std::sort(all.begin(), all.end(), MergeOrder());
+
+    merged.trace.setName("scenario");
+    merged.sources.reserve(all.size());
+    for (Query &query : all) {
+        // The pre-merge id is the position within the tenant's shaped
+        // trace (shaping preserves base positions); record it before
+        // append() re-stamps the id to the merged position.
+        merged.sources.emplace_back(query.tenant,
+                                    static_cast<std::size_t>(query.id));
+        merged.trace.append(std::move(query));
+    }
+    return merged;
+}
+
+const std::vector<std::string> &
+scenarioNames()
+{
+    static const std::vector<std::string> names = {
+        "mixed_poisson", "diurnal", "flash_crowd", "straggler_isn",
+        "failover",
+    };
+    return names;
+}
+
+ScenarioConfig
+scenarioByName(const std::string &name, double qpsScale)
+{
+    COTTAGE_CHECK_MSG(qpsScale > 0.0, "qps scale must be positive");
+    if (name == "mixed_poisson")
+        return mixedPoissonScenario(qpsScale);
+    if (name == "diurnal")
+        return diurnalScenario(qpsScale);
+    if (name == "flash_crowd")
+        return flashCrowdScenario(qpsScale);
+    if (name == "straggler_isn")
+        return stragglerIsnScenario(qpsScale);
+    if (name == "failover")
+        return failoverScenario(qpsScale);
+    fatal("unknown scenario: " + name +
+          " (expected one of mixed_poisson, diurnal, flash_crowd, "
+          "straggler_isn, failover)");
+}
+
+} // namespace cottage

@@ -1,7 +1,10 @@
 #include "serve/serving.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <functional>
 
+#include "stats/summary.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -32,6 +35,15 @@ ServingFrontEnd::ServingFrontEnd(DistributedEngine &engine,
 {
     COTTAGE_CHECK_MSG(config_.cacheHitLatencySeconds >= 0.0,
                       "cache hit latency must be non-negative");
+    for (const TenantSlo &slo : config_.tenants) {
+        COTTAGE_CHECK_MSG(slo.budgetShare > 0.0,
+                          "tenant budget share must be positive");
+        COTTAGE_CHECK_MSG(slo.latencyPercentile > 0.0 &&
+                              slo.latencyPercentile <= 1.0,
+                          "SLO percentile must lie in (0, 1]");
+        COTTAGE_CHECK_MSG(slo.deadlineSeconds > 0.0,
+                          "tenant deadline must be positive");
+    }
 }
 
 namespace {
@@ -78,8 +90,33 @@ ServingFrontEnd::serve(Policy &policy, const QueryTrace &trace,
     std::vector<QueryMeasurement> responses;
     responses.reserve(trace.size());
 
+    // Per-tenant accumulation (multi-tenant scenarios only). Latencies
+    // are collected raw so the rollup can report p99.9 and the SLO's
+    // own evaluation percentile, which RunSummary does not carry.
+    const bool multiTenant = !config_.tenants.empty();
+    struct TenantAccumulator
+    {
+        std::vector<double> latencies;
+        RunningStat latency;
+        RunningStat precision;
+        RunningStat ndcg;
+        uint64_t offered = 0;
+        uint64_t cacheHits = 0;
+        uint64_t degraded = 0;
+        uint64_t shed = 0;
+        uint64_t inDeadline = 0;
+        double energyJoules = 0.0;
+    };
+    std::vector<TenantAccumulator> tenantAccs(config_.tenants.size());
+
     for (std::size_t i = 0; i < trace.size(); ++i) {
         const Query &query = trace.query(i);
+        uint32_t tenantIndex = 0;
+        if (multiTenant) {
+            COTTAGE_CHECK_MSG(query.tenant < config_.tenants.size(),
+                              "query tenant out of range");
+            tenantIndex = query.tenant;
+        }
         ServingMeasurement record;
         const std::string key = resultCacheKey(query);
 
@@ -87,6 +124,7 @@ ServingFrontEnd::serve(Policy &policy, const QueryTrace &trace,
             QueryMeasurement &m = record.measurement;
             m.id = query.id;
             m.arrivalSeconds = query.arrivalSeconds;
+            m.tenant = query.tenant;
             m.latencySeconds = config_.cacheHitLatencySeconds;
             m.precisionAtK = hit->precisionAtK;
             m.ndcgAtK = hit->ndcgAtK;
@@ -100,6 +138,18 @@ ServingFrontEnd::serve(Policy &policy, const QueryTrace &trace,
             }
         } else {
             QueryPlan plan = policy.plan(query, *engine_);
+            if (multiTenant) {
+                // Apply the tenant's SLO class: scale whatever finite
+                // budget the policy picked by the tenant's share, then
+                // cap at the deadline (imposing it on no-deadline
+                // plans — the contract binds regardless of policy).
+                const TenantSlo &slo = config_.tenants[tenantIndex];
+                if (plan.budgetSeconds != noBudget)
+                    plan.budgetSeconds *= slo.budgetShare;
+                if (slo.deadlineSeconds != noBudget &&
+                    plan.budgetSeconds > slo.deadlineSeconds)
+                    plan.budgetSeconds = slo.deadlineSeconds;
+            }
             plan.decisionOverheadSeconds +=
                 statsCache_.probe(query.terms);
             // Mirror the engine's dispatch instant: decision overhead
@@ -112,14 +162,20 @@ ServingFrontEnd::serve(Policy &policy, const QueryTrace &trace,
                 config_.admission);
             record.worstBacklogSeconds = decision.worstBacklogSeconds;
             record.isnsShed = decision.isnsShed;
+            record.isnsUnavailable = decision.isnsUnavailable;
             summary.isnsShed += decision.isnsShed;
+            summary.isnsUnavailable += decision.isnsUnavailable;
             if (metrics != nullptr && decision.isnsShed > 0)
                 metrics->incr("serve_isns_shed", decision.isnsShed);
+            if (metrics != nullptr && decision.isnsUnavailable > 0)
+                metrics->incr("serve_isns_unavailable",
+                              decision.isnsUnavailable);
 
             if (decision.shedQuery) {
                 QueryMeasurement &m = record.measurement;
                 m.id = query.id;
                 m.arrivalSeconds = query.arrivalSeconds;
+                m.tenant = query.tenant;
                 // The aggregator rejects after planning; the client
                 // still pays the decision and the round trip.
                 m.latencySeconds = plan.decisionOverheadSeconds +
@@ -151,12 +207,51 @@ ServingFrontEnd::serve(Policy &policy, const QueryTrace &trace,
                         key, CachedResult{record.measurement.results,
                                           record.measurement.precisionAtK,
                                           record.measurement.ndcgAtK});
+                const double energyDelta =
+                    engine_->cluster().totalEnergyJoules() - energyBefore;
+                if (multiTenant)
+                    tenantAccs[tenantIndex].energyJoules += energyDelta;
                 if (metrics != nullptr &&
                     metrics->windowSeconds() > 0.0)
-                    metrics->addWindowSample(
-                        query.arrivalSeconds,
-                        engine_->cluster().totalEnergyJoules() -
-                            energyBefore);
+                    metrics->addWindowSample(query.arrivalSeconds,
+                                             energyDelta);
+            }
+        }
+        if (multiTenant) {
+            TenantAccumulator &acc = tenantAccs[tenantIndex];
+            const QueryMeasurement &m = record.measurement;
+            const TenantSlo &slo = config_.tenants[tenantIndex];
+            ++acc.offered;
+            acc.latencies.push_back(m.latencySeconds);
+            acc.latency.add(m.latencySeconds);
+            acc.precision.add(m.precisionAtK);
+            acc.ndcg.add(m.ndcgAtK);
+            switch (record.outcome) {
+            case ServingOutcome::CacheHit:
+                ++acc.cacheHits;
+                break;
+            case ServingOutcome::Degraded:
+                ++acc.degraded;
+                break;
+            case ServingOutcome::Shed:
+                ++acc.shed;
+                break;
+            case ServingOutcome::Served:
+                break;
+            }
+            // A shed query never meets the SLO; an answered one meets
+            // it when it beat the deadline (trivially, with none set).
+            if (record.outcome != ServingOutcome::Shed &&
+                m.latencySeconds <= slo.deadlineSeconds)
+                ++acc.inDeadline;
+            if (metrics != nullptr) {
+                metrics->incr("serve_tenant_offered_" + slo.name);
+                if (record.outcome == ServingOutcome::Shed)
+                    metrics->incr("serve_tenant_shed_" + slo.name);
+                metrics
+                    ->histogram("serve_tenant_latency_s_" + slo.name,
+                                1e-4, 10.0, 40)
+                    .add(m.latencySeconds);
             }
         }
         responses.push_back(record.measurement);
@@ -203,9 +298,67 @@ ServingFrontEnd::serve(Policy &policy, const QueryTrace &trace,
                               summary.run.durationSeconds;
     }
 
+    if (multiTenant) {
+        summary.tenants.reserve(config_.tenants.size());
+        for (std::size_t t = 0; t < config_.tenants.size(); ++t) {
+            const TenantSlo &slo = config_.tenants[t];
+            TenantAccumulator &acc = tenantAccs[t];
+            TenantSummary rollup;
+            rollup.tenant = slo.name;
+            rollup.deadlineSeconds = slo.deadlineSeconds;
+            rollup.latencyPercentile = slo.latencyPercentile;
+            rollup.offered = acc.offered;
+            rollup.completed = acc.offered - acc.shed;
+            rollup.cacheHits = acc.cacheHits;
+            rollup.degraded = acc.degraded;
+            rollup.shedQueries = acc.shed;
+            rollup.shedRate =
+                acc.offered == 0
+                    ? 0.0
+                    : static_cast<double>(acc.shed) /
+                          static_cast<double>(acc.offered);
+            if (!acc.latencies.empty()) {
+                std::sort(acc.latencies.begin(), acc.latencies.end(),
+                          std::less<double>());
+                rollup.avgLatencySeconds = acc.latency.mean();
+                rollup.p50LatencySeconds =
+                    percentileSorted(acc.latencies, 0.50);
+                rollup.p95LatencySeconds =
+                    percentileSorted(acc.latencies, 0.95);
+                rollup.p99LatencySeconds =
+                    percentileSorted(acc.latencies, 0.99);
+                rollup.p999LatencySeconds =
+                    percentileSorted(acc.latencies, 0.999);
+                rollup.maxLatencySeconds = acc.latencies.back();
+                rollup.sloLatencySeconds = percentileSorted(
+                    acc.latencies, slo.latencyPercentile);
+            }
+            rollup.sloAttainment =
+                acc.offered == 0
+                    ? 0.0
+                    : static_cast<double>(acc.inDeadline) /
+                          static_cast<double>(acc.offered);
+            rollup.sloMet = slo.deadlineSeconds == noBudget ||
+                            rollup.sloLatencySeconds <=
+                                slo.deadlineSeconds;
+            rollup.avgPrecision = acc.precision.mean();
+            rollup.avgNdcg = acc.ndcg.mean();
+            rollup.energyJoules = acc.energyJoules;
+            summary.tenants.push_back(std::move(rollup));
+        }
+    }
+
     if (metrics != nullptr) {
         metrics->incr("serve_offered", summary.offered);
         metrics->incr("serve_completed", summary.completed);
+        for (const TenantSummary &tenant : summary.tenants) {
+            metrics->incr("serve_tenant_completed_" + tenant.tenant,
+                          tenant.completed);
+            metrics->incr("serve_tenant_degraded_" + tenant.tenant,
+                          tenant.degraded);
+            metrics->incr("serve_tenant_cache_hits_" + tenant.tenant,
+                          tenant.cacheHits);
+        }
         metrics->incr("serve_result_cache_hits",
                       summary.resultCacheHits);
         metrics->incr("serve_result_cache_misses",
@@ -254,6 +407,8 @@ toJson(const ServingSummary &s)
     field("shed_queries", num(static_cast<double>(s.shedQueries)),
           false);
     field("isns_shed", num(static_cast<double>(s.isnsShed)), false);
+    field("isns_unavailable",
+          num(static_cast<double>(s.isnsUnavailable)), false);
     field("shed_rate", num(s.shedRate), false);
     field("zero_progress_responses",
           num(static_cast<double>(s.zeroProgressResponses)), false);
@@ -289,6 +444,67 @@ toJson(const ServingSummary &s)
     field("energy_j", num(s.run.energyJoules), false);
     field("duration_s", num(s.run.durationSeconds), false);
     field("avg_power_w", num(s.run.avgPowerWatts), false);
+    // Only multi-tenant runs carry rollups; single-tenant serving JSON
+    // stays byte-identical to what it was before tenants existed.
+    if (!s.tenants.empty()) {
+        out += ",\"tenants\":[";
+        for (std::size_t t = 0; t < s.tenants.size(); ++t) {
+            if (t > 0)
+                out += ",";
+            out += toJson(s.tenants[t]);
+        }
+        out += "]";
+    }
+    out += "}";
+    return out;
+}
+
+std::string
+toJson(const TenantSummary &t)
+{
+    std::string out = "{";
+    const auto field = [&out](const char *key,
+                              const std::string &value, bool quote) {
+        if (out.size() > 1)
+            out += ",";
+        out += "\"";
+        out += key;
+        out += "\":";
+        if (quote)
+            out += jsonQuote(value);
+        else
+            out += value;
+    };
+    const auto num = [](double v) {
+        char buffer[64];
+        std::snprintf(buffer, sizeof(buffer), "%.9g", v);
+        return std::string(buffer);
+    };
+    field("tenant", t.tenant, true);
+    field("deadline_s",
+          t.deadlineSeconds == noBudget ? "null"
+                                        : num(t.deadlineSeconds),
+          false);
+    field("slo_percentile", num(t.latencyPercentile), false);
+    field("offered", num(static_cast<double>(t.offered)), false);
+    field("completed", num(static_cast<double>(t.completed)), false);
+    field("cache_hits", num(static_cast<double>(t.cacheHits)), false);
+    field("degraded", num(static_cast<double>(t.degraded)), false);
+    field("shed_queries", num(static_cast<double>(t.shedQueries)),
+          false);
+    field("shed_rate", num(t.shedRate), false);
+    field("avg_latency_s", num(t.avgLatencySeconds), false);
+    field("p50_latency_s", num(t.p50LatencySeconds), false);
+    field("p95_latency_s", num(t.p95LatencySeconds), false);
+    field("p99_latency_s", num(t.p99LatencySeconds), false);
+    field("p999_latency_s", num(t.p999LatencySeconds), false);
+    field("max_latency_s", num(t.maxLatencySeconds), false);
+    field("slo_latency_s", num(t.sloLatencySeconds), false);
+    field("slo_attainment", num(t.sloAttainment), false);
+    field("slo_met", t.sloMet ? "true" : "false", false);
+    field("avg_precision", num(t.avgPrecision), false);
+    field("avg_ndcg", num(t.avgNdcg), false);
+    field("energy_j", num(t.energyJoules), false);
     out += "}";
     return out;
 }

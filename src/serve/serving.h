@@ -38,6 +38,71 @@
 
 namespace cottage {
 
+/**
+ * One tenant's SLO class as the serving loop applies it. The deadline
+ * is both the latency contract the tenant is evaluated against and a
+ * cap imposed on the plan's budget; the budget share scales whatever
+ * finite budget the policy picked (a premium tenant buys headroom, a
+ * best-effort tenant donates it); the percentile is the SLO's
+ * evaluator — the tail the contract is judged at.
+ */
+struct TenantSlo
+{
+    std::string name = "default";
+
+    /** SLO latency target; noBudget = no deadline contract. */
+    double deadlineSeconds = noBudget;
+
+    /** Multiplier applied to finite plan budgets (positive). */
+    double budgetShare = 1.0;
+
+    /** Latency percentile the SLO is evaluated at. */
+    double latencyPercentile = 0.99;
+};
+
+/** Per-tenant aggregate of one serving run. */
+struct TenantSummary
+{
+    std::string tenant;
+
+    /** Echo of the tenant's SLO class. */
+    double deadlineSeconds = noBudget;
+    double latencyPercentile = 0.99;
+
+    uint64_t offered = 0;
+    uint64_t completed = 0;
+    uint64_t cacheHits = 0;
+    uint64_t degraded = 0;
+    uint64_t shedQueries = 0;
+    double shedRate = 0.0;
+
+    double avgLatencySeconds = 0.0;
+    double p50LatencySeconds = 0.0;
+    double p95LatencySeconds = 0.0;
+    double p99LatencySeconds = 0.0;
+    double p999LatencySeconds = 0.0;
+    double maxLatencySeconds = 0.0;
+
+    /** Latency at the SLO's evaluation percentile. */
+    double sloLatencySeconds = 0.0;
+
+    /**
+     * Fraction of offered queries answered within the deadline (shed
+     * queries always miss; with no deadline this is the completion
+     * rate).
+     */
+    double sloAttainment = 0.0;
+
+    /** sloLatencySeconds <= deadline (true when no deadline is set). */
+    bool sloMet = true;
+
+    double avgPrecision = 0.0;
+    double avgNdcg = 0.0;
+
+    /** Busy energy the tenant's executions drew, joules. */
+    double energyJoules = 0.0;
+};
+
 /** Serving-mode knobs (harness flags --serve, --qps, --shed-*, ...). */
 struct ServingConfig
 {
@@ -66,6 +131,14 @@ struct ServingConfig
      * trace's own arrival process.
      */
     uint64_t retimeSeed = 1013904223;
+
+    /**
+     * Multi-tenant SLO classes, indexed by Query::tenant. Empty (the
+     * default) keeps the single-tenant loop byte-identical: no SLO is
+     * applied, no per-tenant rollups are built. Non-empty, every
+     * query's tenant index must be in range.
+     */
+    std::vector<TenantSlo> tenants;
 };
 
 /** How the front-end disposed of one query. */
@@ -103,6 +176,9 @@ struct ServingMeasurement
 
     /** Participants dropped from this query's plan by admission. */
     uint32_t isnsShed = 0;
+
+    /** Participants dropped because their ISN was down at dispatch. */
+    uint32_t isnsUnavailable = 0;
 };
 
 /** One serving run's aggregate results. */
@@ -122,6 +198,9 @@ struct ServingSummary
 
     /** Individual participants dropped across all plans. */
     uint64_t isnsShed = 0;
+
+    /** Participants dropped across all plans for being down. */
+    uint64_t isnsUnavailable = 0;
 
     /** shedQueries / offered. */
     double shedRate = 0.0;
@@ -144,10 +223,20 @@ struct ServingSummary
 
     /** completed / duration. */
     double achievedQps = 0.0;
+
+    /**
+     * Per-tenant rollups, parallel to ServingConfig::tenants (empty
+     * outside multi-tenant runs — the JSON export then omits the
+     * "tenants" key entirely, keeping single-tenant output unchanged).
+     */
+    std::vector<TenantSummary> tenants;
 };
 
 /** One-line JSON object (keys documented in EXPERIMENTS.md). */
 std::string toJson(const ServingSummary &summary);
+
+/** One tenant rollup as a JSON object (nested under "tenants"). */
+std::string toJson(const TenantSummary &tenant);
 
 /** Admission + caches + shedding around a DistributedEngine. */
 class ServingFrontEnd

@@ -60,4 +60,25 @@ ClusterSim::reset()
         server.reset();
 }
 
+void
+ClusterSim::applyShape(const ClusterShape &shape)
+{
+    clearShape();
+    for (const IsnShape &traits : shape.isns) {
+        IsnServerSim &server = isn(traits.isn);
+        server.setServiceRateMultiplier(traits.serviceRateMultiplier);
+        if (traits.maxFreqGhz !=
+            std::numeric_limits<double>::infinity())
+            server.setMaxFreqGhz(traits.maxFreqGhz);
+        server.setDownWindows(traits.downWindows);
+    }
+}
+
+void
+ClusterSim::clearShape()
+{
+    for (IsnServerSim &server : servers_)
+        server.clearShape();
+}
+
 } // namespace cottage

@@ -26,6 +26,33 @@ struct NetworkModel
     double mergeSeconds = 50e-6;
 };
 
+/** Hardware traits for one ISN in a hostile cluster shape. */
+struct IsnShape
+{
+    /** Which ISN the traits apply to. */
+    ShardId isn = 0;
+
+    /** Service-rate scale (< 1 = straggler). */
+    double serviceRateMultiplier = 1.0;
+
+    /** Frequency ceiling, GHz (infinity = unconstrained). */
+    double maxFreqGhz = std::numeric_limits<double>::infinity();
+
+    /** Scheduled failure/recovery events. */
+    std::vector<DownWindow> downWindows;
+};
+
+/**
+ * A cluster-wide hostile shape: straggler nodes, heterogeneous
+ * frequency ceilings and mid-run outages, applied per ISN. The
+ * scenario layer installs one before serving and clears it after, so
+ * replay runs on the same cluster are untouched.
+ */
+struct ClusterShape
+{
+    std::vector<IsnShape> isns;
+};
+
 /** A set of ISN servers sharing a package power model. */
 class ClusterSim
 {
@@ -64,6 +91,12 @@ class ClusterSim
 
     /** Reset every ISN's queue and meters. */
     void reset();
+
+    /** Install hostile hardware traits (clears any previous shape). */
+    void applyShape(const ClusterShape &shape);
+
+    /** Restore pristine hardware on every ISN. */
+    void clearShape();
 
   private:
     FrequencyLadder ladder_;

@@ -38,6 +38,16 @@ FrequencyLadder::atLeast(double freqGhz) const
     return steps_.back();
 }
 
+double
+FrequencyLadder::atMost(double freqGhz) const
+{
+    for (std::size_t i = steps_.size(); i-- > 0;) {
+        if (steps_[i] <= freqGhz + 1e-12)
+            return steps_[i];
+    }
+    return steps_.front();
+}
+
 bool
 FrequencyLadder::contains(double freqGhz) const
 {

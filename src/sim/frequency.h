@@ -40,6 +40,14 @@ class FrequencyLadder
      */
     double atLeast(double freqGhz) const;
 
+    /**
+     * Largest ladder frequency <= the requested one (saturates to the
+     * minimum). Used to clamp a plan's frequency to a per-ISN cap on
+     * heterogeneous hardware: the node runs the fastest P-state it
+     * actually has.
+     */
+    double atMost(double freqGhz) const;
+
     /** True if the frequency is (numerically) one of the steps. */
     bool contains(double freqGhz) const;
 

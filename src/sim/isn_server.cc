@@ -41,11 +41,17 @@ IsnServerSim::execute(double arrivalSeconds, double cycles, double freqGhz,
     double *worker = &*std::min_element(workerBusyUntil_.begin(),
                                         workerBusyUntil_.end());
 
+    // Heterogeneous-hardware clamp: a plan asking for a P-state this
+    // node does not have runs at the node's own ceiling instead.
+    if (freqGhz > maxFreq_ + 1e-12)
+        freqGhz = ladder_->atMost(maxFreq_);
+
     IsnExecution exec;
     exec.freqGhz = freqGhz;
     exec.startSeconds = std::max(arrivalSeconds, *worker);
 
-    const double service = WorkModel::secondsForCycles(cycles, freqGhz);
+    const double service =
+        WorkModel::secondsForCycles(cycles, freqGhz) / serviceRate_;
     const double wouldFinish = exec.startSeconds + service;
 
     if (wouldFinish <= deadlineSeconds) {
@@ -83,6 +89,56 @@ IsnServerSim::setCurrentFreqGhz(double freqGhz)
     COTTAGE_CHECK_MSG(ladder_->contains(freqGhz),
                       "frequency is not a ladder step");
     currentFreq_ = freqGhz;
+}
+
+void
+IsnServerSim::setServiceRateMultiplier(double multiplier)
+{
+    COTTAGE_CHECK_MSG(multiplier > 0.0,
+                      "service-rate multiplier must be positive");
+    serviceRate_ = multiplier;
+}
+
+void
+IsnServerSim::setMaxFreqGhz(double freqGhz)
+{
+    COTTAGE_CHECK_MSG(freqGhz >= ladder_->minGhz(),
+                      "frequency cap below the ladder's lowest step");
+    maxFreq_ = freqGhz;
+}
+
+void
+IsnServerSim::setDownWindows(std::vector<DownWindow> windows)
+{
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+        COTTAGE_CHECK_MSG(windows[i].fromSeconds < windows[i].toSeconds,
+                          "down window must be a non-empty interval");
+        if (i > 0)
+            COTTAGE_CHECK_MSG(windows[i - 1].toSeconds <=
+                                  windows[i].fromSeconds,
+                              "down windows must ascend without overlap");
+    }
+    down_ = std::move(windows);
+}
+
+bool
+IsnServerSim::availableAt(double nowSeconds) const
+{
+    for (const DownWindow &window : down_) {
+        if (nowSeconds < window.fromSeconds)
+            return true; // windows ascend: nothing later covers now
+        if (nowSeconds < window.toSeconds)
+            return false;
+    }
+    return true;
+}
+
+void
+IsnServerSim::clearShape()
+{
+    serviceRate_ = 1.0;
+    maxFreq_ = std::numeric_limits<double>::infinity();
+    down_.clear();
 }
 
 void

@@ -15,12 +15,20 @@
 #define COTTAGE_SIM_ISN_SERVER_H
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "sim/frequency.h"
 #include "sim/power_model.h"
 
 namespace cottage {
+
+/** A scheduled outage: the ISN rejects dispatch in [from, to). */
+struct DownWindow
+{
+    double fromSeconds = 0.0;
+    double toSeconds = 0.0;
+};
 
 /** Outcome of one simulated request execution on an ISN. */
 struct IsnExecution
@@ -117,6 +125,44 @@ class IsnServerSim
     double currentFreqGhz() const { return currentFreq_; }
     void setCurrentFreqGhz(double freqGhz);
 
+    // ------------------------------------------------- hostile shapes
+    // Scenario-layer hardware traits: stragglers, heterogeneous
+    // frequency ceilings and scheduled outages. Shape is hardware, not
+    // run state — reset() clears queues and meters but keeps the
+    // shape; clearShape() restores a pristine node.
+
+    /**
+     * Scale this node's service rate: service time divides by the
+     * multiplier, so 0.5 models a straggler running at half speed and
+     * 2.0 a node twice as fast as the fleet baseline.
+     */
+    void setServiceRateMultiplier(double multiplier);
+    double serviceRateMultiplier() const { return serviceRate_; }
+
+    /**
+     * Cap the node's frequency: requests asking for more run at the
+     * highest ladder step <= the cap instead (heterogeneous hardware —
+     * the plan's P-state simply does not exist on this node). The
+     * execution reports the frequency actually used.
+     */
+    void setMaxFreqGhz(double freqGhz);
+    double maxFreqGhz() const { return maxFreq_; }
+
+    /**
+     * Schedule outages; windows must be well-formed (from < to) and
+     * strictly ascending. Admission consults availableAt() and drops
+     * down ISNs from the plan; work already queued drains normally —
+     * a failure loses the node, not the physics of its queue.
+     */
+    void setDownWindows(std::vector<DownWindow> windows);
+    const std::vector<DownWindow> &downWindows() const { return down_; }
+
+    /** False while the node sits inside a scheduled down window. */
+    bool availableAt(double nowSeconds) const;
+
+    /** Restore pristine hardware traits (no straggling/cap/outages). */
+    void clearShape();
+
     /** Clear all queue/energy state (fresh experiment). */
     void reset();
 
@@ -126,6 +172,9 @@ class IsnServerSim
     const FrequencyLadder *ladder_;
     const PowerModel *power_;
     double currentFreq_;
+    double serviceRate_ = 1.0;
+    double maxFreq_ = std::numeric_limits<double>::infinity();
+    std::vector<DownWindow> down_;
     std::vector<double> workerBusyUntil_;
     double energyJoules_ = 0.0;
     double busySeconds_ = 0.0;

@@ -7,6 +7,7 @@
 #ifndef COTTAGE_TEXT_QUERY_H
 #define COTTAGE_TEXT_QUERY_H
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,14 @@ struct Query
 
     /** Arrival time in simulated seconds from trace start. */
     double arrivalSeconds = 0.0;
+
+    /**
+     * Owning tenant in a multi-tenant scenario (index into the
+     * scenario's tenant list; 0 — the only tenant — outside one).
+     * Flows into QueryMeasurement and the tracer so per-tenant
+     * latency, quality and energy roll up separately.
+     */
+    uint32_t tenant = 0;
 
     /** True when per-term weights are attached. */
     bool personalized() const { return !weights.empty(); }

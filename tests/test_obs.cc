@@ -230,6 +230,7 @@ TEST(QueryTracer, JsonlGoldenLine)
 {
     QueryTraceRecord record;
     record.id = 7;
+    record.tenant = 2;
     record.arrivalSeconds = 1.5;
     record.dispatchSeconds = 1.625;
     record.budgetSeconds = 0.02;
@@ -261,7 +262,8 @@ TEST(QueryTracer, JsonlGoldenLine)
         QueryTracer::toJsonLine(record, "a\"b", "wikipedia");
     EXPECT_EQ(
         line,
-        "{\"query\":7,\"policy\":\"a\\\"b\",\"trace\":\"wikipedia\","
+        "{\"query\":7,\"tenant\":2,\"policy\":\"a\\\"b\","
+        "\"trace\":\"wikipedia\","
         "\"arrival_s\":1.5,\"dispatch_s\":1.625,\"budget_s\":0.02,"
         "\"decision_s\":0.125,\"rtt_s\":2e-05,\"waited_s\":0.01,"
         "\"merge_s\":5e-05,\"latency_s\":0.13507,\"isns\":[{\"isn\":3,"

@@ -45,6 +45,7 @@ serializeMeasurements(const std::vector<QueryMeasurement> &measurements)
     std::string buffer;
     for (const QueryMeasurement &m : measurements) {
         appendBytes(buffer, m.id);
+        appendBytes(buffer, m.tenant);
         appendBytes(buffer, m.arrivalSeconds);
         appendBytes(buffer, m.latencySeconds);
         appendBytes(buffer, m.budgetSeconds);
@@ -256,6 +257,59 @@ TEST(ParallelDeterminismObservability, TraceStreamIsBitExactAcrossThreads)
             << policy << ": JSONL trace streams diverge across threads";
         EXPECT_EQ(sequential.second, parallel.second)
             << policy << ": metrics JSON diverges across threads";
+    }
+}
+
+/** Bitwise serialization of a serving-mode measurement stream. */
+std::string
+serializeServing(const std::vector<ServingMeasurement> &measurements)
+{
+    std::string buffer;
+    std::vector<QueryMeasurement> inner;
+    inner.reserve(measurements.size());
+    for (const ServingMeasurement &record : measurements) {
+        appendBytes(buffer, record.outcome);
+        appendBytes(buffer, record.worstBacklogSeconds);
+        appendBytes(buffer, record.isnsShed);
+        appendBytes(buffer, record.isnsUnavailable);
+        inner.push_back(record.measurement);
+    }
+    return buffer + serializeMeasurements(inner);
+}
+
+TEST(ParallelDeterminismScenario, ScenarioServeIsBitExactAcrossThreadCounts)
+{
+    // The scenario layer composes every new moving part — shaped
+    // multi-tenant arrivals, the merged stream, hostile cluster
+    // shapes, per-tenant SLO budgets — on top of the serving loop.
+    // All of it must stay a pure function of seeds and simulated
+    // time: byte-identical at any host thread count.
+    ExperimentConfig config = smallConfig("maxscore");
+    config.serving.resultCacheCapacity = 128;
+    config.serving.statsCacheCapacity = 512;
+    Experiment experiment(std::move(config));
+
+    for (const char *name : {"flash_crowd", "straggler_isn"}) {
+        const ScenarioConfig scenario = scenarioByName(name, 4.0);
+
+        ThreadPool::setGlobalThreads(1);
+        const ScenarioRunResult sequential =
+            experiment.runScenario("taily", scenario);
+        ThreadPool::setGlobalThreads(8);
+        const ScenarioRunResult parallel =
+            experiment.runScenario("taily", scenario);
+        ThreadPool::setGlobalThreads(1);
+
+        ASSERT_EQ(sequential.measurements.size(),
+                  parallel.measurements.size());
+        EXPECT_EQ(serializeServing(sequential.measurements),
+                  serializeServing(parallel.measurements))
+            << name
+            << ": scenario streams diverge across thread counts";
+        EXPECT_EQ(toJson(sequential.summary), toJson(parallel.summary))
+            << name
+            << ": scenario summaries (incl. per-tenant rollups) "
+               "diverge across thread counts";
     }
 }
 

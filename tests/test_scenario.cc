@@ -1,0 +1,593 @@
+/**
+ * @file
+ * Tests for the scenario layer: inhomogeneous arrival shaping
+ * (diurnal, flash crowd), the deterministic multi-tenant merge,
+ * hostile cluster shapes (stragglers, frequency caps, outages), the
+ * admission ladder's availability handling and the end-to-end
+ * per-tenant rollups of Experiment::runScenario.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "serve/arrivals.h"
+#include "serve/scenario.h"
+#include "sim/cluster.h"
+
+namespace cottage {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+QueryTrace
+syntheticTrace(uint64_t queries, uint64_t seed = 77)
+{
+    TraceConfig config;
+    config.numQueries = queries;
+    config.vocabSize = 500;
+    config.seed = seed;
+    return QueryTrace::generate(config);
+}
+
+// ---------------------------------------------------------- arrivals
+
+TEST(ShapeArrivals, PoissonIsRetimeTraceByteForByte)
+{
+    const QueryTrace base = syntheticTrace(300);
+    ArrivalSpec spec;
+    spec.shape = ArrivalShape::Poisson;
+    spec.qps = 250.0;
+    spec.seed = 99;
+
+    const QueryTrace shaped = shapeArrivals(base, spec);
+    const QueryTrace retimed = retimeTrace(base, spec.qps, spec.seed);
+    ASSERT_EQ(shaped.size(), retimed.size());
+    for (std::size_t i = 0; i < shaped.size(); ++i) {
+        // Bitwise: the stationary case must BE retimeTrace, not a
+        // numerically-similar reimplementation.
+        const double a = shaped.query(i).arrivalSeconds;
+        const double b = retimed.query(i).arrivalSeconds;
+        ASSERT_EQ(std::memcmp(&a, &b, sizeof a), 0) << "query " << i;
+        ASSERT_EQ(shaped.query(i).terms, retimed.query(i).terms);
+    }
+}
+
+TEST(ShapeArrivals, DiurnalKeepsContentWithAscendingArrivals)
+{
+    const QueryTrace base = syntheticTrace(400);
+    ArrivalSpec spec;
+    spec.shape = ArrivalShape::Diurnal;
+    spec.qps = 200.0;
+    spec.seed = 5;
+    spec.diurnalAmplitude = 0.8;
+    spec.diurnalPeriodSeconds = 1.0;
+
+    const QueryTrace shaped = shapeArrivals(base, spec);
+    ASSERT_EQ(shaped.size(), base.size());
+    double previous = 0.0;
+    for (std::size_t i = 0; i < shaped.size(); ++i) {
+        EXPECT_EQ(shaped.query(i).terms, base.query(i).terms)
+            << "query content must survive re-timing";
+        EXPECT_GE(shaped.query(i).arrivalSeconds, previous);
+        previous = shaped.query(i).arrivalSeconds;
+    }
+    // Same spec, same bytes: the shaped stream is a pure function of
+    // (base, spec).
+    const QueryTrace again = shapeArrivals(base, spec);
+    for (std::size_t i = 0; i < shaped.size(); ++i)
+        ASSERT_DOUBLE_EQ(shaped.query(i).arrivalSeconds,
+                         again.query(i).arrivalSeconds);
+}
+
+TEST(ShapeArrivals, FlashCrowdPacksTheSpikeWindow)
+{
+    const QueryTrace base = syntheticTrace(6000);
+    ArrivalSpec spec;
+    spec.shape = ArrivalShape::FlashCrowd;
+    spec.qps = 1000.0;
+    spec.seed = 11;
+    spec.spikeStartSeconds = 0.5;
+    spec.spikeDurationSeconds = 0.5;
+    spec.spikeMultiplier = 8.0;
+
+    const QueryTrace shaped = shapeArrivals(base, spec);
+    uint64_t before = 0;
+    uint64_t inside = 0;
+    for (const Query &query : shaped.queries()) {
+        if (query.arrivalSeconds < 0.5)
+            ++before;
+        else if (query.arrivalSeconds < 1.0)
+            ++inside;
+    }
+    // The windows have equal width; the spike runs 8x the base rate,
+    // so the in-window count must clearly dominate (3x leaves wide
+    // slack for sampling noise at this trace length).
+    EXPECT_GT(inside, 3 * before);
+}
+
+TEST(ShapeArrivalsDeath, RejectsMalformedSpecs)
+{
+    const QueryTrace base = syntheticTrace(10);
+
+    ArrivalSpec zeroRate;
+    zeroRate.qps = 0.0;
+    EXPECT_DEATH(shapeArrivals(base, zeroRate), "arrival rate");
+
+    ArrivalSpec fullAmplitude;
+    fullAmplitude.shape = ArrivalShape::Diurnal;
+    fullAmplitude.diurnalAmplitude = 1.0;
+    EXPECT_DEATH(shapeArrivals(base, fullAmplitude),
+                 "diurnal amplitude");
+
+    ArrivalSpec dampingSpike;
+    dampingSpike.shape = ArrivalShape::FlashCrowd;
+    dampingSpike.spikeMultiplier = 0.5;
+    EXPECT_DEATH(shapeArrivals(base, dampingSpike), "spike multiplier");
+}
+
+// ------------------------------------------------------------- merge
+
+Query
+timedQuery(double arrivalSeconds)
+{
+    Query query;
+    query.terms = {1};
+    query.arrivalSeconds = arrivalSeconds;
+    return query;
+}
+
+TEST(MergeTenantArrivals, OrdersByArrivalThenTenantThenId)
+{
+    QueryTrace tenant0;
+    tenant0.append(timedQuery(0.1));
+    tenant0.append(timedQuery(0.25));
+    QueryTrace tenant1;
+    tenant1.append(timedQuery(0.1)); // exact tie with tenant 0's first
+    tenant1.append(timedQuery(0.2));
+
+    const MergedArrivals merged =
+        mergeTenantArrivals({tenant0, tenant1});
+    ASSERT_EQ(merged.trace.size(), 4u);
+    ASSERT_EQ(merged.sources.size(), 4u);
+
+    // Ascending arrival, exact ties broken by tenant: (t0,0)@0.1,
+    // (t1,0)@0.1, (t1,1)@0.2, (t0,1)@0.25.
+    const std::vector<std::pair<uint32_t, std::size_t>> expected = {
+        {0, 0}, {1, 0}, {1, 1}, {0, 1}};
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(merged.sources[i], expected[i]) << "position " << i;
+        EXPECT_EQ(merged.trace.query(i).tenant, expected[i].first)
+            << "position " << i;
+        // Ids are re-stamped to merged positions so downstream code
+        // can index measurement streams directly.
+        EXPECT_EQ(merged.trace.query(i).id, i) << "position " << i;
+    }
+    double previous = 0.0;
+    for (const Query &query : merged.trace.queries()) {
+        EXPECT_GE(query.arrivalSeconds, previous);
+        previous = query.arrivalSeconds;
+    }
+}
+
+TEST(MergeTenantArrivals, MergeIsAPureFunctionOfTheInputs)
+{
+    const QueryTrace base = syntheticTrace(100);
+    ArrivalSpec spec0;
+    spec0.qps = 300.0;
+    spec0.seed = 17;
+    ArrivalSpec spec1 = spec0;
+    spec1.seed = 18;
+
+    const MergedArrivals a = mergeTenantArrivals(
+        {shapeArrivals(base, spec0), shapeArrivals(base, spec1)});
+    const MergedArrivals b = mergeTenantArrivals(
+        {shapeArrivals(base, spec0), shapeArrivals(base, spec1)});
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    EXPECT_EQ(a.sources, b.sources);
+    for (std::size_t i = 0; i < a.trace.size(); ++i)
+        ASSERT_DOUBLE_EQ(a.trace.query(i).arrivalSeconds,
+                         b.trace.query(i).arrivalSeconds);
+}
+
+TEST(MergeTenantArrivalsDeath, RejectsAnEmptyTenantList)
+{
+    EXPECT_DEATH(mergeTenantArrivals({}), "at least one tenant");
+}
+
+// --------------------------------------------------- hostile hardware
+
+TEST(FrequencyLadderAtMost, RoundsDownAndSaturates)
+{
+    const FrequencyLadder ladder;
+    EXPECT_DOUBLE_EQ(ladder.atMost(2.7), 2.7);
+    EXPECT_DOUBLE_EQ(ladder.atMost(5.0), 2.7);
+    EXPECT_DOUBLE_EQ(ladder.atMost(1.85), 1.8);
+    EXPECT_DOUBLE_EQ(ladder.atMost(1.2), 1.2);
+    // Below the ladder there is no legal step; saturate to the floor.
+    EXPECT_DOUBLE_EQ(ladder.atMost(0.5), 1.2);
+}
+
+TEST(IsnShapes, StragglerDoublesServiceTime)
+{
+    const FrequencyLadder ladder;
+    const PowerModel power;
+    IsnServerSim baseline(ladder, power);
+    IsnServerSim straggler(ladder, power);
+    straggler.setServiceRateMultiplier(0.5);
+
+    const IsnExecution fast = baseline.execute(0.0, 2.1e9, 2.1, kInf);
+    const IsnExecution slow = straggler.execute(0.0, 2.1e9, 2.1, kInf);
+    EXPECT_NEAR(slow.busySeconds, 2.0 * fast.busySeconds, 1e-12);
+    EXPECT_NEAR(slow.finishSeconds, 2.0, 1e-12);
+}
+
+TEST(IsnShapes, FrequencyCapClampsToTheLadder)
+{
+    const FrequencyLadder ladder;
+    const PowerModel power;
+    IsnServerSim capped(ladder, power);
+    capped.setMaxFreqGhz(1.85);
+
+    // A plan asking for 2.7 GHz runs at the highest step under the
+    // cap (1.8); requests at or below the cap are untouched.
+    const IsnExecution clamped = capped.execute(0.0, 1.8e9, 2.7, kInf);
+    EXPECT_DOUBLE_EQ(clamped.freqGhz, 1.8);
+    EXPECT_NEAR(clamped.busySeconds, 1.0, 1e-12);
+
+    capped.reset();
+    const IsnExecution under = capped.execute(0.0, 1.2e9, 1.2, kInf);
+    EXPECT_DOUBLE_EQ(under.freqGhz, 1.2);
+}
+
+TEST(IsnShapes, DownWindowsGateAvailability)
+{
+    const FrequencyLadder ladder;
+    const PowerModel power;
+    IsnServerSim server(ladder, power);
+    server.setDownWindows({{0.3, 0.8}, {2.0, 2.5}});
+
+    EXPECT_TRUE(server.availableAt(0.0));
+    EXPECT_FALSE(server.availableAt(0.3));
+    EXPECT_FALSE(server.availableAt(0.79));
+    EXPECT_TRUE(server.availableAt(0.8));
+    EXPECT_FALSE(server.availableAt(2.2));
+    EXPECT_TRUE(server.availableAt(3.0));
+}
+
+TEST(IsnShapesDeath, RejectsMalformedShapes)
+{
+    const FrequencyLadder ladder;
+    const PowerModel power;
+    IsnServerSim server(ladder, power);
+    EXPECT_DEATH(server.setServiceRateMultiplier(0.0), "");
+    EXPECT_DEATH(server.setMaxFreqGhz(0.5), "");
+    // Overlapping/backwards windows are invariant violations.
+    EXPECT_DEATH(server.setDownWindows({{0.8, 0.3}}), "");
+    EXPECT_DEATH(server.setDownWindows({{0.0, 0.5}, {0.4, 0.9}}), "");
+}
+
+TEST(IsnShapes, ResetKeepsShapeClearShapeRestoresIt)
+{
+    const FrequencyLadder ladder;
+    const PowerModel power;
+    IsnServerSim server(ladder, power);
+    server.setServiceRateMultiplier(0.5);
+    server.setMaxFreqGhz(1.8);
+    server.setDownWindows({{0.1, 0.2}});
+
+    // Shape is hardware: resetting the run state keeps it.
+    server.execute(0.0, 1e9, 2.1, kInf);
+    server.reset();
+    EXPECT_DOUBLE_EQ(server.serviceRateMultiplier(), 0.5);
+    EXPECT_DOUBLE_EQ(server.maxFreqGhz(), 1.8);
+    EXPECT_EQ(server.downWindows().size(), 1u);
+
+    server.clearShape();
+    EXPECT_DOUBLE_EQ(server.serviceRateMultiplier(), 1.0);
+    EXPECT_TRUE(std::isinf(server.maxFreqGhz()));
+    EXPECT_TRUE(server.downWindows().empty());
+}
+
+TEST(ClusterShapes, ApplyAndClearRoundTrip)
+{
+    ClusterSim cluster(4, FrequencyLadder(), PowerModel());
+
+    ClusterShape shape;
+    IsnShape straggler;
+    straggler.isn = 0;
+    straggler.serviceRateMultiplier = 0.5;
+    IsnShape capped;
+    capped.isn = 2;
+    capped.maxFreqGhz = 1.8;
+    capped.downWindows = {{0.3, 0.8}};
+    shape.isns = {straggler, capped};
+
+    cluster.applyShape(shape);
+    EXPECT_DOUBLE_EQ(cluster.isn(0).serviceRateMultiplier(), 0.5);
+    EXPECT_DOUBLE_EQ(cluster.isn(1).serviceRateMultiplier(), 1.0);
+    EXPECT_DOUBLE_EQ(cluster.isn(2).maxFreqGhz(), 1.8);
+    EXPECT_FALSE(cluster.isn(2).availableAt(0.5));
+
+    // Re-applying a different shape clears the previous one first.
+    ClusterShape other;
+    IsnShape lone;
+    lone.isn = 1;
+    lone.serviceRateMultiplier = 2.0;
+    other.isns = {lone};
+    cluster.applyShape(other);
+    EXPECT_DOUBLE_EQ(cluster.isn(0).serviceRateMultiplier(), 1.0);
+    EXPECT_DOUBLE_EQ(cluster.isn(1).serviceRateMultiplier(), 2.0);
+    EXPECT_TRUE(cluster.isn(2).availableAt(0.5));
+
+    cluster.clearShape();
+    for (ShardId s = 0; s < cluster.numIsns(); ++s) {
+        EXPECT_DOUBLE_EQ(cluster.isn(s).serviceRateMultiplier(), 1.0);
+        EXPECT_TRUE(std::isinf(cluster.isn(s).maxFreqGhz()));
+        EXPECT_TRUE(cluster.isn(s).downWindows().empty());
+    }
+}
+
+// -------------------------------------------- admission availability
+
+TEST(AdmissionAvailability, DownIsnsAreDroppedBeforeTheLadder)
+{
+    ClusterSim cluster(2, FrequencyLadder(), PowerModel());
+    ClusterShape shape;
+    IsnShape failing;
+    failing.isn = 0;
+    failing.downWindows = {{0.0, 1.0}};
+    shape.isns = {failing};
+    cluster.applyShape(shape);
+
+    QueryPlan plan;
+    plan.isns.resize(2);
+    for (auto &isn : plan.isns)
+        isn.participate = true;
+    plan.budgetSeconds = noBudget;
+
+    AdmissionConfig config;
+    const AdmissionDecision decision =
+        applyAdmission(plan, cluster, 0.5, config);
+    // The down node is lost from the plan but is NOT overload
+    // shedding — it is counted separately and leaves the survivor's
+    // ladder state healthy.
+    EXPECT_FALSE(plan.isns[0].participate);
+    EXPECT_TRUE(plan.isns[1].participate);
+    EXPECT_EQ(decision.isnsUnavailable, 1u);
+    EXPECT_EQ(decision.isnsShed, 0u);
+    EXPECT_FALSE(decision.shedQuery);
+    EXPECT_FALSE(decision.degraded);
+
+    // After recovery the node participates again.
+    QueryPlan later;
+    later.isns.resize(2);
+    for (auto &isn : later.isns)
+        isn.participate = true;
+    later.budgetSeconds = noBudget;
+    const AdmissionDecision recovered =
+        applyAdmission(later, cluster, 1.5, config);
+    EXPECT_TRUE(later.isns[0].participate);
+    EXPECT_EQ(recovered.isnsUnavailable, 0u);
+}
+
+// --------------------------------------------------------- scenarios
+
+TEST(ScenarioPresets, NamesBuildWithDistinctSeedsAndHostileFlags)
+{
+    const std::vector<std::string> &names = scenarioNames();
+    ASSERT_EQ(names.size(), 5u);
+
+    std::set<std::string> hostile;
+    for (const std::string &name : names) {
+        const ScenarioConfig scenario = scenarioByName(name);
+        EXPECT_EQ(scenario.name, name);
+        ASSERT_GE(scenario.tenants.size(), 2u) << name;
+        std::set<uint64_t> seeds;
+        for (const TenantSpec &tenant : scenario.tenants)
+            seeds.insert(tenant.arrivals.seed);
+        EXPECT_EQ(seeds.size(), scenario.tenants.size())
+            << name << ": tenant arrival seeds must be distinct";
+        if (scenario.hostile)
+            hostile.insert(name);
+    }
+    EXPECT_EQ(hostile, (std::set<std::string>{
+                           "flash_crowd", "straggler_isn", "failover"}));
+
+    // qpsScale multiplies every tenant's baseline rate.
+    const ScenarioConfig one = scenarioByName("mixed_poisson", 1.0);
+    const ScenarioConfig two = scenarioByName("mixed_poisson", 2.0);
+    for (std::size_t t = 0; t < one.tenants.size(); ++t)
+        EXPECT_DOUBLE_EQ(two.tenants[t].arrivals.qps,
+                         2.0 * one.tenants[t].arrivals.qps);
+}
+
+TEST(ScenarioPresetsDeath, UnknownNameIsFatal)
+{
+    EXPECT_DEATH(scenarioByName("totally_bogus"), "unknown scenario");
+}
+
+// -------------------------------------------------------- end to end
+
+ExperimentConfig
+scenarioExperimentConfig()
+{
+    ExperimentConfig config;
+    config.corpus.numDocs = 2000;
+    config.corpus.vocabSize = 6000;
+    config.corpus.meanDocLength = 90.0;
+    config.shards.numShards = 8;
+    config.traceQueries = 200;
+    config.serving.resultCacheCapacity = 128;
+    config.serving.statsCacheCapacity = 512;
+    return config;
+}
+
+TEST(RunScenario, PerTenantRollupsPartitionTheRun)
+{
+    Experiment experiment(scenarioExperimentConfig());
+    const ScenarioConfig scenario = scenarioByName("mixed_poisson");
+    const ScenarioRunResult result =
+        experiment.runScenario("taily", scenario);
+
+    const ServingSummary &summary = result.summary;
+    ASSERT_EQ(summary.tenants.size(), 2u);
+    EXPECT_EQ(summary.tenants[0].tenant, "interactive");
+    EXPECT_EQ(summary.tenants[1].tenant, "batch");
+
+    // Both tenants replay the full 200-query base trace, so offered
+    // counts partition the merged stream exactly.
+    EXPECT_EQ(summary.tenants[0].offered + summary.tenants[1].offered,
+              summary.offered);
+    EXPECT_EQ(summary.offered, 400u);
+
+    uint64_t fromMeasurements[2] = {0, 0};
+    for (const ServingMeasurement &record : result.measurements) {
+        ASSERT_LT(record.measurement.tenant, 2u);
+        ++fromMeasurements[record.measurement.tenant];
+    }
+    EXPECT_EQ(fromMeasurements[0], summary.tenants[0].offered);
+    EXPECT_EQ(fromMeasurements[1], summary.tenants[1].offered);
+
+    double tenantEnergy = 0.0;
+    for (const TenantSummary &tenant : summary.tenants) {
+        EXPECT_EQ(tenant.offered, tenant.completed + tenant.shedQueries);
+        EXPECT_GE(tenant.shedRate, 0.0);
+        EXPECT_LE(tenant.shedRate, 1.0);
+        // The percentile ladder must be monotone.
+        EXPECT_LE(tenant.p50LatencySeconds, tenant.p95LatencySeconds);
+        EXPECT_LE(tenant.p95LatencySeconds, tenant.p99LatencySeconds);
+        EXPECT_LE(tenant.p99LatencySeconds, tenant.p999LatencySeconds);
+        EXPECT_LE(tenant.p999LatencySeconds, tenant.maxLatencySeconds);
+        tenantEnergy += tenant.energyJoules;
+    }
+    // Execution energy is attributed exactly once: the per-tenant
+    // split sums back to the cluster total.
+    EXPECT_NEAR(tenantEnergy, summary.run.energyJoules,
+                1e-9 * (1.0 + summary.run.energyJoules));
+
+    // The JSON export nests the rollups under "tenants".
+    const std::string json = toJson(summary);
+    EXPECT_NE(json.find("\"tenants\":["), std::string::npos);
+    EXPECT_NE(json.find("\"tenant\":\"interactive\""), std::string::npos);
+    EXPECT_NE(json.find("\"slo_attainment\""), std::string::npos);
+    EXPECT_NE(json.find("\"p999_latency_s\""), std::string::npos);
+}
+
+TEST(RunScenario, SloShareAndDeadlineShapeTheBudget)
+{
+    // slo-dvfs plans a fixed finite budget, so the SLO arithmetic is
+    // directly visible in the measured budgets: tenant "half" gets
+    // 50% of the full budget, tenant "strict" is capped at its
+    // deadline.
+    Experiment experiment(scenarioExperimentConfig());
+
+    ScenarioConfig scenario;
+    scenario.name = "slo_probe";
+    TenantSpec full;
+    full.name = "full";
+    full.arrivals.qps = 30.0;
+    full.arrivals.seed = 21;
+    TenantSpec half = full;
+    half.name = "half";
+    half.slo.budgetShare = 0.5;
+    half.arrivals.seed = 22;
+    TenantSpec strict = full;
+    strict.name = "strict";
+    strict.slo.deadlineSeconds = 8e-3;
+    strict.arrivals.seed = 23;
+    scenario.tenants = {full, half, strict};
+
+    const ScenarioRunResult result =
+        experiment.runScenario("slo-dvfs", scenario);
+
+    double budgets[3] = {0.0, 0.0, 0.0};
+    bool seen[3] = {false, false, false};
+    for (const ServingMeasurement &record : result.measurements) {
+        if (record.outcome != ServingOutcome::Served)
+            continue;
+        const uint32_t tenant = record.measurement.tenant;
+        ASSERT_LT(tenant, 3u);
+        if (!seen[tenant]) {
+            budgets[tenant] = record.measurement.budgetSeconds;
+            seen[tenant] = true;
+        } else {
+            // At this offered load nothing degrades, so the budget is
+            // the same for every one of a tenant's served queries.
+            ASSERT_DOUBLE_EQ(record.measurement.budgetSeconds,
+                             budgets[tenant]);
+        }
+    }
+    ASSERT_TRUE(seen[0] && seen[1] && seen[2]);
+    EXPECT_GT(budgets[0], 0.0);
+    EXPECT_DOUBLE_EQ(budgets[1], 0.5 * budgets[0]);
+    EXPECT_DOUBLE_EQ(budgets[2], std::min(budgets[0], 8e-3));
+    EXPECT_LT(budgets[2], budgets[0]);
+
+    // The echo in the rollups matches the configured classes.
+    ASSERT_EQ(result.summary.tenants.size(), 3u);
+    EXPECT_DOUBLE_EQ(result.summary.tenants[2].deadlineSeconds, 8e-3);
+}
+
+TEST(RunScenario, FailoverLosesIsnsWhileDownAndRecovers)
+{
+    Experiment experiment(scenarioExperimentConfig());
+    const ScenarioConfig scenario = scenarioByName("failover");
+    const ScenarioRunResult result =
+        experiment.runScenario("taily", scenario);
+    // Queries dispatched inside the outage window lose ISN 0.
+    EXPECT_GT(result.summary.isnsUnavailable, 0u);
+    // The outage is a window, not the whole run: plenty of queries
+    // still complete.
+    EXPECT_GT(result.summary.completed, result.summary.offered / 2);
+}
+
+TEST(RunScenario, HostileShapeNeverLeaksIntoLaterRuns)
+{
+    Experiment experiment(scenarioExperimentConfig());
+
+    const RunResult before =
+        experiment.run("exhaustive", TraceFlavor::Wikipedia);
+    experiment.runScenario("taily", scenarioByName("straggler_isn"));
+
+    // The scenario's straggler/cap shape must be fully cleared.
+    EXPECT_DOUBLE_EQ(
+        experiment.cluster().isn(0).serviceRateMultiplier(), 1.0);
+    EXPECT_TRUE(std::isinf(experiment.cluster().isn(1).maxFreqGhz()));
+
+    // And a replay after the scenario reproduces the replay before it
+    // byte for byte.
+    const RunResult after =
+        experiment.run("exhaustive", TraceFlavor::Wikipedia);
+    ASSERT_EQ(before.measurements.size(), after.measurements.size());
+    for (std::size_t i = 0; i < before.measurements.size(); ++i) {
+        const QueryMeasurement &a = before.measurements[i];
+        const QueryMeasurement &b = after.measurements[i];
+        ASSERT_DOUBLE_EQ(a.latencySeconds, b.latencySeconds) << i;
+        ASSERT_DOUBLE_EQ(a.ndcgAtK, b.ndcgAtK) << i;
+        ASSERT_EQ(a.docsSearched, b.docsSearched) << i;
+    }
+    EXPECT_EQ(toJson(before.summary), toJson(after.summary));
+}
+
+TEST(RunScenario, FlashCrowdEngagesTheAdmissionLadder)
+{
+    // Scaled up far enough that the 8x spike overwhelms the 8-shard
+    // test cluster: admission must visibly degrade or shed. (Scale 4
+    // keeps the spike window aligned with the 200-query trace; much
+    // higher scales compress the timeline past the window start.)
+    Experiment experiment(scenarioExperimentConfig());
+    const ScenarioRunResult result = experiment.runScenario(
+        "taily", scenarioByName("flash_crowd", 4.0));
+    EXPECT_GT(result.summary.degraded + result.summary.shedQueries +
+                  result.summary.isnsShed,
+              0u);
+}
+
+} // namespace
+} // namespace cottage

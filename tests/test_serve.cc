@@ -95,6 +95,51 @@ TEST(LruCache, PeekNeverCountsOrPromotes)
     EXPECT_NE(cache.peek(2), nullptr);
 }
 
+TEST(LruCache, CapacityOneEvictsOnEveryNewKey)
+{
+    LruCache<int, int> cache(1);
+    EXPECT_TRUE(cache.enabled());
+    cache.insert(1, 10);
+    ASSERT_NE(cache.find(1), nullptr);
+
+    cache.insert(2, 20); // evicts 1, the only resident
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_EQ(cache.find(1), nullptr);
+    const int *two = cache.find(2);
+    ASSERT_NE(two, nullptr);
+    EXPECT_EQ(*two, 20);
+
+    // Overwriting the sole resident is not an eviction.
+    cache.insert(2, 21);
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_EQ(*cache.find(2), 21);
+}
+
+TEST(LruCache, OverwriteAtCapacityKeepsEvictionOrder)
+{
+    LruCache<int, int> cache(3);
+    cache.insert(1, 10);
+    cache.insert(2, 20);
+    cache.insert(3, 30);
+
+    // Overwrite the oldest key at full capacity: size must not grow,
+    // nothing is evicted, and the overwrite promotes 1 to most recent
+    // so the next eviction takes 2, then 3, then 1.
+    cache.insert(1, 11);
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_EQ(cache.evictions(), 0u);
+
+    cache.insert(4, 40);
+    EXPECT_EQ(cache.peek(2), nullptr);
+    cache.insert(5, 50);
+    EXPECT_EQ(cache.peek(3), nullptr);
+    cache.insert(6, 60);
+    EXPECT_EQ(cache.peek(1), nullptr);
+    EXPECT_NE(cache.peek(4), nullptr);
+    EXPECT_EQ(cache.evictions(), 3u);
+}
+
 TEST(LruCache, ClearKeepsCountersResetDropsThem)
 {
     LruCache<int, int> cache(2);
@@ -292,6 +337,148 @@ TEST_F(AdmissionTest, ZeroProgressCutShedsIsnsThatCannotStart)
     EXPECT_TRUE(plan.isns[1].participate);
 }
 
+// Regression: --shed-backlog-ms == --degrade-backlog-ms is a legal CLI
+// combination. The degrade band collapses to nothing — budgets jump
+// straight to the floor at the threshold — and must not abort.
+TEST_F(AdmissionTest, EqualThresholdsCollapseTheDegradeBand)
+{
+    config_.degradeBacklogSeconds = config_.shedBacklogSeconds;
+
+    // Below the collapsed line: healthy, untouched.
+    occupy(0, config_.shedBacklogSeconds / 2.0);
+    QueryPlan healthy = QueryPlan::allIsns(2);
+    const AdmissionDecision pass =
+        applyAdmission(healthy, cluster_, 0.0, config_);
+    EXPECT_FALSE(pass.shedQuery);
+    EXPECT_FALSE(pass.degraded);
+    EXPECT_EQ(pass.isnsShed, 0u);
+    EXPECT_EQ(healthy.budgetSeconds, noBudget);
+
+    // Past the line: shed outright, no degrade rung in between.
+    occupy(0, config_.shedBacklogSeconds);
+    QueryPlan loaded = QueryPlan::allIsns(2);
+    const AdmissionDecision shed =
+        applyAdmission(loaded, cluster_, 0.0, config_);
+    EXPECT_EQ(shed.isnsShed, 1u);
+    EXPECT_FALSE(loaded.isns[0].participate);
+    EXPECT_TRUE(loaded.isns[1].participate);
+    EXPECT_FALSE(shed.degraded);
+}
+
+// Regression: the degrade depth must be recomputed over the post-cut
+// participant set. ISN 0's backlog lands deep in the degrade band but
+// also beyond the plan's budget, so the zero-progress cut sheds it —
+// the surviving ISN 1 is nearly idle and its budget must NOT stay
+// tightened by the backlog of an ISN that is no longer dispatched to.
+TEST_F(AdmissionTest, DegradeDepthRecomputedOverPostCutParticipants)
+{
+    const double deep = config_.shedBacklogSeconds * 0.8; // in band
+    const double idle = config_.degradeBacklogSeconds / 5.0;
+    occupy(0, deep);
+    occupy(1, idle);
+
+    QueryPlan plan = QueryPlan::allIsns(2);
+    plan.budgetSeconds = deep / 2.0; // cut sheds ISN 0
+    const double original = plan.budgetSeconds;
+    const AdmissionDecision decision =
+        applyAdmission(plan, cluster_, 0.0, config_);
+
+    EXPECT_FALSE(decision.shedQuery);
+    EXPECT_EQ(decision.isnsShed, 1u);
+    EXPECT_FALSE(plan.isns[0].participate);
+    EXPECT_TRUE(plan.isns[1].participate);
+    // The survivor sits below the degrade threshold: not degraded,
+    // budget untouched, and the reported worst backlog is its own.
+    EXPECT_FALSE(decision.degraded);
+    EXPECT_EQ(plan.budgetSeconds, original);
+    EXPECT_DOUBLE_EQ(decision.worstBacklogSeconds, idle);
+}
+
+// Regression: overloadBudgetSeconds is only consulted when a
+// no-deadline plan enters the degrade band, so it must only be
+// validated on that path. A scenario config that omits it (0) is fine
+// as long as every plan carries its own budget.
+TEST_F(AdmissionTest, OverloadBudgetOnlyValidatedWhenConsulted)
+{
+    config_.overloadBudgetSeconds = 0.0;
+
+    // Finite-budget plan on a loaded cluster: never consults the
+    // overload budget, must not abort.
+    const double mid = (config_.degradeBacklogSeconds +
+                        config_.shedBacklogSeconds) /
+                       2.0;
+    occupy(0, mid);
+    QueryPlan plan = QueryPlan::allIsns(2);
+    plan.budgetSeconds = 1.0;
+    const AdmissionDecision decision =
+        applyAdmission(plan, cluster_, 0.0, config_);
+    EXPECT_TRUE(decision.degraded);
+    EXPECT_LT(plan.budgetSeconds, 1.0);
+
+    // A no-deadline plan degrading with no overload budget to impose
+    // is a genuine config error on the path that reads the knob.
+    QueryPlan open = QueryPlan::allIsns(2);
+    EXPECT_DEATH((void)applyAdmission(open, cluster_, 0.0, config_),
+                 "overload budget");
+}
+
+TEST_F(AdmissionTest, RejectsGenuinelyInvalidConfigs)
+{
+    AdmissionConfig inverted;
+    inverted.shedBacklogSeconds = inverted.degradeBacklogSeconds / 2.0;
+    QueryPlan plan = QueryPlan::allIsns(2);
+    EXPECT_DEATH((void)applyAdmission(plan, cluster_, 0.0, inverted),
+                 "shed threshold");
+
+    AdmissionConfig zeroFloor;
+    zeroFloor.degradeFloor = 0.0;
+    EXPECT_DEATH((void)applyAdmission(plan, cluster_, 0.0, zeroFloor),
+                 "degrade floor");
+
+    AdmissionConfig bigFloor;
+    bigFloor.degradeFloor = 1.5;
+    EXPECT_DEATH((void)applyAdmission(plan, cluster_, 0.0, bigFloor),
+                 "degrade floor");
+}
+
+// Boundary equality: the shed line is strict (> sheds), the
+// zero-progress cut is inclusive (>= sheds) — a queue that drains
+// exactly at the deadline leaves zero seconds to run.
+TEST_F(AdmissionTest, BoundaryEqualityAtShedLineAndAtBudget)
+{
+    // Backlog exactly equal to the shed threshold survives the shed
+    // rung and lands exactly on the floor fraction of the imposed
+    // budget. The overload budget is chosen large enough that the
+    // floored budget still exceeds the backlog, keeping the
+    // zero-progress cut out of this half of the test.
+    config_.overloadBudgetSeconds = 2.0;
+    occupy(0, config_.shedBacklogSeconds);
+    QueryPlan plan = QueryPlan::allIsns(2);
+    const AdmissionDecision decision =
+        applyAdmission(plan, cluster_, 0.0, config_);
+    EXPECT_EQ(decision.isnsShed, 0u);
+    EXPECT_TRUE(plan.isns[0].participate);
+    EXPECT_TRUE(decision.degraded);
+    EXPECT_DOUBLE_EQ(plan.budgetSeconds,
+                     config_.degradeFloor * config_.overloadBudgetSeconds);
+
+    // Backlog exactly equal to the budget is cut: equality means the
+    // ISN could start only at the deadline itself.
+    ClusterSim exact(2, FrequencyLadder(), PowerModel());
+    const double freq = exact.ladder().defaultGhz();
+    const double budget = config_.degradeBacklogSeconds / 2.0;
+    exact.isn(0).execute(0.0, budget * freq * 1e9, freq,
+                         std::numeric_limits<double>::infinity());
+    ASSERT_DOUBLE_EQ(exact.isn(0).backlogSeconds(0.0), budget);
+    QueryPlan capped = QueryPlan::allIsns(2);
+    capped.budgetSeconds = budget;
+    const AdmissionDecision cut =
+        applyAdmission(capped, exact, 0.0, config_);
+    EXPECT_EQ(cut.isnsShed, 1u);
+    EXPECT_FALSE(capped.isns[0].participate);
+    EXPECT_TRUE(capped.isns[1].participate);
+}
+
 // ------------------------------------------------- serving contracts
 
 template <typename T>
@@ -309,6 +496,7 @@ serializeMeasurements(const std::vector<QueryMeasurement> &measurements)
     std::string buffer;
     for (const QueryMeasurement &m : measurements) {
         appendBytes(buffer, m.id);
+        appendBytes(buffer, m.tenant);
         appendBytes(buffer, m.arrivalSeconds);
         appendBytes(buffer, m.latencySeconds);
         appendBytes(buffer, m.budgetSeconds);
@@ -339,6 +527,7 @@ serializeServing(const std::vector<ServingMeasurement> &measurements)
         appendBytes(buffer, record.outcome);
         appendBytes(buffer, record.worstBacklogSeconds);
         appendBytes(buffer, record.isnsShed);
+        appendBytes(buffer, record.isnsUnavailable);
     }
     std::vector<QueryMeasurement> inner;
     inner.reserve(measurements.size());
