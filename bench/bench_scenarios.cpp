@@ -73,13 +73,16 @@ main(int argc, char **argv)
     // Scale 4 drives the 8-shard smoke stack into the regime where
     // the hostile shapes actually hurt (the flash-crowd spike window
     // overlaps most of the trace and backlog reaches the ladder).
-    const double qpsScale = flags.getDouble("qps-scale", 4.0);
+    // A non-positive scale is an operator typo, not a program bug:
+    // report it as a usage error instead of tripping the scenario
+    // layer's assertion.
+    const double qpsScale = getPositiveDouble(flags, "qps-scale", 4.0);
     const std::vector<std::string> scenarios = splitList(
         flags.getString("scenarios",
                         "mixed_poisson,flash_crowd,straggler_isn,"
-                        "failover"));
-    const std::vector<std::string> policies =
-        splitList(flags.getString("policies", "cottage,slo-dvfs"));
+                        "power_skew,failover"));
+    const std::vector<std::string> policies = splitList(
+        flags.getString("policies", "cottage,slo-dvfs,rank-s,taily"));
     COTTAGE_CHECK_MSG(!scenarios.empty() && !policies.empty(),
                       "need at least one scenario and one policy");
 

@@ -57,7 +57,7 @@ main(int argc, char **argv)
 
     const std::string scenarioName = flags.getString("scenario", "");
     if (!scenarioName.empty()) {
-        const double qpsScale = flags.getDouble("qps-scale", 1.0);
+        const double qpsScale = getPositiveDouble(flags, "qps-scale", 1.0);
         const ScenarioConfig scenario =
             scenarioByName(scenarioName, qpsScale);
         const ScenarioRunResult run =

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Perf guard over BENCH_evaluators / BENCH_serving / BENCH_scenarios.
+"""Perf guard over the committed BENCH_*.json artifacts.
 
 Run after `bench_evaluators [--smoke]`:
 
@@ -9,9 +9,39 @@ after `bench_serving [--smoke]`:
 
     python3 scripts/check_bench.py --serving BENCH_serving.json
 
-or after `bench_scenarios [--smoke]`:
+after `bench_scenarios [--smoke]`:
 
     python3 scripts/check_bench.py --scenarios BENCH_scenarios.json
+
+or after `bench_parallelism [--smoke] [--no-time]`:
+
+    python3 scripts/check_bench.py --parallelism BENCH_parallelism.json
+
+Parallelism gates (--parallelism; guard the intra-query parallel
+traversal driver and the joint (cores x frequency) frontier):
+  - the file must carry a non-empty 'sweep' (evaluator x cores cells),
+    a 'config' with a 'timed' bool, and a 'frontier' list with rows
+    for isn_cores 1 and 4 per scenario — anything else is BAD INPUT;
+  - determinism: within an evaluator, 'topk_checksum' must be
+    IDENTICAL across every core count. The merged top-K is required
+    to be bit-identical at any gang width; one flipped score bit
+    anywhere in the sweep trips this;
+  - work sanity: docs_scored at 4 cores must be >= docs_scored at
+    1 core for each pruning evaluator (slices start with a cold
+    threshold, so a parallel traversal can only prune less, never
+    more — fewer docs at 4 cores means the slices are not covering
+    the full doc range);
+  - frontier: the isn_cores=4 build must beat isn_cores=1 on at
+    least one preset, either on energy at no-worse p99 or on p99 at
+    no-worse energy ("no worse" = within 1%). A (cores x frequency)
+    grid that cannot beat frequency-only anywhere is a regression;
+  - wall clock (armed only when the file says "timed": true, or
+    forced with --require-time): ns_per_query at 4 cores must be
+    strictly below 1 core for wand and bmw. A --no-time file zeroes
+    every wall-clock field, so requesting --require-time on one is
+    BAD INPUT (exit 2), not a pass. The committed smoke artifact is
+    produced with --no-time (byte-stable across machines); CI's
+    multi-core timed run regenerates with timing and arms this gate.
 
 Scenario gates (--scenarios; guard the multi-tenant SLO scenarios):
   - the file must carry a non-empty 'scenarios' list whose cells each
@@ -20,6 +50,11 @@ Scenario gates (--scenarios; guard the multi-tenant SLO scenarios):
     (p50 <= p95 <= p99 <= p99.9 <= max) with shed_rate in [0, 1];
   - at least one hostile scenario must carry both 'cottage' and
     'slo-dvfs' (BAD INPUT otherwise — the comparison cannot run);
+  - --require-policies names policies (comma-separated, may repeat)
+    that EVERY scenario must carry; a missing cell is BAD INPUT.
+    CI passes cottage,slo-dvfs,rank-s,taily so the committed file
+    always holds the full policy grid, including the quality-cut
+    (rank-s) and resource-selection (taily) baselines;
   - cottage must beat slo-dvfs on at least one hostile shape, on at
     least one axis: lower run p99 latency, lower shed rate, or higher
     mean per-tenant SLO attainment. Coordinated budgets that lose to a
@@ -157,6 +192,34 @@ def parse_args(argv):
         help=(
             "treat the input as bench_scenarios output and run the "
             "multi-tenant scenario gates"
+        ),
+    )
+    parser.add_argument(
+        "--require-policies",
+        action="append",
+        metavar="POLICIES",
+        help=(
+            "with --scenarios: policies every scenario must carry, "
+            "comma-separated, may be repeated (default: "
+            "cottage,slo-dvfs). A scenario missing one is BAD INPUT"
+        ),
+    )
+    parser.add_argument(
+        "--parallelism",
+        action="store_true",
+        help=(
+            "treat the input as bench_parallelism output and run the "
+            "determinism/work/frontier gates (plus the wall-clock "
+            "gate when the file is timed)"
+        ),
+    )
+    parser.add_argument(
+        "--require-time",
+        action="store_true",
+        help=(
+            "with --parallelism: force the 4-cores-beats-1 wall-clock "
+            "gate even if the file says timed=false (BAD INPUT on a "
+            "--no-time file)"
         ),
     )
     parser.add_argument(
@@ -343,7 +406,188 @@ def check_serving(path: str) -> str:
     )
 
 
-def check_scenarios(path: str) -> str:
+# Fields every parallelism sweep cell must carry.
+SWEEP_FIELDS = [
+    "evaluator",
+    "cores",
+    "ns_per_query",
+    "docs_scored",
+    "topk_checksum",
+]
+
+# Fields every frontier row must carry.
+FRONTIER_FIELDS = [
+    "scenario",
+    "isn_cores",
+    "p99_latency_s",
+    "energy_j",
+    "avg_ndcg",
+]
+
+# The evaluators whose wall-clock must improve at 4 cores when the
+# wall-clock gate is armed (timed run or --require-time).
+TIME_GATED_EVALUATORS = ["wand", "bmw"]
+
+# "No worse" tolerance for the frontier domination test: a 1% slip on
+# the held-equal axis still counts as equal.
+FRONTIER_TOLERANCE = 1.01
+
+
+def check_parallelism(path: str, require_time: bool) -> str:
+    """Run the intra-query parallelism gates; exits via fail()/unusable().
+
+    Returns the one-line OK summary.
+    """
+    try:
+        with open(path) as handle:
+            bench = json.load(handle)
+    except FileNotFoundError:
+        unusable(f"{path} not found: run bench_parallelism first")
+    except json.JSONDecodeError as err:
+        unusable(f"{path} is not valid JSON ({err})")
+
+    config = bench.get("config")
+    if not isinstance(config, dict) or "timed" not in config:
+        unusable(
+            f"{path} has no 'config.timed': not bench_parallelism "
+            "output? (--parallelism checks BENCH_parallelism.json only)"
+        )
+    sweep = bench.get("sweep")
+    if not isinstance(sweep, list) or not sweep:
+        unusable(f"{path}: 'sweep' list missing or empty")
+    frontier = bench.get("frontier")
+    if not isinstance(frontier, list) or not frontier:
+        unusable(f"{path}: 'frontier' list missing or empty")
+
+    for i, cell in enumerate(sweep):
+        absent = [f for f in SWEEP_FIELDS if f not in cell]
+        if absent:
+            unusable(
+                f"{path}: sweep cell {i} lacks field(s) {absent}; "
+                "output from an incompatible bench_parallelism version"
+            )
+    for i, row in enumerate(frontier):
+        absent = [f for f in FRONTIER_FIELDS if f not in row]
+        if absent:
+            unusable(
+                f"{path}: frontier row {i} lacks field(s) {absent}; "
+                "output from an incompatible bench_parallelism version"
+            )
+
+    # Group the sweep by evaluator, cells keyed by core count.
+    by_evaluator = {}
+    for cell in sweep:
+        by_evaluator.setdefault(cell["evaluator"], {})[cell["cores"]] = cell
+
+    # Determinism gate: the merged top-K's bitwise fingerprint must not
+    # depend on the gang width. This is the rank-safety contract of the
+    # parallel driver — one flipped score bit anywhere trips it.
+    for name, cells in by_evaluator.items():
+        checksums = {c: cell["topk_checksum"] for c, cell in cells.items()}
+        if len(set(checksums.values())) != 1:
+            fail(
+                f"'{name}' top-K checksum differs across core counts: "
+                f"{checksums} — the parallel traversal is not "
+                "bit-identical to the sequential one"
+            )
+
+    # Work gate: parallel slices start with a cold top-K threshold, so
+    # a correct range-partitioned traversal scores AT LEAST as many
+    # docs at 4 cores as at 1. Fewer means slices skipped real work.
+    for name, cells in by_evaluator.items():
+        if 1 not in cells or 4 not in cells:
+            unusable(
+                f"{path}: evaluator '{name}' lacks the cores=1 and "
+                "cores=4 cells the gates compare"
+            )
+        if cells[4]["docs_scored"] < cells[1]["docs_scored"]:
+            fail(
+                f"'{name}' scored {cells[4]['docs_scored']} docs at 4 "
+                f"cores but {cells[1]['docs_scored']} at 1: a slice is "
+                "dropping part of the doc range"
+            )
+
+    # Wall-clock gate: only meaningful on a timed run on multi-core
+    # hardware; a --no-time artifact zeroes ns_per_query on purpose.
+    timed = bool(config["timed"])
+    summary = []
+    if timed or require_time:
+        for name in TIME_GATED_EVALUATORS:
+            cells = by_evaluator.get(name)
+            if cells is None:
+                unusable(f"wall-clock gate needs evaluator '{name}'")
+            one, four = cells[1]["ns_per_query"], cells[4]["ns_per_query"]
+            if one == 0 or four == 0:
+                unusable(
+                    f"wall-clock gate on '{name}' but ns_per_query is "
+                    "0: the file was produced with --no-time; the gate "
+                    "needs a timed run"
+                )
+            if four >= one:
+                fail(
+                    f"'{name}' took {four:.0f} ns/query at 4 cores vs "
+                    f"{one:.0f} at 1: the parallel driver must deliver "
+                    "wall-clock speedup on timed multi-core runs"
+                )
+            summary.append(f"{name} {one / four:.2f}x at 4 cores")
+    else:
+        summary.append("untimed artifact (wall-clock gate not armed)")
+
+    # Frontier gate: the joint (cores x frequency) grid must dominate
+    # frequency-only somewhere — better energy at no-worse p99, or
+    # better p99 at no-worse energy, on at least one preset.
+    by_scenario = {}
+    for row in frontier:
+        by_scenario.setdefault(row["scenario"], {})[row["isn_cores"]] = row
+    comparable = {
+        name: rows
+        for name, rows in by_scenario.items()
+        if {1, 4} <= set(rows)
+    }
+    if not comparable:
+        unusable(
+            f"{path}: no frontier preset carries both isn_cores=1 and "
+            "isn_cores=4; the domination gate cannot run"
+        )
+    wins = []
+    for name, rows in sorted(comparable.items()):
+        one, four = rows[1], rows[4]
+        axes = []
+        if (four["energy_j"] < one["energy_j"]
+                and four["p99_latency_s"]
+                <= one["p99_latency_s"] * FRONTIER_TOLERANCE):
+            axes.append(
+                f"energy {four['energy_j']:.2f}J vs "
+                f"{one['energy_j']:.2f}J"
+            )
+        if (four["p99_latency_s"] < one["p99_latency_s"]
+                and four["energy_j"]
+                <= one["energy_j"] * FRONTIER_TOLERANCE):
+            axes.append(
+                f"p99 {four['p99_latency_s'] * 1e3:.2f}ms vs "
+                f"{one['p99_latency_s'] * 1e3:.2f}ms"
+            )
+        if axes:
+            wins.append(f"{name} ({'; '.join(axes)})")
+    if not wins:
+        fail(
+            "the isn_cores=4 build beat frequency-only on NO preset "
+            f"(checked: {sorted(comparable)}): the joint (cores x "
+            "frequency) grid must win on energy at no-worse p99 or "
+            "p99 at no-worse energy somewhere"
+        )
+
+    summary.append(
+        f"{len(by_evaluator)} evaluators bit-identical across cores; "
+        f"frontier wins: {', '.join(wins)}"
+    )
+    return "; ".join(summary)
+
+
+DEFAULT_REQUIRED_POLICIES = ["cottage", "slo-dvfs"]
+
+
+def check_scenarios(path: str, required_policies) -> str:
     """Run the multi-tenant scenario gates; exits via fail()/unusable().
 
     Returns the one-line OK summary.
@@ -415,6 +659,16 @@ def check_scenarios(path: str) -> str:
                     )
                 tenants_checked += 1
             by_policy[cell["policy"]] = summary
+        missing_policies = [
+            p for p in required_policies if p not in by_policy
+        ]
+        if missing_policies:
+            unusable(
+                f"{path}: scenario '{name}' lacks required policy "
+                f"cell(s) {missing_policies} (present: "
+                f"{sorted(by_policy)}); re-run bench_scenarios with "
+                "the full --policies grid or narrow --require-policies"
+            )
         if scenario.get("hostile"):
             hostile_cells.append((name, by_policy))
 
@@ -874,6 +1128,246 @@ def self_test() -> None:
             2,
         )
 
+        # --require-policies: every scenario must carry every named
+        # policy cell; the default stays cottage,slo-dvfs.
+        def scenario_full_grid(name, hostile):
+            return {
+                "name": name,
+                "hostile": hostile,
+                "policies": [
+                    {"policy": "cottage",
+                     "summary": scenario_summary(p99=0.005)},
+                    {"policy": "slo-dvfs",
+                     "summary": scenario_summary(p99=0.008)},
+                    {"policy": "rank-s",
+                     "summary": scenario_summary(p99=0.006)},
+                    {"policy": "taily",
+                     "summary": scenario_summary(p99=0.007)},
+                ],
+            }
+
+        full_grid = scenario_file(
+            "scenarios_full_grid.json",
+            [
+                scenario_full_grid("mixed_poisson", False),
+                scenario_full_grid("flash_crowd", True),
+            ],
+        )
+        _run_case(
+            "full policy grid, all four required",
+            [full_grid, "--scenarios",
+             "--require-policies=cottage,slo-dvfs,rank-s,taily"],
+            0,
+        )
+        _run_case(
+            "baseline file missing a required policy",
+            [healthy_scenarios, "--scenarios",
+             "--require-policies=cottage,slo-dvfs,rank-s"],
+            2,
+        )
+        _run_case(
+            "baseline file, default required policies",
+            [healthy_scenarios, "--scenarios"],
+            0,
+        )
+
+        # ---- parallelism gates ----
+
+        def sweep_cell(evaluator, cores, ns, docs, checksum):
+            return {
+                "evaluator": evaluator,
+                "cores": cores,
+                "ns_per_query": ns,
+                "docs_scored": docs,
+                "topk_checksum": checksum,
+            }
+
+        def healthy_cells(timed):
+            # Checksums constant per evaluator; docs rise with cores
+            # (cold-threshold slices prune less); timing improves to a
+            # min at 4 then regresses slightly at 8.
+            cells = []
+            for name in ("maxscore", "wand", "bmw"):
+                for cores, ns in ((1, 8000.0), (2, 4500.0),
+                                  (4, 2600.0), (8, 2700.0)):
+                    cells.append(sweep_cell(
+                        name, cores, ns if timed else 0.0,
+                        10000 + (cores - 1) * 50, f"0x{name}"))
+            return cells
+
+        def frontier_row(scenario, isn_cores, p99, energy):
+            return {
+                "scenario": scenario,
+                "isn_cores": isn_cores,
+                "p99_latency_s": p99,
+                "energy_j": energy,
+                "avg_ndcg": 0.95,
+            }
+
+        def healthy_frontier():
+            return [
+                frontier_row("mixed_poisson", 1, 0.0040, 13.7),
+                frontier_row("mixed_poisson", 4, 0.0036, 6.6),
+                frontier_row("flash_crowd", 1, 0.0044, 12.3),
+                frontier_row("flash_crowd", 4, 0.0050, 7.3),
+            ]
+
+        def parallelism_file(name, sweep, frontier, timed=False):
+            path = os.path.join(tmp, name)
+            with open(path, "w") as handle:
+                json.dump(
+                    {
+                        "bench": "parallelism",
+                        "config": {"timed": timed},
+                        "sweep": sweep,
+                        "frontier": frontier,
+                    },
+                    handle,
+                )
+            return path
+
+        untimed = parallelism_file(
+            "par.json", healthy_cells(False), healthy_frontier()
+        )
+        _run_case("healthy untimed parallelism", [untimed,
+                                                  "--parallelism"], 0)
+        timed_file = parallelism_file(
+            "par_timed.json", healthy_cells(True), healthy_frontier(),
+            timed=True,
+        )
+        _run_case(
+            "healthy timed parallelism", [timed_file, "--parallelism"], 0
+        )
+
+        drifted_cells = healthy_cells(False)
+        drifted_cells[3] = sweep_cell(  # maxscore @ 8 cores
+            "maxscore", 8, 0.0, 10350, "0xdeadbeef")
+        drifted_checksum = parallelism_file(
+            "par_drift.json", drifted_cells, healthy_frontier()
+        )
+        _run_case(
+            "top-K checksum drifts across cores",
+            [drifted_checksum, "--parallelism"],
+            1,
+        )
+
+        shrunk_cells = healthy_cells(False)
+        shrunk_cells[6] = sweep_cell(  # wand @ 4 cores scores fewer
+            "wand", 4, 0.0, 9000, "0xwand")
+        shrunk = parallelism_file(
+            "par_shrunk.json", shrunk_cells, healthy_frontier()
+        )
+        _run_case(
+            "4-core slice drops part of the doc range",
+            [shrunk, "--parallelism"],
+            1,
+        )
+
+        slow_cells = healthy_cells(True)
+        slow_cells[10] = sweep_cell(  # bmw @ 4 cores slower than @ 1
+            "bmw", 4, 9000.0, 10150, "0xbmw")
+        slow_timed = parallelism_file(
+            "par_slow.json", slow_cells, healthy_frontier(), timed=True
+        )
+        _run_case(
+            "timed run with no 4-core speedup",
+            [slow_timed, "--parallelism"],
+            1,
+        )
+        slow_untimed = parallelism_file(
+            "par_slow_untimed.json", slow_cells, healthy_frontier()
+        )
+        _run_case(
+            "same cells, wall-clock gate unarmed",
+            [slow_untimed, "--parallelism"],
+            0,
+        )
+        _run_case(
+            "--require-time on a --no-time artifact",
+            [untimed, "--parallelism", "--require-time"],
+            2,
+        )
+
+        dominated = parallelism_file(
+            "par_dominated.json",
+            healthy_cells(False),
+            [
+                frontier_row("mixed_poisson", 1, 0.0040, 10.0),
+                frontier_row("mixed_poisson", 4, 0.0050, 12.0),
+            ],
+        )
+        _run_case(
+            "frontier: cores build loses everywhere",
+            [dominated, "--parallelism"],
+            1,
+        )
+        tolerance_win = parallelism_file(
+            "par_tolerance.json",
+            healthy_cells(False),
+            [
+                # Energy halves while p99 slips 0.5% — within the 1%
+                # "no worse" band, so the energy axis wins.
+                frontier_row("mixed_poisson", 1, 0.00400, 13.0),
+                frontier_row("mixed_poisson", 4, 0.00402, 6.5),
+            ],
+        )
+        _run_case(
+            "frontier: energy win inside the p99 tolerance",
+            [tolerance_win, "--parallelism"],
+            0,
+        )
+        over_tolerance = parallelism_file(
+            "par_over_tolerance.json",
+            healthy_cells(False),
+            [
+                # Energy halves but p99 slips 5% — outside the band on
+                # one axis and not a win on the other: regression.
+                frontier_row("mixed_poisson", 1, 0.00400, 13.0),
+                frontier_row("mixed_poisson", 4, 0.00420, 6.5),
+            ],
+        )
+        _run_case(
+            "frontier: energy win outside the p99 tolerance",
+            [over_tolerance, "--parallelism"],
+            1,
+        )
+
+        missing_cores = parallelism_file(
+            "par_missing_cores.json",
+            [c for c in healthy_cells(False) if c["cores"] != 4],
+            healthy_frontier(),
+        )
+        _run_case(
+            "sweep lacks the cores=4 cells",
+            [missing_cores, "--parallelism"],
+            2,
+        )
+        frequency_only = parallelism_file(
+            "par_freq_only.json",
+            healthy_cells(False),
+            [frontier_row("mixed_poisson", 1, 0.0040, 13.7)],
+        )
+        _run_case(
+            "frontier lacks isn_cores=4 rows",
+            [frequency_only, "--parallelism"],
+            2,
+        )
+        bare_cell = healthy_cells(False)
+        del bare_cell[0]["topk_checksum"]
+        fieldless_sweep = parallelism_file(
+            "par_fieldless.json", bare_cell, healthy_frontier()
+        )
+        _run_case(
+            "sweep cell missing field",
+            [fieldless_sweep, "--parallelism"],
+            2,
+        )
+        _run_case(
+            "evaluator file with --parallelism (no sweep)",
+            [healthy, "--parallelism"],
+            2,
+        )
+
     print("check_bench self-test: all cases passed")
 
 
@@ -888,8 +1382,20 @@ def main(argv=None) -> None:
         print(f"check_bench: OK ({args.path}): {detail}")
         return
 
+    if args.parallelism:
+        detail = check_parallelism(args.path, args.require_time)
+        print(f"check_bench: OK ({args.path}): {detail}")
+        return
+
     if args.scenarios:
-        detail = check_scenarios(args.path)
+        required_policies = []
+        for chunk in args.require_policies or [
+            ",".join(DEFAULT_REQUIRED_POLICIES)
+        ]:
+            required_policies.extend(
+                p for p in chunk.split(",") if p
+            )
+        detail = check_scenarios(args.path, required_policies)
         print(f"check_bench: OK ({args.path}): {detail}")
         return
 

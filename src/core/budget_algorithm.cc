@@ -1,6 +1,9 @@
 #include "core/budget_algorithm.h"
 
 #include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
 
 namespace cottage {
 
@@ -54,6 +57,99 @@ determineTimeBudget(std::vector<IsnPrediction> predictions)
             decision.selected.push_back(prediction.isn);
     }
     return decision;
+}
+
+CoreFreqChoice
+chooseCoresAndFrequency(const std::vector<double> &backlogByCores,
+                        double serviceCycles, double budgetSeconds,
+                        const FrequencyLadder &ladder,
+                        const SpeedupCurve &speedup,
+                        const PowerModel &power, uint32_t maxCores,
+                        double powerCapWatts,
+                        const std::vector<double> &coreCycleFactors,
+                        bool dvfsPowerSaving)
+{
+    COTTAGE_CHECK_MSG(maxCores >= 1, "need at least one core");
+    COTTAGE_CHECK_MSG(serviceCycles >= 0.0, "negative predicted work");
+    COTTAGE_CHECK_MSG(!backlogByCores.empty(),
+                      "need a backlog for at least one core count");
+
+    const auto factorOf = [&](uint32_t cores) {
+        if (coreCycleFactors.empty())
+            return 1.0;
+        const std::size_t index =
+            std::min<std::size_t>(cores - 1, coreCycleFactors.size() - 1);
+        return coreCycleFactors[index];
+    };
+    const auto backlogOf = [&](uint32_t cores) {
+        const std::size_t index =
+            std::min<std::size_t>(cores - 1, backlogByCores.size() - 1);
+        return backlogByCores[index];
+    };
+
+    // Grid walk, cores then frequency, both ascending. Strict < on
+    // both objectives makes the earliest minimum win, so ties resolve
+    // to fewer cores, then lower frequency — the cheaper hardware
+    // commitment.
+    CoreFreqChoice best;        // min energy among feasible
+    CoreFreqChoice fastest;     // min latency under the cap (fallback)
+    bool anyFeasible = false;
+    bool anyUnderCap = false;
+    double bestEnergy = std::numeric_limits<double>::infinity();
+    double fastestLatency = std::numeric_limits<double>::infinity();
+
+    for (uint32_t cores = 1; cores <= maxCores; ++cores) {
+        const double cycles = serviceCycles * factorOf(cores);
+        const double perHz = cycles / speedup.speedup(cores);
+        const double backlog = backlogOf(cores);
+        // Work-conserving gang rule: a gang may only take workers that
+        // would otherwise idle — a candidate that has to *wait* for its
+        // width is out. Ganging burns c/S(c) times the core-seconds of
+        // a single-core dispatch, so under congestion the min-energy
+        // objective would otherwise keep shrinking the node's
+        // throughput exactly when throughput is scarcest (the
+        // flash-crowd death spiral: gangs -> less capacity -> more
+        // backlog -> bigger budgets -> more gangs).
+        if (cores > 1 && backlog > backlogOf(1))
+            continue;
+        for (double step : ladder.steps()) {
+            if (!dvfsPowerSaving && step < ladder.defaultGhz())
+                continue;
+            const double watts = power.activePowerWatts(step, cores);
+            if (watts > powerCapWatts)
+                continue;
+            anyUnderCap = true;
+            const double service = perHz / (step * 1e9);
+            const double latency = backlog + service;
+            const double energy = service * watts;
+            if (latency <= budgetSeconds && energy < bestEnergy) {
+                anyFeasible = true;
+                bestEnergy = energy;
+                best = {cores, step, true, latency, energy};
+            }
+            if (latency < fastestLatency) {
+                fastestLatency = latency;
+                fastest = {cores, step, false, latency, energy};
+            }
+        }
+    }
+
+    if (anyFeasible)
+        return best;
+    if (anyUnderCap)
+        return fastest;
+
+    // The cap excluded the whole grid: degenerate to the pre-parallel
+    // fallback (one core, boosted) rather than refusing to plan.
+    CoreFreqChoice fallback;
+    fallback.cores = 1;
+    fallback.freqGhz = ladder.maxGhz();
+    fallback.meetsBudget = false;
+    const double service = serviceCycles / (ladder.maxGhz() * 1e9);
+    fallback.latencySeconds = backlogOf(1) + service;
+    fallback.energyJoules =
+        service * power.activePowerWatts(ladder.maxGhz(), 1);
+    return fallback;
 }
 
 } // namespace cottage

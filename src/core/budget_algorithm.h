@@ -22,6 +22,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/frequency.h"
+#include "sim/power_model.h"
+#include "sim/speedup.h"
 #include "text/types.h"
 
 namespace cottage {
@@ -83,6 +86,83 @@ struct BudgetDecision
  * fallback.
  */
 BudgetDecision determineTimeBudget(std::vector<IsnPrediction> predictions);
+
+/** One ISN's joint operating point for a request (step 6, extended). */
+struct CoreFreqChoice
+{
+    /** Worker cores the request should span. */
+    uint32_t cores = 1;
+
+    /** Ladder frequency the request should run at, GHz. */
+    double freqGhz = 0.0;
+
+    /** True if the predicted equivalent latency meets the budget. */
+    bool meetsBudget = false;
+
+    /** Predicted equivalent latency at the chosen point, seconds. */
+    double latencySeconds = 0.0;
+
+    /** Predicted busy energy of the service at the chosen point, J. */
+    double energyJoules = 0.0;
+};
+
+/**
+ * Step 6 of the Cottage protocol, extended to intra-query parallelism:
+ * search the (cores, frequency) grid for the minimum-energy operating
+ * point whose predicted equivalent latency meets the budget under an
+ * active-power cap.
+ *
+ * The candidate service time at (c, f) is
+ *
+ *   serviceCycles * coreCycleFactor(c) / (f * 1e9) / S(c)
+ *
+ * — the predicted single-core cycles inflated by the measured parallel
+ * work overhead (per-slice pruning thresholds warm up independently),
+ * sped up by the calibrated sublinear curve S. Its busy energy is that
+ * service time at the McPAT-style active power P_uncore + c * P_dyn(f),
+ * which is also the quantity capped by @p powerCapWatts.
+ *
+ * Selection: among feasible points (latency <= budget, power <= cap)
+ * the strictly minimum-energy one wins; ties resolve to fewer cores,
+ * then lower frequency (the grid iterates cores then frequency,
+ * ascending). When nothing is feasible the fallback is the
+ * minimum-latency point under the power cap (meetsBudget = false) —
+ * the multi-core generalization of "boost to the ladder top". A cap so
+ * low it excludes every candidate degenerates to 1 core at the ladder
+ * top, the pre-parallel fallback.
+ *
+ * At maxCores = 1 with default factors and no uncore power this is
+ * provably the pre-parallel step-6 loop (energy at one core is
+ * strictly increasing in f, so min-energy = slowest feasible step):
+ * byte-identical plans, by construction.
+ *
+ * @param backlogByCores Queue backlog ahead of the request, seconds,
+ *        indexed by core count minus one: a c-core gang starts when
+ *        the c-th earliest worker frees (IsnServerSim::backlogSeconds
+ *        with cores), so wider gangs generally wait longer. Requests
+ *        wider than the vector use its last entry; must be non-empty.
+ *        Feeding every entry the single-core backlog reproduces the
+ *        (wrong) flat model — and the flash-crowd p99 blowup it causes.
+ * @param serviceCycles Predicted single-core service cycles.
+ * @param budgetSeconds Algorithm 1's time budget T.
+ * @param ladder The cluster P-state ladder (steps ascend).
+ * @param speedup The ISN's calibrated intra-query speedup curve.
+ * @param power The package power model.
+ * @param maxCores Widest gang the policy may request (>= 1; callers
+ *        clamp to the ISN's worker complement).
+ * @param powerCapWatts Per-ISN active-power ceiling (infinity = none).
+ * @param coreCycleFactors Work inflation per core count, 1-indexed by
+ *        cores (entry 0 is 1 core); values >= 1. Requests wider than
+ *        the vector use its last entry; empty means no inflation.
+ * @param dvfsPowerSaving When false, frequencies below the ladder
+ *        default are excluded (mirrors CottageConfig::dvfsPowerSaving).
+ */
+CoreFreqChoice chooseCoresAndFrequency(
+    const std::vector<double> &backlogByCores, double serviceCycles,
+    double budgetSeconds, const FrequencyLadder &ladder,
+    const SpeedupCurve &speedup, const PowerModel &power,
+    uint32_t maxCores, double powerCapWatts,
+    const std::vector<double> &coreCycleFactors, bool dvfsPowerSaving);
 
 } // namespace cottage
 

@@ -130,24 +130,30 @@ CottagePolicy::plan(const Query &query, const DistributedEngine &engine)
         IsnDirective &directive = plan.isns[isn];
         directive.participate = true;
 
-        // Step 6: pick the slowest ladder frequency whose equivalent
-        // latency still meets the budget. Boost (ladder top) when even
-        // that is required; never run below default unless DVFS power
-        // saving is enabled.
+        // Step 6, extended: search the (cores x frequency) grid for
+        // the minimum-energy operating point that meets the budget
+        // under the power cap. At maxCoresPerQuery = 1 this is exactly
+        // the paper's "slowest ladder frequency that still meets the
+        // budget, boost when even that is required" loop.
         const IsnPrediction &prediction = preds[isn];
-        double chosen = ladder.maxGhz();
-        for (double step : ladder.steps()) {
-            if (!config_.dvfsPowerSaving && step < ladder.defaultGhz())
-                continue;
-            const double latencyAtStep =
-                prediction.backlogSeconds +
-                prediction.serviceCycles / (step * 1e9);
-            if (latencyAtStep <= decision.budgetSeconds) {
-                chosen = step;
-                break;
-            }
-        }
-        directive.freqGhz = chosen;
+        const IsnServerSim &server = engine.cluster().isn(isn);
+        const uint32_t maxCores =
+            std::min(config_.maxCoresPerQuery, server.workers());
+        // Backlog per candidate gang width: a c-core gang starts only
+        // when the c-th earliest worker frees, so wider gangs see a
+        // longer queue. Entry 0 equals the prediction's single-core
+        // backlog by construction.
+        std::vector<double> backlogByCores(maxCores);
+        for (uint32_t c = 1; c <= maxCores; ++c)
+            backlogByCores[c - 1] =
+                server.backlogSeconds(query.arrivalSeconds, c);
+        const CoreFreqChoice choice = chooseCoresAndFrequency(
+            backlogByCores, prediction.serviceCycles,
+            decision.budgetSeconds, ladder, server.speedupCurve(),
+            engine.cluster().power(), maxCores, config_.isnPowerCapWatts,
+            bank_->coreCycleFactors(), config_.dvfsPowerSaving);
+        directive.freqGhz = choice.freqGhz;
+        directive.cores = choice.cores;
     }
     return plan;
 }

@@ -20,6 +20,7 @@
 #define COTTAGE_CORE_COTTAGE_POLICY_H
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "core/budget_algorithm.h"
@@ -56,6 +57,21 @@ struct CottageConfig
 
     /** Same threshold for the top-K/2 budget-pinning test. */
     double halfThreshold = 0.2;
+
+    /**
+     * Widest intra-query gang step 6 may assign per ISN (clamped to
+     * each ISN's worker complement). 1 (the default) disables the
+     * (cores x frequency) grid and reproduces the paper's
+     * frequency-only assignment byte for byte.
+     */
+    uint32_t maxCoresPerQuery = 1;
+
+    /**
+     * Per-ISN active-power ceiling for the grid search, watts
+     * (infinity = uncapped). Lets a deployment trade the widest gangs
+     * away under a power budget without touching the deadline.
+     */
+    double isnPowerCapWatts = std::numeric_limits<double>::infinity();
 };
 
 /** Coordinated time-budget assignment (the paper's contribution). */

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "engine/parallel_search.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -18,6 +19,13 @@ DistributedEngine::DistributedEngine(const ShardedIndex &index,
 {
     COTTAGE_CHECK_MSG(index.numShards() == cluster.numIsns(),
                       "cluster size must match shard count");
+}
+
+void
+DistributedEngine::setDefaultIsnCores(uint32_t cores)
+{
+    COTTAGE_CHECK_MSG(cores >= 1, "default ISN cores must be positive");
+    defaultIsnCores_ = cores;
 }
 
 std::vector<WeightedTerm>
@@ -144,16 +152,39 @@ DistributedEngine::execute(const Query &query, const QueryPlan &plan,
     const ShardId numShards = index_->numShards();
     const std::vector<WeightedTerm> terms = weightedTerms(query);
 
+    // Cores pre-pass: resolve each ISN's intra-query width before any
+    // parallel work so phases 1/2a/2b agree on it. Like the frequency
+    // check below, a plan may leave the width to the engine (0), but
+    // anything it does pick must fit the ISN's worker complement — an
+    // oversubscribed gang would silently corrupt the service model.
+    std::vector<uint32_t> coresOf(numShards, 1);
+    for (ShardId s = 0; s < numShards; ++s) {
+        const IsnDirective &directive = plan.isns[s];
+        if (!directive.participate)
+            continue;
+        const uint32_t cores =
+            directive.cores > 0 ? directive.cores : defaultIsnCores_;
+        COTTAGE_CHECK_MSG(cores <= cluster_->isn(s).workers(),
+                          "plan cores " << cores << " for ISN " << s
+                                        << " exceed its "
+                                        << cluster_->isn(s).workers()
+                                        << " workers");
+        coresOf[s] = cores;
+    }
+
     // Phase 1 — the real retrieval, fanned out across the pool. The
     // evaluator is pure over the immutable index, so each shard's
     // result is independent of scheduling; non-participants stay
-    // empty slots.
+    // empty slots. Multi-core ISNs traverse through the parallel
+    // driver, whose merged top-K and work counters are themselves
+    // bit-identical at any host thread count (cores = 1 is exactly
+    // the sequential call).
     std::vector<SearchResult> results(numShards);
     ThreadPool::global().parallelFor(0, numShards, [&](std::size_t s) {
         if (plan.isns[s].participate)
-            results[s] = evaluator_->search(
-                index_->shard(static_cast<ShardId>(s)), terms,
-                index_->topK());
+            results[s] = parallelShardSearch(
+                *evaluator_, index_->shard(static_cast<ShardId>(s)),
+                terms, index_->topK(), noDocCap, coresOf[s]);
     });
 
     // Phase 2a — the simulated cluster, advanced sequentially in
@@ -213,9 +244,13 @@ DistributedEngine::execute(const Query &query, const QueryPlan &plan,
         if (freq > cluster_->ladder().defaultGhz() + 1e-12)
             ++measurement.isnsBoosted;
 
+        if (coresOf[s] > 1)
+            ++measurement.isnsParallel;
+
         const SearchResult &result = results[s];
-        const IsnExecution exec = server.execute(
-            dispatch, work_.cycles(result.work), freq, deadline);
+        const IsnExecution exec =
+            server.execute(dispatch, work_.cycles(result.work), freq,
+                           deadline, coresOf[s]);
         fractionSum += exec.completedFraction;
 
         if (tracer_ != nullptr) {
@@ -227,11 +262,10 @@ DistributedEngine::execute(const Query &query, const QueryPlan &plan,
             span.busySeconds = exec.busySeconds;
             span.cycles = work_.cycles(result.work);
             span.freqGhz = exec.freqGhz;
+            span.cores = exec.cores;
             span.boosted =
                 freq > cluster_->ladder().defaultGhz() + 1e-12;
-            span.energyJoules =
-                cluster_->power().busyEnergyJoules(exec.busySeconds,
-                                                   exec.freqGhz);
+            span.energyJoules = exec.energyJoules;
             span.completed = exec.completed;
             span.completedFraction = exec.completedFraction;
             spanOf[s] = static_cast<int>(record.isns.size());
@@ -261,13 +295,23 @@ DistributedEngine::execute(const Query &query, const QueryPlan &plan,
     // top-K the anytime ISN would have responded with. The capped
     // evaluation is pure (a deterministic prefix replay of phase 1),
     // so it fans out over the pool without touching the contract.
+    //
+    // The prefix is always the CANONICAL (single-slice) traversal
+    // order, even when the full run ganged cores: intra-ISN workers
+    // share their top-K threshold through the shared heap, so a
+    // truncated gang's best-so-far is the warm-threshold prefix of the
+    // traversal — not `cores` independent cold-start slice prefixes,
+    // each of which would re-pay the pruning warmup and waste the docs
+    // budget on candidates a shared threshold had already ruled out.
+    // This also makes the truncated response's bytes independent of
+    // the planned gang width, by construction.
     std::vector<SearchResult> partials(numShards);
     if (anyMissed && anytimePartials_) {
         ThreadPool::global().parallelFor(0, numShards, [&](std::size_t s) {
             if (plan.isns[s].participate && !completed[s]) {
-                partials[s] = evaluator_->search(
-                    index_->shard(static_cast<ShardId>(s)), terms,
-                    index_->topK(), partialCap[s]);
+                partials[s] = parallelShardSearch(
+                    *evaluator_, index_->shard(static_cast<ShardId>(s)),
+                    terms, index_->topK(), partialCap[s], 1);
             }
         });
     }
@@ -347,6 +391,7 @@ DistributedEngine::execute(const Query &query, const QueryPlan &plan,
         metrics_->incr("queries");
         metrics_->incr("isns_dispatched", measurement.isnsUsed);
         metrics_->incr("isns_boosted", measurement.isnsBoosted);
+        metrics_->incr("isns_parallel", measurement.isnsParallel);
         metrics_->incr("responses_truncated",
                        measurement.isnsUsed - measurement.isnsCompleted);
         metrics_->incr("partial_responses", measurement.partialResponses);

@@ -72,6 +72,17 @@ class DistributedEngine
     bool anytimePartials() const { return anytimePartials_; }
 
     /**
+     * Cores an ISN spans per request when the plan leaves the choice
+     * to the engine (IsnDirective::cores == 0). Wired from
+     * --isn-cores; 1 (the default) keeps the sequential traversal and
+     * every measured byte of it. Values > 1 route phase 1 and the
+     * anytime re-run through parallelShardSearch, whose merged top-K
+     * and work counters are bit-identical at any host thread count.
+     */
+    void setDefaultIsnCores(uint32_t cores);
+    uint32_t defaultIsnCores() const { return defaultIsnCores_; }
+
+    /**
      * Attach a per-query tracer (nullptr detaches). While attached,
      * every execute() appends one QueryTraceRecord with per-ISN spans
      * in ascending shard order. Recording only reads values the
@@ -159,6 +170,7 @@ class DistributedEngine
     const Evaluator *evaluator_;
     WorkModel work_;
     bool anytimePartials_;
+    uint32_t defaultIsnCores_ = 1;
     QueryTracer *tracer_ = nullptr;
     MetricsRegistry *metrics_ = nullptr;
 };

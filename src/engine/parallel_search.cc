@@ -1,0 +1,74 @@
+#include "engine/parallel_search.h"
+
+#include <limits>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace cottage {
+
+DocRange
+sliceRange(uint32_t numDocs, uint32_t cores, uint32_t slice)
+{
+    COTTAGE_CHECK_MSG(cores >= 1 && slice < cores,
+                      "slice index out of range");
+    DocRange range;
+    range.begin = static_cast<LocalDocId>(
+        static_cast<uint64_t>(numDocs) * slice / cores);
+    range.end =
+        slice + 1 == cores
+            ? std::numeric_limits<LocalDocId>::max()
+            : static_cast<LocalDocId>(static_cast<uint64_t>(numDocs) *
+                                      (slice + 1) / cores);
+    return range;
+}
+
+uint64_t
+sliceDocCap(uint64_t maxScoredDocs, uint32_t cores, uint32_t slice)
+{
+    COTTAGE_CHECK_MSG(cores >= 1 && slice < cores,
+                      "slice index out of range");
+    if (maxScoredDocs == noDocCap)
+        return noDocCap;
+    const uint64_t base = maxScoredDocs / cores;
+    const uint64_t extra = maxScoredDocs % cores;
+    return base + (slice < extra ? 1 : 0);
+}
+
+SearchResult
+parallelShardSearch(const Evaluator &evaluator,
+                    const InvertedIndex &index,
+                    const std::vector<WeightedTerm> &terms, std::size_t k,
+                    uint64_t maxScoredDocs, uint32_t cores)
+{
+    COTTAGE_CHECK_MSG(cores >= 1, "cores must be positive");
+    if (cores == 1)
+        return evaluator.search(index, terms, k, maxScoredDocs);
+
+    // Slot-per-slice results; the pool schedules execution only.
+    std::vector<SearchResult> partials(cores);
+    const uint32_t numDocs = index.numDocs();
+    ThreadPool::global().parallelFor(
+        0, cores, [&](std::size_t slice) {
+            const auto s = static_cast<uint32_t>(slice);
+            partials[slice] = evaluator.search(
+                index, terms, k, sliceDocCap(maxScoredDocs, cores, s),
+                sliceRange(numDocs, cores, s));
+        });
+
+    // Fixed worker-index-order merge: slices hold disjoint documents,
+    // so the global top-K selection under the (score, doc) total order
+    // equals the sequential evaluation's exactly.
+    SearchResult merged;
+    TopKHeap heap(k);
+    for (const SearchResult &partial : partials) {
+        for (const ScoredDoc &hit : partial.topK)
+            heap.push(hit);
+        merged.work += partial.work;
+    }
+    merged.topK = heap.extractSorted();
+    return merged;
+}
+
+} // namespace cottage

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Intra-query parallel traversal driver: range-partition one shard's
+ * postings traversal across `k` workers on ThreadPool::global().
+ *
+ * Each worker runs the configured evaluator over a contiguous slice of
+ * the shard's dense local-doc space with its own scratch slab, then
+ * the per-worker partial top-K heaps and SearchWork counters merge in
+ * FIXED worker-index order — so the merged result is bit-identical at
+ * any thread count, and the merged top-K (ids AND score doubles) is
+ * bit-identical to the sequential evaluation at any `k` (each slice's
+ * pruning is rank-safe over its range; per-document score summation
+ * order is unchanged). See DESIGN.md §5j for the full contract.
+ *
+ * The anytime cap is prorated per slice (balanced split): k cores
+ * advance through their slices at the same modeled rate, so a capped
+ * parallel run stops each slice at ~cap/k scored candidates — the
+ * deterministic analogue of "the deadline fired while every core had
+ * done a 1/k share".
+ */
+
+#ifndef COTTAGE_ENGINE_PARALLEL_SEARCH_H
+#define COTTAGE_ENGINE_PARALLEL_SEARCH_H
+
+#include <cstdint>
+
+#include "index/evaluator.h"
+
+namespace cottage {
+
+/**
+ * Slice @p slice of @p cores over a dense local-doc space of
+ * @p numDocs documents: a balanced contiguous split. The last slice's
+ * end is the open DocRange sentinel so it takes the evaluators'
+ * cheap no-boundary paths.
+ */
+DocRange sliceRange(uint32_t numDocs, uint32_t cores, uint32_t slice);
+
+/**
+ * Per-slice share of an anytime cap: balanced split of
+ * @p maxScoredDocs over @p cores slices, the first (cap mod cores)
+ * slices taking one extra. noDocCap passes through unchanged.
+ */
+uint64_t sliceDocCap(uint64_t maxScoredDocs, uint32_t cores,
+                     uint32_t slice);
+
+/**
+ * Evaluate one query on one shard across @p cores document slices.
+ * cores <= 1 is exactly the sequential path (same bytes, no pool
+ * round-trip). The aggregate SearchWork is the worker-index-ordered
+ * sum of the slice counters — at k > 1 it exceeds the sequential
+ * work (each slice's pruning threshold warms up independently),
+ * which is precisely the parallel-overhead the simulator's speedup
+ * curve is calibrated against.
+ */
+SearchResult parallelShardSearch(const Evaluator &evaluator,
+                                 const InvertedIndex &index,
+                                 const std::vector<WeightedTerm> &terms,
+                                 std::size_t k, uint64_t maxScoredDocs,
+                                 uint32_t cores);
+
+} // namespace cottage
+
+#endif // COTTAGE_ENGINE_PARALLEL_SEARCH_H

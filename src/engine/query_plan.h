@@ -32,6 +32,16 @@ struct IsnDirective
      * current operating frequency" (no DVFS action).
      */
     double freqGhz = 0.0;
+
+    /**
+     * Worker cores this request spans at the ISN (intra-query
+     * parallelism: the engine range-partitions the traversal across
+     * this many slices and the simulator charges a gang of this many
+     * cores). Zero means "the engine's default" (--isn-cores; 1 when
+     * unset). A non-zero value is validated at dispatch against the
+     * ISN's worker count, exactly like freqGhz against the ladder.
+     */
+    uint32_t cores = 0;
 };
 
 /** A policy's decision for one query. */
@@ -103,6 +113,9 @@ struct QueryMeasurement
 
     /** ISNs that ran above the default frequency. */
     uint32_t isnsBoosted = 0;
+
+    /** ISNs that ran the query across more than one core. */
+    uint32_t isnsParallel = 0;
 
     /**
      * Mean completed service fraction across used ISNs: 1.0 when every

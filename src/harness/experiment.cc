@@ -6,6 +6,7 @@
 
 #include "core/cottage_isn_policy.h"
 #include "core/cottage_without_ml_policy.h"
+#include "engine/parallel_search.h"
 #include "core/oracle_policy.h"
 #include "core/slo_policy.h"
 #include "index/bmm_evaluator.h"
@@ -83,6 +84,19 @@ ExperimentConfig::fromFlags(const CliFlags &flags)
         flags.getDouble("slo-ms", config.sloSeconds * 1e3) * 1e-3;
     config.coresPerIsn = static_cast<uint32_t>(
         flags.getInt("cores-per-isn", config.coresPerIsn));
+    // Operator-facing validation: a typo'd width or serial fraction
+    // should print a usage hint, not dump core via an assertion.
+    config.isnCores = static_cast<uint32_t>(
+        getIntAtLeast(flags, "isn-cores", config.isnCores, 1));
+    config.cottage.maxCoresPerQuery = config.isnCores;
+    config.speedup.serialFraction = flags.getDouble(
+        "speedup-serial-fraction", config.speedup.serialFraction);
+    if (config.speedup.serialFraction < 0.0)
+        cliError("flag --speedup-serial-fraction must be >= 0",
+                 "--speedup-serial-fraction=A with 0 <= A (Amdahl "
+                 "serial share)");
+    config.cottage.isnPowerCapWatts = getPositiveDouble(
+        flags, "isn-power-cap", config.cottage.isnPowerCapWatts);
     config.evaluator = flags.getString("evaluator", config.evaluator);
     config.shards.blockSize = static_cast<uint32_t>(
         flags.getInt("block-size", config.shards.blockSize));
@@ -112,12 +126,19 @@ ExperimentConfig::fromFlags(const CliFlags &flags)
             "overload-budget-ms",
             config.serving.admission.overloadBudgetSeconds * 1e3) *
         1e-3;
+    // Cache capacities: 0 legitimately disables a cache, but a
+    // negative value would wrap through the size_t cast into a
+    // near-infinite capacity — catch it at the flag boundary.
     config.serving.resultCacheCapacity = static_cast<std::size_t>(
-        flags.getInt("result-cache",
-                     config.serving.resultCacheCapacity));
+        getIntAtLeast(flags, "result-cache",
+                      static_cast<int64_t>(
+                          config.serving.resultCacheCapacity),
+                      0));
     config.serving.statsCacheCapacity = static_cast<std::size_t>(
-        flags.getInt("postings-cache",
-                     config.serving.statsCacheCapacity));
+        getIntAtLeast(flags, "postings-cache",
+                      static_cast<int64_t>(
+                          config.serving.statsCacheCapacity),
+                      0));
     return config;
 }
 
@@ -128,7 +149,7 @@ ExperimentConfig::print(std::ostream &out) const
         "config: docs=%u vocab=%u shards=%u k=%zu queries=%llu qps=%.1f "
         "train-queries=%llu iterations=%zu corpus-seed=%llu "
         "trace-seed=%llu evaluator=%s block-size=%u threads=%u "
-        "anytime=%d\n",
+        "anytime=%d isn-cores=%u\n",
         corpus.numDocs, corpus.vocabSize, shards.numShards, shards.topK,
         static_cast<unsigned long long>(traceQueries), arrivalQps,
         static_cast<unsigned long long>(trainQueries), train.iterations,
@@ -136,7 +157,7 @@ ExperimentConfig::print(std::ostream &out) const
         static_cast<unsigned long long>(traceSeed), evaluator.c_str(),
         shards.blockSize,
         threads == 0 ? ThreadPool::defaultThreads() : threads,
-        anytime ? 1 : 0);
+        anytime ? 1 : 0, isnCores);
 }
 
 std::unique_ptr<Evaluator>
@@ -165,12 +186,17 @@ Experiment::Experiment(ExperimentConfig config)
     Stopwatch watch;
     corpus_ = std::make_unique<Corpus>(Corpus::generate(config_.corpus));
     index_ = std::make_unique<ShardedIndex>(*corpus_, config_.shards);
+    // Intra-query gangs need at least isnCores workers per ISN to be
+    // dispatchable, so the wider of the two knobs wins.
     cluster_ = std::make_unique<ClusterSim>(
         config_.shards.numShards, FrequencyLadder(), config_.power,
-        config_.network, config_.coresPerIsn);
+        config_.network,
+        std::max(config_.coresPerIsn, config_.isnCores));
+    cluster_->setSpeedupCurve(config_.speedup);
     engine_ = std::make_unique<DistributedEngine>(*index_, *cluster_,
                                                   *evaluator_, config_.work,
                                                   config_.anytime);
+    engine_->setDefaultIsnCores(config_.isnCores);
     logInfo(strformat("experiment stack built in %.1fs (%u docs, %u shards)",
                       watch.elapsedSeconds(), corpus_->numDocs(),
                       index_->numShards()));
@@ -188,6 +214,69 @@ Experiment::bank()
         logInfo(strformat("predictor bank trained in %.1fs (%zu queries)",
                           watch.elapsedSeconds(),
                           static_cast<std::size_t>(config_.trainQueries)));
+
+        // Parallel-work calibration: the latency predictor is trained
+        // on sequential work, but a c-core traversal re-scores more
+        // candidates (per-slice pruning thresholds warm up
+        // independently). Measure the inflation on a training-query
+        // prefix with the real parallel driver so the policy's grid
+        // search stays conservative at every width it may pick.
+        const uint32_t maxCores = std::max(
+            config_.isnCores, config_.cottage.maxCoresPerQuery);
+        if (maxCores > 1) {
+            const QueryTrace &queries = trainTrace();
+            const std::size_t sample =
+                std::min<std::size_t>(queries.size(), 48);
+            const ShardId numShards = index_->numShards();
+            std::vector<std::vector<double>> perQuery(
+                maxCores, std::vector<double>(sample, 0.0));
+            for (uint32_t cores = 1; cores <= maxCores; ++cores) {
+                std::vector<double> &cell = perQuery[cores - 1];
+                ThreadPool::global().parallelFor(
+                    0, sample, [&](std::size_t q) {
+                        const std::vector<WeightedTerm> terms =
+                            DistributedEngine::weightedTerms(
+                                queries.query(q));
+                        double cycles = 0.0;
+                        for (ShardId s = 0; s < numShards; ++s)
+                            cycles += config_.work.cycles(
+                                parallelShardSearch(*evaluator_,
+                                                    index_->shard(s),
+                                                    terms,
+                                                    index_->topK(),
+                                                    noDocCap, cores)
+                                    .work);
+                        cell[q] = cycles;
+                    });
+            }
+            // Conservative like the latency predictor's bucket upper
+            // edges: the factor is the 90th-percentile per-query
+            // inflation ratio, not the aggregate mean — the mean
+            // under-predicts the heavy tail of queries whose per-slice
+            // thresholds warm up slowest, and those are exactly the
+            // ones a tight budget truncates.
+            std::vector<double> factors(maxCores, 1.0);
+            for (uint32_t cores = 2; cores <= maxCores; ++cores) {
+                std::vector<double> ratios;
+                ratios.reserve(sample);
+                for (std::size_t q = 0; q < sample; ++q)
+                    if (perQuery[0][q] > 0.0)
+                        ratios.push_back(perQuery[cores - 1][q] /
+                                         perQuery[0][q]);
+                if (ratios.empty())
+                    continue;
+                std::sort(ratios.begin(), ratios.end(),
+                          std::less<double>());
+                const std::size_t idx =
+                    (ratios.size() - 1) * 9 / 10;
+                factors[cores - 1] = std::max(1.0, ratios[idx]);
+            }
+            bank_->setCoreCycleFactors(factors);
+            logInfo(strformat(
+                "core cycle factors calibrated over %zu queries "
+                "(factor at %u cores: %.3f)",
+                sample, maxCores, factors[maxCores - 1]));
+        }
     }
     return *bank_;
 }

@@ -79,6 +79,25 @@ struct ExperimentConfig
     uint32_t coresPerIsn = 1;
 
     /**
+     * Intra-query parallelism (--isn-cores): cores each ISN spans per
+     * request by default, and the widest gang Cottage's (cores x
+     * frequency) grid may assign (CottageConfig::maxCoresPerQuery
+     * follows this flag). 1 (default) is the paper's sequential ISN,
+     * byte for byte. Values > 1 implicitly raise coresPerIsn so the
+     * gang fits.
+     */
+    uint32_t isnCores = 1;
+
+    /**
+     * Sublinear intra-query speedup curve S(k) installed on every ISN,
+     * covering the uncounted parallel overhead (merge, dispatch,
+     * imbalance); the counted overhead is in the work counters
+     * themselves. Calibrate serialFraction from
+     * BENCH_parallelism.json's fitted alpha.
+     */
+    SpeedupCurve speedup;
+
+    /**
      * Retrieval strategy every ISN runs: "exhaustive", "taat",
      * "maxscore" (default), "wand", or the block-max variants "bmw"
      * (Block-Max WAND) and "bmm" (Block-Max MaxScore). All are

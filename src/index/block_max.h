@@ -327,6 +327,35 @@ class BlockMaxCursor
     }
 
     /**
+     * Position at the first posting with doc >= target WITHOUT
+     * charging skip counters: places a cursor at the start of a
+     * document slice, where the skipped prefix belongs to other
+     * workers (see DocRange in evaluator.h). The landing-block decode
+     * IS charged — it is real work this worker performs (and it may be
+     * a decode the sequential pass would have shallow-skipped; the
+     * slice sum's small block-boundary surplus is deterministic).
+     */
+    void
+    positionAt(LocalDocId target)
+    {
+        while (!exhausted() && blockLastDoc() < target) {
+            ++blockIdx_;
+            pos_ = 0;
+            docValid_ = false;
+            refreshBlockMeta();
+        }
+        if (exhausted() || target == 0)
+            return;
+        ensureDecoded();
+        // target <= lastDoc, so the probe lands inside the block.
+        const uint32_t *it =
+            std::lower_bound(docs_ + pos_, docs_ + count_, target);
+        pos_ = static_cast<std::size_t>(it - docs_);
+        curDoc_ = *it;
+        docValid_ = true;
+    }
+
+    /**
      * Last document of the current block (metadata only). Cached on
      * block moves: the shallow-bound and block-skip loops read this
      * every round, and the cache turns a double indirection through

@@ -25,8 +25,8 @@ struct TermCursor
 SearchResult
 BmmEvaluator::search(const InvertedIndex &index,
                      const std::vector<WeightedTerm> &terms,
-                     std::size_t k,
-                     uint64_t maxScoredDocs) const
+                     std::size_t k, uint64_t maxScoredDocs,
+                     DocRange range) const
 {
     SearchResult result;
     TopKHeap heap(k);
@@ -78,6 +78,9 @@ BmmEvaluator::search(const InvertedIndex &index,
              std::max(wt.weight, 0.0)});
         slabOffset += BlockMaxCursor::scratchSlots(*list);
     }
+    if (range.begin > 0)
+        for (TermCursor &tc : cursors)
+            tc.cursor.positionAt(range.begin);
 
     // Ascending by score bound (original index breaks ties so the walk
     // order never depends on sort implementation details).
@@ -112,11 +115,13 @@ BmmEvaluator::search(const InvertedIndex &index,
 
     constexpr LocalDocId endDoc = std::numeric_limits<LocalDocId>::max();
     while (essential < order.size()) {
-        // Candidate: smallest current doc among essential cursors.
+        // Candidate: smallest current doc among essential cursors. A
+        // cursor at or past the slice end contributes none — its
+        // remaining postings belong to other workers (see DocRange).
         LocalDocId candidate = endDoc;
         for (std::size_t i = essential; i < order.size(); ++i) {
             TermCursor &tc = cursors[order[i]];
-            if (!tc.cursor.exhausted())
+            if (!tc.cursor.exhausted() && tc.cursor.doc() < range.end)
                 candidate = std::min(candidate, tc.cursor.doc());
         }
         if (candidate == endDoc)

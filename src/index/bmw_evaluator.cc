@@ -23,14 +23,18 @@ struct TermCursor
  * exhausted cursors at +infinity so one insertion pass both orders the
  * live cursors and floats the dead ones to the tail (where the round
  * loop retires them). Doc ids are 32-bit, so the 64-bit sentinel can
- * never collide with a real document.
+ * never collide with a real document. A cursor standing at or past the
+ * slice end keys to +infinity too: its remaining postings belong to
+ * other workers' slices (the boundary-block peek that learns this may
+ * decode one block — deterministic, charged, see DocRange).
  */
 inline uint64_t
-cursorKey(TermCursor *tc)
+cursorKey(TermCursor *tc, LocalDocId end)
 {
-    return tc->cursor.exhausted()
-               ? std::numeric_limits<uint64_t>::max()
-               : static_cast<uint64_t>(tc->cursor.doc());
+    if (tc->cursor.exhausted())
+        return std::numeric_limits<uint64_t>::max();
+    const auto doc = static_cast<uint64_t>(tc->cursor.doc());
+    return doc >= end ? std::numeric_limits<uint64_t>::max() : doc;
 }
 
 } // namespace
@@ -38,8 +42,8 @@ cursorKey(TermCursor *tc)
 SearchResult
 BmwEvaluator::search(const InvertedIndex &index,
                      const std::vector<WeightedTerm> &terms,
-                     std::size_t k,
-                     uint64_t maxScoredDocs) const
+                     std::size_t k, uint64_t maxScoredDocs,
+                     DocRange range) const
 {
     SearchResult result;
     TopKHeap heap(k);
@@ -95,8 +99,12 @@ BmwEvaluator::search(const InvertedIndex &index,
              std::max(wt.weight, 0.0)});
         slabOffset += BlockMaxCursor::scratchSlots(*list);
     }
+    if (range.begin > 0)
+        for (TermCursor &tc : cursors)
+            tc.cursor.positionAt(range.begin);
 
     constexpr LocalDocId endDoc = std::numeric_limits<LocalDocId>::max();
+    const LocalDocId end = range.end;
 
     if (cursors.size() == 1) {
         // Single-term fast path: the pivot is always the one cursor, so
@@ -111,6 +119,13 @@ BmwEvaluator::search(const InvertedIndex &index,
         // cached across postings instead of re-read from the heap.
         double threshold = heap.threshold();
         while (!tc.cursor.exhausted()) {
+            // Slice end: once the current block reaches `end`, one
+            // boundary peek (possibly a decode) decides whether any
+            // in-range posting remains. Full-range runs never take it.
+            if (end != endDoc && tc.cursor.blockLastDoc() >= end &&
+                tc.cursor.doc() >= end) {
+                break;
+            }
             if (tc.maxScore < threshold)
                 break; // nothing remaining can enter the top-K
             if (tc.cursor.blockMaxScore() * tc.boundScale >= threshold) {
@@ -154,16 +169,19 @@ BmwEvaluator::search(const InvertedIndex &index,
         // cursors key to +inf and retire from the tail.
         for (std::size_t i = 1; i < order.size(); ++i) {
             TermCursor *moved = order[i];
-            const uint64_t key = cursorKey(moved);
+            const uint64_t key = cursorKey(moved, end);
             std::size_t j = i;
-            while (j > 0 && cursorKey(order[j - 1]) > key) {
+            while (j > 0 && cursorKey(order[j - 1], end) > key) {
                 order[j] = order[j - 1];
                 --j;
             }
             order[j] = moved;
         }
-        while (!order.empty() && order.back()->cursor.exhausted())
+        while (!order.empty() &&
+               cursorKey(order.back(), end) ==
+                   std::numeric_limits<uint64_t>::max()) {
             order.pop_back();
+        }
         if (order.empty())
             break;
 
@@ -242,8 +260,10 @@ BmwEvaluator::search(const InvertedIndex &index,
                     next = std::min<uint64_t>(
                         next, order[pivot + 1]->cursor.doc());
                 }
+                // Clamped at the slice end: postings beyond it belong
+                // to other workers and are neither skipped nor charged.
                 const auto target = static_cast<LocalDocId>(
-                    std::min<uint64_t>(next, endDoc));
+                    std::min<uint64_t>(next, end));
                 for (std::size_t i = 0; i <= pivot; ++i)
                     order[i]->cursor.seek(target);
             }

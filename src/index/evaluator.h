@@ -25,6 +25,35 @@ namespace cottage {
 /** "No document cap" sentinel for anytime evaluation. */
 constexpr uint64_t noDocCap = std::numeric_limits<uint64_t>::max();
 
+/**
+ * Half-open shard-local document range [begin, end) an evaluation is
+ * restricted to. The parallel traversal driver (src/engine) splits a
+ * shard's dense local-id space into contiguous slices, one per worker;
+ * the default range covers every document, and evaluating the full
+ * range is byte-identical to the pre-range code path.
+ *
+ * Positioning to `begin` is uncharged (no skip counters): the skipped
+ * prefix belongs to *other* workers' slices, so charging it here would
+ * double-count work across the slice sum. Work done strictly inside
+ * the range is charged exactly as in a full evaluation.
+ */
+struct DocRange
+{
+    LocalDocId begin = 0;
+    LocalDocId end = std::numeric_limits<LocalDocId>::max();
+
+    /** True when the range covers the whole local-id space. */
+    bool
+    full() const
+    {
+        return begin == 0 &&
+               end == std::numeric_limits<LocalDocId>::max();
+    }
+};
+
+/** The whole shard: the default range of every evaluation. */
+constexpr DocRange fullDocRange{};
+
 /** Work performed while evaluating one query on one shard. */
 struct SearchWork
 {
@@ -123,7 +152,7 @@ class Evaluator
     virtual const char *name() const = 0;
 
     /**
-     * Evaluate a weighted (personalized) query on a shard.
+     * Evaluate a weighted (personalized) query on a shard slice.
      *
      * @param index The shard's index.
      * @param terms Distinct query terms with non-zero weights (negative
@@ -131,11 +160,24 @@ class Evaluator
      * @param k Result depth.
      * @param maxScoredDocs Anytime cap: stop after scoring this many
      *        candidate documents (noDocCap = run to completion).
+     * @param range Shard-local document slice to evaluate; candidates
+     *        outside [range.begin, range.end) are neither scored nor
+     *        charged (positioning to the slice start is free — see
+     *        DocRange). The slice's top-K is rank-safe over the slice.
      */
     virtual SearchResult search(const InvertedIndex &index,
                                 const std::vector<WeightedTerm> &terms,
-                                std::size_t k,
-                                uint64_t maxScoredDocs) const = 0;
+                                std::size_t k, uint64_t maxScoredDocs,
+                                DocRange range) const = 0;
+
+    /** Convenience: whole-shard evaluation. */
+    SearchResult
+    search(const InvertedIndex &index,
+           const std::vector<WeightedTerm> &terms, std::size_t k,
+           uint64_t maxScoredDocs) const
+    {
+        return search(index, terms, k, maxScoredDocs, fullDocRange);
+    }
 
     /** Convenience: uncapped evaluation. */
     SearchResult

@@ -7,8 +7,8 @@ namespace cottage {
 SearchResult
 ExhaustiveEvaluator::search(const InvertedIndex &index,
                             const std::vector<WeightedTerm> &terms,
-                            std::size_t k,
-                            uint64_t maxScoredDocs) const
+                            std::size_t k, uint64_t maxScoredDocs,
+                            DocRange range) const
 {
     SearchResult result;
     TopKHeap heap(k);
@@ -24,7 +24,8 @@ ExhaustiveEvaluator::search(const InvertedIndex &index,
     for (const WeightedTerm &wt : terms) {
         const PostingList *list = index.postings(wt.term);
         if (list != nullptr && !list->empty())
-            cursors.push_back({list, index.idf(wt.term) * wt.weight, 0});
+            cursors.push_back({list, index.idf(wt.term) * wt.weight,
+                               slicePosition(*list, range.begin)});
     }
 
     constexpr LocalDocId endDoc = std::numeric_limits<LocalDocId>::max();
@@ -37,7 +38,7 @@ ExhaustiveEvaluator::search(const InvertedIndex &index,
                                      cursor.list->postings[cursor.pos].doc);
             }
         }
-        if (candidate == endDoc)
+        if (candidate == endDoc || candidate >= range.end)
             break;
         // Anytime cap: a scoreable candidate remains, so the heap is
         // the best-so-far of a strict prefix of the shard's candidates.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <numeric>
 
 namespace cottage {
 
@@ -13,11 +14,14 @@ struct Cursor
     double idf;
     double maxScore;
     std::size_t pos;
+    LocalDocId end; // slice end (exclusive); max = whole shard
 
+    /** Past the last posting of the slice; postings beyond `end`
+     *  belong to other workers and are never touched or charged. */
     bool
     exhausted() const
     {
-        return pos >= list->size();
+        return pos >= list->size() || list->postings[pos].doc >= end;
     }
 
     LocalDocId
@@ -46,8 +50,8 @@ seek(Cursor &cursor, LocalDocId target)
 SearchResult
 MaxScoreEvaluator::search(const InvertedIndex &index,
                           const std::vector<WeightedTerm> &terms,
-                          std::size_t k,
-                          uint64_t maxScoredDocs) const
+                          std::size_t k, uint64_t maxScoredDocs,
+                          DocRange range) const
 {
     SearchResult result;
     TopKHeap heap(k);
@@ -66,8 +70,9 @@ MaxScoreEvaluator::search(const InvertedIndex &index,
             const double bound =
                 wt.weight >= 0.0 ? index.maxScore(wt.term) * wt.weight
                                  : 0.0;
-            cursors.push_back(
-                {list, index.idf(wt.term) * wt.weight, bound, 0});
+            cursors.push_back({list, index.idf(wt.term) * wt.weight,
+                               bound, slicePosition(*list, range.begin),
+                               range.end});
         }
     }
     if (cursors.empty() || k == 0) {
@@ -75,14 +80,26 @@ MaxScoreEvaluator::search(const InvertedIndex &index,
         return result;
     }
 
-    // Ascending by score bound; prefix[i] = sum of bounds of 0..i-1.
-    std::sort(cursors.begin(), cursors.end(),
-              [](const Cursor &a, const Cursor &b) {
-                  return a.maxScore < b.maxScore;
+    // Ascending by score bound through a sorted index view (original
+    // index breaks ties, so the walk order never depends on sort
+    // implementation details). Cursors stay in original term order:
+    // candidates that survive the bound checks have their
+    // contributions re-summed in that order, which makes the scores
+    // bit-identical to the exhaustive evaluator's — and, crucially,
+    // independent of where the adaptive essential boundary sits, so a
+    // DocRange slice of the traversal returns the same bytes as the
+    // full walk (the parallel driver's determinism contract).
+    std::vector<std::size_t> order(cursors.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (cursors[a].maxScore != cursors[b].maxScore)
+                      return cursors[a].maxScore < cursors[b].maxScore;
+                  return a < b;
               });
     std::vector<double> prefix(cursors.size() + 1, 0.0);
-    for (std::size_t i = 0; i < cursors.size(); ++i)
-        prefix[i + 1] = prefix[i] + cursors[i].maxScore;
+    for (std::size_t i = 0; i < order.size(); ++i)
+        prefix[i + 1] = prefix[i] + cursors[order[i]].maxScore;
 
     // Non-essential prefix [0, essential): documents appearing only
     // there cannot beat the current threshold. Strict < keeps pruning
@@ -91,19 +108,23 @@ MaxScoreEvaluator::search(const InvertedIndex &index,
     const auto updateEssential = [&]() {
         if (!heap.full())
             return;
-        while (essential < cursors.size() &&
+        while (essential < order.size() &&
                prefix[essential + 1] < heap.threshold()) {
             ++essential;
         }
     };
 
+    std::vector<double> contrib(cursors.size(), 0.0);
+    std::vector<std::size_t> touched;
+    touched.reserve(cursors.size());
+
     constexpr LocalDocId endDoc = std::numeric_limits<LocalDocId>::max();
-    while (essential < cursors.size()) {
+    while (essential < order.size()) {
         // Candidate: smallest current doc among essential cursors.
         LocalDocId candidate = endDoc;
-        for (std::size_t i = essential; i < cursors.size(); ++i) {
-            if (!cursors[i].exhausted())
-                candidate = std::min(candidate, cursors[i].doc());
+        for (std::size_t i = essential; i < order.size(); ++i) {
+            if (!cursors[order[i]].exhausted())
+                candidate = std::min(candidate, cursors[order[i]].doc());
         }
         if (candidate == endDoc)
             break;
@@ -113,14 +134,19 @@ MaxScoreEvaluator::search(const InvertedIndex &index,
             break;
         }
 
-        // Score essential contributions.
-        double score = 0.0;
-        for (std::size_t i = essential; i < cursors.size(); ++i) {
-            Cursor &cursor = cursors[i];
+        // Score essential contributions. walkScore drives the pruning
+        // decisions only; the offered score is re-summed below.
+        touched.clear();
+        double walkScore = 0.0;
+        for (std::size_t i = essential; i < order.size(); ++i) {
+            Cursor &cursor = cursors[order[i]];
             if (!cursor.exhausted() && cursor.doc() == candidate) {
-                score += index.scorePosting(cursor.idf,
-                                            cursor.list->postings[cursor.pos]);
+                const double value = index.scorePosting(
+                    cursor.idf, cursor.list->postings[cursor.pos]);
                 ++cursor.pos;
+                contrib[order[i]] = value;
+                touched.push_back(order[i]);
+                walkScore += value;
                 ++result.work.postingsScored;
             }
         }
@@ -128,26 +154,43 @@ MaxScoreEvaluator::search(const InvertedIndex &index,
 
         // Walk the non-essential lists strongest-first, bailing out as
         // soon as even a full remaining bound cannot reach the heap.
+        bool complete = true;
         for (std::size_t i = essential; i-- > 0;) {
-            if (heap.full() && score + prefix[i + 1] < heap.threshold())
+            if (heap.full() &&
+                walkScore + prefix[i + 1] < heap.threshold()) {
+                complete = false;
                 break;
-            Cursor &cursor = cursors[i];
+            }
+            Cursor &cursor = cursors[order[i]];
             const uint64_t skipped = seek(cursor, candidate);
             result.work.postingsSkipped += skipped;
             // Uniform schema with the block-max evaluators: skipped
             // candidates are reported per-doc too.
             result.work.docsSkipped += skipped;
             if (!cursor.exhausted() && cursor.doc() == candidate) {
-                score += index.scorePosting(cursor.idf,
-                                            cursor.list->postings[cursor.pos]);
+                const double value = index.scorePosting(
+                    cursor.idf, cursor.list->postings[cursor.pos]);
                 ++cursor.pos;
+                contrib[order[i]] = value;
+                touched.push_back(order[i]);
+                walkScore += value;
                 ++result.work.postingsScored;
             }
         }
 
-        if (heap.push({index.globalDoc(candidate), score})) {
-            ++result.work.heapInsertions;
-            updateEssential();
+        // A broken walk proved the candidate cannot enter the heap;
+        // only complete candidates are offered, scored in original
+        // term order.
+        if (complete) {
+            std::sort(touched.begin(), touched.end(),
+                      std::less<std::size_t>());
+            double score = 0.0;
+            for (std::size_t idx : touched)
+                score += contrib[idx];
+            if (heap.push({index.globalDoc(candidate), score})) {
+                ++result.work.heapInsertions;
+                updateEssential();
+            }
         }
     }
 

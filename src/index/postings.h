@@ -11,6 +11,7 @@
 #ifndef COTTAGE_INDEX_POSTINGS_H
 #define COTTAGE_INDEX_POSTINGS_H
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -37,6 +38,23 @@ struct PostingList
     std::size_t size() const { return postings.size(); }
     bool empty() const { return postings.empty(); }
 };
+
+/**
+ * Index of the first posting with doc >= target. Used by evaluators to
+ * position a cursor at the start of a document slice; deliberately
+ * charges no skip counters (the skipped prefix belongs to other
+ * workers' slices — see DocRange in evaluator.h).
+ */
+inline std::size_t
+slicePosition(const PostingList &list, LocalDocId target)
+{
+    if (target == 0)
+        return 0;
+    const auto it = std::lower_bound(
+        list.postings.begin(), list.postings.end(), target,
+        [](const Posting &p, LocalDocId d) { return p.doc < d; });
+    return static_cast<std::size_t>(it - list.postings.begin());
+}
 
 } // namespace cottage
 

@@ -7,8 +7,8 @@ namespace cottage {
 SearchResult
 TaatEvaluator::search(const InvertedIndex &index,
                       const std::vector<WeightedTerm> &terms,
-                      std::size_t k,
-                      uint64_t maxScoredDocs) const
+                      std::size_t k, uint64_t maxScoredDocs,
+                      DocRange range) const
 {
     SearchResult result;
 
@@ -22,7 +22,11 @@ TaatEvaluator::search(const InvertedIndex &index,
         if (list == nullptr)
             continue;
         const double idf = index.idf(wt.term) * wt.weight;
-        for (const Posting &posting : list->postings) {
+        const std::size_t first = slicePosition(*list, range.begin);
+        for (std::size_t p = first; p < list->size(); ++p) {
+            const Posting &posting = list->postings[p];
+            if (posting.doc >= range.end)
+                break;
             if (accumulators[posting.doc] == 0.0)
                 touched.push_back(posting.doc);
             accumulators[posting.doc] += index.scorePosting(idf, posting);

@@ -26,8 +26,8 @@ class TaatEvaluator : public Evaluator
 
     SearchResult search(const InvertedIndex &index,
                         const std::vector<WeightedTerm> &terms,
-                        std::size_t k,
-                        uint64_t maxScoredDocs) const override;
+                        std::size_t k, uint64_t maxScoredDocs,
+                        DocRange range) const override;
 };
 
 } // namespace cottage

@@ -12,11 +12,14 @@ struct Cursor
     double idf;
     double maxScore;
     std::size_t pos;
+    LocalDocId end; // slice end (exclusive); max = whole shard
 
+    /** Past the last posting of the slice; postings beyond `end`
+     *  belong to other workers and are never touched or charged. */
     bool
     exhausted() const
     {
-        return pos >= list->size();
+        return pos >= list->size() || list->postings[pos].doc >= end;
     }
 
     LocalDocId
@@ -45,8 +48,8 @@ seek(Cursor &cursor, LocalDocId target)
 SearchResult
 WandEvaluator::search(const InvertedIndex &index,
                       const std::vector<WeightedTerm> &terms,
-                      std::size_t k,
-                      uint64_t maxScoredDocs) const
+                      std::size_t k, uint64_t maxScoredDocs,
+                      DocRange range) const
 {
     SearchResult result;
     TopKHeap heap(k);
@@ -62,8 +65,9 @@ WandEvaluator::search(const InvertedIndex &index,
             const double bound =
                 wt.weight >= 0.0 ? index.maxScore(wt.term) * wt.weight
                                  : 0.0;
-            cursors.push_back(
-                {list, index.idf(wt.term) * wt.weight, bound, 0});
+            cursors.push_back({list, index.idf(wt.term) * wt.weight,
+                               bound, slicePosition(*list, range.begin),
+                               range.end});
         }
     }
     if (cursors.empty() || k == 0) {
@@ -83,8 +87,17 @@ WandEvaluator::search(const InvertedIndex &index,
                     order.end());
         if (order.empty())
             break;
+        // Ties (several cursors parked on the same doc) break by
+        // construction order — &cursors[i] ascends with i — so the
+        // sequence, and with it the pivot doc's floating-point
+        // summation order, is a pure function of the cursor state:
+        // cursors on the pivot sit contiguously in original term
+        // order, never in a sort-implementation-dependent shuffle.
+        // That keeps scores bit-identical across DocRange slices.
         std::sort(order.begin(), order.end(), [](Cursor *a, Cursor *b) {
-            return a->doc() < b->doc();
+            if (a->doc() != b->doc())
+                return a->doc() < b->doc();
+            return a < b;
         });
 
         // Pivot: first cursor where the cumulative bound could reach

@@ -25,8 +25,8 @@ class WandEvaluator : public Evaluator
 
     SearchResult search(const InvertedIndex &index,
                         const std::vector<WeightedTerm> &terms,
-                        std::size_t k,
-                        uint64_t maxScoredDocs) const override;
+                        std::size_t k, uint64_t maxScoredDocs,
+                        DocRange range) const override;
 };
 
 } // namespace cottage

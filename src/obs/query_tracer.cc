@@ -89,6 +89,7 @@ QueryTracer::toJsonLine(const QueryTraceRecord &record,
         out += ",\"busy_s\":" + num(span.busySeconds);
         out += ",\"cycles\":" + num(span.cycles);
         out += ",\"freq_ghz\":" + num(span.freqGhz);
+        out += ",\"cores\":" + num(static_cast<double>(span.cores));
         out += ",\"boosted\":";
         out += span.boosted ? "true" : "false";
         out += ",\"energy_j\":" + num(span.energyJoules);

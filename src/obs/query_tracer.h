@@ -52,6 +52,9 @@ struct IsnSpan
     /** Frequency the request ran at (GHz). */
     double freqGhz = 0.0;
 
+    /** Worker cores the request spanned (intra-query parallelism). */
+    uint32_t cores = 1;
+
     /** True if the request ran above the ladder's default frequency. */
     bool boosted = false;
 

@@ -155,6 +155,28 @@ PredictorBank::setInferenceOverheadSeconds(double seconds)
     inferenceOverhead_ = seconds;
 }
 
+double
+PredictorBank::coreCycleFactor(uint32_t cores) const
+{
+    COTTAGE_CHECK_MSG(cores >= 1, "core count must be positive");
+    const std::size_t index =
+        std::min<std::size_t>(cores - 1, coreCycleFactors_.size() - 1);
+    return coreCycleFactors_[index];
+}
+
+void
+PredictorBank::setCoreCycleFactors(std::vector<double> factors)
+{
+    COTTAGE_CHECK_MSG(!factors.empty(), "need at least the 1-core factor");
+    COTTAGE_CHECK_MSG(factors.front() == 1.0,
+                      "the 1-core factor must be exactly 1");
+    for (double factor : factors)
+        COTTAGE_CHECK_MSG(factor >= 1.0,
+                          "core cycle factors must be >= 1 to stay "
+                          "conservative");
+    coreCycleFactors_ = std::move(factors);
+}
+
 void
 PredictorBank::save(const std::string &directory) const
 {

@@ -115,6 +115,23 @@ class PredictorBank
     void setInferenceOverheadSeconds(double seconds);
 
     /**
+     * Measured parallel-work inflation per core count: running the
+     * evaluator across c slices re-scores more candidates than the
+     * sequential pass (each slice's pruning threshold warms up
+     * independently), so a c-core request costs
+     * predictedCycles * coreCycleFactor(c). 1-indexed by core count
+     * (entry 0 is one core and must be 1.0); entries are >= 1 so the
+     * predictor stays conservative. Calibrated by the harness from
+     * the real parallel driver; the default {1.0} models no inflation.
+     */
+    const std::vector<double> &coreCycleFactors() const
+    {
+        return coreCycleFactors_;
+    }
+    double coreCycleFactor(uint32_t cores) const;
+    void setCoreCycleFactors(std::vector<double> factors);
+
+    /**
      * Persist the whole bank (one quality + one latency model per ISN
      * plus a manifest) into a directory, creating it if needed.
      */
@@ -130,6 +147,7 @@ class PredictorBank
     std::vector<std::unique_ptr<LatencyPredictor>> latency_;
     CycleBuckets buckets_{1.0, 2.0, 2};
     double inferenceOverhead_ = 150e-6;
+    std::vector<double> coreCycleFactors_{1.0};
 };
 
 } // namespace cottage

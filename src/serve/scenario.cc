@@ -128,6 +128,28 @@ stragglerIsnScenario(double qpsScale)
 }
 
 ScenarioConfig
+powerSkewScenario(double qpsScale)
+{
+    ScenarioConfig scenario = mixedPoissonScenario(qpsScale);
+    scenario.name = "power_skew";
+    scenario.hostile = true;
+    // Heterogeneous power curves: ISN 0 is a power-hungry part
+    // drawing 1.5x the joules per unit of work, ISN 1 an aging node
+    // leaking 2 W of extra static power. Work and latency physics are
+    // untouched — only the energy/average-power rollups move, which
+    // is exactly what the per-tenant energy attribution must surface.
+    // First two ISNs only, so any >= 2-shard stack can run it.
+    IsnShape hungry;
+    hungry.isn = 0;
+    hungry.busyPowerScale = 1.5;
+    IsnShape leaky;
+    leaky.isn = 1;
+    leaky.idlePowerExtraWatts = 2.0;
+    scenario.shape.isns = {hungry, leaky};
+    return scenario;
+}
+
+ScenarioConfig
 failoverScenario(double qpsScale)
 {
     ScenarioConfig scenario = mixedPoissonScenario(qpsScale);
@@ -186,7 +208,7 @@ scenarioNames()
 {
     static const std::vector<std::string> names = {
         "mixed_poisson", "diurnal", "flash_crowd", "straggler_isn",
-        "failover",
+        "power_skew", "failover",
     };
     return names;
 }
@@ -203,11 +225,13 @@ scenarioByName(const std::string &name, double qpsScale)
         return flashCrowdScenario(qpsScale);
     if (name == "straggler_isn")
         return stragglerIsnScenario(qpsScale);
+    if (name == "power_skew")
+        return powerSkewScenario(qpsScale);
     if (name == "failover")
         return failoverScenario(qpsScale);
     fatal("unknown scenario: " + name +
           " (expected one of mixed_poisson, diurnal, flash_crowd, "
-          "straggler_isn, failover)");
+          "straggler_isn, power_skew, failover)");
 }
 
 } // namespace cottage

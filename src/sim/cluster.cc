@@ -50,7 +50,21 @@ ClusterSim::totalBusySeconds() const
 double
 ClusterSim::averagePowerWatts(double windowSeconds) const
 {
-    return power_.averagePowerWatts(totalEnergyJoules(), windowSeconds);
+    // Heterogeneous nodes may add static watts on top of the fleet
+    // idle floor; a pristine cluster adds zero and reports exactly
+    // the package model's number.
+    double extraIdle = 0.0;
+    for (const IsnServerSim &server : servers_)
+        extraIdle += server.idlePowerExtraWatts();
+    return power_.averagePowerWatts(totalEnergyJoules(), windowSeconds) +
+           extraIdle;
+}
+
+void
+ClusterSim::setSpeedupCurve(const SpeedupCurve &curve)
+{
+    for (IsnServerSim &server : servers_)
+        server.setSpeedupCurve(curve);
 }
 
 void
@@ -70,6 +84,8 @@ ClusterSim::applyShape(const ClusterShape &shape)
         if (traits.maxFreqGhz !=
             std::numeric_limits<double>::infinity())
             server.setMaxFreqGhz(traits.maxFreqGhz);
+        server.setBusyPowerScale(traits.busyPowerScale);
+        server.setIdlePowerExtraWatts(traits.idlePowerExtraWatts);
         server.setDownWindows(traits.downWindows);
     }
 }

@@ -38,6 +38,18 @@ struct IsnShape
     /** Frequency ceiling, GHz (infinity = unconstrained). */
     double maxFreqGhz = std::numeric_limits<double>::infinity();
 
+    /**
+     * Per-node dynamic-power multiplier (> 1 = a power-hungry part
+     * drawing more joules per unit of work; 1 = fleet baseline).
+     */
+    double busyPowerScale = 1.0;
+
+    /**
+     * Extra static watts this node adds to the package idle floor
+     * (reported in average power, never in busy energy).
+     */
+    double idlePowerExtraWatts = 0.0;
+
     /** Scheduled failure/recovery events. */
     std::vector<DownWindow> downWindows;
 };
@@ -79,6 +91,12 @@ class ClusterSim
     const FrequencyLadder &ladder() const { return ladder_; }
     const PowerModel &power() const { return power_; }
     const NetworkModel &network() const { return network_; }
+
+    /**
+     * Install one intra-query speedup curve on every ISN (the model
+     * behind multi-core request service; see sim/speedup.h).
+     */
+    void setSpeedupCurve(const SpeedupCurve &curve);
 
     /** Sum of all ISNs' busy energy, joules. */
     double totalEnergyJoules() const;

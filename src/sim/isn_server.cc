@@ -24,6 +24,22 @@ IsnServerSim::backlogSeconds(double nowSeconds) const
 }
 
 double
+IsnServerSim::backlogSeconds(double nowSeconds, uint32_t cores) const
+{
+    COTTAGE_CHECK_MSG(cores >= 1 && cores <= workers(),
+                      "backlog query for " << cores << " cores on an ISN "
+                                           << "with " << workers()
+                                           << " workers");
+    // The gang start is gated by the cores-th earliest worker — the
+    // same selection rule execute() applies.
+    std::vector<double> until = workerBusyUntil_;
+    std::nth_element(until.begin(), until.begin() + (cores - 1),
+                     until.end());
+    const double start = until[cores - 1];
+    return start > nowSeconds ? start - nowSeconds : 0.0;
+}
+
+double
 IsnServerSim::busyUntilSeconds() const
 {
     return *std::max_element(workerBusyUntil_.begin(),
@@ -32,14 +48,26 @@ IsnServerSim::busyUntilSeconds() const
 
 IsnExecution
 IsnServerSim::execute(double arrivalSeconds, double cycles, double freqGhz,
-                      double deadlineSeconds)
+                      double deadlineSeconds, uint32_t cores)
 {
     COTTAGE_CHECK_MSG(cycles >= 0.0, "negative work");
     COTTAGE_CHECK_MSG(freqGhz > 0.0, "invalid frequency");
+    COTTAGE_CHECK_MSG(cores >= 1 && cores <= workers(),
+                      "request cores " << cores << " exceed the ISN's "
+                                       << workers() << " workers");
 
-    // FIFO dispatch to the worker that frees up first.
-    double *worker = &*std::min_element(workerBusyUntil_.begin(),
-                                        workerBusyUntil_.end());
+    // FIFO dispatch to the `cores` workers that free up first. Ties
+    // keep ascending worker index (stable sort), so the gang choice —
+    // and with it every simulated second — is a pure function of the
+    // queue state. cores = 1 picks exactly the min_element worker the
+    // single-core model always used.
+    std::vector<std::size_t> order(workerBusyUntil_.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return workerBusyUntil_[a] < workerBusyUntil_[b];
+                     });
 
     // Heterogeneous-hardware clamp: a plan asking for a P-state this
     // node does not have runs at the node's own ceiling instead.
@@ -48,10 +76,14 @@ IsnServerSim::execute(double arrivalSeconds, double cycles, double freqGhz,
 
     IsnExecution exec;
     exec.freqGhz = freqGhz;
-    exec.startSeconds = std::max(arrivalSeconds, *worker);
+    exec.cores = cores;
+    // A gang start: the request begins when the last of its cores
+    // frees up (the first cores entries of the sorted order).
+    exec.startSeconds =
+        std::max(arrivalSeconds, workerBusyUntil_[order[cores - 1]]);
 
-    const double service =
-        WorkModel::secondsForCycles(cycles, freqGhz) / serviceRate_;
+    const double service = WorkModel::secondsForCycles(cycles, freqGhz) /
+                           serviceRate_ / speedup_.speedup(cores);
     const double wouldFinish = exec.startSeconds + service;
 
     if (wouldFinish <= deadlineSeconds) {
@@ -76,9 +108,13 @@ IsnServerSim::execute(double arrivalSeconds, double cycles, double freqGhz,
             ++requestsZeroProgress_;
     }
 
-    *worker = exec.finishSeconds;
-    busySeconds_ += exec.busySeconds;
-    energyJoules_ += power_->busyEnergyJoules(exec.busySeconds, freqGhz);
+    for (uint32_t c = 0; c < cores; ++c)
+        workerBusyUntil_[order[c]] = exec.finishSeconds;
+    busySeconds_ += exec.busySeconds * static_cast<double>(cores);
+    exec.energyJoules =
+        busyPowerScale_ *
+        power_->busyEnergyJoules(exec.busySeconds, freqGhz, cores);
+    energyJoules_ += exec.energyJoules;
     ++requestsServed_;
     return exec;
 }
@@ -105,6 +141,21 @@ IsnServerSim::setMaxFreqGhz(double freqGhz)
     COTTAGE_CHECK_MSG(freqGhz >= ladder_->minGhz(),
                       "frequency cap below the ladder's lowest step");
     maxFreq_ = freqGhz;
+}
+
+void
+IsnServerSim::setBusyPowerScale(double scale)
+{
+    COTTAGE_CHECK_MSG(scale > 0.0, "busy-power scale must be positive");
+    busyPowerScale_ = scale;
+}
+
+void
+IsnServerSim::setIdlePowerExtraWatts(double watts)
+{
+    COTTAGE_CHECK_MSG(watts >= 0.0,
+                      "idle-power extra must be non-negative");
+    idlePowerExtra_ = watts;
 }
 
 void
@@ -138,6 +189,8 @@ IsnServerSim::clearShape()
 {
     serviceRate_ = 1.0;
     maxFreq_ = std::numeric_limits<double>::infinity();
+    busyPowerScale_ = 1.0;
+    idlePowerExtra_ = 0.0;
     down_.clear();
 }
 

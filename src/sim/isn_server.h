@@ -20,6 +20,7 @@
 
 #include "sim/frequency.h"
 #include "sim/power_model.h"
+#include "sim/speedup.h"
 
 namespace cottage {
 
@@ -56,6 +57,18 @@ struct IsnExecution
 
     /** Frequency the request ran at (GHz). */
     double freqGhz = 0.0;
+
+    /** Cores the request occupied for its busy interval. */
+    uint32_t cores = 1;
+
+    /**
+     * Busy energy this request drew, joules: busySeconds at the
+     * McPAT-style active power (uncore + cores * per-core dynamic),
+     * scaled by the node's power shape. Computed here so every
+     * consumer (span, meters, rollups) reads ONE number instead of
+     * re-deriving it.
+     */
+    double energyJoules = 0.0;
 };
 
 /** One ISN's simulated queue, worker cores, DVFS state and meter. */
@@ -80,15 +93,32 @@ class IsnServerSim
      *        past the deadline is abandoned (the paper's step 6: ISNs
      *        complete within the budget), so a request that cannot
      *        finish is truncated and marked incomplete.
+     * @param cores Worker cores the request spans (intra-query
+     *        parallelism). Must not exceed workers(). The request
+     *        waits for @p cores workers to free up, its service time
+     *        divides by the sublinear speedup S(cores), and its power
+     *        is the McPAT-style split P_static + cores * P_dyn(f).
+     *        cores = 1 is byte-identical to the pre-parallel model.
      */
     IsnExecution execute(double arrivalSeconds, double cycles, double freqGhz,
-                         double deadlineSeconds);
+                         double deadlineSeconds, uint32_t cores = 1);
 
     /**
      * Seconds a request arriving now would wait before a worker frees
      * up (0 when some worker is idle).
      */
     double backlogSeconds(double nowSeconds) const;
+
+    /**
+     * Seconds a @p cores gang arriving now would wait before it can
+     * start: a gang occupies the @p cores workers that free up first,
+     * so it starts when the cores-th earliest busyUntil passes (see
+     * execute()). cores = 1 equals backlogSeconds(now). The budget
+     * algorithm must use this per-core-count backlog — predicting a
+     * gang's start from the single-core backlog underestimates its
+     * queueing whenever fewer than @p cores workers sit idle.
+     */
+    double backlogSeconds(double nowSeconds, uint32_t cores) const;
 
     /** When the last worker drains (the power/energy window edge). */
     double busyUntilSeconds() const;
@@ -100,8 +130,16 @@ class IsnServerSim
     /** Total busy-interval energy consumed, joules. */
     double energyJoules() const { return energyJoules_; }
 
-    /** Total seconds spent computing. */
+    /**
+     * Total core-busy-seconds spent computing (a k-core request
+     * contributes k times its wall busy interval; single-core
+     * requests are unchanged).
+     */
     double busySeconds() const { return busySeconds_; }
+
+    /** The sublinear intra-query speedup curve S(k). */
+    const SpeedupCurve &speedupCurve() const { return speedup_; }
+    void setSpeedupCurve(const SpeedupCurve &curve) { speedup_ = curve; }
 
     /** Requests executed (including truncated ones). */
     uint64_t requestsServed() const { return requestsServed_; }
@@ -157,6 +195,24 @@ class IsnServerSim
     void setDownWindows(std::vector<DownWindow> windows);
     const std::vector<DownWindow> &downWindows() const { return down_; }
 
+    /**
+     * Scale this node's dynamic (per-core busy) power: > 1 models an
+     * inefficient part drawing more joules for the same work, < 1 a
+     * binned-efficient one. Applied to every busy interval's energy;
+     * 1.0 (the default) leaves each measured byte unchanged.
+     */
+    void setBusyPowerScale(double scale);
+    double busyPowerScale() const { return busyPowerScale_; }
+
+    /**
+     * Extra static power this node draws on top of the fleet's
+     * per-package idle floor, watts (an old part, a failing fan).
+     * Pure reporting: it feeds the cluster's average-power rollup,
+     * never the energy meter or any per-request accounting.
+     */
+    void setIdlePowerExtraWatts(double watts);
+    double idlePowerExtraWatts() const { return idlePowerExtra_; }
+
     /** False while the node sits inside a scheduled down window. */
     bool availableAt(double nowSeconds) const;
 
@@ -172,8 +228,11 @@ class IsnServerSim
     const FrequencyLadder *ladder_;
     const PowerModel *power_;
     double currentFreq_;
+    SpeedupCurve speedup_;
     double serviceRate_ = 1.0;
     double maxFreq_ = std::numeric_limits<double>::infinity();
+    double busyPowerScale_ = 1.0;
+    double idlePowerExtra_ = 0.0;
     std::vector<DownWindow> down_;
     std::vector<double> workerBusyUntil_;
     double energyJoules_ = 0.0;

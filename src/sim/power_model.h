@@ -14,10 +14,19 @@
 #define COTTAGE_SIM_POWER_MODEL_H
 
 #include <cmath>
+#include <cstdint>
 
 namespace cottage {
 
-/** Static + per-busy-ISN dynamic package power. */
+/**
+ * Static + dynamic package power, McPAT-style split: a busy request
+ * draws P = P_static + numActiveCores * P_dynamic(f). P_static here
+ * is the package idle floor (always on) plus an optional per-request
+ * uncore adder that engages only while a request is in service;
+ * P_dynamic(f) is the per-core frequency-cubed term. The uncore adder
+ * defaults to 0 so every single-core byte predates this split
+ * unchanged.
+ */
 struct PowerModel
 {
     /** Whole-package idle power in watts (paper: 14.53 W). */
@@ -32,7 +41,15 @@ struct PowerModel
     /** Dynamic-power frequency exponent (V ~ f gives ~f^3). */
     double frequencyExponent = 3.0;
 
-    /** Extra power of one busy ISN core at the given frequency. */
+    /**
+     * Static uncore power drawn while a request is in service,
+     * regardless of how many cores it spans (shared cache, memory
+     * controller). Zero by default: the single-core energy stream is
+     * then bit-identical to the pre-split model.
+     */
+    double uncoreWattsActive = 0.0;
+
+    /** Dynamic power of ONE busy core at the given frequency. */
     double
     busyWatts(double freqGhz) const
     {
@@ -40,11 +57,27 @@ struct PowerModel
                std::pow(freqGhz / referenceGhz, frequencyExponent);
     }
 
-    /** Energy (J) of one busy interval at a frequency. */
+    /** Active power of a request spanning @p activeCores cores. */
+    double
+    activePowerWatts(double freqGhz, uint32_t activeCores) const
+    {
+        return uncoreWattsActive +
+               static_cast<double>(activeCores) * busyWatts(freqGhz);
+    }
+
+    /** Energy (J) of one single-core busy interval at a frequency. */
     double
     busyEnergyJoules(double seconds, double freqGhz) const
     {
         return seconds * busyWatts(freqGhz);
+    }
+
+    /** Energy (J) of a busy interval spanning @p activeCores cores. */
+    double
+    busyEnergyJoules(double seconds, double freqGhz,
+                     uint32_t activeCores) const
+    {
+        return seconds * activePowerWatts(freqGhz, activeCores);
     }
 
     /**

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Intra-query parallel speedup curve.
+ *
+ * When an ISN spreads one query's traversal over k cores (the
+ * engine's parallelShardSearch), service time does not divide by k:
+ * the merge, the pool round-trip and slice imbalance stay serial.
+ * The sublinear curve here is Amdahl-form, S(k) = k / (1 + a(k-1)),
+ * with the serial fraction `a` calibrated against the measured
+ * parallel driver (bench_parallelism; see BENCH_parallelism.json's
+ * fitted_alpha per evaluator). Note the cycle count fed to the
+ * simulator already includes the counted parallel overhead — each
+ * slice's pruning threshold warms up independently, so a k-slice run
+ * reports more work than a sequential one. S(k) covers only the
+ * UNcounted overhead on top of that.
+ */
+
+#ifndef COTTAGE_SIM_SPEEDUP_H
+#define COTTAGE_SIM_SPEEDUP_H
+
+#include <cstdint>
+
+namespace cottage {
+
+/** Amdahl-style sublinear speedup for k-core query execution. */
+struct SpeedupCurve
+{
+    /**
+     * Serial fraction of a parallel traversal: the share of its
+     * wall time that does not scale with cores (merge, dispatch,
+     * slice imbalance). Default calibrated from bench_parallelism's
+     * measured bmw/wand speedups at 4 cores on the smoke corpus.
+     */
+    double serialFraction = 0.08;
+
+    /** S(k): how much faster k cores finish one query. S(1) = 1. */
+    double
+    speedup(uint32_t cores) const
+    {
+        if (cores <= 1)
+            return 1.0;
+        const double k = static_cast<double>(cores);
+        return k / (1.0 + serialFraction * (k - 1.0));
+    }
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_SIM_SPEEDUP_H

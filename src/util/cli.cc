@@ -1,5 +1,6 @@
 #include "util/cli.h"
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "util/logging.h"
@@ -77,6 +78,40 @@ CliFlags::getBool(const std::string &name, bool fallback) const
     if (value == "false" || value == "0" || value == "no")
         return false;
     fatal("flag --" + name + " expects a boolean, got '" + it->second + "'");
+}
+
+void
+cliError(const std::string &message, const std::string &usage)
+{
+    std::fprintf(stderr, "error: %s\n", message.c_str());
+    if (!usage.empty())
+        std::fprintf(stderr, "usage: %s\n", usage.c_str());
+    std::exit(2);
+}
+
+int64_t
+getIntAtLeast(const CliFlags &flags, const std::string &name,
+              int64_t fallback, int64_t minimum)
+{
+    const int64_t value = flags.getInt(name, fallback);
+    if (flags.has(name) && value < minimum)
+        cliError("flag --" + name + " must be >= " +
+                     std::to_string(minimum) + ", got " +
+                     std::to_string(value),
+                 "--" + name + "=N with N >= " + std::to_string(minimum));
+    return value;
+}
+
+double
+getPositiveDouble(const CliFlags &flags, const std::string &name,
+                  double fallback)
+{
+    const double value = flags.getDouble(name, fallback);
+    if (flags.has(name) && !(value > 0.0))
+        cliError("flag --" + name + " must be strictly positive, got " +
+                     std::to_string(value),
+                 "--" + name + "=X with X > 0");
+    return value;
 }
 
 } // namespace cottage

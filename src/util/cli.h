@@ -60,6 +60,29 @@ class CliFlags
     std::vector<std::string> positional_;
 };
 
+/**
+ * Report a command-line usage error and exit with status 2 (the
+ * conventional "bad invocation" code, distinct from a run failure).
+ * For operator mistakes on flag VALUES — a non-positive core count, a
+ * zero qps scale — where an assertion abort (with its core dump and
+ * stack trace) would be hostile to a human who just typo'd a flag.
+ * @p usage, when non-empty, is printed after the error as a hint
+ * (e.g. "--isn-cores=N with N >= 1").
+ */
+[[noreturn]] void cliError(const std::string &message,
+                           const std::string &usage = "");
+
+/**
+ * Fetch an integer flag and cliError() unless it is >= @p minimum.
+ * The fallback is NOT validated: callers pass compiled-in defaults.
+ */
+int64_t getIntAtLeast(const CliFlags &flags, const std::string &name,
+                      int64_t fallback, int64_t minimum);
+
+/** Fetch a double flag and cliError() unless it is strictly positive. */
+double getPositiveDouble(const CliFlags &flags, const std::string &name,
+                         double fallback);
+
 } // namespace cottage
 
 #endif // COTTAGE_UTIL_CLI_H

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <memory>
 
 #include "core/budget_algorithm.h"
@@ -39,6 +40,109 @@ bool
 contains(const std::vector<ShardId> &set, ShardId isn)
 {
     return std::find(set.begin(), set.end(), isn) != set.end();
+}
+
+// ------------------------------------------------------------------
+// Step 6 extended: the joint (cores x frequency) grid.
+
+/** Grid call with the common defaults; tests override what they probe. */
+CoreFreqChoice
+grid(const std::vector<double> &backlogByCores, double serviceCycles,
+     double budgetSeconds, uint32_t maxCores,
+     double powerCapWatts = std::numeric_limits<double>::infinity(),
+     const std::vector<double> &coreCycleFactors = {},
+     bool dvfsPowerSaving = true)
+{
+    const FrequencyLadder ladder;
+    const SpeedupCurve speedup;
+    const PowerModel power;
+    return chooseCoresAndFrequency(backlogByCores, serviceCycles,
+                                   budgetSeconds, ladder, speedup, power,
+                                   maxCores, powerCapWatts,
+                                   coreCycleFactors, dvfsPowerSaving);
+}
+
+TEST(CoreFreqGrid, GangMeetsADeadlineSingleCoreCannot)
+{
+    // 2.7e9 cycles = 1 s even at the ladder top on one core; a 0.5 s
+    // budget therefore needs a gang (S(4) ~ 3.2x on the default
+    // curve). All workers idle, so the work-conserving rule is moot.
+    const CoreFreqChoice choice =
+        grid({0.0, 0.0, 0.0, 0.0}, 2.7e9, 0.5, 4);
+    EXPECT_TRUE(choice.meetsBudget);
+    EXPECT_GT(choice.cores, 1u);
+    EXPECT_LE(choice.latencySeconds, 0.5);
+}
+
+TEST(CoreFreqGrid, WorkConservingRuleRefusesQueuedGangs)
+{
+    // Same deadline pressure, but now a gang would have to WAIT for
+    // its width (gang backlog > single-core backlog): the rule skips
+    // every multi-core candidate, the budget becomes infeasible, and
+    // the fallback is the fastest single-core point.
+    const CoreFreqChoice choice =
+        grid({0.0, 0.2, 0.2, 0.2}, 2.7e9, 0.5, 4);
+    EXPECT_FALSE(choice.meetsBudget);
+    EXPECT_EQ(choice.cores, 1u);
+    EXPECT_DOUBLE_EQ(choice.freqGhz, FrequencyLadder().maxGhz());
+}
+
+TEST(CoreFreqGrid, CoreCycleFactorPricesParallelOverheadIn)
+{
+    // A calibrated 100x work inflation at every gang width makes
+    // ganging useless: the grid must fall back to one core rather
+    // than trust the uninflated speedup.
+    const CoreFreqChoice choice = grid(
+        {0.0, 0.0, 0.0, 0.0}, 2.7e9, 0.5, 4,
+        std::numeric_limits<double>::infinity(), {1.0, 100.0, 100.0,
+                                                  100.0});
+    EXPECT_FALSE(choice.meetsBudget);
+    EXPECT_EQ(choice.cores, 1u);
+}
+
+TEST(CoreFreqGrid, ImpossiblePowerCapDegeneratesToBoostedSingleCore)
+{
+    const FrequencyLadder ladder;
+    const PowerModel power;
+    // Cap below even (min frequency, one core): the whole grid is
+    // excluded and the pre-parallel fallback stands — one boosted
+    // core, backlog included in the predicted latency.
+    const double cap =
+        power.activePowerWatts(ladder.minGhz(), 1) - 1e-6;
+    const CoreFreqChoice choice =
+        grid({0.3, 0.3, 0.3, 0.3}, 2.7e9, 0.5, 4, cap);
+    EXPECT_FALSE(choice.meetsBudget);
+    EXPECT_EQ(choice.cores, 1u);
+    EXPECT_DOUBLE_EQ(choice.freqGhz, ladder.maxGhz());
+    EXPECT_NEAR(choice.latencySeconds,
+                0.3 + 2.7e9 / (ladder.maxGhz() * 1e9), 1e-12);
+}
+
+TEST(CoreFreqGrid, ShortBacklogVectorSaturates)
+{
+    // A single-entry backlog vector must behave exactly like the same
+    // value replicated across every core count (the saturating-index
+    // contract); feeding it keeps gangs admissible on an idle node.
+    const CoreFreqChoice shorthand = grid({0.0}, 2.7e9, 0.5, 4);
+    const CoreFreqChoice longhand =
+        grid({0.0, 0.0, 0.0, 0.0}, 2.7e9, 0.5, 4);
+    EXPECT_EQ(shorthand.cores, longhand.cores);
+    EXPECT_DOUBLE_EQ(shorthand.freqGhz, longhand.freqGhz);
+    EXPECT_DOUBLE_EQ(shorthand.latencySeconds, longhand.latencySeconds);
+    EXPECT_DOUBLE_EQ(shorthand.energyJoules, longhand.energyJoules);
+    EXPECT_EQ(shorthand.meetsBudget, longhand.meetsBudget);
+}
+
+TEST(CoreFreqGrid, DvfsDisabledFloorsFrequencyAtDefault)
+{
+    // Without DVFS power saving the grid may only boost, never slow
+    // down — the chosen step sits at or above the default frequency
+    // even when a slower one would meet the budget more cheaply.
+    const CoreFreqChoice choice = grid(
+        {0.0, 0.0, 0.0, 0.0}, 2.1e8, 10.0, 4,
+        std::numeric_limits<double>::infinity(), {}, false);
+    EXPECT_TRUE(choice.meetsBudget);
+    EXPECT_GE(choice.freqGhz, FrequencyLadder().defaultGhz() - 1e-12);
 }
 
 TEST(BudgetAlgorithm, ReproducesFig9Example)

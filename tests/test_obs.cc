@@ -247,6 +247,7 @@ TEST(QueryTracer, JsonlGoldenLine)
     span.busySeconds = 0.0625;
     span.cycles = 1048576;
     span.freqGhz = 2.1;
+    span.cores = 2;
     span.boosted = false;
     span.energyJoules = 0.1675;
     span.completed = false;
@@ -269,6 +270,7 @@ TEST(QueryTracer, JsonlGoldenLine)
         "\"merge_s\":5e-05,\"latency_s\":0.13507,\"isns\":[{\"isn\":3,"
         "\"queue_wait_s\":0.25,\"start_s\":1.875,\"finish_s\":1.9375,"
         "\"busy_s\":0.0625,\"cycles\":1048576,\"freq_ghz\":2.1,"
+        "\"cores\":2,"
         "\"boosted\":false,\"energy_j\":0.1675,\"completed\":false,"
         "\"fraction\":0.5,\"docs\":42,\"docs_skipped\":1900,"
         "\"blocks_decoded\":11,\"blocks_skipped\":15,"

@@ -20,6 +20,8 @@
 #include <utility>
 #include <vector>
 
+#include "engine/distributed_engine.h"
+#include "engine/parallel_search.h"
 #include "harness/experiment.h"
 #include "metrics/run_stats.h"
 #include "predict/training.h"
@@ -311,6 +313,152 @@ TEST(ParallelDeterminismScenario, ScenarioServeIsBitExactAcrossThreadCounts)
             << ": scenario summaries (incl. per-tenant rollups) "
                "diverge across thread counts";
     }
+}
+
+/**
+ * The intra-query driver's whole contract in one property: the merged
+ * top-K of a range-partitioned traversal is bit-identical to the
+ * sequential evaluation — for every evaluator, at every gang width,
+ * including demoting (negative) term weights. Work counters are NOT
+ * compared: slices warm their pruning thresholds independently, so a
+ * gang legitimately scores more docs; only the ranking is invariant.
+ */
+TEST(ParallelSearchProperty, MergedTopKIsBitIdenticalToSequentialAtAnyWidth)
+{
+    CorpusConfig corpusConfig;
+    corpusConfig.numDocs = 3000;
+    corpusConfig.vocabSize = 6000;
+    const Corpus corpus = Corpus::generate(corpusConfig);
+    ShardedIndexConfig shardConfig;
+    shardConfig.numShards = 1;
+    const ShardedIndex index(corpus, shardConfig);
+
+    TraceConfig traceConfig;
+    traceConfig.flavor = TraceFlavor::Wikipedia;
+    traceConfig.numQueries = 40;
+    traceConfig.vocabSize = corpusConfig.vocabSize;
+    const QueryTrace trace = QueryTrace::generate(traceConfig);
+
+    ThreadPool::setGlobalThreads(8);
+    for (const char *name :
+         {"exhaustive", "taat", "maxscore", "wand", "bmw", "bmm"}) {
+        const std::unique_ptr<Evaluator> evaluator =
+            Experiment::makeEvaluator(name);
+        for (std::size_t q = 0; q < trace.size(); ++q) {
+            std::vector<WeightedTerm> terms =
+                DistributedEngine::weightedTerms(trace.query(q));
+            // Odd queries demote their first term: pruning bounds
+            // must stay rank-safe on every slice for negative weights
+            // too.
+            if (q % 2 == 1 && !terms.empty())
+                terms.front().weight = -0.5;
+            const SearchResult sequential = parallelShardSearch(
+                *evaluator, index.shard(0), terms, index.topK(),
+                noDocCap, 1);
+            for (const uint32_t cores : {2u, 4u, 8u}) {
+                const SearchResult parallel = parallelShardSearch(
+                    *evaluator, index.shard(0), terms, index.topK(),
+                    noDocCap, cores);
+                ASSERT_EQ(sequential.topK.size(), parallel.topK.size())
+                    << name << " query " << q << " cores " << cores;
+                for (std::size_t i = 0; i < sequential.topK.size(); ++i) {
+                    ASSERT_EQ(sequential.topK[i].doc,
+                              parallel.topK[i].doc)
+                        << name << " query " << q << " cores " << cores
+                        << " rank " << i;
+                    double a = sequential.topK[i].score;
+                    double b = parallel.topK[i].score;
+                    ASSERT_EQ(std::memcmp(&a, &b, sizeof a), 0)
+                        << name << " query " << q << " cores " << cores
+                        << " rank " << i;
+                }
+            }
+        }
+    }
+    ThreadPool::setGlobalThreads(1);
+}
+
+/**
+ * One gang-matrix cell: an evaluator at a planned gang width. Cottage
+ * with maxCoresPerQuery > 1 crosses every new moving part — the joint
+ * (cores x frequency) grid, gang dispatch in the simulator, and the
+ * parallel traversal driver on the measurement path.
+ */
+struct GangCell
+{
+    const char *evaluator;
+    uint32_t isnCores;
+};
+
+std::string
+gangCellName(const ::testing::TestParamInfo<GangCell> &info)
+{
+    return std::string(info.param.evaluator) + "_cores" +
+           std::to_string(info.param.isnCores);
+}
+
+class ParallelDeterminismGangs : public ::testing::TestWithParam<GangCell>
+{
+};
+
+TEST_P(ParallelDeterminismGangs, CottageReplayIsBitExactAcrossThreadCounts)
+{
+    ExperimentConfig config = smallConfig(GetParam().evaluator);
+    config.coresPerIsn = 4;
+    config.isnCores = GetParam().isnCores;
+    config.cottage.maxCoresPerQuery = GetParam().isnCores;
+    config.trainQueries = 120;
+    config.train.iterations = 60;
+    Experiment experiment(std::move(config));
+    expectDeterministicReplay(experiment, "cottage");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Evaluators, ParallelDeterminismGangs,
+    ::testing::Values(GangCell{"wand", 1}, GangCell{"wand", 2},
+                      GangCell{"wand", 4}, GangCell{"bmw", 1},
+                      GangCell{"bmw", 2}, GangCell{"bmw", 4}),
+    gangCellName);
+
+TEST(ParallelDeterminismGangs, TraceStreamIsBitExactAcrossThreadsWithGangs)
+{
+    // The recorded span stream — including each span's gang width
+    // ("cores") — must itself replay byte-identically at any host
+    // thread count when gangs are in play.
+    ExperimentConfig config = smallConfig("wand");
+    config.coresPerIsn = 4;
+    config.isnCores = 4;
+    config.cottage.maxCoresPerQuery = 4;
+    config.trainQueries = 120;
+    config.train.iterations = 60;
+    config.traceOut = ::testing::TempDir() + "parallel_gang_trace.jsonl";
+    config.metricsOut =
+        ::testing::TempDir() + "parallel_gang_metrics.json";
+    Experiment experiment(std::move(config));
+
+    const auto replayJsonl = [&experiment]() {
+        const RunResult result =
+            experiment.run("cottage", TraceFlavor::Wikipedia);
+        std::ostringstream trace;
+        result.trace->writeJsonl(trace, result.summary.policy,
+                                 result.summary.trace);
+        return std::make_pair(trace.str(),
+                              result.metrics->toJson(
+                                  result.summary.policy,
+                                  result.summary.trace));
+    };
+
+    ThreadPool::setGlobalThreads(1);
+    const auto sequential = replayJsonl();
+    ThreadPool::setGlobalThreads(8);
+    const auto parallel = replayJsonl();
+    ThreadPool::setGlobalThreads(1);
+    EXPECT_EQ(sequential.first, parallel.first)
+        << "gang JSONL trace streams diverge across threads";
+    EXPECT_EQ(sequential.second, parallel.second)
+        << "gang metrics JSON diverges across threads";
+    EXPECT_NE(sequential.first.find("\"cores\":"), std::string::npos)
+        << "gang trace never recorded a span gang width";
 }
 
 TEST(ParallelDeterminismTraining, TrainingSetsMatchSequential)

@@ -381,7 +381,7 @@ TEST(AdmissionAvailability, DownIsnsAreDroppedBeforeTheLadder)
 TEST(ScenarioPresets, NamesBuildWithDistinctSeedsAndHostileFlags)
 {
     const std::vector<std::string> &names = scenarioNames();
-    ASSERT_EQ(names.size(), 5u);
+    ASSERT_EQ(names.size(), 6u);
 
     std::set<std::string> hostile;
     for (const std::string &name : names) {
@@ -396,8 +396,9 @@ TEST(ScenarioPresets, NamesBuildWithDistinctSeedsAndHostileFlags)
         if (scenario.hostile)
             hostile.insert(name);
     }
-    EXPECT_EQ(hostile, (std::set<std::string>{
-                           "flash_crowd", "straggler_isn", "failover"}));
+    EXPECT_EQ(hostile,
+              (std::set<std::string>{"flash_crowd", "straggler_isn",
+                                     "power_skew", "failover"}));
 
     // qpsScale multiplies every tenant's baseline rate.
     const ScenarioConfig one = scenarioByName("mixed_poisson", 1.0);

@@ -334,6 +334,67 @@ TEST(IsnServer, WorkersResetTogether)
     EXPECT_DOUBLE_EQ(server.backlogSeconds(0.0), 0.0);
 }
 
+TEST(IsnServerGangs, GangBacklogStartsAtCthEarliestWorker)
+{
+    const FrequencyLadder ladder;
+    const PowerModel power;
+    IsnServerSim server(ladder, power, 4);
+    // Two single-core requests occupy two workers until t=1; the
+    // other two sit idle.
+    server.execute(0.0, 2.1e9, 2.1, kInf);
+    server.execute(0.0, 2.1e9, 2.1, kInf);
+    EXPECT_DOUBLE_EQ(server.backlogSeconds(0.0, 1), 0.0);
+    EXPECT_DOUBLE_EQ(server.backlogSeconds(0.0, 2), 0.0);
+    // A 3-gang needs a third worker, which only frees at t=1 — the
+    // single-core backlog (0) would underestimate its queueing.
+    EXPECT_NEAR(server.backlogSeconds(0.0, 3), 1.0, 1e-12);
+    EXPECT_NEAR(server.backlogSeconds(0.0, 4), 1.0, 1e-12);
+    // The scalar overload stays the cores=1 case.
+    EXPECT_DOUBLE_EQ(server.backlogSeconds(0.0),
+                     server.backlogSeconds(0.0, 1));
+}
+
+TEST(IsnServerGangs, GangSpeedsUpServiceAndSplitsPower)
+{
+    const FrequencyLadder ladder;
+    const PowerModel power;
+    IsnServerSim server(ladder, power, 4);
+    // 2.1e9 cycles at 2.1 GHz = 1 s on one core; a 4-gang divides by
+    // the sublinear S(4), occupies 4 workers, and draws the
+    // McPAT-style split P_uncore + 4 * P_dyn(f) for its busy window.
+    const double s4 = server.speedupCurve().speedup(4);
+    const IsnExecution exec = server.execute(0.0, 2.1e9, 2.1, kInf, 4);
+    EXPECT_EQ(exec.cores, 4u);
+    EXPECT_TRUE(exec.completed);
+    EXPECT_NEAR(exec.busySeconds, 1.0 / s4, 1e-12);
+    EXPECT_NEAR(exec.energyJoules,
+                exec.busySeconds * power.activePowerWatts(2.1, 4),
+                1e-9);
+    // Core-busy-seconds charge all four workers...
+    EXPECT_NEAR(server.busySeconds(), 4.0 / s4, 1e-12);
+    // ...and a single-core request arriving mid-gang finds NO idle
+    // worker: the gang really spans the node.
+    EXPECT_NEAR(server.backlogSeconds(0.0, 1), exec.finishSeconds,
+                1e-12);
+    EXPECT_NEAR(server.energyJoules(), exec.energyJoules, 1e-12);
+}
+
+TEST(IsnServerGangs, SingleCoreGangIsByteIdenticalToScalarPath)
+{
+    const FrequencyLadder ladder;
+    const PowerModel power;
+    IsnServerSim scalar(ladder, power, 2);
+    IsnServerSim gang(ladder, power, 2);
+    const IsnExecution a = scalar.execute(0.5, 1.3e9, 1.8, 2.0);
+    const IsnExecution b = gang.execute(0.5, 1.3e9, 1.8, 2.0, 1);
+    EXPECT_EQ(a.startSeconds, b.startSeconds);
+    EXPECT_EQ(a.finishSeconds, b.finishSeconds);
+    EXPECT_EQ(a.busySeconds, b.busySeconds);
+    EXPECT_EQ(a.completedFraction, b.completedFraction);
+    EXPECT_EQ(a.energyJoules, b.energyJoules);
+    EXPECT_EQ(a.cores, b.cores);
+}
+
 TEST(Cluster, AggregatesAcrossIsns)
 {
     ClusterSim cluster(4, FrequencyLadder(), PowerModel());

@@ -297,6 +297,36 @@ TEST(Cli, TrailingBooleanFlag)
     EXPECT_TRUE(flags.getBool("go", false));
 }
 
+TEST(CliValidationDeathTest, BadFlagValuesExitTwoWithUsageHint)
+{
+    // Operator typos get a usage message and the conventional "bad
+    // invocation" exit code 2 — not an assertion abort. Exit 2 is
+    // also what scripts/check_bench.py reserves for unusable input,
+    // so the whole toolchain means the same thing by it.
+    const char *argv[] = {"prog", "--isn-cores=0", "--qps-scale=-1"};
+    const CliFlags flags(3, argv);
+    EXPECT_EXIT(getIntAtLeast(flags, "isn-cores", 1, 1),
+                ::testing::ExitedWithCode(2), "isn-cores.*>= 1");
+    EXPECT_EXIT(getPositiveDouble(flags, "qps-scale", 4.0),
+                ::testing::ExitedWithCode(2),
+                "qps-scale.*strictly positive");
+    EXPECT_EXIT(cliError("boom", "--flag=N"),
+                ::testing::ExitedWithCode(2), "error: boom");
+}
+
+TEST(CliValidation, InRangeAndAbsentFlagsPassThrough)
+{
+    const char *argv[] = {"prog", "--isn-cores=4", "--qps-scale=2.5"};
+    const CliFlags flags(3, argv);
+    // Present and valid: the parsed value.
+    EXPECT_EQ(getIntAtLeast(flags, "isn-cores", 1, 1), 4);
+    EXPECT_DOUBLE_EQ(getPositiveDouble(flags, "qps-scale", 4.0), 2.5);
+    // Absent: the compiled-in fallback is trusted, NOT validated —
+    // even one that violates the bound (callers own their defaults).
+    EXPECT_EQ(getIntAtLeast(flags, "cores", -7, 1), -7);
+    EXPECT_DOUBLE_EQ(getPositiveDouble(flags, "scale", 4.0), 4.0);
+}
+
 TEST(ThreadPool, ZeroTaskParallelForReturnsImmediately)
 {
     ThreadPool pool(4);
