@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <memory>
 
 #include "core/budget_algorithm.h"
@@ -189,7 +190,8 @@ void
 BM_BudgetAlgorithm(benchmark::State &state)
 {
     const auto numIsns = static_cast<std::size_t>(state.range(0));
-    Rng rng(5);
+    constexpr std::uint64_t kPredictionSeed = 5;
+    Rng rng(kPredictionSeed);
     std::vector<IsnPrediction> predictions(numIsns);
     for (std::size_t i = 0; i < numIsns; ++i) {
         predictions[i].isn = static_cast<ShardId>(i);
@@ -226,7 +228,8 @@ BENCHMARK(BM_TailyEstimation);
 void
 BM_GammaFitMoments(benchmark::State &state)
 {
-    Rng rng(6);
+    constexpr std::uint64_t kSampleSeed = 6;
+    Rng rng(kSampleSeed);
     std::vector<double> sample(1000);
     for (double &v : sample)
         v = rng.exponential(0.5) + rng.exponential(0.5);

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""cottage_lint gate: fail CI on any NEW finding.
+
+Runs the built cottage_lint binary in --json mode over the whole tree
+(src/, bench/, tests/, tools/ — the linter self-lints) and compares
+the findings against the committed baseline. A finding is keyed by
+(repo-relative file, rule); the job fails when a key appears that the
+baseline lacks, or when a key's count grows. Line numbers are
+deliberately NOT part of the key so an unrelated edit shifting lines
+cannot flip the gate.
+
+    python3 scripts/check_lint.py --binary build/tools/cottage_lint/cottage_lint
+    python3 scripts/check_lint.py --log lint.json
+    python3 scripts/check_lint.py --binary ... --update-baseline
+
+The baseline (scripts/lint_baseline.json) is empty today: the tree is
+clean under D1-D9, with in-source allow() suppressions carrying their
+justifications next to the code. Keep it that way; --update-baseline
+exists for bootstrapping a new rule family, and a grown baseline must
+be justified in the PR that grows it.
+
+Exit codes: 0 clean/no new findings, 1 new findings, 2 tooling error —
+the same 0/1/2 convention as cottage_lint itself and check_bench.py.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "lint_baseline.json"
+)
+
+
+def tooling_error(message: str) -> None:
+    print(f"check_lint: ERROR: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(
+        description="Gate cottage_lint findings against the baseline"
+    )
+    parser.add_argument(
+        "--binary",
+        help="cottage_lint executable; invoked with --json --root "
+        "over the repo when given",
+    )
+    parser.add_argument(
+        "--log",
+        help="parse this pre-captured `cottage_lint --json` output "
+        "instead of invoking the binary",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help="baseline JSON (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings",
+    )
+    return parser.parse_args(argv)
+
+
+def capture_output(args) -> str:
+    if args.log:
+        try:
+            with open(args.log) as handle:
+                return handle.read()
+        except OSError as err:
+            tooling_error(f"cannot read --log file: {err}")
+    if not args.binary:
+        tooling_error("need --binary or --log")
+    # Resolve before the cwd switch below: a relative --binary is
+    # relative to where the user ran the gate, not to the repo root.
+    binary = os.path.abspath(args.binary)
+    if not os.path.exists(binary):
+        tooling_error(f"{args.binary} not found: build cottage_lint first")
+    proc = subprocess.run(
+        [binary, "--json", "--root", REPO_ROOT],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    # Exit 0 (clean) and 1 (findings) are both judged against the
+    # baseline below; exit 2 means the linter itself rejected its
+    # input (bad path, unreadable file) and the gate must not mask it.
+    if proc.returncode not in (0, 1):
+        sys.stderr.write(proc.stderr)
+        tooling_error(f"cottage_lint exited {proc.returncode}")
+    return proc.stdout
+
+
+def collect_findings(text: str):
+    """Map 'relpath::rule' -> count from the --json finding array."""
+    try:
+        findings = json.loads(text)
+    except json.JSONDecodeError as err:
+        tooling_error(f"linter output is not valid JSON ({err})")
+    if not isinstance(findings, list):
+        tooling_error("linter output is not a JSON array")
+    counts = {}
+    for entry in findings:
+        if not isinstance(entry, dict) or "file" not in entry \
+                or "rule" not in entry:
+            tooling_error(f"malformed finding entry: {entry!r}")
+        key = f"{entry['file']}::{entry['rule']}"
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def main(argv=None) -> None:
+    args = parse_args(argv)
+    findings = collect_findings(capture_output(args))
+
+    if args.update_baseline:
+        with open(args.baseline, "w") as handle:
+            json.dump(findings, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(
+            f"check_lint: baseline rewritten with "
+            f"{sum(findings.values())} finding(s) in {len(findings)} "
+            "bucket(s)"
+        )
+        return
+
+    try:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+    except FileNotFoundError:
+        baseline = {}
+    except json.JSONDecodeError as err:
+        tooling_error(f"baseline is not valid JSON ({err})")
+
+    regressions = []
+    for key, count in sorted(findings.items()):
+        allowed = baseline.get(key, 0)
+        if count > allowed:
+            regressions.append(f"{key}: {count} (baseline {allowed})")
+
+    if regressions:
+        print("check_lint: NEW findings over baseline:", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        sys.exit(1)
+
+    fixed = sum(
+        1 for key, allowed in baseline.items()
+        if findings.get(key, 0) < allowed
+    )
+    note = f"; {fixed} baseline bucket(s) improved — shrink the baseline" \
+        if fixed else ""
+    print(
+        f"check_lint: OK ({sum(findings.values())} finding(s) in "
+        f"{len(findings)} bucket(s), all within baseline{note})"
+    )
+
+
+if __name__ == "__main__":
+    main()

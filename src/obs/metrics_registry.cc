@@ -24,12 +24,14 @@ num(double value)
 void
 MetricsRegistry::incr(const std::string &name, uint64_t delta)
 {
+    SerialLock section(gate_);
     counters_[name] += delta;
 }
 
 uint64_t
 MetricsRegistry::counter(const std::string &name) const
 {
+    SerialLock section(gate_);
     const auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second;
 }
@@ -38,6 +40,7 @@ Histogram &
 MetricsRegistry::histogram(const std::string &name, double lo, double hi,
                            std::size_t bins, bool logScale)
 {
+    SerialLock section(gate_);
     auto it = histograms_.find(name);
     if (it == histograms_.end()) {
         it = histograms_
@@ -52,6 +55,7 @@ MetricsRegistry::histogram(const std::string &name, double lo, double hi,
 const Histogram *
 MetricsRegistry::findHistogram(const std::string &name) const
 {
+    SerialLock section(gate_);
     const auto it = histograms_.find(name);
     return it == histograms_.end() ? nullptr : &it->second;
 }
@@ -61,6 +65,7 @@ MetricsRegistry::configureWindows(double windowSeconds, double idleWatts)
 {
     COTTAGE_CHECK_MSG(windowSeconds > 0.0,
                       "power window must be positive");
+    SerialLock section(gate_);
     windowSeconds_ = windowSeconds;
     idleWatts_ = idleWatts;
     windows_.clear();
@@ -70,6 +75,7 @@ void
 MetricsRegistry::addWindowSample(double timeSeconds, double energyJoules,
                                  uint64_t queries)
 {
+    SerialLock section(gate_);
     COTTAGE_CHECK_MSG(windowSeconds_ > 0.0,
                       "window series not configured");
     const auto index = static_cast<std::size_t>(
@@ -83,6 +89,13 @@ MetricsRegistry::addWindowSample(double timeSeconds, double energyJoules,
 double
 MetricsRegistry::windowPowerWatts(std::size_t window) const
 {
+    SerialLock section(gate_);
+    return windowPowerLocked(window);
+}
+
+double
+MetricsRegistry::windowPowerLocked(std::size_t window) const
+{
     COTTAGE_CHECK(window < windows_.size());
     return idleWatts_ + windows_[window].energyJoules / windowSeconds_;
 }
@@ -90,6 +103,7 @@ MetricsRegistry::windowPowerWatts(std::size_t window) const
 void
 MetricsRegistry::clear()
 {
+    SerialLock section(gate_);
     counters_.clear();
     histograms_.clear();
     windows_.clear();
@@ -99,6 +113,7 @@ std::string
 MetricsRegistry::toJson(const std::string &policy,
                         const std::string &trace) const
 {
+    SerialLock section(gate_);
     std::string out = "{";
     out += "\"policy\":" + jsonQuote(policy);
     out += ",\"trace\":" + jsonQuote(trace);
@@ -154,7 +169,7 @@ MetricsRegistry::toJson(const std::string &policy,
     for (std::size_t w = 0; w < windows_.size(); ++w) {
         if (w > 0)
             out += ",";
-        out += num(windowPowerWatts(w));
+        out += num(windowPowerLocked(w));
     }
     out += "]}}";
     return out;
@@ -163,6 +178,7 @@ MetricsRegistry::toJson(const std::string &policy,
 std::string
 MetricsRegistry::toAsciiReport() const
 {
+    SerialLock section(gate_);
     std::string out;
     if (!counters_.empty()) {
         out += "counters:\n";
@@ -182,7 +198,7 @@ MetricsRegistry::toAsciiReport() const
         double totalEnergy = 0.0;
         uint64_t totalQueries = 0;
         for (std::size_t w = 0; w < windows_.size(); ++w) {
-            peakPower = std::max(peakPower, windowPowerWatts(w));
+            peakPower = std::max(peakPower, windowPowerLocked(w));
             peakQps = std::max(
                 peakQps, static_cast<double>(windows_[w].queries) /
                              windowSeconds_);

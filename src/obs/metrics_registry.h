@@ -11,6 +11,11 @@
  * one JSON object per run (`--metrics-out`) or an ASCII report next to
  * the harness tables.
  *
+ * The registry is externally serialized (never locked at runtime);
+ * its members are GUARDED_BY a zero-cost SerialGate so the
+ * -Werror=thread-safety CI cell proves that discipline at compile
+ * time (DESIGN.md §5f).
+ *
  * Names are ordered (std::map) so every export is deterministic.
  * Histograms reuse stats/histogram.h — the same saturating fixed-bin
  * type the paper figures and the latency-predictor label space use.
@@ -25,6 +30,7 @@
 #include <vector>
 
 #include "stats/histogram.h"
+#include "util/thread_annotations.h"
 
 namespace cottage {
 
@@ -68,7 +74,12 @@ class MetricsRegistry
      */
     void configureWindows(double windowSeconds, double idleWatts);
 
-    double windowSeconds() const { return windowSeconds_; }
+    double
+    windowSeconds() const
+    {
+        SerialLock section(gate_);
+        return windowSeconds_;
+    }
 
     /**
      * Attribute a query (and the busy energy its execution drew) to
@@ -78,7 +89,12 @@ class MetricsRegistry
     void addWindowSample(double timeSeconds, double energyJoules,
                          uint64_t queries = 1);
 
-    const std::vector<MetricsWindow> &windows() const { return windows_; }
+    const std::vector<MetricsWindow> &
+    windows() const
+    {
+        SerialLock section(gate_);
+        return windows_;
+    }
 
     /** Average package power over one window (idle + busy), watts. */
     double windowPowerWatts(std::size_t window) const;
@@ -102,11 +118,27 @@ class MetricsRegistry
     std::string toAsciiReport() const;
 
   private:
-    std::map<std::string, uint64_t> counters_;
-    std::map<std::string, Histogram> histograms_;
-    double windowSeconds_ = 0.0;
-    double idleWatts_ = 0.0;
-    std::vector<MetricsWindow> windows_;
+    /** windowPowerWatts body shared with the exporters, which already
+     * hold the gate (a second scoped acquire would be a double-lock to
+     * the analysis). */
+    double windowPowerLocked(std::size_t window) const
+        COTTAGE_REQUIRES(gate_);
+
+    /**
+     * External-serialization capability (DESIGN.md §5d/§5f): the
+     * engine records metrics strictly inside its sequential
+     * shard-order loop, so there is nothing to lock at runtime — but
+     * the members are GUARDED_BY the gate so a future caller that
+     * bumps a counter from inside a pool task fails the
+     * -Werror=thread-safety build instead of racing the replay.
+     */
+    mutable SerialGate gate_;
+
+    std::map<std::string, uint64_t> counters_ COTTAGE_GUARDED_BY(gate_);
+    std::map<std::string, Histogram> histograms_ COTTAGE_GUARDED_BY(gate_);
+    double windowSeconds_ COTTAGE_GUARDED_BY(gate_) = 0.0;
+    double idleWatts_ COTTAGE_GUARDED_BY(gate_) = 0.0;
+    std::vector<MetricsWindow> windows_ COTTAGE_GUARDED_BY(gate_);
 };
 
 } // namespace cottage

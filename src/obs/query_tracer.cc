@@ -26,6 +26,7 @@ num(double value)
 void
 QueryTracer::record(QueryTraceRecord record)
 {
+    SerialLock section(gate_);
     if (sink_ != nullptr) {
         *sink_ << toJsonLine(record, sinkPolicy_, sinkTrace_) << '\n';
         if (++sinkUnflushed_ >= sinkFlushEvery_) {
@@ -40,6 +41,7 @@ void
 QueryTracer::streamTo(std::ostream *out, std::string policy,
                       std::string trace, std::size_t flushEvery)
 {
+    SerialLock section(gate_);
     if (sink_ != nullptr)
         sink_->flush();
     sink_ = out;
@@ -52,6 +54,7 @@ QueryTracer::streamTo(std::ostream *out, std::string policy,
 void
 QueryTracer::flushSink()
 {
+    SerialLock section(gate_);
     if (sink_ != nullptr) {
         sink_->flush();
         sinkUnflushed_ = 0;

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "text/types.h"
+#include "util/thread_annotations.h"
 
 namespace cottage {
 
@@ -159,13 +160,20 @@ class QueryTracer
     /** Flush any pending streamed lines to the sink. No-op when detached. */
     void flushSink();
 
-    const std::vector<QueryTraceRecord> &records() const
+    const std::vector<QueryTraceRecord> &
+    records() const
     {
+        SerialLock section(gate_);
         return records_;
     }
 
     /** Drop all records (fresh run). */
-    void clear() { records_.clear(); }
+    void
+    clear()
+    {
+        SerialLock section(gate_);
+        records_.clear();
+    }
 
     /**
      * One JSONL line (no trailing newline) for a record. The policy
@@ -185,14 +193,25 @@ class QueryTracer
                     const std::string &trace) const;
 
   private:
-    std::vector<QueryTraceRecord> records_;
+    /**
+     * External-serialization capability (DESIGN.md §5f): the engine
+     * records strictly inside its sequential shard-order loop, so the
+     * record list and the streaming sink are single-threaded by
+     * contract. GUARDED_BY makes that contract compiler-checked — a
+     * record() or flushSink() reached from a pool task fails the
+     * -Werror=thread-safety cell (interleaved JSONL lines would
+     * corrupt the sink stream byte-for-byte).
+     */
+    mutable SerialGate gate_;
+
+    std::vector<QueryTraceRecord> records_ COTTAGE_GUARDED_BY(gate_);
 
     /** Streaming sink state (streamTo). */
-    std::ostream *sink_ = nullptr;
-    std::string sinkPolicy_;
-    std::string sinkTrace_;
-    std::size_t sinkFlushEvery_ = 64;
-    std::size_t sinkUnflushed_ = 0;
+    std::ostream *sink_ COTTAGE_GUARDED_BY(gate_) = nullptr;
+    std::string sinkPolicy_ COTTAGE_GUARDED_BY(gate_);
+    std::string sinkTrace_ COTTAGE_GUARDED_BY(gate_);
+    std::size_t sinkFlushEvery_ COTTAGE_GUARDED_BY(gate_) = 64;
+    std::size_t sinkUnflushed_ COTTAGE_GUARDED_BY(gate_) = 0;
 };
 
 } // namespace cottage

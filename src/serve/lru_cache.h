@@ -10,9 +10,14 @@
  * evictions, the order entries age out — is a pure function of the
  * lookup/insert sequence and never of a hash function or allocator.
  *
- * Not thread-safe: the serving loop advances the simulated cluster
- * sequentially (the same contract as the cluster sim itself), so its
- * caches are touched from exactly one thread.
+ * Not thread-safe — and that is a checked contract, not a comment:
+ * the serving loop advances the simulated cluster sequentially (the
+ * same contract as the cluster sim itself), so its caches are touched
+ * from exactly one thread at a time. Every mutable member is
+ * GUARDED_BY a zero-cost SerialGate and every method enters the gate,
+ * so clang's -Wthread-safety build rejects any new code path that
+ * reaches the innards without going through (or documenting) the
+ * serialized section (DESIGN.md §5f).
  */
 
 #ifndef COTTAGE_SERVE_LRU_CACHE_H
@@ -22,6 +27,8 @@
 #include <list>
 #include <map>
 #include <utility>
+
+#include "util/thread_annotations.h"
 
 namespace cottage {
 
@@ -35,21 +42,43 @@ class LruCache
     /** A capacity of zero disables the cache entirely. */
     bool enabled() const { return capacity_ > 0; }
     std::size_t capacity() const { return capacity_; }
-    std::size_t size() const { return entries_.size(); }
+
+    std::size_t
+    size() const
+    {
+        SerialLock section(gate_);
+        return entries_.size();
+    }
 
     /** Lookups that found an entry (find() only; peeks don't count). */
-    uint64_t hits() const { return hits_; }
+    uint64_t
+    hits() const
+    {
+        SerialLock section(gate_);
+        return hits_;
+    }
 
     /** Lookups that found nothing. */
-    uint64_t misses() const { return misses_; }
+    uint64_t
+    misses() const
+    {
+        SerialLock section(gate_);
+        return misses_;
+    }
 
     /** Entries pushed out by capacity pressure. */
-    uint64_t evictions() const { return evictions_; }
+    uint64_t
+    evictions() const
+    {
+        SerialLock section(gate_);
+        return evictions_;
+    }
 
     /** hits / (hits + misses); 0.0 before the first lookup. */
     double
     hitRate() const
     {
+        SerialLock section(gate_);
         const uint64_t lookups = hits_ + misses_;
         return lookups == 0
                    ? 0.0
@@ -69,6 +98,7 @@ class LruCache
     {
         if (!enabled())
             return nullptr;
+        SerialLock section(gate_);
         const auto it = index_.find(key);
         if (it == index_.end()) {
             ++misses_;
@@ -86,6 +116,7 @@ class LruCache
     const Value *
     peek(const Key &key) const
     {
+        SerialLock section(gate_);
         const auto it = index_.find(key);
         return it == index_.end() ? nullptr : &it->second->second;
     }
@@ -100,6 +131,7 @@ class LruCache
     {
         if (!enabled())
             return;
+        SerialLock section(gate_);
         const auto it = index_.find(key);
         if (it != index_.end()) {
             it->second->second = std::move(value);
@@ -119,6 +151,7 @@ class LruCache
     void
     clear()
     {
+        SerialLock section(gate_);
         entries_.clear();
         index_.clear();
     }
@@ -128,20 +161,25 @@ class LruCache
     reset()
     {
         clear();
+        SerialLock section(gate_);
         hits_ = 0;
         misses_ = 0;
         evictions_ = 0;
     }
 
   private:
+    /** External-serialization capability (runtime no-op); mutable so
+     * const probes (peek, counters) can document their section too. */
+    mutable SerialGate gate_;
+
     std::size_t capacity_;
     /** Front = most recently used. */
-    std::list<std::pair<Key, Value>> entries_;
+    std::list<std::pair<Key, Value>> entries_ COTTAGE_GUARDED_BY(gate_);
     std::map<Key, typename std::list<std::pair<Key, Value>>::iterator>
-        index_;
-    uint64_t hits_ = 0;
-    uint64_t misses_ = 0;
-    uint64_t evictions_ = 0;
+        index_ COTTAGE_GUARDED_BY(gate_);
+    uint64_t hits_ COTTAGE_GUARDED_BY(gate_) = 0;
+    uint64_t misses_ COTTAGE_GUARDED_BY(gate_) = 0;
+    uint64_t evictions_ COTTAGE_GUARDED_BY(gate_) = 0;
 };
 
 } // namespace cottage

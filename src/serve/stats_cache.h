@@ -15,7 +15,10 @@
  * Determinism: the cache is probed sequentially per query in arrival
  * order, the LRU innards never iterate a hash container, and the
  * penalty is pure arithmetic — so serving latencies stay bit-identical
- * at any host thread count.
+ * at any host thread count. The single-threaded-by-contract discipline
+ * is compiler-checked: the wrapped LruCache guards its state with a
+ * SerialGate (util/thread_annotations.h), so any probe reached from a
+ * pool task fails the -Werror=thread-safety CI cell.
  */
 
 #ifndef COTTAGE_SERVE_STATS_CACHE_H

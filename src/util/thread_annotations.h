@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Clang thread-safety annotations + the two capability types the tree
+ * locks with (DESIGN.md §5f).
+ *
+ * The macros expand to clang's `-Wthread-safety` attributes when the
+ * compiler supports them and to nothing elsewhere, so annotating a
+ * class costs zero bytes and zero cycles on gcc builds while the
+ * dedicated CI cell (clang, `-Werror=thread-safety`) proves the lock
+ * discipline at compile time.
+ *
+ * Two capability types cover every concurrency pattern in the tree:
+ *
+ *  - `Mutex` / `MutexLock`: a real `std::mutex` wrapped so the
+ *    analysis can see acquire/release. Used where state is genuinely
+ *    shared between threads (ThreadPool's work deques, the global
+ *    pool singleton).
+ *
+ *  - `SerialGate` / `SerialLock`: a zero-cost capability modeling
+ *    *external serialization*. The serving loop, the metrics registry
+ *    and the tracer sink are single-threaded by the determinism
+ *    contract (DESIGN.md §5b/§5d) — there is nothing to lock at
+ *    runtime, but their members are still annotated GUARDED_BY the
+ *    gate so any new code path that touches them without entering a
+ *    gated section fails the thread-safety build instead of becoming
+ *    a latent data race the moment someone parallelizes the caller.
+ *    Acquire/release compile to nothing; the value is purely static.
+ */
+
+#ifndef COTTAGE_UTIL_THREAD_ANNOTATIONS_H
+#define COTTAGE_UTIL_THREAD_ANNOTATIONS_H
+
+#include <mutex>
+
+#if defined(__clang__)
+#define COTTAGE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define COTTAGE_THREAD_ANNOTATION(x) // no-op outside clang
+#endif
+
+/** Marks a type as a lockable capability (names it in diagnostics). */
+#define COTTAGE_CAPABILITY(x) COTTAGE_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII type whose ctor acquires and dtor releases. */
+#define COTTAGE_SCOPED_CAPABILITY COTTAGE_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only while holding the capability. */
+#define COTTAGE_GUARDED_BY(x) COTTAGE_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointee (not the pointer) guarded by the capability. */
+#define COTTAGE_PT_GUARDED_BY(x) COTTAGE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function requires the capability held on entry (and keeps it). */
+#define COTTAGE_REQUIRES(...) \
+    COTTAGE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function acquires the capability and holds it on return. */
+#define COTTAGE_ACQUIRE(...) \
+    COTTAGE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function releases the capability. */
+#define COTTAGE_RELEASE(...) \
+    COTTAGE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function must NOT hold the capability on entry (deadlock guard). */
+#define COTTAGE_EXCLUDES(...) \
+    COTTAGE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Function returns a reference to the named capability. */
+#define COTTAGE_RETURN_CAPABILITY(x) \
+    COTTAGE_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch; must carry a justification comment at the use site. */
+#define COTTAGE_NO_THREAD_SAFETY_ANALYSIS \
+    COTTAGE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace cottage {
+
+/**
+ * std::mutex wrapped as an annotated capability, so clang's analysis
+ * tracks what each lock protects. Exposes the native handle for
+ * condition-variable waits (which the analysis does not model; the
+ * waiting code must not touch guarded state under the native lock).
+ */
+class COTTAGE_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() COTTAGE_ACQUIRE() { mutex_.lock(); }
+    void unlock() COTTAGE_RELEASE() { mutex_.unlock(); }
+
+    /** Underlying std::mutex, for std::condition_variable waits. */
+    std::mutex &native() { return mutex_; }
+
+  private:
+    std::mutex mutex_;
+};
+
+/** RAII lock over Mutex, visible to the thread-safety analysis. */
+class COTTAGE_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mutex) COTTAGE_ACQUIRE(mutex)
+        : mutex_(mutex)
+    {
+        mutex_.lock();
+    }
+    ~MutexLock() COTTAGE_RELEASE() { mutex_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mutex_;
+};
+
+/**
+ * Zero-cost capability for externally serialized state: classes the
+ * determinism contract confines to one thread at a time (LRU caches,
+ * MetricsRegistry, the QueryTracer sink) guard their members with a
+ * SerialGate instead of a real lock. enter()/exit() compile to
+ * nothing — the gate exists so `-Wthread-safety` statically rejects
+ * any member access outside a gated section.
+ */
+class COTTAGE_CAPABILITY("serial") SerialGate
+{
+  public:
+    SerialGate() = default;
+
+    // Copying guarded state does not copy the capability: the copy is
+    // a fresh object with its own (unheld) gate, so value types like
+    // LruCache stay copyable.
+    SerialGate(const SerialGate &) {}
+    SerialGate &operator=(const SerialGate &) { return *this; }
+
+    void enter() COTTAGE_ACQUIRE() {}
+    void exit() COTTAGE_RELEASE() {}
+};
+
+/** RAII section over a SerialGate (runtime no-op, statically checked). */
+class COTTAGE_SCOPED_CAPABILITY SerialLock
+{
+  public:
+    explicit SerialLock(SerialGate &gate) COTTAGE_ACQUIRE(gate)
+        : gate_(gate)
+    {
+        gate_.enter();
+    }
+    ~SerialLock() COTTAGE_RELEASE() { gate_.exit(); }
+
+    SerialLock(const SerialLock &) = delete;
+    SerialLock &operator=(const SerialLock &) = delete;
+
+  private:
+    SerialGate &gate_;
+};
+
+} // namespace cottage
+
+#endif // COTTAGE_UTIL_THREAD_ANNOTATIONS_H

@@ -64,7 +64,7 @@ ThreadPool::post(Task task)
         target = nextQueue_.fetch_add(1, std::memory_order_relaxed) %
                  queues_.size();
     {
-        std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+        MutexLock lock(queues_[target]->mutex);
         queues_[target]->tasks.push_back(std::move(task));
     }
     pending_.fetch_add(1, std::memory_order_release);
@@ -78,7 +78,7 @@ bool
 ThreadPool::popOwn(std::size_t self, Task &task)
 {
     Queue &queue = *queues_[self];
-    std::lock_guard<std::mutex> lock(queue.mutex);
+    MutexLock lock(queue.mutex);
     if (queue.tasks.empty())
         return false;
     task = std::move(queue.tasks.back());
@@ -90,7 +90,7 @@ bool
 ThreadPool::stealFrom(std::size_t victim, Task &task)
 {
     Queue &queue = *queues_[victim];
-    std::lock_guard<std::mutex> lock(queue.mutex);
+    MutexLock lock(queue.mutex);
     if (queue.tasks.empty())
         return false;
     task = std::move(queue.tasks.front());
@@ -191,15 +191,15 @@ ThreadPool::parallelFor(std::size_t begin, std::size_t end,
 
 namespace {
 
-std::mutex globalPoolMutex;
-std::unique_ptr<ThreadPool> globalPool;
+Mutex globalPoolMutex;
+std::unique_ptr<ThreadPool> globalPool COTTAGE_GUARDED_BY(globalPoolMutex);
 
 } // namespace
 
 ThreadPool &
 ThreadPool::global()
 {
-    std::lock_guard<std::mutex> lock(globalPoolMutex);
+    MutexLock lock(globalPoolMutex);
     if (!globalPool)
         globalPool = std::make_unique<ThreadPool>();
     return *globalPool;
@@ -208,7 +208,7 @@ ThreadPool::global()
 void
 ThreadPool::setGlobalThreads(unsigned threads)
 {
-    std::lock_guard<std::mutex> lock(globalPoolMutex);
+    MutexLock lock(globalPoolMutex);
     const unsigned desired = threads == 0 ? defaultThreads() : threads;
     if (globalPool && globalPool->threads() == desired)
         return;

@@ -37,6 +37,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "util/thread_annotations.h"
+
 namespace cottage {
 
 /** Work-stealing task pool; see the file comment for the contract. */
@@ -131,11 +133,17 @@ class ThreadPool
   private:
     using Task = std::function<void()>;
 
-    /** One worker's deque; owner pops back, thieves take front. */
+    /**
+     * One worker's deque; owner pops back, thieves take front. The
+     * deque is the one genuinely cross-thread structure in the pool,
+     * so it carries a compiler-checked guard (DESIGN.md §5f): any
+     * access outside the queue mutex fails the -Werror=thread-safety
+     * CI cell.
+     */
     struct Queue
     {
-        std::mutex mutex;
-        std::deque<Task> tasks;
+        Mutex mutex;
+        std::deque<Task> tasks COTTAGE_GUARDED_BY(mutex);
     };
 
     void post(Task task);

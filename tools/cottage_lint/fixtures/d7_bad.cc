@@ -1,0 +1,19 @@
+// Known-bad D7 fixture: a write to measured engine state inside a
+// nullable-tracer guard. The test lints this under the virtual path
+// src/engine/d7_bad.cc, so FixtureEngine's members count as measured.
+
+class QueryTracer;
+
+class FixtureEngine
+{
+  public:
+    void search(QueryTracer *tracer)
+    {
+        if (tracer) {
+            tracedQueries_ = tracedQueries_ + 1; // line 13: D7
+        }
+    }
+
+  private:
+    long tracedQueries_ = 0;
+};

@@ -1,0 +1,23 @@
+// Known-good D7 fixture: the hook guard only reads measured state and
+// writes a local of the enclosing function; the measured write happens
+// outside any guard.
+
+class QueryTracer;
+
+class FixtureEngine
+{
+  public:
+    long snapshot(QueryTracer *tracer)
+    {
+        long observed = 0;
+        if (tracer) {
+            observed = docsScored_;
+        }
+        return observed;
+    }
+
+    void step() { docsScored_ = docsScored_ + 1; }
+
+  private:
+    long docsScored_ = 0;
+};

@@ -1,0 +1,20 @@
+// D7 fixture with a justified suppression: same shape as d7_bad.cc but
+// the offending line carries an allow-comment, so the file must lint
+// clean.
+
+class QueryTracer;
+
+class FixtureEngine
+{
+  public:
+    void search(QueryTracer *tracer)
+    {
+        if (tracer) {
+            // cottage-lint: allow(D7): fixture pins the suppression path
+            tracedQueries_ = tracedQueries_ + 1;
+        }
+    }
+
+  private:
+    long tracedQueries_ = 0;
+};

@@ -1,0 +1,11 @@
+// Known-bad D8 fixture: a [&]-default lambda handed to the pool writes
+// a captured accumulator without a per-worker slot or a guarded
+// member — the unsynchronized shared-mutable pattern.
+
+struct ThreadPool;
+
+void
+accumulate(ThreadPool &pool, double &total)
+{
+    pool.submit([&] { total = total + 1.0; }); // line 10: D8
+}

@@ -1,0 +1,13 @@
+// Known-good D8 fixture: each task writes only its own indexed slot
+// (captured by value), the sanctioned per-worker pattern; the merge
+// happens sequentially after the gang.
+
+struct ThreadPool;
+
+void
+fill(ThreadPool &pool, double *slots, int count)
+{
+    for (int i = 0; i < count; ++i) {
+        pool.submit([slots, i] { slots[i] = 1.0; });
+    }
+}

@@ -1,0 +1,11 @@
+// D8 fixture with a justified suppression on the line above the
+// offending submit; the file must lint clean.
+
+struct ThreadPool;
+
+void
+accumulate(ThreadPool &pool, double &total)
+{
+    // cottage-lint: allow(D8): fixture pins the suppression path
+    pool.submit([&] { total = total + 1.0; });
+}

@@ -1,0 +1,9 @@
+// Known-bad D9 fixture: a default-constructed generator has no visible
+// seed provenance, so the run cannot be replayed from its config.
+
+double
+sample()
+{
+    Rng rng; // line 7: D9
+    return rng.uniform();
+}

@@ -1,0 +1,9 @@
+// Known-good D9 fixture: the generator's seed arrives as an explicit
+// parameter, so provenance is visible at the construction site.
+
+double
+sample(unsigned long seed)
+{
+    Rng rng(seed);
+    return rng.uniform();
+}

@@ -1,0 +1,9 @@
+// D9 fixture with a justified suppression; the file must lint clean.
+
+double
+sample()
+{
+    // cottage-lint: allow(D9): fixture pins the suppression path
+    Rng rng;
+    return rng.uniform();
+}

@@ -6,9 +6,9 @@
  * for the project rules — identifier/punctuation tokens with line
  * numbers, with comments, string/char literals and preprocessor lines
  * stripped out of the token stream. Comment text is kept per line so
- * the suppression syntax (`// cottage-lint: allow(<rule>): <why>`) can
- * be recognized, and string/char literals can never produce a false
- * finding (an `assert(` inside a log message is not a call).
+ * the suppression comments can be recognized, and string/char literals
+ * can never produce a false finding (an `assert(` inside a log message
+ * is not a call).
  */
 
 #ifndef COTTAGE_LINT_LEXER_H

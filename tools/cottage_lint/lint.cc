@@ -1,20 +1,23 @@
 #include "lint.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cstddef>
+#include <functional>
 #include <map>
 #include <set>
 #include <sstream>
 
 #include "lexer.h"
+#include "symbol_index.h"
 
 namespace cottage::lint {
 
 namespace {
 
 /** Rule-id set a suppression may name. */
-const std::set<std::string> kKnownRules = {"D1", "D2", "D3",
-                                           "D4", "D5", "D6"};
+const std::set<std::string> kKnownRules = {"D1", "D2", "D3", "D4", "D5",
+                                           "D6", "D7", "D8", "D9"};
 
 /** Minimum justification length a suppression must carry. */
 constexpr std::size_t kMinJustification = 10;
@@ -80,6 +83,19 @@ isIntrinsicName(const std::string &t)
            t.rfind("uint32x4", 0) == 0;
 }
 
+/**
+ * Files where D9's seed-provenance rule does not apply: rng.{h,cc}
+ * define the generator (including the default-seed constructor and
+ * split()), so they are the one sanctioned home for seed plumbing.
+ */
+bool
+isD9Exempt(const std::string &path)
+{
+    return path.ends_with("src/util/rng.h") ||
+           path.ends_with("src/util/rng.cc") ||
+           path == "src/util/rng.h" || path == "src/util/rng.cc";
+}
+
 /** Wall-clock / randomness identifiers D2 bans outright. */
 const std::set<std::string> kBannedD2Names = {
     "random_device",
@@ -95,7 +111,7 @@ const std::set<std::string> kBannedD2Calls = {
     "clock_gettime",
 };
 
-/** One parsed `cottage-lint: allow(...)` comment. */
+/** One parsed suppression (a `cottage-lint` allow-comment). */
 struct Suppression
 {
     int commentLine = 0;
@@ -270,10 +286,502 @@ findRangeFors(const LexedFile &lexed)
     return out;
 }
 
+/** Decl-heuristic local names in [begin, end) of a token stream. */
+std::set<std::string>
+collectLocalDecls(const std::vector<Token> &toks, std::size_t begin,
+                  std::size_t end)
+{
+    std::set<std::string> locals;
+    for (std::size_t k = begin; k < end && k + 1 < toks.size(); ++k) {
+        const Token &t = toks[k];
+        if (t.kind != TokenKind::Identifier || isCppKeyword(t.text))
+            continue;
+        if (k == 0)
+            continue;
+        const std::string &prev = toks[k - 1].text;
+        const std::string &nxt = toks[k + 1].text;
+        const bool declPrev =
+            isDeclPrevToken(toks[k - 1]) || prev == ">" ||
+            ((prev == "*" || prev == "&" || prev == "&&") && k >= 2 &&
+             isDeclPrevToken(toks[k - 2]));
+        if (declPrev && (nxt == "=" || nxt == ";" || nxt == "{" ||
+                         nxt == "(" || nxt == ":" || nxt == ","))
+            locals.insert(t.text);
+    }
+    return locals;
+}
+
+/**
+ * D7 part one: guarded-hook regions. Finds `if (<hook ptr> ...)`
+ * blocks and `<hook ptr> ... ? ... : ...` conditionals whose guard is
+ * a nullable QueryTracer / MetricsRegistry pointer and audits the
+ * guarded tokens: no write to measured state (bare or via `->`), and
+ * no call that can transitively reach one. Locals of the enclosing
+ * function (per the symbol index) and obs-local state are fine.
+ */
+void
+runD7Regions(const SourceFile &file, const LexedFile &lexed,
+             const SymbolIndex &index,
+             const std::function<void(int, const char *, std::string)> &emit)
+{
+    const auto &toks = lexed.tokens;
+
+    auto enclosingLocals = [&](std::size_t pos) {
+        for (const FunctionInfo &fn : index.functions()) {
+            if (fn.file == file.path && fn.defined() &&
+                fn.bodyBegin <= pos && pos < fn.bodyEnd)
+                return fn.locals;
+        }
+        return std::set<std::string>{};
+    };
+
+    auto checkRegion = [&](std::size_t rb, std::size_t re,
+                           const std::string &guard) {
+        const std::set<std::string> locals = enclosingLocals(rb);
+        for (const WriteSite &w : scanWrites(toks, rb, re)) {
+            if (w.declaration || w.access == WriteAccess::Dot)
+                continue;
+            if (w.access == WriteAccess::Bare && locals.count(w.name))
+                continue;
+            if (!index.isMeasuredMember(w.name))
+                continue;
+            emit(w.line, "D7",
+                 "write to measured state '" + w.name +
+                     "' inside the '" + guard +
+                     "' hook guard: observability must be pure — "
+                     "tracing/metrics off and on must leave measured "
+                     "bytes identical (DESIGN.md 5f; test_obs pins "
+                     "this dynamically)");
+        }
+        for (std::size_t k = rb; k < re && k + 1 < toks.size(); ++k) {
+            const Token &t = toks[k];
+            if (t.kind != TokenKind::Identifier ||
+                isCppKeyword(t.text) ||
+                t.text.rfind("COTTAGE_", 0) == 0 ||
+                toks[k + 1].text != "(" || locals.count(t.text))
+                continue;
+            std::string why;
+            if (index.calleeWritesMeasured(t.text, &why)) {
+                emit(t.line, "D7",
+                     "call to '" + t.text + "' inside the '" + guard +
+                         "' hook guard reaches a measured-state "
+                         "write (" + why +
+                         "): hook-guarded code must stay pure "
+                         "(DESIGN.md 5f)");
+            }
+        }
+    };
+
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        const Token &t = toks[i];
+
+        // `if (<cond containing hook ptr>) { ... }`
+        if (t.kind == TokenKind::Identifier && t.text == "if" &&
+            toks[i + 1].text == "(")
+        {
+            const std::size_t close =
+                matchGroup(toks, i + 1, toks.size());
+            std::string guard;
+            bool negative = false;
+            for (std::size_t c = i + 2; c < close; ++c) {
+                if (toks[c].kind == TokenKind::Identifier &&
+                    index.isHookPointer(toks[c].text))
+                {
+                    guard = toks[c].text;
+                    if (c + 2 < close && toks[c + 1].text == "==" &&
+                        toks[c + 2].text == "nullptr")
+                        negative = true;
+                    if (c >= 2 && toks[c - 1].text == "==" &&
+                        toks[c - 2].text == "nullptr")
+                        negative = true;
+                }
+            }
+            if (guard.empty() || negative)
+                continue;
+            std::size_t rb = close + 1;
+            std::size_t re;
+            if (rb < toks.size() && toks[rb].text == "{") {
+                re = matchGroup(toks, rb, toks.size());
+                ++rb;
+            } else {
+                re = rb;
+                int depth = 0;
+                while (re < toks.size()) {
+                    const std::string &u = toks[re].text;
+                    if (u == "(" || u == "[" || u == "{")
+                        ++depth;
+                    else if (u == ")" || u == "]" || u == "}")
+                        --depth;
+                    else if (u == ";" && depth == 0)
+                        break;
+                    ++re;
+                }
+            }
+            checkRegion(rb, re, guard);
+            continue;
+        }
+
+        // `<hook ptr> [!= nullptr] ? <guarded> : <fallback>`
+        if (t.kind == TokenKind::Identifier &&
+            index.isHookPointer(t.text))
+        {
+            std::size_t q = i + 1;
+            if (q + 1 < toks.size() && toks[q].text == "!=" &&
+                toks[q + 1].text == "nullptr")
+                q += 2;
+            if (q >= toks.size() || toks[q].text != "?")
+                continue;
+            // True branch: '?' to the matching top-level ':'.
+            std::size_t rb = q + 1;
+            std::size_t re = rb;
+            int depth = 0;
+            int nested = 0;
+            while (re < toks.size()) {
+                const std::string &u = toks[re].text;
+                if (u == "(" || u == "[" || u == "{")
+                    ++depth;
+                else if (u == ")" || u == "]" || u == "}") {
+                    if (depth == 0)
+                        break;
+                    --depth;
+                } else if (u == "?" && depth == 0)
+                    ++nested;
+                else if (u == ":" && depth == 0) {
+                    if (nested == 0)
+                        break;
+                    --nested;
+                } else if (u == ";" && depth == 0)
+                    break;
+                ++re;
+            }
+            checkRegion(rb, re, t.text);
+        }
+    }
+}
+
+/** D7 part two: hook entry points must not reach measured writes. */
+void
+runD7HookEntries(const SourceFile &file, const SymbolIndex &index,
+                 const std::function<void(int, const char *,
+                                          std::string)> &emit)
+{
+    for (const FunctionInfo &fn : index.functions()) {
+        if (fn.file != file.path || !fn.defined() || !fn.writesMeasured)
+            continue;
+        if (fn.klass != "QueryTracer" && fn.klass != "MetricsRegistry")
+            continue;
+        emit(fn.line, "D7",
+             "hook entry point '" + fn.name +
+                 "' can reach a measured-state write (" +
+                 fn.measuredWhy +
+                 "): observability code must only read measured state "
+                 "and write obs-local state (DESIGN.md 5f)");
+    }
+}
+
+/** Parsed capture list of one lambda handed to the thread pool. */
+struct LambdaCaptures
+{
+    bool defaultRef = false; ///< [&]
+    bool defaultVal = false; ///< [=] (captures this implicitly)
+    bool capturesThis = false;
+    std::set<std::string> byRef;
+    std::set<std::string> byVal;
+};
+
+/**
+ * D8: lambdas submitted to ThreadPool (submit / parallelFor / post)
+ * run concurrently with their siblings, so a by-reference captured
+ * name (or a member reached through a captured `this`) may only be
+ * written through a per-worker index (`slot[i] = ...`) or if it is
+ * annotated COTTAGE_GUARDED_BY. Everything else is the
+ * unsynchronized-shared-mutable pattern TSan can only catch when the
+ * schedule happens to interleave it.
+ */
+void
+runD8(const LexedFile &lexed, const SymbolIndex &index,
+      const std::function<void(int, const char *, std::string)> &emit)
+{
+    static const std::set<std::string> kPoolCalls = {"submit",
+                                                     "parallelFor",
+                                                     "post"};
+    const auto &toks = lexed.tokens;
+
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (toks[i].kind != TokenKind::Identifier ||
+            !kPoolCalls.count(toks[i].text) || toks[i + 1].text != "(")
+            continue;
+        const std::size_t argClose =
+            matchGroup(toks, i + 1, toks.size());
+
+        for (std::size_t j = i + 2; j < argClose; ++j) {
+            // A lambda introducer in argument position.
+            if (toks[j].text != "[" ||
+                (toks[j - 1].text != "(" && toks[j - 1].text != ","))
+                continue;
+            const std::size_t capClose =
+                matchGroup(toks, j, toks.size());
+
+            LambdaCaptures caps;
+            std::size_t e = j + 1;
+            while (e < capClose) {
+                const std::string &c = toks[e].text;
+                if (c == "&") {
+                    if (e + 1 < capClose &&
+                        toks[e + 1].kind == TokenKind::Identifier)
+                    {
+                        caps.byRef.insert(toks[e + 1].text);
+                        ++e;
+                    } else {
+                        caps.defaultRef = true;
+                    }
+                } else if (c == "=") {
+                    caps.defaultVal = true;
+                } else if (c == "this") {
+                    caps.capturesThis = true;
+                } else if (c == "*" && e + 1 < capClose &&
+                           toks[e + 1].text == "this")
+                {
+                    ++e; // *this copies: writes stay lambda-local
+                } else if (toks[e].kind == TokenKind::Identifier) {
+                    caps.byVal.insert(c);
+                }
+                // Skip an init-capture's initializer to its ','.
+                if (e + 1 < capClose && toks[e + 1].text == "=") {
+                    int depth = 0;
+                    e += 2;
+                    while (e < capClose &&
+                           !(depth == 0 && toks[e].text == ","))
+                    {
+                        const std::string &u = toks[e].text;
+                        if (u == "(" || u == "[" || u == "{")
+                            ++depth;
+                        else if (u == ")" || u == "]" || u == "}")
+                            --depth;
+                        ++e;
+                    }
+                }
+                ++e;
+            }
+
+            // Parameters, then the body.
+            std::size_t p = capClose + 1;
+            std::set<std::string> params;
+            if (p < toks.size() && toks[p].text == "(") {
+                const std::size_t pClose =
+                    matchGroup(toks, p, toks.size());
+                for (std::size_t k = p + 1; k < pClose; ++k) {
+                    if (toks[k].kind == TokenKind::Identifier &&
+                        !isCppKeyword(toks[k].text) &&
+                        (toks[k + 1].text == "," ||
+                         toks[k + 1].text == ")" ||
+                         toks[k + 1].text == "="))
+                        params.insert(toks[k].text);
+                }
+                p = pClose + 1;
+            }
+            while (p < toks.size() && toks[p].text != "{" &&
+                   toks[p].text != ")" && toks[p].text != ",")
+                ++p;
+            if (p >= toks.size() || toks[p].text != "{")
+                continue;
+            const std::size_t bodyClose =
+                matchGroup(toks, p, toks.size());
+            const std::size_t bodyBegin = p + 1;
+
+            std::set<std::string> locals =
+                collectLocalDecls(toks, bodyBegin, bodyClose);
+            locals.insert(params.begin(), params.end());
+
+            auto flag = [&](const WriteSite &w, const std::string &how) {
+                emit(w.line, "D8",
+                     "gang-shared write to '" + w.name + "' (" + how +
+                         ") in a lambda handed to ThreadPool::" +
+                         toks[i].text +
+                         ": concurrent tasks may only write "
+                         "per-worker indexed slots ('slot[i] = ...') "
+                         "or COTTAGE_GUARDED_BY members; merge "
+                         "results sequentially afterwards "
+                         "(DESIGN.md threading model)");
+            };
+
+            for (const WriteSite &w :
+                 scanWrites(toks, bodyBegin, bodyClose))
+            {
+                if (w.declaration || w.indexed)
+                    continue;
+                if (index.isGuardedMember(w.name))
+                    continue;
+                if (w.access == WriteAccess::Bare) {
+                    if (locals.count(w.name) || caps.byVal.count(w.name))
+                        continue;
+                    if (caps.byRef.count(w.name)) {
+                        flag(w, "captured by reference");
+                    } else if (caps.defaultRef) {
+                        flag(w, "captured by '[&]' default");
+                    } else if ((caps.capturesThis || caps.defaultVal ||
+                                caps.defaultRef) &&
+                               index.isAnyMember(w.name))
+                    {
+                        flag(w, "member via captured 'this'");
+                    }
+                    continue;
+                }
+                // obj.f = / obj->f =: shared iff the receiver is
+                // captured by reference (or is `this`).
+                const std::string &base = w.base;
+                if (base.empty() || locals.count(base) ||
+                    caps.byVal.count(base))
+                    continue;
+                if (base == "this" &&
+                    (caps.capturesThis || caps.defaultRef ||
+                     caps.defaultVal))
+                {
+                    flag(w, "member via captured 'this'");
+                } else if (caps.byRef.count(base)) {
+                    flag(w, "through by-reference capture '" + base +
+                                "'");
+                } else if (caps.defaultRef) {
+                    flag(w, "through '[&]'-captured '" + base + "'");
+                }
+            }
+            j = bodyClose;
+        }
+        i = argClose;
+    }
+}
+
+/**
+ * D9: every util/rng construction must show its seed provenance at
+ * the call site — an identifier containing "seed" (a parameter or an
+ * ExperimentConfig field) or derivation via split(). Default-seeded
+ * generators are ambient randomness D2 cannot see.
+ */
+void
+runD9(const LexedFile &lexed,
+      const std::function<void(int, const char *, std::string)> &emit)
+{
+    const auto &toks = lexed.tokens;
+
+    auto hasSeedEvidence = [&](std::size_t b, std::size_t e) {
+        for (std::size_t k = b; k < e; ++k) {
+            if (toks[k].kind != TokenKind::Identifier)
+                continue;
+            if (toks[k].text == "split")
+                return true;
+            std::string low = toks[k].text;
+            std::transform(low.begin(), low.end(), low.begin(),
+                           [](unsigned char c) {
+                               return static_cast<char>(
+                                   std::tolower(c));
+                           });
+            if (low.find("seed") != std::string::npos)
+                return true;
+        }
+        return false;
+    };
+
+    auto flag = [&](int line, const std::string &detail) {
+        emit(line, "D9",
+             "Rng " + detail +
+                 ": every generator must trace to an explicit seed "
+                 "(a seed parameter, an ExperimentConfig field, or "
+                 "parent.split()); ambient/default seeds make runs "
+                 "unreplayable (extends D2 to randomness provenance)");
+    };
+
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != TokenKind::Identifier || t.text != "Rng")
+            continue;
+        const std::string &nxt = toks[i + 1].text;
+
+        // Reference/pointer declarators, template args, qualified
+        // access and type positions never construct.
+        if (nxt == "&" || nxt == "*" || nxt == "&&" || nxt == "::" ||
+            nxt == ">" || nxt == "," || nxt == ")" || nxt == ";")
+            continue;
+
+        if (nxt == "(") {
+            // Temporary: Rng(args).
+            const std::size_t close =
+                matchGroup(toks, i + 1, toks.size());
+            if (close == i + 2)
+                flag(t.line, "temporary with the default seed");
+            else if (!hasSeedEvidence(i + 2, close))
+                flag(t.line,
+                     "temporary without visible seed provenance");
+            i = close;
+            continue;
+        }
+        if (nxt == "{") {
+            const std::size_t close =
+                matchGroup(toks, i + 1, toks.size());
+            if (close == i + 2)
+                flag(t.line, "value-initialized with the default seed");
+            else if (!hasSeedEvidence(i + 2, close))
+                flag(t.line,
+                     "braced construction without visible seed "
+                     "provenance");
+            i = close;
+            continue;
+        }
+        if (toks[i + 1].kind != TokenKind::Identifier ||
+            isCppKeyword(nxt) || i + 2 >= toks.size())
+            continue;
+        const std::string &after = toks[i + 2].text;
+        if (after == ";") {
+            flag(t.line, "'" + nxt +
+                             "' default-constructed (implicit default "
+                             "seed)");
+        } else if (after == "=") {
+            std::size_t e = i + 3;
+            int depth = 0;
+            while (e < toks.size()) {
+                const std::string &u = toks[e].text;
+                if (u == "(" || u == "[" || u == "{")
+                    ++depth;
+                else if (u == ")" || u == "]" || u == "}")
+                    --depth;
+                else if (u == ";" && depth == 0)
+                    break;
+                ++e;
+            }
+            if (!hasSeedEvidence(i + 3, e))
+                flag(t.line, "'" + nxt +
+                                 "' initialized without visible seed "
+                                 "provenance");
+            i = e;
+        } else if (after == "(") {
+            const std::size_t close =
+                matchGroup(toks, i + 2, toks.size());
+            // `Rng name()` is a function declaration (or the most
+            // vexing parse) — never a seeded construction; skip.
+            if (close != i + 3 && !hasSeedEvidence(i + 3, close))
+                flag(t.line, "'" + nxt +
+                                 "' constructed without visible seed "
+                                 "provenance");
+            i = close;
+        } else if (after == "{") {
+            const std::size_t close =
+                matchGroup(toks, i + 2, toks.size());
+            if (close == i + 3)
+                flag(t.line, "'" + nxt +
+                                 "' value-initialized (implicit "
+                                 "default seed)");
+            else if (!hasSeedEvidence(i + 3, close))
+                flag(t.line, "'" + nxt +
+                                 "' constructed without visible seed "
+                                 "provenance");
+            i = close;
+        }
+    }
+}
+
 void
 runRules(const SourceFile &file, const LexedFile &lexed,
          const std::set<std::string> &unorderedNames,
-         std::vector<Diagnostic> &diags)
+         const SymbolIndex &index, std::vector<Diagnostic> &diags)
 {
     const bool testFile = isTestPath(file.path);
     const auto &toks = lexed.tokens;
@@ -281,6 +789,17 @@ runRules(const SourceFile &file, const LexedFile &lexed,
     auto emit = [&](int line, const char *rule, std::string message) {
         diags.push_back({file.path, line, rule, std::move(message)});
     };
+
+    // --- Flow rules over the project-wide symbol index -------------
+    if (!testFile) {
+        const std::function<void(int, const char *, std::string)>
+            emitFn = emit;
+        runD7Regions(file, lexed, index, emitFn);
+        runD7HookEntries(file, index, emitFn);
+        runD8(lexed, index, emitFn);
+        if (!isD9Exempt(file.path))
+            runD9(lexed, emitFn);
+    }
 
     // --- D1: hash-container iteration (non-test TUs) ---------------
     if (!testFile) {
@@ -445,16 +964,20 @@ Linter::run() const
     std::set<std::string> unorderedNames;
     std::vector<LexedFile> lexed;
     lexed.reserve(files_.size());
+    SymbolIndex index;
     for (const SourceFile &file : files_) {
         lexed.push_back(lex(file.content));
-        if (!isTestPath(file.path))
+        if (!isTestPath(file.path)) {
             collectUnorderedNames(lexed.back(), unorderedNames);
+            index.addFile(file.path, lexed.back());
+        }
     }
+    index.finalize();
 
     std::vector<Diagnostic> out;
     for (std::size_t f = 0; f < files_.size(); ++f) {
         std::vector<Diagnostic> diags;
-        runRules(files_[f], lexed[f], unorderedNames, diags);
+        runRules(files_[f], lexed[f], unorderedNames, index, diags);
 
         // Apply suppressions; a malformed one suppresses nothing and
         // is itself a finding.
@@ -464,7 +987,7 @@ Linter::run() const
                 diags.push_back(
                     {files_[f].path, sup.commentLine, "SUP",
                      "allow() names unknown rule '" + bad +
-                         "' (known: D1..D6)"});
+                         "' (known: D1..D9)"});
             }
             if (!sup.justified()) {
                 diags.push_back(

@@ -18,7 +18,21 @@
  *       new/delete are banned outside allow-listed arena code;
  *   D5  every std::sort / std::stable_sort in non-test code must name
  *       a comparator (default `<` on pointers, or on pairs holding
- *       pointers, is a latent nondeterminism).
+ *       pointers, is a latent nondeterminism);
+ *   D6  raw SIMD intrinsics are confined to src/index — vector
+ *       kernels pair with a byte-identical scalar fallback there;
+ *   D7  hook purity (cross-TU): QueryTracer / MetricsRegistry code
+ *       and hook-pointer-guarded regions must not reach writes to
+ *       measured state (members of classes under src/sim, src/engine,
+ *       src/index — per the project symbol index and call graph);
+ *   D8  gang-shared state: lambdas handed to the ThreadPool may write
+ *       a by-reference capture only through a per-worker indexed slot
+ *       or a COTTAGE_GUARDED_BY member;
+ *   D9  seed discipline: every Rng construction must show its seed
+ *       provenance at the call site (a *seed* identifier or .split()).
+ *
+ * D7-D9 are flow rules over the cross-TU symbol index; the model and
+ * its deliberate approximations are in docs/static_analysis.md.
  *
  * Findings are suppressed per line with
  *
@@ -42,7 +56,7 @@ struct Diagnostic
 {
     std::string file;
     int line;
-    std::string rule; ///< "D1".."D5", or "SUP" for a bad suppression.
+    std::string rule; ///< "D1".."D9", or "SUP" for a bad suppression.
     std::string message;
 
     /** Render in the canonical file:line: [rule] form. */

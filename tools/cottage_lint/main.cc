@@ -1,157 +1,15 @@
 /**
  * @file
- * cottage_lint CLI.
- *
- *     cottage_lint [--root <dir>] [--as <virtual-path>] [paths...]
- *
- * With no paths, scans src/, bench/ and tests/ under --root (default
- * "."). Directories are walked recursively for .h/.cc/.cpp files in
- * sorted order; build trees and the lint fixtures are skipped. Exits 1
- * when any finding survives suppression, 2 on usage/IO errors.
- *
- * --as lints a single file under a pretend repo-relative path, so the
- * path-scoped rules (D2/D3, test exemptions) can be exercised against
- * a file living elsewhere (the fixture suite uses this).
+ * cottage_lint entry point; all logic lives in cli.cc so the test
+ * suite can drive the CLI (including its exit codes) in-process.
  */
 
-#include <algorithm>
-#include <filesystem>
-#include <fstream>
 #include <iostream>
-#include <sstream>
-#include <string>
-#include <vector>
 
-#include "lint.h"
-
-namespace fs = std::filesystem;
-using cottage::lint::Diagnostic;
-using cottage::lint::Linter;
-
-namespace {
-
-/** Default scan set, matching the CI static-analysis job. */
-const char *const kDefaultRoots[] = {"src", "bench", "tests"};
-
-bool
-isSourceFile(const fs::path &p)
-{
-    const std::string ext = p.extension().string();
-    return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
-}
-
-/** Subtrees never scanned: build output and the known-bad fixtures. */
-bool
-isSkippedDir(const fs::path &p)
-{
-    const std::string name = p.filename().string();
-    return name.rfind("build", 0) == 0 || name == "fixtures" ||
-           name == ".git";
-}
-
-bool
-readFile(const fs::path &p, std::string &out)
-{
-    std::ifstream in(p, std::ios::binary);
-    if (!in)
-        return false;
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    out = buf.str();
-    return true;
-}
-
-/** Collect source files under @p p (file or directory), sorted. */
-void
-collect(const fs::path &p, std::vector<fs::path> &out)
-{
-    if (fs::is_regular_file(p)) {
-        out.push_back(p);
-        return;
-    }
-    if (!fs::is_directory(p))
-        return;
-    std::vector<fs::path> entries;
-    for (fs::recursive_directory_iterator it(p), end; it != end; ++it) {
-        if (it->is_directory() && isSkippedDir(it->path())) {
-            it.disable_recursion_pending();
-            continue;
-        }
-        if (it->is_regular_file() && isSourceFile(it->path()))
-            entries.push_back(it->path());
-    }
-    std::sort(entries.begin(), entries.end());
-    out.insert(out.end(), entries.begin(), entries.end());
-}
-
-} // namespace
+#include "cli.h"
 
 int
 main(int argc, char **argv)
 {
-    fs::path root = ".";
-    std::string asPath;
-    std::vector<std::string> inputs;
-
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--root" && i + 1 < argc) {
-            root = argv[++i];
-        } else if (arg == "--as" && i + 1 < argc) {
-            asPath = argv[++i];
-        } else if (arg == "--help" || arg == "-h") {
-            std::cout << "usage: cottage_lint [--root <dir>] "
-                         "[--as <virtual-path>] [paths...]\n";
-            return 0;
-        } else if (!arg.empty() && arg[0] == '-') {
-            std::cerr << "cottage_lint: unknown flag " << arg << "\n";
-            return 2;
-        } else {
-            inputs.push_back(arg);
-        }
-    }
-
-    if (!asPath.empty() && inputs.size() != 1) {
-        std::cerr << "cottage_lint: --as needs exactly one input file\n";
-        return 2;
-    }
-
-    std::vector<fs::path> files;
-    if (inputs.empty()) {
-        for (const char *sub : kDefaultRoots)
-            collect(root / sub, files);
-    } else {
-        for (const std::string &in : inputs)
-            collect(fs::path(in).is_absolute() ? fs::path(in) : root / in,
-                    files);
-    }
-    if (files.empty()) {
-        std::cerr << "cottage_lint: no source files found under "
-                  << root << "\n";
-        return 2;
-    }
-
-    Linter linter;
-    for (const fs::path &file : files) {
-        std::string content;
-        if (!readFile(file, content)) {
-            std::cerr << "cottage_lint: cannot read " << file << "\n";
-            return 2;
-        }
-        std::string rel = asPath;
-        if (rel.empty()) {
-            const fs::path relPath = file.lexically_relative(root);
-            rel = (relPath.empty() || *relPath.begin() == "..")
-                      ? file.generic_string()
-                      : relPath.generic_string();
-        }
-        linter.addFile(rel, std::move(content));
-    }
-
-    const std::vector<Diagnostic> diags = linter.run();
-    for (const Diagnostic &d : diags)
-        std::cout << d.format() << "\n";
-    std::cout << "cottage_lint: " << files.size() << " file(s), "
-              << diags.size() << " finding(s)\n";
-    return diags.empty() ? 0 : 1;
+    return cottage::lint::runCli(argc, argv, std::cout, std::cerr);
 }

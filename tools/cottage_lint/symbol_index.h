@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Project-wide symbol index for cottage_lint's flow rules (D7-D9).
+ *
+ * One pass over every lexed file harvests just enough structure for
+ * the cross-TU rules without becoming a compiler front end:
+ *
+ *  - class/struct definitions (including forward declarations,
+ *    nested classes and out-of-line method owners) with their data
+ *    member names and the file that defines them;
+ *  - function and method definitions with a token span for the body,
+ *    the set of decl-heuristic locals, the bare names they call, and
+ *    every write site (identifier op= / ++ / --) classified by access
+ *    path (bare, `.`, `->`) and whether it went through an index
+ *    (`slot[i] = ...` — the sanctioned per-worker pattern);
+ *  - members annotated COTTAGE_GUARDED_BY (the D8 escape hatch);
+ *  - variables declared as `QueryTracer *` / `MetricsRegistry *`
+ *    (the nullable hook pointers whose guard blocks D7 audits).
+ *
+ * finalize() then computes the "measured member" set (data members of
+ * classes defined under src/sim, src/engine or src/index — the state
+ * whose bytes the replay contract covers) and runs a fixed point over
+ * the name-keyed call graph so every function knows whether it can
+ * reach a measured-state write.
+ *
+ * Everything is name-keyed, not type-resolved; the deliberate over-
+ * and under-approximations are documented in docs/static_analysis.md.
+ */
+
+#ifndef COTTAGE_LINT_SYMBOL_INDEX_H
+#define COTTAGE_LINT_SYMBOL_INDEX_H
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace cottage::lint {
+
+/** How a written identifier was reached. */
+enum class WriteAccess {
+    Bare, ///< `name = ...` (local, member of *this, or global)
+    Dot,  ///< `obj.name = ...` (value/reference access)
+    Ptr,  ///< `obj->name = ...` (pointer access)
+};
+
+/** One write site inside a function body. */
+struct WriteSite
+{
+    std::string name; ///< Identifier assigned / incremented.
+    std::string base; ///< Receiver for Dot/Ptr access ("" if complex).
+    int line = 0;
+    WriteAccess access = WriteAccess::Bare;
+    bool indexed = false;     ///< Went through `[...]` (slot write).
+    bool declaration = false; ///< Looked like a decl-with-initializer.
+};
+
+/** One function or method definition (or bodyless declaration). */
+struct FunctionInfo
+{
+    std::string name;  ///< As written, e.g. "DistributedEngine::run".
+    std::string bare;  ///< Last component, e.g. "run".
+    std::string klass; ///< Owning class ("" for free functions).
+    std::string file;
+    int line = 0;
+
+    /** Body token span in the owning file's stream (0,0 = bodyless). */
+    std::size_t bodyBegin = 0;
+    std::size_t bodyEnd = 0;
+
+    std::set<std::string> locals;  ///< Parameters + decl-heuristic.
+    std::set<std::string> callees; ///< Bare names called in the body.
+    std::vector<WriteSite> writes;
+
+    /** Set by finalize(): body can reach a measured-state write. */
+    bool writesMeasured = false;
+    std::string measuredWhy; ///< Human-readable evidence chain.
+
+    bool defined() const { return bodyEnd > bodyBegin; }
+};
+
+/** One class/struct, merged across forward decls and the definition. */
+struct ClassInfo
+{
+    std::string file; ///< File of the definition (or first decl).
+    bool defined = false;
+    std::set<std::string> members; ///< Data member names.
+};
+
+/** The project-wide index the flow rules query. */
+class SymbolIndex
+{
+  public:
+    /** Harvest one file; call once per file, then finalize(). */
+    void addFile(const std::string &path, const LexedFile &lexed);
+
+    /** Compute measured members + the call-graph fixed point. */
+    void finalize();
+
+    const std::map<std::string, ClassInfo> &classes() const
+    {
+        return classes_;
+    }
+    const std::vector<FunctionInfo> &functions() const
+    {
+        return functions_;
+    }
+
+    /** Data member of a class defined under src/sim|engine|index. */
+    bool isMeasuredMember(const std::string &name) const
+    {
+        return measuredMembers_.count(name) != 0;
+    }
+
+    /** Data member of any indexed class (for D8's `this` captures). */
+    bool isAnyMember(const std::string &name) const
+    {
+        return allMembers_.count(name) != 0;
+    }
+
+    /** Member carrying a COTTAGE_GUARDED_BY annotation. */
+    bool isGuardedMember(const std::string &name) const
+    {
+        return guardedMembers_.count(name) != 0;
+    }
+
+    /** Variable declared as QueryTracer* / MetricsRegistry*. */
+    bool isHookPointer(const std::string &name) const
+    {
+        return hookPointers_.count(name) != 0;
+    }
+
+    /**
+     * Conservative call resolution: true when the bare name resolves
+     * to at least one defined function and EVERY defined candidate
+     * can reach a measured-state write (ambiguous names with mixed
+     * candidates resolve to false — see docs/static_analysis.md).
+     * On true, @p why receives the evidence chain of one candidate.
+     */
+    bool calleeWritesMeasured(const std::string &bare,
+                              std::string *why) const;
+
+  private:
+    std::map<std::string, ClassInfo> classes_;
+    std::vector<FunctionInfo> functions_;
+    std::map<std::string, std::vector<std::size_t>> byBare_;
+    std::set<std::string> guardedMembers_;
+    std::set<std::string> hookPointers_;
+    std::set<std::string> measuredMembers_;
+    std::set<std::string> allMembers_;
+};
+
+/** Assignment-operator spellings that write their left-hand side. */
+bool isAssignOp(const std::string &t);
+
+/** C++ keywords / contextual keywords the scanners must not treat as
+ *  names. */
+bool isCppKeyword(const std::string &t);
+
+/**
+ * True when @p t can end the type part of a declaration whose
+ * declarator follows — an identifier or a type-ish keyword (`double`,
+ * `auto`, `const`, ...), but not an expression keyword (`return`,
+ * `throw`, ...). The decl heuristics share this.
+ */
+bool isDeclPrevToken(const Token &t);
+
+/**
+ * Scan [begin, end) of a token stream for write sites (assignment
+ * operators with optional `[...]` between name and operator, and
+ * pre/post increment/decrement). Shared by the index builder and the
+ * guarded-region / lambda-body rule scans.
+ */
+std::vector<WriteSite> scanWrites(const std::vector<Token> &toks,
+                                  std::size_t begin, std::size_t end);
+
+/** Index of the token closing the group opened at @p open
+ *  (returns end when unbalanced). Tracks (), [], {}. */
+std::size_t matchGroup(const std::vector<Token> &toks, std::size_t open,
+                       std::size_t end);
+
+} // namespace cottage::lint
+
+#endif // COTTAGE_LINT_SYMBOL_INDEX_H
